@@ -1,0 +1,31 @@
+#ifndef HERMES_BENCH_BENCH_UTIL_H_
+#define HERMES_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hermes::bench {
+
+/// Prints a titled section around a reproduced paper table.
+inline void PrintTable(const std::string& title, const std::string& body) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), body.c_str());
+  std::fflush(stdout);
+}
+
+/// Shared custom main: print the reproduction first (side effect of the
+/// binary's PrintReproduction()), then run the registered benchmarks.
+#define HERMES_BENCH_MAIN(print_fn)                       \
+  int main(int argc, char** argv) {                       \
+    print_fn();                                           \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }
+
+}  // namespace hermes::bench
+
+#endif  // HERMES_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Reproduces the paper's Figure 5: "Executing Remote Calls with Caching
+// and/or Invariants" — four cache/invariant configurations × three AVIS
+// workloads × {USA, Italy} sites, reporting simulated time-to-first-answer
+// and time-to-all-answers.
+//
+// The google-benchmark entries then measure the *host* cost of each
+// configuration's query execution (the simulator itself), plus counters
+// carrying the simulated milliseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engine/mediator.h"
+#include "experiments/fig5.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+void PrintReproduction() {
+  Result<std::vector<experiments::Fig5Row>> rows = experiments::RunFig5();
+  if (!rows.ok()) {
+    std::printf("Figure 5 reproduction failed: %s\n",
+                rows.status().ToString().c_str());
+    return;
+  }
+  bench::PrintTable(
+      "Figure 5 — Executing Remote Calls with Caching and/or Invariants "
+      "(simulated ms)",
+      experiments::RenderFig5(*rows));
+}
+
+/// Benchmark fixture: the rope scenario with a warmed video cache.
+struct Fig5Bench {
+  Mediator med;
+  QueryOptions direct;
+  QueryOptions via_cim;
+
+  Fig5Bench() {
+    testbed::RopeScenarioOptions options;
+    options.sites.video_site = net::UsaSite("umd");
+    (void)testbed::SetupRopeScenario(&med, options);
+    direct.use_optimizer = false;
+    direct.use_cim = false;
+    via_cim.use_optimizer = false;
+    via_cim.use_cim = true;
+    // Warm both the exact query and a narrower range for partial hits.
+    (void)med.Query(testbed::AppendixQuery(3, false, 4, 47), via_cim);
+    (void)med.Query(testbed::AppendixQuery(3, false, 4, 9000), via_cim);
+  }
+};
+
+Fig5Bench& Shared() {
+  static Fig5Bench* instance = new Fig5Bench();
+  return *instance;
+}
+
+void BM_Fig5_DirectRemoteQuery(benchmark::State& state) {
+  Fig5Bench& fx = Shared();
+  double sim_ms = 0;
+  for (auto _ : state) {
+    Result<QueryResult> res =
+        fx.med.Query(testbed::AppendixQuery(3, false, 4, 47), fx.direct);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    sim_ms = res->execution.t_all_ms;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["sim_ms"] = sim_ms;
+}
+BENCHMARK(BM_Fig5_DirectRemoteQuery);
+
+void BM_Fig5_ExactCacheHit(benchmark::State& state) {
+  Fig5Bench& fx = Shared();
+  double sim_ms = 0;
+  for (auto _ : state) {
+    Result<QueryResult> res =
+        fx.med.Query(testbed::AppendixQuery(3, false, 4, 47), fx.via_cim);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    sim_ms = res->execution.t_all_ms;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["sim_ms"] = sim_ms;
+}
+BENCHMARK(BM_Fig5_ExactCacheHit);
+
+void BM_Fig5_PartialInvariantHit(benchmark::State& state) {
+  Fig5Bench& fx = Shared();
+  double sim_ms = 0;
+  for (auto _ : state) {
+    Result<QueryResult> res =
+        fx.med.Query(testbed::AppendixQuery(3, false, 4, 9500), fx.via_cim);
+    if (!res.ok()) state.SkipWithError(res.status().ToString().c_str());
+    sim_ms = res->execution.t_all_ms;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["sim_ms"] = sim_ms;
+}
+BENCHMARK(BM_Fig5_PartialInvariantHit);
+
+void BM_Fig5_FullExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    Result<std::vector<experiments::Fig5Row>> rows = experiments::RunFig5();
+    if (!rows.ok()) state.SkipWithError(rows.status().ToString().c_str());
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_Fig5_FullExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hermes
+
+HERMES_BENCH_MAIN(hermes::PrintReproduction)

@@ -1,0 +1,66 @@
+// Reproduces the paper's Section 8 plan-choice claims:
+//   1. when the DCSM predicts plan Q1 beats Q2 for *all answers*, Q1
+//      almost always runs much faster;
+//   2. for *first answers*, the prediction is reliable only when the
+//      predicted margin is at least 50%.
+// Sweeps the three rewriting pairs (query1/1', query2/2', query3/4) over a
+// grid of frame ranges and scores winner-prediction accuracy per claim.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engine/mediator.h"
+#include "experiments/claims.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+void PrintReproduction() {
+  Result<std::vector<experiments::PlanChoicePoint>> points =
+      experiments::RunPlanChoice();
+  if (!points.ok()) {
+    std::printf("plan-choice experiment failed: %s\n",
+                points.status().ToString().c_str());
+    return;
+  }
+  bench::PrintTable(
+      "Section 8 claims — DCSM plan-choice accuracy (simulated ms)",
+      experiments::RenderPlanChoice(*points));
+}
+
+void BM_OptimizeAppendixQuery(benchmark::State& state) {
+  static Mediator* med = [] {
+    auto* m = new Mediator();
+    testbed::RopeScenarioOptions options;
+    options.enable_caching = false;
+    (void)testbed::SetupRopeScenario(m, options);
+    QueryOptions direct;
+    direct.use_optimizer = false;
+    direct.use_cim = false;
+    (void)m->Query(testbed::AppendixQuery(3, false, 4, 47), direct);
+    return m;
+  }();
+  for (auto _ : state) {
+    Result<optimizer::OptimizerResult> plan =
+        med->Plan(testbed::AppendixQuery(3, false, 4, 47), QueryOptions{});
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeAppendixQuery);
+
+void BM_PlanChoiceFullSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    Result<std::vector<experiments::PlanChoicePoint>> points =
+        experiments::RunPlanChoice();
+    if (!points.ok()) state.SkipWithError(points.status().ToString().c_str());
+    benchmark::DoNotOptimize(points);
+  }
+}
+BENCHMARK(BM_PlanChoiceFullSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hermes
+
+HERMES_BENCH_MAIN(hermes::PrintReproduction)

@@ -1,0 +1,134 @@
+// Reproduces the illustrative statistics tables of the paper's Section 6:
+// the cost vector database tables T16/T19 (Figure 2), their lossless
+// summaries T20/T21 (Figure 3), and the lossy summaries of Figure 4.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "dcsm/dcsm.h"
+#include "lang/parser.h"
+
+namespace hermes {
+namespace {
+
+/// Loads Figure 2's tables: d1:p_bf (T16) and d2:q_bf (T18).
+void LoadFigure2(dcsm::Dcsm* dcsm) {
+  auto rec = [dcsm](const char* d, const char* f, const char* arg, double ta,
+                    double card) {
+    dcsm->RecordExecution(DomainCall{d, f, {Value::Str(arg)}},
+                          CostVector(ta / 4, ta, card));
+  };
+  // (T16) d1:p_bf — the paper's exact values.
+  rec("d1", "p_bf", "a", 2.00, 2);
+  rec("d1", "p_bf", "a", 2.20, 2);
+  rec("d1", "p_bf", "c", 2.80, 3);
+  rec("d1", "p_bf", "c", 2.84, 3);
+  // (T18)-style d2:q_bf entries.
+  rec("d2", "q_bf", "b1", 3.10, 4);
+  rec("d2", "q_bf", "b1", 3.30, 4);
+  rec("d2", "q_bf", "b2", 2.50, 1);
+}
+
+std::string RenderGroup(const dcsm::Dcsm& dcsm, const dcsm::CallGroupKey& key) {
+  std::string out = "table " + key.ToString() + " (raw records):\n";
+  const std::vector<dcsm::CostRecord>* group = dcsm.database().GetGroup(key);
+  if (group == nullptr) return out + "  <empty>\n";
+  char buf[128];
+  for (const dcsm::CostRecord& r : *group) {
+    std::snprintf(buf, sizeof(buf), "  %-18s Ta=%5.2f Card=%4.1f t=%llu\n",
+                  ValueListToString(r.call.args).c_str(), r.cost.t_all_ms,
+                  r.cost.cardinality,
+                  static_cast<unsigned long long>(r.record_time));
+    out += buf;
+  }
+  return out;
+}
+
+std::string RenderSummary(const dcsm::Dcsm& dcsm,
+                          const dcsm::CallGroupKey& key, const char* label) {
+  std::string out = std::string(label) + ":\n";
+  const std::vector<dcsm::SummaryTable>* tables = dcsm.SummariesFor(key);
+  if (tables == nullptr) return out + "  <none>\n";
+  char buf[160];
+  for (const dcsm::SummaryTable& table : *tables) {
+    std::string dims = "dims={";
+    for (size_t i = 0; i < table.dims().size(); ++i) {
+      if (i) dims += ",";
+      dims += std::to_string(table.dims()[i]);
+    }
+    dims += "}";
+    out += "  " + key.ToString() + " " + dims +
+           (table.IsLossless() ? " (lossless)" : " (lossy)") + "\n";
+    for (const auto& [row_key, row] : table.rows()) {
+      CostVector mean = row.Mean();
+      std::snprintf(buf, sizeof(buf),
+                    "    %-14s Ta=%5.2f Card=%4.2f l=%llu\n",
+                    ValueListToString(row.dims).c_str(), mean.t_all_ms,
+                    mean.cardinality, static_cast<unsigned long long>(row.l));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void PrintReproduction() {
+  dcsm::Dcsm dcsm;
+  LoadFigure2(&dcsm);
+  dcsm::CallGroupKey p_key{"d1", "p_bf", 1};
+  dcsm::CallGroupKey q_key{"d2", "q_bf", 1};
+
+  std::string body = RenderGroup(dcsm, p_key) + RenderGroup(dcsm, q_key);
+  bench::PrintTable("Figure 2 — cost vector database (T16, T18)", body);
+
+  (void)dcsm.BuildLosslessSummaries();
+  body = RenderSummary(dcsm, p_key, "lossless summary of d1:p_bf (T20)") +
+         RenderSummary(dcsm, q_key, "lossless summary of d2:q_bf (T21)");
+  bench::PrintTable("Figure 3 — lossless summarizations", body);
+
+  dcsm.ClearSummaries();
+  (void)dcsm.BuildFullyLossySummaries();
+  body = RenderSummary(dcsm, p_key, "lossy summary of d1:p_bf") +
+         RenderSummary(dcsm, q_key, "lossy summary of d2:q_bf");
+  bench::PrintTable("Figure 4 — lossy summarizations (dimensions dropped)",
+                    body);
+
+  // Sanity estimates quoted in the running text.
+  Result<lang::DomainCallSpec> pa =
+      lang::Parser::ParseCallPattern("d1:p_bf('a')");
+  Result<lang::DomainCallSpec> pb =
+      lang::Parser::ParseCallPattern("d1:p_bf($b)");
+  dcsm::Dcsm fresh;
+  LoadFigure2(&fresh);
+  std::printf("Section 6.1 checks: cost(d1:p_bf('a')).Ta = %.2f (paper: 2.10)"
+              ", cost(d1:p_bf($b)).Ta = %.2f (paper: 2.46)\n\n",
+              fresh.Cost(*pa)->cost.t_all_ms, fresh.Cost(*pb)->cost.t_all_ms);
+}
+
+void BM_SummaryExactLookup(benchmark::State& state) {
+  dcsm::Dcsm dcsm;
+  LoadFigure2(&dcsm);
+  (void)dcsm.BuildLosslessSummaries();
+  dcsm.options().use_raw_database = false;
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("d1:p_bf('a')");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dcsm.Cost(*pattern));
+  }
+}
+BENCHMARK(BM_SummaryExactLookup);
+
+void BM_RawAggregation(benchmark::State& state) {
+  dcsm::Dcsm dcsm;
+  LoadFigure2(&dcsm);
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("d1:p_bf($b)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dcsm.Cost(*pattern));
+  }
+}
+BENCHMARK(BM_RawAggregation);
+
+}  // namespace
+}  // namespace hermes
+
+HERMES_BENCH_MAIN(hermes::PrintReproduction)

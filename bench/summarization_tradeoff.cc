@@ -1,0 +1,93 @@
+// Reproduces the Section 6.2 summarization tradeoff: storage footprint,
+// simulated estimation latency and estimation accuracy of the raw cost
+// vector database vs. lossless vs. lossy summary tables, as the statistics
+// database grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "dcsm/dcsm.h"
+#include "experiments/tradeoff.h"
+#include "lang/parser.h"
+
+namespace hermes {
+namespace {
+
+void PrintReproduction() {
+  Result<std::vector<experiments::TradeoffPoint>> points =
+      experiments::RunSummarizationTradeoff(
+          {100, 400, 1600, 6400, 25600});
+  if (!points.ok()) {
+    std::printf("tradeoff experiment failed: %s\n",
+                points.status().ToString().c_str());
+    return;
+  }
+  bench::PrintTable(
+      "Section 6.2 — lossless vs lossy summarization tradeoffs "
+      "(storage / simulated lookup / accuracy)",
+      experiments::RenderTradeoff(*points));
+}
+
+dcsm::Dcsm* MakeWarmDcsm(size_t records) {
+  auto* dcsm = new dcsm::Dcsm();
+  Rng rng(7);
+  for (size_t i = 0; i < records; ++i) {
+    int a = static_cast<int>(rng.NextBelow(16));
+    int b = static_cast<int>(rng.NextBelow(10000));
+    dcsm->RecordExecution(
+        DomainCall{"d", "f", {Value::Int(a), Value::Int(b)}},
+        CostVector(10, 100.0 * (a + 1), 5));
+  }
+  return dcsm;
+}
+
+void BM_EstimateFromRaw(benchmark::State& state) {
+  dcsm::Dcsm* dcsm = MakeWarmDcsm(static_cast<size_t>(state.range(0)));
+  dcsm->options().use_summaries = false;
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("d:f(3, $b)");
+  for (auto _ : state) {
+    Result<dcsm::CostEstimate> est = dcsm->Cost(*pattern);
+    if (!est.ok()) state.SkipWithError(est.status().ToString().c_str());
+    benchmark::DoNotOptimize(est);
+  }
+  state.counters["sim_lookup_ms"] =
+      dcsm->Cost(*pattern).value_or(dcsm::CostEstimate{}).lookup_ms;
+  delete dcsm;
+}
+BENCHMARK(BM_EstimateFromRaw)->Arg(100)->Arg(1600)->Arg(25600);
+
+void BM_EstimateFromLosslessSummary(benchmark::State& state) {
+  dcsm::Dcsm* dcsm = MakeWarmDcsm(static_cast<size_t>(state.range(0)));
+  (void)dcsm->BuildLosslessSummaries();
+  (void)dcsm->BuildSummary(dcsm::CallGroupKey{"d", "f", 2}, {0});
+  dcsm->options().use_raw_database = false;
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("d:f(3, $b)");
+  for (auto _ : state) {
+    Result<dcsm::CostEstimate> est = dcsm->Cost(*pattern);
+    if (!est.ok()) state.SkipWithError(est.status().ToString().c_str());
+    benchmark::DoNotOptimize(est);
+  }
+  state.counters["sim_lookup_ms"] =
+      dcsm->Cost(*pattern).value_or(dcsm::CostEstimate{}).lookup_ms;
+  delete dcsm;
+}
+BENCHMARK(BM_EstimateFromLosslessSummary)->Arg(100)->Arg(1600)->Arg(25600);
+
+void BM_BuildLosslessSummaries(benchmark::State& state) {
+  dcsm::Dcsm* dcsm = MakeWarmDcsm(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    dcsm->ClearSummaries();
+    benchmark::DoNotOptimize(dcsm->BuildLosslessSummaries());
+  }
+  delete dcsm;
+}
+BENCHMARK(BM_BuildLosslessSummaries)->Arg(1600)->Arg(25600)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hermes
+
+HERMES_BENCH_MAIN(hermes::PrintReproduction)

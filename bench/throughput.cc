@@ -1,0 +1,118 @@
+// Host-performance benchmarks of the library itself (not the simulated
+// testbed): how fast the implementation parses, plans, executes and
+// serves cache hits. These are the numbers a downstream adopter of the
+// library cares about — wall-clock cost per mediator operation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engine/mediator.h"
+#include "lang/parser.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+void PrintReproduction() {
+  std::printf(
+      "\n=== Library host-performance benchmarks ===\n"
+      "(wall-clock per operation; the simulated testbed latencies do not\n"
+      " apply here — a cache-hit query's *simulated* time is ~1ms while\n"
+      " its *host* cost below is microseconds)\n\n");
+}
+
+Mediator* SharedMediator() {
+  static Mediator* med = [] {
+    auto* m = new Mediator();
+    testbed::RopeScenarioOptions options;
+    options.sites.video_site = net::LocalSite();
+    options.sites.relation_site = net::LocalSite();
+    (void)testbed::SetupRopeScenario(m, options);
+    QueryOptions warm;
+    warm.use_optimizer = false;
+    (void)m->Query(testbed::AppendixQuery(3, false, 4, 47), warm);
+    return m;
+  }();
+  return med;
+}
+
+void BM_ParseRule(benchmark::State& state) {
+  const std::string text =
+      "routetosupplies(From, Sup, To, R) :- "
+      "in(T, ingres:select_eq('inventory', item, Sup)) & =(T.loc, To) & "
+      "in(R, terraindb:findrte(From, To)).";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::Parser::ParseRule(text));
+  }
+}
+BENCHMARK(BM_ParseRule);
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string text = testbed::AppendixQuery(2, true, 4, 47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::Parser::ParseQuery(text));
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_PlanQuery(benchmark::State& state) {
+  Mediator* med = SharedMediator();
+  const std::string query = testbed::AppendixQuery(3, false, 4, 47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(med->Plan(query, QueryOptions{}));
+  }
+}
+BENCHMARK(BM_PlanQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecuteJoinQueryDirect(benchmark::State& state) {
+  Mediator* med = SharedMediator();
+  QueryOptions direct;
+  direct.use_optimizer = false;
+  direct.use_cim = false;
+  direct.record_statistics = false;
+  const std::string query = testbed::AppendixQuery(3, false, 4, 47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(med->Query(query, direct));
+  }
+}
+BENCHMARK(BM_ExecuteJoinQueryDirect)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecuteCacheHitQuery(benchmark::State& state) {
+  Mediator* med = SharedMediator();
+  QueryOptions cached;
+  cached.use_optimizer = false;
+  cached.use_cim = true;
+  cached.record_statistics = false;
+  const std::string query = testbed::AppendixQuery(3, false, 4, 47);
+  (void)med->Query(query, cached);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(med->Query(query, cached));
+  }
+}
+BENCHMARK(BM_ExecuteCacheHitQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndOptimizedQuery(benchmark::State& state) {
+  Mediator* med = SharedMediator();
+  QueryOptions full;  // optimizer + cim
+  full.record_statistics = false;
+  const std::string query = testbed::AppendixQuery(3, false, 4, 127);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(med->Query(query, full));
+  }
+}
+BENCHMARK(BM_EndToEndOptimizedQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_DcsmCostLookup(benchmark::State& state) {
+  Mediator* med = SharedMediator();
+  Result<lang::DomainCallSpec> pattern = lang::Parser::ParseCallPattern(
+      "video:frames_to_objects('rope', 4, $b)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(med->dcsm().Cost(*pattern));
+  }
+}
+BENCHMARK(BM_DcsmCostLookup);
+
+}  // namespace
+}  // namespace hermes
+
+HERMES_BENCH_MAIN(hermes::PrintReproduction)

@@ -1,0 +1,220 @@
+// hermes_shell: an interactive mediator console.
+//
+//   ./build/examples/hermes_shell --demo     # run the canned demo script
+//   ./build/examples/hermes_shell < script   # or feed your own commands
+//
+// Commands:
+//   <rule>.                      add a mediator rule
+//   ?- <goals>.                  run a query
+//   :invariant <invariant>.      install an invariant (domain must be cached)
+//   :plans ?- <goals>.           show the optimizer's ranked candidates
+//   :stats                       DCSM / CIM / network counters
+//   :dump                        print the cost-vector database dump
+//   :mode all | first            all-answers vs interactive execution
+//   :optimizer on | off          toggle cost-based optimization
+//   :demo                        load the 'rope' demo scenario
+//   :help, :quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/io.h"
+#include "common/strings.h"
+#include "dcsm/persistence.h"
+#include "engine/mediator.h"
+#include "testbed/scenario.h"
+
+using namespace hermes;
+
+namespace {
+
+constexpr const char* kDemoScript = R"(:demo
+?- query3(4, 47, Object, Actor).
+?- query3(4, 47, Object, Actor).
+:plans ?- query3(4, 47, Object, Actor).
+:stats
+:quit
+)";
+
+class Shell {
+ public:
+  Shell() = default;
+
+  int RunFrom(std::istream& in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      line = TrimString(line);
+      if (line.empty() || line[0] == '%') continue;
+      std::printf("hermes> %s\n", line.c_str());
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    if (line == ":quit" || line == ":q") return false;
+    if (line == ":help") {
+      PrintHelp();
+    } else if (line == ":demo") {
+      LoadDemo();
+    } else if (line == ":stats") {
+      PrintStats();
+    } else if (line == ":dump") {
+      std::printf("%s", dcsm::DumpStatistics(med_.dcsm().database()).c_str());
+    } else if (StartsWith(line, ":mode")) {
+      options_.mode = line.find("first") != std::string::npos
+                          ? engine::ExecutionMode::kInteractive
+                          : engine::ExecutionMode::kAllAnswers;
+      std::printf("mode: %s\n",
+                  options_.mode == engine::ExecutionMode::kInteractive
+                      ? "interactive (first batch)"
+                      : "all answers");
+    } else if (StartsWith(line, ":trace")) {
+      options_.collect_trace = line.find("off") == std::string::npos;
+      std::printf("trace: %s\n", options_.collect_trace ? "on" : "off");
+    } else if (StartsWith(line, ":optimizer")) {
+      options_.use_optimizer = line.find("off") == std::string::npos;
+      std::printf("optimizer: %s\n", options_.use_optimizer ? "on" : "off");
+    } else if (StartsWith(line, ":load ")) {
+      Report(med_.LoadProgramFile(TrimString(line.substr(6))));
+    } else if (StartsWith(line, ":save ")) {
+      Report(WriteStringToFile(TrimString(line.substr(6)),
+                               dcsm::DumpStatistics(med_.dcsm().database())));
+    } else if (StartsWith(line, ":invariant")) {
+      Report(med_.AddInvariants(TrimString(line.substr(10))));
+    } else if (StartsWith(line, ":plans")) {
+      ShowPlans(TrimString(line.substr(6)));
+    } else if (StartsWith(line, "?-")) {
+      RunQuery(line);
+    } else if (!line.empty() && line[0] == ':') {
+      std::printf("unknown command; :help lists commands\n");
+    } else {
+      Report(med_.LoadProgram(line));
+    }
+    return true;
+  }
+
+  void PrintHelp() {
+    std::printf(
+        "  <rule>.            add a mediator rule\n"
+        "  ?- <goals>.        run a query\n"
+        "  :invariant <inv>.  install an invariant\n"
+        "  :plans ?- <q>.     show ranked candidate plans\n"
+        "  :stats / :dump     counters / statistics dump\n"
+        "  :load <path>       load a rule file\n"
+        "  :save <path>       save the statistics database\n"
+        "  :mode all|first    execution mode\n"
+        "  :optimizer on|off  cost-based optimization\n"
+        "  :trace on|off      per-call execution trace\n"
+        "  :demo              load the 'rope' scenario\n"
+        "  :quit              leave\n");
+  }
+
+  void PrintStats() {
+    const dcsm::CostVectorDatabase& db = med_.dcsm().database();
+    std::printf("statistics: %zu records, %zu call groups, ~%zu bytes\n",
+                db.TotalRecords(), db.Groups().size(), db.ApproxBytes());
+    for (const std::string& name : med_.CachedDomains()) {
+      cim::CimDomain* cim = med_.cim(name);
+      const cim::CimStats& s = cim->stats();
+      std::printf(
+          "cim_%s: %zu entries, exact=%llu eq=%llu partial=%llu miss=%llu\n",
+          name.c_str(), cim->cache().size(),
+          (unsigned long long)s.exact_hits, (unsigned long long)s.equality_hits,
+          (unsigned long long)s.partial_hits, (unsigned long long)s.misses);
+    }
+    const net::NetworkStats& n = med_.network().stats();
+    std::printf("network: %llu calls, %llu failures, %llu bytes, $%.2f\n",
+                (unsigned long long)n.calls, (unsigned long long)n.failures,
+                (unsigned long long)n.bytes_transferred, n.total_charge);
+  }
+
+  void LoadDemo() {
+    Status st = testbed::SetupRopeScenario(&med_, {});
+    std::printf("%s\n", st.ok()
+                            ? "rope scenario loaded: domains video@umd, "
+                              "relation@cornell; appendix queries query1..4"
+                            : st.ToString().c_str());
+  }
+
+  void Report(const Status& st) {
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  }
+
+  void RunQuery(const std::string& text) {
+    Result<QueryResult> res = med_.Query(text, options_);
+    if (!res.ok()) {
+      std::printf("error: %s\n", res.status().ToString().c_str());
+      return;
+    }
+    const engine::QueryExecution& exec = res->execution;
+    // Header row of variables.
+    std::string header;
+    for (const std::string& var : exec.var_names) {
+      header += var + "\t";
+    }
+    std::printf("%s\n", header.c_str());
+    size_t shown = 0;
+    for (const ValueList& row : exec.answers) {
+      if (shown++ >= 20) {
+        std::printf("... (%zu more)\n", exec.answers.size() - 20);
+        break;
+      }
+      std::string rendered;
+      for (const Value& v : row) rendered += v.ToString() + "\t";
+      std::printf("%s\n", rendered.c_str());
+    }
+    std::printf("%zu answer(s)%s in Tf=%.0fms Ta=%.0fms [%s]",
+                exec.answers.size(), exec.complete ? "" : " (partial)",
+                exec.t_first_ms, exec.t_all_ms,
+                res->plan_description.c_str());
+    if (res->traffic.remote_calls > 0) {
+      std::printf("  net: %llu calls, %llu bytes",
+                  (unsigned long long)res->traffic.remote_calls,
+                  (unsigned long long)res->traffic.bytes);
+      if (res->traffic.charge > 0) {
+        std::printf(", $%.2f", res->traffic.charge);
+      }
+    }
+    std::printf("\n");
+    if (options_.collect_trace) {
+      for (const engine::CallTrace& t : exec.trace) {
+        std::printf("  %s\n", t.ToString().c_str());
+      }
+    }
+  }
+
+  void ShowPlans(const std::string& query_text) {
+    Result<optimizer::OptimizerResult> plan =
+        med_.Plan(query_text, options_);
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    for (const optimizer::CandidatePlan& c : plan->candidates) {
+      if (!c.estimatable) continue;
+      std::printf("  %-22s Ta=%9.0fms Tf=%8.0fms Card=%6.1f%s\n",
+                  c.description.c_str(), c.estimated.t_all_ms,
+                  c.estimated.t_first_ms, c.estimated.cardinality,
+                  c.description == plan->best.description ? "  <= chosen"
+                                                          : "");
+    }
+  }
+
+  Mediator med_;
+  QueryOptions options_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    std::istringstream demo(kDemoScript);
+    return shell.RunFrom(demo);
+  }
+  return shell.RunFrom(std::cin);
+}

@@ -1,0 +1,118 @@
+// Newsroom: a five-way federation. A fact-checking desk asks one question
+// — "which actors mentioned in today's wire stories appear in our film
+// archive, and do we have a verified photo of them?" — and the mediator
+// spans a text corpus, a relational cast table, the AVIS video archive
+// and a face-recognition gallery to answer it. A second rule plans a
+// courier route to the archive vault with the terrain package.
+//
+// Build & run:  ./build/examples/newsroom
+
+#include <cstdio>
+
+#include "avis/avis_domain.h"
+#include "engine/mediator.h"
+#include "face/face_domain.h"
+#include "relational/relational_domain.h"
+#include "testbed/scenario.h"
+#include "text/text_domain.h"
+
+using namespace hermes;
+
+int main() {
+  Mediator med;
+
+  // -- sources ---------------------------------------------------------------
+  auto text = std::make_shared<text::TextDomain>("text");
+  text::LoadNewsCorpus(text.get());
+  (void)med.RegisterDomain("text", text);
+
+  auto cast_db = testbed::MakeCastDatabase();
+  (void)med.RegisterRemoteDomain(
+      "relation",
+      std::make_shared<relational::RelationalDomain>("ingres", cast_db),
+      net::UsaSite("cornell"));
+
+  auto videos = testbed::MakeRopeVideoDatabase();
+  (void)med.RegisterRemoteDomain(
+      "video", std::make_shared<avis::AvisDomain>("avis", videos),
+      net::UsaSite("umd"));
+  (void)med.EnableCaching("video");
+
+  auto faces = std::make_shared<face::FaceDomain>("face");
+  faces->Enroll("james stewart", 1);
+  faces->Enroll("john dall", 2);
+  faces->Enroll("farley granger", 3);
+  faces->AddPhoto("press_photo_1", "james stewart", 77);
+  (void)med.RegisterDomain("face", faces);
+
+  (void)med.RegisterDomain("terraindb", testbed::MakeSupplyTerrain());
+
+  // -- mediator rules ------------------------------------------------------------
+  Status st = med.LoadProgram(R"(
+    % Wire stories mentioning a word, with their text.
+    story(Word, Doc) :-
+        in(Hit, text:search('usatoday', Word)) & =(Doc, Hit.doc).
+
+    % If the wire mentions a word today, pull the archived film's cast
+    % appearing between the given frames (the story gates the expensive
+    % archive sweep; it does not filter the cast list).
+    wire_actor(Word, Movie, F, L, Actor, Role) :-
+        story(Word, Doc) &
+        in(T, relation:all('cast')) &
+        =(T.name, Actor) &
+        =(T.role, Role) &
+        in(Role, video:frames_to_objects(Movie, F, L)).
+
+    % Does a press photo verify the actor?
+    verified(Photo, Actor) :-
+        in(M, face:identify(Photo)) & =(Actor, M.person).
+  )");
+  if (!st.ok()) {
+    std::printf("program error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("-- the wire mentions 'stewart' today; cast of 'rope' on\n"
+              "   screen in frames [1, 9000]:\n");
+  Result<QueryResult> actors = med.Query(
+      "?- wire_actor('stewart', 'rope', 1, 9000, Actor, Role).",
+      QueryOptions{});
+  if (!actors.ok()) {
+    std::printf("query error: %s\n", actors.status().ToString().c_str());
+    return 1;
+  }
+  const auto& vars = actors->execution.var_names;
+  size_t actor_col = 0, role_col = 0;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i] == "Actor") actor_col = i;
+    if (vars[i] == "Role") role_col = i;
+  }
+  for (const ValueList& row : actors->execution.answers) {
+    std::printf("   %s as %s\n", row[actor_col].ToString().c_str(),
+                row[role_col].ToString().c_str());
+  }
+  std::printf("   [%zu matches, Ta=%.0fms simulated, plan %s]\n",
+              actors->execution.answers.size(), actors->execution.t_all_ms,
+              actors->plan_description.c_str());
+
+  std::printf("\n-- does press_photo_1 verify james stewart?\n");
+  Result<QueryResult> verified = med.Query(
+      "?- verified('press_photo_1', 'james stewart').", QueryOptions{});
+  if (verified.ok()) {
+    std::printf("   %s\n",
+                verified->execution.answers.empty() ? "no" : "yes");
+  }
+
+  std::printf("\n-- courier route from place1 to the northern depot vault:\n");
+  (void)med.LoadProgram(
+      "courier(From, To, R) :- in(R, terraindb:findrte(From, To)).");
+  Result<QueryResult> route = med.Query(
+      "?- courier('place1', 'depot_north', R).", QueryOptions{});
+  if (route.ok() && !route->execution.answers.empty()) {
+    const Value& r = route->execution.answers[0].back();
+    std::printf("   %s cells, cost %.0f\n",
+                r.GetAttr("length")->ToString().c_str(),
+                r.GetAttr("cost")->as_double());
+  }
+  return 0;
+}

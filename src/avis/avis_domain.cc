@@ -1,0 +1,123 @@
+#include "avis/avis_domain.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hermes::avis {
+
+std::vector<FunctionInfo> AvisDomain::Functions() const {
+  return {
+      {"video_size", 1, "video_size(video): singleton byte size"},
+      {"video_frames", 1, "video_frames(video): singleton frame count"},
+      {"frames_to_objects", 3,
+       "frames_to_objects(video, first, last): objects in the frame range"},
+      {"object_to_frames", 2,
+       "object_to_frames(video, object): {first, last} appearance segments"},
+      {"videos", 0, "videos(): names of all stored videos"},
+  };
+}
+
+double AvisDomain::JitterFor(const DomainCall& call) const {
+  Rng rng(call.Hash() ^ 0xA715D0B5ULL);
+  return 1.0 + params_.jitter * (2.0 * rng.NextDouble() - 1.0);
+}
+
+Result<CallOutput> AvisDomain::Run(const DomainCall& call) {
+  const std::string& fn = call.function;
+  double jitter = JitterFor(call);
+  // Content inspection (segments + frame decode) dominates T_a; the first
+  // answer surfaces once setup plus a slice of the inspection is done.
+  auto finish = [this, jitter](AnswerSet answers, size_t segments,
+                               double range_len) {
+    CallOutput out;
+    size_t n = answers.size();
+    double inspect_ms =
+        params_.per_segment_ms * static_cast<double>(segments) +
+        params_.range_factor_ms *
+            std::pow(std::max(range_len, 0.0), 0.7);
+    out.all_ms = (params_.setup_ms + inspect_ms +
+                  params_.per_result_ms * static_cast<double>(n)) *
+                 jitter;
+    out.first_ms =
+        n == 0 ? out.all_ms
+               : (params_.setup_ms +
+                  inspect_ms / static_cast<double>(n + 1) +
+                  params_.per_result_ms) *
+                     jitter;
+    out.answers = std::move(answers);
+    return out;
+  };
+
+  if (fn == "videos") {
+    if (!call.args.empty()) {
+      return Status::InvalidArgument(call.ToString() + ": videos takes 0 args");
+    }
+    AnswerSet answers;
+    for (const std::string& name : db_->VideoNames()) {
+      answers.push_back(Value::Str(name));
+    }
+    return finish(std::move(answers), 0, 0.0);
+  }
+
+  if (call.args.empty() || !call.args[0].is_string()) {
+    return Status::InvalidArgument(call.ToString() +
+                                   ": first argument must be a video name");
+  }
+  const std::string& video = call.args[0].as_string();
+
+  if (fn == "video_size" || fn == "video_frames") {
+    if (call.args.size() != 1) {
+      return Status::InvalidArgument(call.ToString() + ": takes 1 arg");
+    }
+    HERMES_ASSIGN_OR_RETURN(const VideoInfo* info, db_->GetVideo(video));
+    return finish(AnswerSet{Value::Int(fn == "video_size" ? info->size_bytes
+                                                          : info->num_frames)},
+                  0, 0.0);
+  }
+
+  if (fn == "frames_to_objects") {
+    if (call.args.size() != 3 || !call.args[1].is_numeric() ||
+        !call.args[2].is_numeric()) {
+      return Status::InvalidArgument(
+          call.ToString() + ": frames_to_objects takes (video, first, last)");
+    }
+    int64_t first = static_cast<int64_t>(call.args[1].as_number());
+    int64_t last = static_cast<int64_t>(call.args[2].as_number());
+    if (first > last) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": empty frame range (first > last)");
+    }
+    HERMES_ASSIGN_OR_RETURN(VideoDatabase::RangeResult range,
+                            db_->ObjectsInRange(video, first, last));
+    AnswerSet answers;
+    answers.reserve(range.objects.size());
+    for (const std::string& obj : range.objects) {
+      answers.push_back(Value::Str(obj));
+    }
+    return finish(std::move(answers), range.segments_examined,
+                  static_cast<double>(last - first + 1));
+  }
+
+  if (fn == "object_to_frames") {
+    if (call.args.size() != 2 || !call.args[1].is_string()) {
+      return Status::InvalidArgument(
+          call.ToString() + ": object_to_frames takes (video, object)");
+    }
+    HERMES_ASSIGN_OR_RETURN(
+        VideoDatabase::FramesResult frames,
+        db_->FramesOfObject(video, call.args[1].as_string()));
+    AnswerSet answers;
+    answers.reserve(frames.segments.size());
+    for (const AppearanceSegment& seg : frames.segments) {
+      answers.push_back(Value::Struct({{"first", Value::Int(seg.first_frame)},
+                                       {"last", Value::Int(seg.last_frame)}}));
+    }
+    return finish(std::move(answers), frames.segments_examined, 0.0);
+  }
+
+  return Status::NotFound("domain '" + name_ + "' has no function '" + fn +
+                          "'");
+}
+
+}  // namespace hermes::avis

@@ -1,0 +1,66 @@
+#ifndef HERMES_AVIS_AVIS_DOMAIN_H_
+#define HERMES_AVIS_AVIS_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "avis/video_db.h"
+#include "domain/domain.h"
+
+namespace hermes::avis {
+
+/// Simulated compute-cost parameters of the AVIS package.
+///
+/// AVIS is the paper's example of a source for which "it is extremely
+/// difficult to develop a reasonable cost model": its latency is
+/// data-dependent and non-smooth. We model per-call time as
+///
+///   setup + per_segment·segments_examined + range_factor·(range_len)^0.7
+///         + per_result·|answers|,  all scaled by a deterministic
+///   per-call jitter in [1-jitter, 1+jitter] derived from the call hash.
+///
+/// The jitter is keyed on the call's arguments, so *repeating* a call costs
+/// about the same (statistics caching works) while *curve fitting* across
+/// argument space stays hard (the paper's motivation for DCSM).
+struct AvisCostParams {
+  double setup_ms = 55.0;        ///< Video open + content-index load.
+  double per_segment_ms = 1.6;   ///< Per appearance segment examined.
+  double range_factor_ms = 0.9;  ///< Multiplies (frame-range length)^0.7.
+  double per_result_ms = 4.0;    ///< Per answer materialized (decode work).
+  double jitter = 0.25;          ///< Relative amplitude of per-call jitter.
+};
+
+/// Domain adapter for the video store (the paper's AVIS package).
+///
+/// Exported functions (answers noted per function):
+///   video_size(video)                  — singleton int (bytes)
+///   video_frames(video)                — singleton int (frame count)
+///   frames_to_objects(video, f, l)     — object names appearing in [f, l]
+///   object_to_frames(video, object)    — {first, last} structs per segment
+///   videos()                           — names of all stored videos
+class AvisDomain : public Domain {
+ public:
+  AvisDomain(std::string name, std::shared_ptr<VideoDatabase> db,
+             AvisCostParams params = {})
+      : name_(std::move(name)), db_(std::move(db)), params_(params) {}
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override;
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+  VideoDatabase* database() { return db_.get(); }
+  const AvisCostParams& cost_params() const { return params_; }
+
+ private:
+  /// Deterministic jitter multiplier for a call.
+  double JitterFor(const DomainCall& call) const;
+
+  std::string name_;
+  std::shared_ptr<VideoDatabase> db_;
+  AvisCostParams params_;
+};
+
+}  // namespace hermes::avis
+
+#endif  // HERMES_AVIS_AVIS_DOMAIN_H_

@@ -1,0 +1,115 @@
+#include "avis/video_db.h"
+
+namespace hermes::avis {
+
+void VideoDatabase::PutVideo(VideoInfo info) {
+  videos_[info.name] = std::move(info);
+}
+
+Result<const VideoInfo*> VideoDatabase::GetVideo(
+    const std::string& name) const {
+  auto it = videos_.find(name);
+  if (it == videos_.end()) {
+    return Status::NotFound("no video '" + name + "' in AVIS store");
+  }
+  return &it->second;
+}
+
+Result<VideoDatabase::RangeResult> VideoDatabase::ObjectsInRange(
+    const std::string& video, int64_t first, int64_t last) const {
+  HERMES_ASSIGN_OR_RETURN(const VideoInfo* info, GetVideo(video));
+  RangeResult result;
+  result.segments_examined = info->segments.size();
+  for (const AppearanceSegment& seg : info->segments) {
+    if (seg.first_frame <= last && seg.last_frame >= first) {
+      bool already = false;
+      for (const std::string& obj : result.objects) {
+        if (obj == seg.object) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) result.objects.push_back(seg.object);
+    }
+  }
+  return result;
+}
+
+Result<VideoDatabase::FramesResult> VideoDatabase::FramesOfObject(
+    const std::string& video, const std::string& object) const {
+  HERMES_ASSIGN_OR_RETURN(const VideoInfo* info, GetVideo(video));
+  FramesResult result;
+  result.segments_examined = info->segments.size();
+  for (const AppearanceSegment& seg : info->segments) {
+    if (seg.object == object) result.segments.push_back(seg);
+  }
+  return result;
+}
+
+std::vector<std::string> VideoDatabase::VideoNames() const {
+  std::vector<std::string> out;
+  out.reserve(videos_.size());
+  for (const auto& [name, info] : videos_) out.push_back(name);
+  return out;
+}
+
+void LoadRopeDataset(VideoDatabase* db) {
+  VideoInfo rope;
+  rope.name = "rope";
+  rope.num_frames = 130000;        // ~80 min at 27 fps.
+  rope.size_bytes = 1214800000;    // ~1.2 GB.
+  // Role names align with the 'cast' relation used by the paper's queries.
+  rope.segments = {
+      {"rupert", 4, 42},      {"rupert", 300, 1200},   {"rupert", 5000, 9000},
+      {"brandon", 1, 47},     {"brandon", 90, 500},    {"brandon", 4500, 8000},
+      {"phillip", 1, 47},     {"phillip", 600, 2500},
+      {"david", 1, 12},
+      {"janet", 120, 900},    {"janet", 2600, 3900},
+      {"kenneth", 150, 780},
+      {"mr_kentley", 2000, 3600},
+      {"mrs_atwater", 2100, 3500},
+      {"mrs_wilson", 40, 127},{"mrs_wilson", 1900, 2400},
+      {"rope_prop", 1, 60},   {"rope_prop", 7000, 7400},
+      {"chest", 30, 8200},
+      {"books", 2200, 2900},  {"books", 6100, 6400},
+      {"champagne", 800, 1700},
+      {"metronome", 4100, 4700},
+  };
+  db->PutVideo(std::move(rope));
+
+  // A second, smaller video so multi-video queries have something to join.
+  VideoInfo birds;
+  birds.name = "the_birds";
+  birds.num_frames = 170000;
+  birds.size_bytes = 1628000000;
+  birds.segments = {
+      {"melanie", 1, 9000},   {"mitch", 400, 8000},
+      {"lydia", 2000, 6000},  {"cathy", 2500, 5000},
+      {"annie", 1200, 2100},  {"birds", 3000, 9000},
+  };
+  db->PutVideo(std::move(birds));
+}
+
+void LoadSyntheticVideos(VideoDatabase* db, uint64_t seed, size_t num_videos,
+                         size_t objects_per_video, int64_t frames_per_video) {
+  Rng rng(seed);
+  for (size_t v = 0; v < num_videos; ++v) {
+    VideoInfo info;
+    info.name = "video_" + std::to_string(v);
+    info.num_frames = frames_per_video;
+    info.size_bytes = frames_per_video * 9000;
+    for (size_t o = 0; o < objects_per_video; ++o) {
+      std::string object = "obj_" + std::to_string(v) + "_" + std::to_string(o);
+      size_t segments = 1 + rng.NextBelow(4);
+      for (size_t s = 0; s < segments; ++s) {
+        int64_t first = rng.NextInRange(0, frames_per_video - 2);
+        int64_t length = rng.NextInRange(1, frames_per_video / 10 + 1);
+        int64_t last = std::min<int64_t>(first + length, frames_per_video - 1);
+        info.segments.push_back({object, first, last});
+      }
+    }
+    db->PutVideo(std::move(info));
+  }
+}
+
+}  // namespace hermes::avis

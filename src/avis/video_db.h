@@ -1,0 +1,84 @@
+#ifndef HERMES_AVIS_VIDEO_DB_H_
+#define HERMES_AVIS_VIDEO_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace hermes::avis {
+
+/// A contiguous run of frames in which one object (character/prop) appears.
+struct AppearanceSegment {
+  std::string object;
+  int64_t first_frame = 0;
+  int64_t last_frame = 0;
+};
+
+/// One video: frame count, byte size, and its appearance segments.
+struct VideoInfo {
+  std::string name;
+  int64_t num_frames = 0;
+  int64_t size_bytes = 0;
+  std::vector<AppearanceSegment> segments;
+};
+
+/// The content store behind the AVIS domain: videos annotated with which
+/// objects appear in which frame ranges (the video-retrieval package of the
+/// paper, reproduced synthetically).
+class VideoDatabase {
+ public:
+  VideoDatabase() = default;
+
+  VideoDatabase(const VideoDatabase&) = delete;
+  VideoDatabase& operator=(const VideoDatabase&) = delete;
+
+  /// Adds (or replaces) a video.
+  void PutVideo(VideoInfo info);
+
+  bool HasVideo(const std::string& name) const {
+    return videos_.find(name) != videos_.end();
+  }
+
+  Result<const VideoInfo*> GetVideo(const std::string& name) const;
+
+  /// Objects appearing in any frame of [first, last], deduplicated, in
+  /// first-appearance order. Also reports how many segments were examined.
+  struct RangeResult {
+    std::vector<std::string> objects;
+    size_t segments_examined = 0;
+  };
+  Result<RangeResult> ObjectsInRange(const std::string& video, int64_t first,
+                                     int64_t last) const;
+
+  /// Frame segments of `object` within `video`, in frame order.
+  struct FramesResult {
+    std::vector<AppearanceSegment> segments;
+    size_t segments_examined = 0;
+  };
+  Result<FramesResult> FramesOfObject(const std::string& video,
+                                      const std::string& object) const;
+
+  std::vector<std::string> VideoNames() const;
+  size_t num_videos() const { return videos_.size(); }
+
+ private:
+  std::map<std::string, VideoInfo> videos_;
+};
+
+/// Builds the canned "rope" dataset used by the paper's Section 8 queries:
+/// a video named 'rope' whose objects are the role names of the cast table
+/// (rupert, brandon, phillip, david, janet, mrs_wilson, ...).
+void LoadRopeDataset(VideoDatabase* db);
+
+/// Synthesizes `num_videos` videos with `objects_per_video` objects, each
+/// appearing in 1–4 random segments, deterministically from `seed`.
+void LoadSyntheticVideos(VideoDatabase* db, uint64_t seed, size_t num_videos,
+                         size_t objects_per_video, int64_t frames_per_video);
+
+}  // namespace hermes::avis
+
+#endif  // HERMES_AVIS_VIDEO_DB_H_

@@ -1,0 +1,224 @@
+#include "cim/cim.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "lang/parser.h"
+
+namespace hermes::cim {
+
+Status CimDomain::AddInvariants(const std::string& text) {
+  HERMES_ASSIGN_OR_RETURN(std::vector<lang::Invariant> parsed,
+                          lang::Parser::ParseInvariants(text));
+  for (lang::Invariant& inv : parsed) AddInvariant(std::move(inv));
+  return Status::OK();
+}
+
+CallOutput CimDomain::ServeFromCache(const CacheEntry& entry, double lead_ms,
+                                     bool complete) const {
+  CallOutput out;
+  out.answers = entry.answers;
+  out.first_ms = lead_ms + params_.per_cached_answer_ms;
+  out.all_ms = lead_ms + params_.per_cached_answer_ms *
+                             static_cast<double>(
+                                 std::max<size_t>(entry.answers.size(), 1));
+  out.complete = complete && entry.complete;
+  return out;
+}
+
+Result<CallOutput> CimDomain::RunActual(const DomainCall& call) {
+  ++stats_.actual_calls;
+  HERMES_ASSIGN_OR_RETURN(CallOutput out, inner_->Run(call));
+  if (options_.cache_results && out.complete) {
+    cache_.Put(call, out.answers, /*complete=*/true, tick_);
+  }
+  return out;
+}
+
+bool CimDomain::IsStale(const CacheEntry& entry) const {
+  return options_.max_entry_age > 0 &&
+         tick_ - entry.inserted_at > options_.max_entry_age;
+}
+
+const CacheEntry* CimDomain::ProbeForSpec(
+    const lang::DomainCallSpec& target, const Substitution& theta,
+    const std::vector<lang::Atom>& conditions, double* search_ms) const {
+  lang::DomainCallSpec substituted = ApplySubstitution(target, theta);
+
+  if (substituted.is_ground()) {
+    Result<bool> holds = EvalConditions(conditions, theta);
+    if (!holds.ok() || !*holds) return nullptr;
+    *search_ms += params_.per_cache_probe_ms;
+    Result<DomainCall> target_call = DomainCall::FromSpec(substituted);
+    if (!target_call.ok()) return nullptr;
+    const CacheEntry* entry = cache_.Peek(*target_call);
+    if (entry != nullptr && IsStale(*entry)) return nullptr;
+    return entry;
+  }
+
+  // The target still has free variables (e.g. the V_1 of the paper's
+  // select_< invariant): scan the cache for an entry that unifies with it
+  // and satisfies the conditions.
+  const CacheEntry* found = nullptr;
+  cache_.ForEach([&](const CacheEntry& entry) {
+    *search_ms += params_.per_cache_probe_ms;
+    if (IsStale(entry)) return true;
+    Substitution extended = theta;
+    if (!MatchCallAgainstSpec(substituted, entry.call, &extended)) return true;
+    Result<bool> holds = EvalConditions(conditions, extended);
+    if (!holds.ok() || !*holds) return true;
+    found = &entry;
+    return false;  // stop scanning
+  });
+  return found;
+}
+
+std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
+    const DomainCall& call, double* search_ms) {
+  std::optional<InvariantHit> best_partial;
+
+  for (const lang::Invariant& inv : invariants_) {
+    *search_ms += params_.per_invariant_attempt_ms;
+
+    if (inv.relation == lang::InvariantRelation::kEqual) {
+      // Equality is symmetric: the requested call may match either side.
+      const lang::DomainCallSpec* sides[2][2] = {{&inv.lhs, &inv.rhs},
+                                                 {&inv.rhs, &inv.lhs}};
+      for (auto& [pattern, target] : sides) {
+        Substitution theta;
+        if (!MatchCallAgainstSpec(*pattern, call, &theta)) continue;
+        *search_ms += params_.per_invariant_ms;
+        const CacheEntry* entry =
+            ProbeForSpec(*target, theta, inv.conditions, search_ms);
+        if (entry != nullptr && entry->complete) {
+          InvariantHit hit;
+          hit.entry = entry;
+          hit.equality = true;
+          hit.search_ms = *search_ms;
+          hit.via = inv.ToString();
+          return hit;
+        }
+      }
+      continue;
+    }
+
+    // Containment: we can serve cached answers as a *partial* result when
+    // the cached call is on the ⊆ side and the requested call on the ⊇
+    // side of the invariant.
+    const lang::DomainCallSpec& pattern =
+        inv.relation == lang::InvariantRelation::kSuperset ? inv.lhs
+                                                           : inv.rhs;
+    const lang::DomainCallSpec& target =
+        inv.relation == lang::InvariantRelation::kSuperset ? inv.rhs
+                                                           : inv.lhs;
+    Substitution theta;
+    if (!MatchCallAgainstSpec(pattern, call, &theta)) continue;
+    *search_ms += params_.per_invariant_ms;
+    const CacheEntry* entry =
+        ProbeForSpec(target, theta, inv.conditions, search_ms);
+    if (entry == nullptr) continue;
+    if (!best_partial.has_value() ||
+        entry->bytes > best_partial->entry->bytes) {
+      InvariantHit hit;
+      hit.entry = entry;
+      hit.equality = false;
+      hit.search_ms = *search_ms;
+      hit.via = inv.ToString();
+      best_partial = hit;
+    }
+  }
+  return best_partial;
+}
+
+Result<CallOutput> CimDomain::Run(const DomainCall& raw_call) {
+  // Normalize to the logical domain name used by rules/invariants/cache.
+  DomainCall call = raw_call;
+  call.domain = target_domain_;
+
+  ++tick_;
+  double lead_ms = 0.0;
+
+  // Step 1: exact cache hit.
+  if (options_.use_cache) {
+    lead_ms += params_.exact_lookup_ms;
+    const CacheEntry* entry = cache_.Get(call);
+    if (entry != nullptr && IsStale(*entry)) {
+      cache_.Remove(call);  // lazily age out
+      entry = nullptr;
+    }
+    if (entry != nullptr && entry->complete) {
+      ++stats_.exact_hits;
+      return ServeFromCache(*entry, lead_ms, /*complete=*/true);
+    }
+  }
+
+  // Steps 2 & 3: invariants.
+  std::optional<InvariantHit> hit;
+  if (options_.use_cache && options_.use_invariants) {
+    double search_ms = 0.0;
+    hit = FindViaInvariants(call, &search_ms);
+    lead_ms += search_ms;
+  }
+
+  if (hit.has_value() && hit->equality) {
+    ++stats_.equality_hits;
+    return ServeFromCache(*hit->entry, lead_ms, /*complete=*/true);
+  }
+
+  if (hit.has_value()) {
+    // Subset-invariant (partial) hit.
+    ++stats_.partial_hits;
+    const CacheEntry& partial = *hit->entry;
+
+    if (!options_.complete_partial_hits) {
+      // Interactive mode: hand back the fast partial set; the engine may
+      // never need the rest.
+      return ServeFromCache(partial, lead_ms, /*complete=*/false);
+    }
+
+    // All-answers mode: issue the actual call "in parallel" with serving
+    // the cached subset, then merge with duplicate elimination.
+    Result<CallOutput> actual = RunActual(call);
+    if (!actual.ok()) {
+      if (actual.status().IsUnavailable() && options_.mask_unavailability) {
+        ++stats_.unavailable_masked;
+        return ServeFromCache(partial, lead_ms, /*complete=*/false);
+      }
+      return actual.status();
+    }
+
+    CallOutput out;
+    out.answers = partial.answers;  // cached subset arrives first
+    std::unordered_set<Value, ValueHash> seen(partial.answers.begin(),
+                                              partial.answers.end());
+    for (Value& v : actual->answers) {
+      if (seen.find(v) == seen.end()) out.answers.push_back(std::move(v));
+    }
+    double cached_all_ms =
+        lead_ms + params_.per_cached_answer_ms *
+                      static_cast<double>(
+                          std::max<size_t>(partial.answers.size(), 1));
+    // CIM "must keep the answers from the cache in memory and compare them
+    // with the answers from the actual call" — the merge cost scales with
+    // the partial answer size.
+    double merge_ms =
+        params_.per_compare_byte_ms * static_cast<double>(partial.bytes);
+    out.first_ms = lead_ms + params_.per_cached_answer_ms;
+    out.all_ms = std::max(cached_all_ms, lead_ms + actual->all_ms) + merge_ms;
+    out.complete = true;
+    return out;
+  }
+
+  // Step 4: miss — the actual call must be made.
+  ++stats_.misses;
+  Result<CallOutput> actual = RunActual(call);
+  if (!actual.ok()) {
+    if (actual.status().IsUnavailable()) ++stats_.unavailable_failed;
+    return actual.status();
+  }
+  actual->first_ms += lead_ms;
+  actual->all_ms += lead_ms;
+  return std::move(actual).value();
+}
+
+}  // namespace hermes::cim

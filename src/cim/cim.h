@@ -1,0 +1,163 @@
+#ifndef HERMES_CIM_CIM_H_
+#define HERMES_CIM_CIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cim/result_cache.h"
+#include "cim/substitution.h"
+#include "domain/domain.h"
+#include "lang/ast.h"
+
+namespace hermes::cim {
+
+/// Simulated processing-time parameters of the CIM module. These are
+/// deliberately small relative to remote-call latencies — the paper found
+/// "the overhead of checking the cache and the invariants without success
+/// ... to be negligible".
+struct CimCostParams {
+  double exact_lookup_ms = 0.3;    ///< Hash probe into the result cache.
+  double per_cached_answer_ms = 0.05;  ///< Streaming one answer from memory.
+  /// Testing whether an invariant's call pattern applies at all (fails fast
+  /// on a different function/arity) — charged for every invariant.
+  double per_invariant_attempt_ms = 0.4;
+  /// Processing a *matching* invariant: building the substitution and
+  /// checking conditions.
+  double per_invariant_ms = 25.0;
+  double per_cache_probe_ms = 8.0; ///< Probing one cache entry during search.
+  double per_compare_byte_ms = 0.12;  ///< Merging partial answers with the
+                                      ///< actual call's (duplicate check).
+};
+
+/// Behavioural switches of the CIM module.
+struct CimOptions {
+  bool use_cache = true;       ///< Serve exact cache hits.
+  bool use_invariants = true;  ///< Consult invariants on exact-miss.
+  bool cache_results = true;   ///< Insert actual-call results into the cache.
+  /// On a subset-invariant (partial) hit, still execute the actual call and
+  /// merge (all-answers mode). When false the partial answers are returned
+  /// as an incomplete set (interactive mode).
+  bool complete_partial_hits = true;
+  /// Serve stale cached partial/equality results when the source is
+  /// temporarily unavailable instead of failing.
+  bool mask_unavailability = true;
+  /// Staleness bound: entries older than this many CIM calls are treated
+  /// as absent (and dropped lazily). 0 disables aging. Result caches over
+  /// *changing* sources need this — the paper's caches assume static
+  /// sources, so the default keeps entries forever.
+  uint64_t max_entry_age = 0;
+};
+
+/// Outcome counters of the CIM module.
+struct CimStats {
+  uint64_t exact_hits = 0;
+  uint64_t equality_hits = 0;
+  uint64_t partial_hits = 0;
+  uint64_t misses = 0;
+  uint64_t actual_calls = 0;
+  uint64_t unavailable_masked = 0;
+  uint64_t unavailable_failed = 0;
+};
+
+/// Section 4.1's Cache and Invariant Manager, packaged as a Domain.
+///
+/// "During run-time the CIM behaves like any other domain" — the execution
+/// engine needs no special operators; the rule rewriter simply redirects
+/// `in(X, d:f(args))` subgoals to the CIM wrapper of `d`. On each call CIM
+/// tries, in order:
+///   1. an exact cache hit,
+///   2. an equality-invariant hit (a cached call the invariants prove
+///      equivalent),
+///   3. a subset-invariant hit (a cached call whose answers are a subset
+///      of the requested call's) — served immediately as partial answers,
+///      with the actual call executed in parallel to complete the set,
+///   4. the actual domain call, whose result is then cached.
+class CimDomain : public Domain {
+ public:
+  /// `target_domain` is the logical domain name the mediator's rules and
+  /// invariants use (e.g. "video"); incoming calls are normalized to it so
+  /// that cache keys and invariant matching are independent of the CIM
+  /// wrapper's own registry name (e.g. "cim_video").
+  CimDomain(std::string name, std::string target_domain,
+            std::shared_ptr<Domain> inner, CimOptions options = {},
+            CimCostParams params = {}, size_t cache_max_entries = 0,
+            size_t cache_max_bytes = 0)
+      : name_(std::move(name)),
+        target_domain_(std::move(target_domain)),
+        inner_(std::move(inner)),
+        options_(options),
+        params_(params),
+        cache_(cache_max_entries, cache_max_bytes) {}
+
+  /// Registers an invariant. Invariants whose calls mention other domains
+  /// are accepted and simply never match calls routed to this CIM.
+  void AddInvariant(lang::Invariant invariant) {
+    invariants_.push_back(std::move(invariant));
+  }
+
+  /// Parses and registers every invariant in `text`.
+  Status AddInvariants(const std::string& text);
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return inner_->Functions();
+  }
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+  ResultCache& cache() { return cache_; }
+  const CimStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CimStats{}; }
+  CimOptions& options() { return options_; }
+  Domain* inner() { return inner_.get(); }
+  size_t num_invariants() const { return invariants_.size(); }
+
+ private:
+  /// A usable cached entry found through the invariants.
+  struct InvariantHit {
+    const CacheEntry* entry = nullptr;
+    bool equality = false;   ///< True: answers identical; false: subset.
+    double search_ms = 0.0;  ///< Simulated time spent finding it.
+    std::string via;         ///< The invariant that justified the hit.
+  };
+
+  /// Scans the invariants (and, where needed, the cache) for an entry the
+  /// invariants prove equal to — or a subset of — `call`'s answer set.
+  /// Accumulates simulated search time in `*search_ms` even on failure.
+  std::optional<InvariantHit> FindViaInvariants(const DomainCall& call,
+                                                double* search_ms);
+
+  /// Attempts to find a cached entry matching `target` (which may still
+  /// contain free variables) under `theta`, such that the invariant's
+  /// conditions hold. Adds probe costs to `*search_ms`.
+  const CacheEntry* ProbeForSpec(const lang::DomainCallSpec& target,
+                                 const Substitution& theta,
+                                 const std::vector<lang::Atom>& conditions,
+                                 double* search_ms) const;
+
+  /// Serves answers straight from a cache entry.
+  CallOutput ServeFromCache(const CacheEntry& entry, double lead_ms,
+                            bool complete) const;
+
+  /// Runs the actual call through the inner domain, caching on success.
+  Result<CallOutput> RunActual(const DomainCall& call);
+
+  std::string name_;
+  std::string target_domain_;
+  std::shared_ptr<Domain> inner_;
+  CimOptions options_;
+  CimCostParams params_;
+  /// True when `entry` is too old to serve under options_.max_entry_age.
+  bool IsStale(const CacheEntry& entry) const;
+
+  ResultCache cache_;
+  std::vector<lang::Invariant> invariants_;
+  CimStats stats_;
+  uint64_t tick_ = 0;  ///< Logical call counter for staleness.
+};
+
+}  // namespace hermes::cim
+
+#endif  // HERMES_CIM_CIM_H_

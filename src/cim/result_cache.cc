@@ -1,0 +1,72 @@
+#include "cim/result_cache.h"
+
+namespace hermes::cim {
+
+void ResultCache::Put(DomainCall call, AnswerSet answers, bool complete,
+                      uint64_t now) {
+  Remove(call);
+  CacheEntry entry;
+  entry.bytes = AnswerSetByteSize(answers);
+  entry.call = std::move(call);
+  entry.answers = std::move(answers);
+  entry.complete = complete;
+  entry.inserted_at = now;
+  total_bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().call] = lru_.begin();
+  ++stats_.insertions;
+  EvictIfNeeded();
+}
+
+const CacheEntry* ResultCache::Get(const DomainCall& call) {
+  auto it = index_.find(call);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  // Bump to front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  return &*it->second;
+}
+
+const CacheEntry* ResultCache::Peek(const DomainCall& call) const {
+  auto it = index_.find(call);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void ResultCache::Remove(const DomainCall& call) {
+  auto it = index_.find(call);
+  if (it == index_.end()) return;
+  total_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void ResultCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  total_bytes_ = 0;
+}
+
+void ResultCache::ForEach(
+    const std::function<bool(const CacheEntry& entry)>& fn) const {
+  for (const CacheEntry& entry : lru_) {
+    if (!fn(entry)) return;
+  }
+}
+
+void ResultCache::EvictIfNeeded() {
+  while ((max_entries_ > 0 && lru_.size() > max_entries_) ||
+         (max_bytes_ > 0 && total_bytes_ > max_bytes_)) {
+    if (lru_.empty()) return;
+    const CacheEntry& victim = lru_.back();
+    total_bytes_ -= victim.bytes;
+    index_.erase(victim.call);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace hermes::cim

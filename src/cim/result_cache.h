@@ -1,0 +1,90 @@
+#ifndef HERMES_CIM_RESULT_CACHE_H_
+#define HERMES_CIM_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "domain/call.h"
+
+namespace hermes::cim {
+
+/// One cached (domain call, answer set) pair — Section 4's cache element.
+struct CacheEntry {
+  DomainCall call;
+  AnswerSet answers;
+  bool complete = true;  ///< False when only a partial set was retained.
+  size_t bytes = 0;      ///< Approximate answer-set size.
+  uint64_t inserted_at = 0;  ///< Logical tick when cached (staleness).
+};
+
+/// Counters exported by the result cache.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+/// LRU-bounded map from ground domain calls to their answer sets.
+///
+/// The cache is bounded both by entry count and by total answer bytes;
+/// exceeding either bound evicts least-recently-used entries. A zero bound
+/// means unbounded.
+class ResultCache {
+ public:
+  ResultCache(size_t max_entries = 0, size_t max_bytes = 0)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Inserts or replaces the entry for `call`. `now` is an optional
+  /// logical timestamp enabling staleness bounds (see CimOptions).
+  void Put(DomainCall call, AnswerSet answers, bool complete = true,
+           uint64_t now = 0);
+
+  /// Exact lookup; bumps recency. Returns nullptr on miss. The pointer is
+  /// valid until the next Put/Remove/Clear.
+  const CacheEntry* Get(const DomainCall& call);
+
+  /// Exact lookup without touching recency or stats (used by invariant
+  /// scans so they don't distort exact-hit statistics).
+  const CacheEntry* Peek(const DomainCall& call) const;
+
+  /// Removes the entry for `call` if present.
+  void Remove(const DomainCall& call);
+
+  void Clear();
+
+  /// Iterates entries in unspecified order; `fn` returning false stops the
+  /// scan. Does not affect recency.
+  void ForEach(
+      const std::function<bool(const CacheEntry& entry)>& fn) const;
+
+  size_t size() const { return lru_.size(); }
+  size_t total_bytes() const { return total_bytes_; }
+  const ResultCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ResultCacheStats{}; }
+
+ private:
+  void EvictIfNeeded();
+
+  size_t max_entries_;
+  size_t max_bytes_;
+  size_t total_bytes_ = 0;
+
+  // LRU list: front = most recent. Map points into the list.
+  std::list<CacheEntry> lru_;
+  std::unordered_map<DomainCall, std::list<CacheEntry>::iterator,
+                     DomainCallHash>
+      index_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace hermes::cim
+
+#endif  // HERMES_CIM_RESULT_CACHE_H_

@@ -1,0 +1,82 @@
+#include "cim/substitution.h"
+
+namespace hermes::cim {
+
+bool MatchCallAgainstSpec(const lang::DomainCallSpec& pattern,
+                          const DomainCall& call, Substitution* theta) {
+  if (pattern.domain != call.domain || pattern.function != call.function ||
+      pattern.args.size() != call.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    const lang::Term& t = pattern.args[i];
+    const Value& v = call.args[i];
+    switch (t.kind) {
+      case lang::Term::Kind::kConstant:
+        if (t.constant != v) return false;
+        break;
+      case lang::Term::Kind::kVariable: {
+        auto [it, inserted] = theta->emplace(t.var_name, v);
+        if (!inserted && it->second != v) return false;
+        break;
+      }
+      case lang::Term::Kind::kBoundPattern:
+        return false;  // '$b' has no place in invariants.
+    }
+  }
+  return true;
+}
+
+lang::DomainCallSpec ApplySubstitution(const lang::DomainCallSpec& spec,
+                                       const Substitution& theta) {
+  lang::DomainCallSpec out;
+  out.domain = spec.domain;
+  out.function = spec.function;
+  out.args.reserve(spec.args.size());
+  for (const lang::Term& t : spec.args) {
+    if (t.is_variable()) {
+      auto it = theta.find(t.var_name);
+      if (it != theta.end()) {
+        out.args.push_back(lang::Term::Const(it->second));
+        continue;
+      }
+    }
+    out.args.push_back(t);
+  }
+  return out;
+}
+
+bool IsGroundSpec(const lang::DomainCallSpec& spec) {
+  return spec.is_ground();
+}
+
+Result<Value> ResolveTerm(const lang::Term& term, const Substitution& theta) {
+  if (term.is_constant()) return term.constant;
+  if (term.is_bound_pattern()) {
+    return Status::InvalidArgument("'$b' cannot be resolved to a value");
+  }
+  auto it = theta.find(term.var_name);
+  if (it == theta.end()) {
+    return Status::NotFound("variable '" + term.var_name +
+                            "' is unbound in substitution");
+  }
+  if (term.path.empty()) return it->second;
+  return it->second.GetPath(term.path);
+}
+
+Result<bool> EvalConditions(const std::vector<lang::Atom>& conditions,
+                            const Substitution& theta) {
+  for (const lang::Atom& cond : conditions) {
+    if (!cond.is_comparison()) {
+      return Status::InvalidArgument(
+          "invariant condition is not a comparison: " + cond.ToString());
+    }
+    Result<Value> lhs = ResolveTerm(cond.lhs, theta);
+    Result<Value> rhs = ResolveTerm(cond.rhs, theta);
+    if (!lhs.ok() || !rhs.ok()) return false;  // unbound ⇒ inapplicable
+    if (!lang::EvalRelOp(cond.op, *lhs, *rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace hermes::cim

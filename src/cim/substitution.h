@@ -1,0 +1,46 @@
+#ifndef HERMES_CIM_SUBSTITUTION_H_
+#define HERMES_CIM_SUBSTITUTION_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "domain/call.h"
+#include "lang/ast.h"
+
+namespace hermes::cim {
+
+/// Variable → ground value binding set (the θ of Section 4.1).
+using Substitution = std::map<std::string, Value>;
+
+/// Attempts to match the ground `call` against an invariant's call
+/// `pattern`, extending `theta`. Constants must equal; variables bind (or
+/// must agree with an existing binding). Returns false — leaving `theta`
+/// possibly partially extended — when the match fails; callers should pass
+/// a scratch copy.
+bool MatchCallAgainstSpec(const lang::DomainCallSpec& pattern,
+                          const DomainCall& call, Substitution* theta);
+
+/// Applies `theta` to `spec`, producing a new spec in which bound
+/// variables are replaced with their values (unbound variables remain).
+lang::DomainCallSpec ApplySubstitution(const lang::DomainCallSpec& spec,
+                                       const Substitution& theta);
+
+/// True when every argument of `spec` is a constant.
+bool IsGroundSpec(const lang::DomainCallSpec& spec);
+
+/// Evaluates an invariant's condition conjunction under `theta`.
+/// Conditions mentioning unbound variables evaluate to false (the
+/// invariant cannot be applied). Attribute paths on condition variables
+/// are resolved against their bound values.
+Result<bool> EvalConditions(const std::vector<lang::Atom>& conditions,
+                            const Substitution& theta);
+
+/// Resolves a term to a ground value under `theta` (constants pass
+/// through; variables must be bound, then any attribute path is applied).
+Result<Value> ResolveTerm(const lang::Term& term, const Substitution& theta);
+
+}  // namespace hermes::cim
+
+#endif  // HERMES_CIM_SUBSTITUTION_H_

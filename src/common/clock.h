@@ -1,0 +1,48 @@
+#ifndef HERMES_COMMON_CLOCK_H_
+#define HERMES_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace hermes {
+
+/// Deterministic virtual clock, measured in milliseconds.
+///
+/// All costs in the system — network latency, domain computation, transfer
+/// time — are *charged* to a SimClock instead of being slept through. The
+/// execution engine reads time-to-first-answer and time-to-all-answers off
+/// this clock, which makes every experiment deterministic and instantaneous
+/// in wall-clock terms while preserving the relative shapes the paper's
+/// evaluation reports.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current virtual time in milliseconds since construction/Reset().
+  double now_ms() const { return now_ms_; }
+
+  /// Charges `ms` of simulated elapsed time. Negative charges are ignored.
+  void Advance(double ms) {
+    if (ms > 0) now_ms_ += ms;
+  }
+
+  /// Rewinds the clock to zero.
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+/// Monotonically increasing logical timestamp used to order statistics
+/// records (the paper's `record.time` column).
+class LogicalTime {
+ public:
+  uint64_t Next() { return ++last_; }
+  uint64_t last() const { return last_; }
+
+ private:
+  uint64_t last_ = 0;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_CLOCK_H_

@@ -1,0 +1,35 @@
+#include "common/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hermes {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("I/O error reading '" + path + "'");
+  }
+  return out.str();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << contents;
+  out.flush();
+  if (!out) {
+    return Status::Internal("I/O error writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace hermes

@@ -1,0 +1,18 @@
+#ifndef HERMES_COMMON_IO_H_
+#define HERMES_COMMON_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace hermes {
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_IO_H_

@@ -1,0 +1,77 @@
+#ifndef HERMES_COMMON_RESULT_H_
+#define HERMES_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hermes {
+
+/// Value-or-Status, in the style of arrow::Result / absl::StatusOr.
+///
+/// A Result<T> holds either a T (when status().ok()) or a non-OK Status.
+/// Accessing value() on an error Result is a programming error and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error Result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  /// Constructs a successful Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` when this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`.
+#define HERMES_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  HERMES_ASSIGN_OR_RETURN_IMPL_(                        \
+      HERMES_RESULT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define HERMES_RESULT_CONCAT_INNER_(a, b) a##b
+#define HERMES_RESULT_CONCAT_(a, b) HERMES_RESULT_CONCAT_INNER_(a, b)
+#define HERMES_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)  \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_RESULT_H_

@@ -1,0 +1,54 @@
+#ifndef HERMES_COMMON_RNG_H_
+#define HERMES_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace hermes {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used for synthetic data
+/// generation and simulated network jitter so that every experiment is
+/// exactly reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleIn(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Approximately normal sample (Irwin–Hall of 12 uniforms), mean 0, sd 1.
+  double NextGaussian() {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return sum - 6.0;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_RNG_H_

@@ -1,0 +1,37 @@
+#ifndef HERMES_DCSM_COST_RECORD_H_
+#define HERMES_DCSM_COST_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "domain/call.h"
+#include "domain/cost.h"
+
+namespace hermes::dcsm {
+
+/// One row of the cost vector database (Section 6.1): the statistics of a
+/// single executed domain call.
+///
+/// Some metrics may be missing — "all answers may not have been obtained
+/// (e.g., pruning may have been applied, or the mediator may have been
+/// working in interactive mode and the user stopped the query execution)".
+struct CostRecord {
+  DomainCall call;
+  CostVector cost;
+  bool has_t_first = true;
+  bool has_t_all = true;
+  bool has_cardinality = true;
+  uint64_t record_time = 0;  ///< Logical timestamp of recording.
+
+  std::string ToString() const {
+    std::string out = call.ToString() + " -> " + cost.ToString();
+    if (!has_t_first) out += " (Tf missing)";
+    if (!has_t_all) out += " (Ta missing)";
+    if (!has_cardinality) out += " (Card missing)";
+    return out;
+  }
+};
+
+}  // namespace hermes::dcsm
+
+#endif  // HERMES_DCSM_COST_RECORD_H_

@@ -1,0 +1,123 @@
+#include "dcsm/cost_vector_db.h"
+
+#include <cmath>
+
+namespace hermes::dcsm {
+
+void CostVectorDatabase::Record(CostRecord record) {
+  record.record_time = clock_.Next();
+  CallGroupKey key{record.call.domain, record.call.function,
+                   record.call.args.size()};
+  groups_[key].push_back(std::move(record));
+  ++total_records_;
+}
+
+void CostVectorDatabase::RecordExecution(const DomainCall& call,
+                                         const CostVector& cost) {
+  CostRecord record;
+  record.call = call;
+  record.cost = cost;
+  Record(std::move(record));
+}
+
+const std::vector<CostRecord>* CostVectorDatabase::GetGroup(
+    const CallGroupKey& key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+Result<Aggregate> CostVectorDatabase::Estimate(
+    const lang::DomainCallSpec& pattern, double recency_halflife) const {
+  for (const lang::Term& arg : pattern.args) {
+    if (arg.is_variable()) {
+      return Status::InvalidArgument(
+          "cost patterns may contain only constants and '$b': " +
+          pattern.ToString());
+    }
+  }
+  CallGroupKey key{pattern.domain, pattern.function, pattern.args.size()};
+  const std::vector<CostRecord>* records = GetGroup(key);
+  if (records == nullptr) {
+    return Status::NotFound("no statistics for " + key.ToString());
+  }
+
+  Aggregate agg;
+  double w_tf = 0, w_ta = 0, w_card = 0;
+  double sum_tf = 0, sum_ta = 0, sum_card = 0;
+  uint64_t current = clock_.last();
+
+  for (const CostRecord& record : *records) {
+    ++agg.rows_scanned;
+    bool matches = true;
+    for (size_t i = 0; i < pattern.args.size(); ++i) {
+      const lang::Term& t = pattern.args[i];
+      if (t.is_constant() && t.constant != record.call.args[i]) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+    ++agg.matched;
+    double weight = 1.0;
+    if (recency_halflife > 0.0) {
+      double age = static_cast<double>(current - record.record_time);
+      weight = std::pow(0.5, age / recency_halflife);
+    }
+    if (record.has_t_first) {
+      sum_tf += weight * record.cost.t_first_ms;
+      w_tf += weight;
+    }
+    if (record.has_t_all) {
+      sum_ta += weight * record.cost.t_all_ms;
+      w_ta += weight;
+    }
+    if (record.has_cardinality) {
+      sum_card += weight * record.cost.cardinality;
+      w_card += weight;
+    }
+  }
+
+  if (agg.matched == 0) {
+    return Status::NotFound("no statistics matching " + pattern.ToString());
+  }
+  if (w_tf > 0) {
+    agg.cost.t_first_ms = sum_tf / w_tf;
+    agg.has_t_first = true;
+  }
+  if (w_ta > 0) {
+    agg.cost.t_all_ms = sum_ta / w_ta;
+    agg.has_t_all = true;
+  }
+  if (w_card > 0) {
+    agg.cost.cardinality = sum_card / w_card;
+    agg.has_cardinality = true;
+  }
+  return agg;
+}
+
+std::vector<CallGroupKey> CostVectorDatabase::Groups() const {
+  std::vector<CallGroupKey> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, records] : groups_) out.push_back(key);
+  return out;
+}
+
+size_t CostVectorDatabase::ApproxBytes() const {
+  size_t total = 0;
+  for (const auto& [key, records] : groups_) {
+    total += key.domain.size() + key.function.size() + 16;
+    for (const CostRecord& record : records) {
+      // Cost vector (3 doubles) + flags + timestamp + argument payload.
+      total += 3 * 8 + 4 + 8;
+      for (const Value& v : record.call.args) total += v.ApproxByteSize();
+    }
+  }
+  return total;
+}
+
+void CostVectorDatabase::Clear() {
+  groups_.clear();
+  total_records_ = 0;
+}
+
+}  // namespace hermes::dcsm

@@ -1,0 +1,93 @@
+#ifndef HERMES_DCSM_COST_VECTOR_DB_H_
+#define HERMES_DCSM_COST_VECTOR_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "dcsm/cost_record.h"
+#include "lang/ast.h"
+
+namespace hermes::dcsm {
+
+/// Identifies one statistics table: all records of calls to a given
+/// domain function at a given arity.
+struct CallGroupKey {
+  std::string domain;
+  std::string function;
+  size_t arity = 0;
+
+  bool operator<(const CallGroupKey& other) const {
+    return std::tie(domain, function, arity) <
+           std::tie(other.domain, other.function, other.arity);
+  }
+  bool operator==(const CallGroupKey& other) const {
+    return domain == other.domain && function == other.function &&
+           arity == other.arity;
+  }
+  std::string ToString() const {
+    return domain + ":" + function + "/" + std::to_string(arity);
+  }
+};
+
+/// Result of aggregating statistics records for a call pattern.
+struct Aggregate {
+  CostVector cost;
+  size_t matched = 0;        ///< Records (or summarized originals) matched.
+  size_t rows_scanned = 0;   ///< Rows examined to compute the aggregate.
+  bool has_t_first = false;
+  bool has_t_all = false;
+  bool has_cardinality = false;
+};
+
+/// Section 6.1's cost vector database: the full, per-execution statistics
+/// of every domain call the mediator has issued.
+class CostVectorDatabase {
+ public:
+  CostVectorDatabase() = default;
+
+  CostVectorDatabase(const CostVectorDatabase&) = delete;
+  CostVectorDatabase& operator=(const CostVectorDatabase&) = delete;
+
+  /// Appends a record, stamping it with the next logical record time.
+  void Record(CostRecord record);
+
+  /// Convenience: records a fully-observed execution of `call`.
+  void RecordExecution(const DomainCall& call, const CostVector& cost);
+
+  /// All records for a call group, or nullptr when none exist.
+  const std::vector<CostRecord>* GetGroup(const CallGroupKey& key) const;
+
+  /// Aggregates (averages) records matching a call pattern whose arguments
+  /// are constants or `$b`. Constants must equal the record's argument at
+  /// the same position; `$b` matches anything. Optionally weights records
+  /// by recency: weight = 0.5^((now - record_time)/halflife).
+  Result<Aggregate> Estimate(const lang::DomainCallSpec& pattern,
+                             double recency_halflife = 0.0) const;
+
+  /// All group keys, sorted.
+  std::vector<CallGroupKey> Groups() const;
+
+  size_t TotalRecords() const { return total_records_; }
+
+  /// Approximate storage footprint in bytes (the paper's "heavy burden on
+  /// storage" metric for the summarization tradeoff experiments).
+  size_t ApproxBytes() const;
+
+  uint64_t now() const { return clock_.last(); }
+
+  void Clear();
+
+ private:
+  std::map<CallGroupKey, std::vector<CostRecord>> groups_;
+  size_t total_records_ = 0;
+  LogicalTime clock_;
+};
+
+}  // namespace hermes::dcsm
+
+#endif  // HERMES_DCSM_COST_VECTOR_DB_H_

@@ -1,0 +1,323 @@
+#include "dcsm/dcsm.h"
+
+#include <algorithm>
+
+namespace hermes::dcsm {
+
+namespace {
+
+/// Positions holding constants in `pattern`.
+std::vector<size_t> ConstantPositions(const lang::DomainCallSpec& pattern) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    if (pattern.args[i].is_constant()) out.push_back(i);
+  }
+  return out;
+}
+
+/// Copy of `pattern` keeping constants only at positions in `keep`
+/// (a sorted subset of the constant positions); others become `$b`.
+lang::DomainCallSpec RelaxTo(const lang::DomainCallSpec& pattern,
+                             const std::vector<size_t>& keep) {
+  lang::DomainCallSpec out = pattern;
+  size_t k = 0;
+  for (size_t i = 0; i < out.args.size(); ++i) {
+    if (!out.args[i].is_constant()) continue;
+    if (k < keep.size() && keep[k] == i) {
+      ++k;
+    } else {
+      out.args[i] = lang::Term::Bound();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Dcsm::Record(CostRecord record) {
+  if (options_.auto_update_summaries) {
+    CallGroupKey key{record.call.domain, record.call.function,
+                     record.call.args.size()};
+    auto it = summaries_.find(key);
+    if (it != summaries_.end()) {
+      for (SummaryTable& table : it->second) table.Fold(record);
+    }
+  }
+  db_.Record(std::move(record));
+}
+
+void Dcsm::RecordExecution(const DomainCall& call, const CostVector& cost) {
+  CostRecord record;
+  record.call = call;
+  record.cost = cost;
+  Record(std::move(record));
+}
+
+Status Dcsm::BuildLosslessSummaries() {
+  for (const CallGroupKey& key : db_.Groups()) {
+    std::vector<size_t> dims(key.arity);
+    for (size_t i = 0; i < key.arity; ++i) dims[i] = i;
+    HERMES_RETURN_IF_ERROR(BuildSummary(key, std::move(dims)));
+  }
+  return Status::OK();
+}
+
+Status Dcsm::BuildSummary(const CallGroupKey& key, std::vector<size_t> dims) {
+  const std::vector<CostRecord>* records = db_.GetGroup(key);
+  if (records == nullptr) {
+    return Status::NotFound("no statistics for " + key.ToString());
+  }
+  HERMES_ASSIGN_OR_RETURN(SummaryTable table,
+                          SummaryTable::Build(key, *records, std::move(dims)));
+  std::vector<SummaryTable>& tables = summaries_[key];
+  for (SummaryTable& existing : tables) {
+    if (existing.dims() == table.dims()) {
+      existing = std::move(table);
+      return Status::OK();
+    }
+  }
+  tables.push_back(std::move(table));
+  // Keep most-specific (largest dims) first so estimation prefers them.
+  std::sort(tables.begin(), tables.end(),
+            [](const SummaryTable& a, const SummaryTable& b) {
+              return a.dims().size() > b.dims().size();
+            });
+  return Status::OK();
+}
+
+Status Dcsm::BuildFullyLossySummaries() {
+  for (const CallGroupKey& key : db_.Groups()) {
+    HERMES_RETURN_IF_ERROR(BuildSummary(key, {}));
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> Dcsm::InstantiableArgs(const lang::Program& program,
+                                           const CallGroupKey& key) {
+  std::vector<bool> instantiable(key.arity, false);
+  for (const lang::Rule& rule : program.rules) {
+    // Variables appearing in the rule head can be bound to constants by a
+    // query (or a calling rule) during rewriting.
+    std::vector<std::string> head_vars = rule.head.Variables();
+    for (const lang::Atom& atom : rule.body) {
+      if (!atom.is_domain_call() || atom.call.domain != key.domain ||
+          atom.call.function != key.function ||
+          atom.call.args.size() != key.arity) {
+        continue;
+      }
+      for (size_t i = 0; i < atom.call.args.size(); ++i) {
+        const lang::Term& t = atom.call.args[i];
+        if (t.is_constant()) {
+          instantiable[i] = true;
+        } else if (t.is_variable()) {
+          for (const std::string& hv : head_vars) {
+            if (hv == t.var_name) {
+              instantiable[i] = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t i = 0; i < instantiable.size(); ++i) {
+    if (instantiable[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Status Dcsm::BuildSummariesForProgram(const lang::Program& program) {
+  for (const CallGroupKey& key : db_.Groups()) {
+    HERMES_RETURN_IF_ERROR(BuildSummary(key, InstantiableArgs(program, key)));
+  }
+  return Status::OK();
+}
+
+Status Dcsm::RegisterNativeModel(const std::string& name,
+                                 std::shared_ptr<Domain> domain) {
+  if (domain == nullptr || !domain->HasCostModel()) {
+    return Status::InvalidArgument("domain '" + name +
+                                   "' does not provide a cost model");
+  }
+  native_models_[name] = std::move(domain);
+  return Status::OK();
+}
+
+const std::vector<SummaryTable>* Dcsm::SummariesFor(
+    const CallGroupKey& key) const {
+  auto it = summaries_.find(key);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+size_t Dcsm::TotalSummaryBytes() const {
+  size_t total = 0;
+  for (const auto& [key, tables] : summaries_) {
+    for (const SummaryTable& table : tables) total += table.ApproxBytes();
+  }
+  return total;
+}
+
+size_t Dcsm::TotalSummaryRows() const {
+  size_t total = 0;
+  for (const auto& [key, tables] : summaries_) {
+    for (const SummaryTable& table : tables) total += table.num_rows();
+  }
+  return total;
+}
+
+bool Dcsm::TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
+                       double* lookup_ms, size_t* rows_scanned) const {
+  CallGroupKey key{relaxed.domain, relaxed.function, relaxed.args.size()};
+  std::vector<size_t> constants = ConstantPositions(relaxed);
+
+  if (options_.use_summaries) {
+    auto it = summaries_.find(key);
+    if (it != summaries_.end()) {
+      // Pass 1: a table whose dims equal the constant set — single lookup.
+      for (const SummaryTable& table : it->second) {
+        if (table.dims() != constants) continue;
+        *lookup_ms += params_.summary_lookup_ms;
+        ValueList dim_values;
+        for (size_t d : table.dims()) {
+          dim_values.push_back(relaxed.args[d].constant);
+        }
+        const SummaryRow* row = table.Lookup(dim_values);
+        if (row != nullptr) {
+          out->cost = row->Mean();
+          out->source = "summary";
+          out->records_matched = row->l;
+          return true;
+        }
+      }
+      // Pass 2: the most specific table that can answer, via aggregation.
+      // Tables are sorted most-specific first.
+      for (const SummaryTable& table : it->second) {
+        if (table.dims() == constants || !table.CanAnswer(relaxed)) continue;
+        Result<Aggregate> agg = table.EstimateForPattern(relaxed);
+        if (agg.ok()) {
+          *lookup_ms += params_.per_summary_row_ms *
+                        static_cast<double>(agg->rows_scanned);
+          *rows_scanned += agg->rows_scanned;
+          out->cost = agg->cost;
+          out->source = "summary";
+          out->records_matched = agg->matched;
+          return true;
+        }
+        *lookup_ms += params_.per_summary_row_ms *
+                      static_cast<double>(table.num_rows());
+        *rows_scanned += table.num_rows();
+      }
+    }
+  }
+
+  if (options_.use_raw_database) {
+    Result<Aggregate> agg = db_.Estimate(relaxed, options_.recency_halflife);
+    if (agg.ok()) {
+      *lookup_ms +=
+          params_.per_record_ms * static_cast<double>(agg->rows_scanned);
+      *rows_scanned += agg->rows_scanned;
+      out->cost = agg->cost;
+      out->source = "raw";
+      out->records_matched = agg->matched;
+      return true;
+    }
+    const std::vector<CostRecord>* group = db_.GetGroup(key);
+    if (group != nullptr) {
+      *lookup_ms += params_.per_record_ms * static_cast<double>(group->size());
+      *rows_scanned += group->size();
+    }
+  }
+  return false;
+}
+
+Result<CostEstimate> Dcsm::Cost(const lang::DomainCallSpec& pattern) const {
+  for (const lang::Term& arg : pattern.args) {
+    if (arg.is_variable()) {
+      return Status::InvalidArgument(
+          "cost patterns may contain only constants and '$b': " +
+          pattern.ToString());
+    }
+  }
+
+  // Native cost models take precedence (Section 6: "the estimates for
+  // calls to these domains will be directed to their respective domains").
+  if (options_.use_native_models) {
+    auto it = native_models_.find(pattern.domain);
+    if (it != native_models_.end()) {
+      Result<CostVector> native = it->second->EstimateCost(pattern);
+      if (native.ok()) {
+        CostEstimate est;
+        est.cost = *native;
+        est.source = "native:" + pattern.domain;
+        est.lookup_ms = params_.summary_lookup_ms;
+        return est;
+      }
+    }
+  }
+
+  CostEstimate est;
+  double lookup_ms = 0.0;
+  size_t rows_scanned = 0;
+  std::vector<size_t> constants = ConstantPositions(pattern);
+  size_t n = constants.size();
+
+  // Relaxation lattice: subsets of the constant positions, most specific
+  // first; within a size class, deterministic (mask) order. Calls with
+  // absurdly many constant arguments fall straight through to the
+  // fully-relaxed pattern rather than enumerating 2^n subsets.
+  bool found = false;
+  if (n > 16) {
+    found = TryEstimate(pattern, &est, &lookup_ms, &rows_scanned) ||
+            TryEstimate(RelaxTo(pattern, {}), &est, &lookup_ms,
+                        &rows_scanned);
+    n = 0;
+  }
+  for (size_t keep = n + 1; keep-- > 0 && !found;) {
+    for (uint64_t mask = 0; mask < (1ULL << n) && !found; ++mask) {
+      if (static_cast<size_t>(__builtin_popcountll(mask)) != keep) continue;
+      std::vector<size_t> subset;
+      for (size_t b = 0; b < n; ++b) {
+        if (mask & (1ULL << b)) subset.push_back(constants[b]);
+      }
+      lang::DomainCallSpec relaxed = RelaxTo(pattern, subset);
+      found = TryEstimate(relaxed, &est, &lookup_ms, &rows_scanned);
+    }
+  }
+
+  // A CIM wrapper with no statistics of its own behaves, in the worst case
+  // (a cache miss), like the underlying domain plus negligible overhead —
+  // so fall back to the wrapped domain's statistics before giving up.
+  if (!found && pattern.domain.rfind("cim_", 0) == 0) {
+    lang::DomainCallSpec underlying = pattern;
+    underlying.domain = pattern.domain.substr(4);
+    std::vector<size_t> u_constants = ConstantPositions(underlying);
+    size_t un = u_constants.size() > 16 ? 0 : u_constants.size();
+    for (size_t keep = un + 1; keep-- > 0 && !found;) {
+      for (uint64_t mask = 0; mask < (1ULL << un) && !found; ++mask) {
+        if (static_cast<size_t>(__builtin_popcountll(mask)) != keep) continue;
+        std::vector<size_t> subset;
+        for (size_t b = 0; b < un; ++b) {
+          if (mask & (1ULL << b)) subset.push_back(u_constants[b]);
+        }
+        lang::DomainCallSpec relaxed = RelaxTo(underlying, subset);
+        found = TryEstimate(relaxed, &est, &lookup_ms, &rows_scanned);
+      }
+    }
+    if (found) est.source += "+cim-fallback";
+  }
+
+  est.lookup_ms = lookup_ms;
+  est.rows_scanned = rows_scanned;
+  if (!found) {
+    if (!options_.allow_default) {
+      return Status::NotFound("no statistics available for " +
+                              pattern.ToString());
+    }
+    est.cost = options_.default_cost;
+    est.source = "default";
+  }
+  return est;
+}
+
+}  // namespace hermes::dcsm

@@ -1,0 +1,149 @@
+#ifndef HERMES_DCSM_DCSM_H_
+#define HERMES_DCSM_DCSM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcsm/cost_vector_db.h"
+#include "dcsm/summary_table.h"
+#include "domain/domain.h"
+#include "lang/ast.h"
+
+namespace hermes::dcsm {
+
+/// Behavioural switches of the DCSM module.
+struct DcsmOptions {
+  bool use_native_models = true;  ///< Delegate to domains that ship one.
+  bool use_summaries = true;      ///< Consult summary tables.
+  bool use_raw_database = true;   ///< Fall back to the cost vector database.
+  /// Recency half-life (in logical record ticks) for raw-database
+  /// aggregation; 0 disables weighting. (The paper's "giving precedence to
+  /// more recent statistics" direction.)
+  double recency_halflife = 0.0;
+  /// Estimate returned when no statistics exist at all.
+  CostVector default_cost = CostVector(250.0, 1000.0, 10.0);
+  bool allow_default = true;  ///< False: unknown patterns are NotFound.
+  /// Incrementally fold newly recorded executions into any existing
+  /// summary tables of their call group, keeping summaries equivalent to
+  /// an offline rebuild. Off by default (the paper performs summarization
+  /// offline); turn on for long-running mediators that estimate from
+  /// summaries while statistics keep flowing.
+  bool auto_update_summaries = false;
+};
+
+/// Simulated lookup-time parameters, used by the summarization-tradeoff
+/// experiments ("the time required for calculating the cost may be
+/// prohibitively long" on raw statistics).
+struct DcsmCostParams {
+  double summary_lookup_ms = 0.05;   ///< Hash probe into a summary table.
+  double per_summary_row_ms = 0.01;  ///< Scanning one summary row.
+  double per_record_ms = 0.02;       ///< Scanning one raw statistics record.
+};
+
+/// One cost answer from the DCSM.
+struct CostEstimate {
+  CostVector cost;
+  /// Where the estimate came from: "native:<domain>", "summary", "raw",
+  /// or "default". Missing metrics filled from defaults append "+default".
+  std::string source;
+  double lookup_ms = 0.0;    ///< Simulated time spent estimating.
+  size_t rows_scanned = 0;   ///< Statistics rows examined.
+  size_t records_matched = 0;
+};
+
+/// Section 6's Domain Cost and Statistics Module.
+///
+/// DCSM records the cost vector of every executed domain call and answers
+/// `cost(pattern)` questions for call patterns whose arguments are
+/// constants or `$b`. Estimation follows the Section 6.3 relaxation
+/// algorithm: try the most specific constant set first, preferring an
+/// exact summary-table lookup, then summary aggregation, then raw-database
+/// aggregation, and relax constants to `$b` until something matches.
+class Dcsm {
+ public:
+  explicit Dcsm(DcsmOptions options = {}, DcsmCostParams params = {})
+      : options_(options), params_(params) {}
+
+  Dcsm(const Dcsm&) = delete;
+  Dcsm& operator=(const Dcsm&) = delete;
+
+  // ---- Statistics capture ------------------------------------------------
+
+  /// Records one executed call (the online statistics-caching path).
+  void RecordExecution(const DomainCall& call, const CostVector& cost);
+  /// Records a partially-observed execution.
+  void Record(CostRecord record);
+
+  // ---- Summarization management -------------------------------------------
+
+  /// Builds a lossless summary (all argument positions retained) for every
+  /// call group currently in the database.
+  Status BuildLosslessSummaries();
+
+  /// Builds a summary for one group with the given retained positions
+  /// (lossy when a strict subset). Replaces any same-dims table.
+  Status BuildSummary(const CallGroupKey& key, std::vector<size_t> dims);
+
+  /// Builds maximally lossy summaries (all positions dropped) for every
+  /// group — the configuration of the paper's Figure 6 "Lossy" column.
+  Status BuildFullyLossySummaries();
+
+  /// Inspects a mediator program and builds, for every call group, the
+  /// summary retaining only the argument positions that could ever be
+  /// instantiated to a specific constant during rewriting (Example 6.2's
+  /// dimension-dropping rule).
+  Status BuildSummariesForProgram(const lang::Program& program);
+
+  void ClearSummaries() { summaries_.clear(); }
+
+  /// Argument positions of d:f/arity that some rule in `program` could
+  /// instantiate to a constant (the position holds a constant, or a
+  /// variable also occurring in that rule's head).
+  static std::vector<size_t> InstantiableArgs(const lang::Program& program,
+                                              const CallGroupKey& key);
+
+  // ---- Native cost models --------------------------------------------------
+
+  /// Registers `domain` (which must have HasCostModel()) to answer cost
+  /// questions for logical domain `name` directly.
+  Status RegisterNativeModel(const std::string& name,
+                             std::shared_ptr<Domain> domain);
+
+  // ---- Estimation ----------------------------------------------------------
+
+  /// The single `cost` function of Section 6: estimates the cost vector of
+  /// a call pattern (`$b` marks bound-but-unknown arguments).
+  Result<CostEstimate> Cost(const lang::DomainCallSpec& pattern) const;
+
+  // ---- Introspection ---------------------------------------------------------
+
+  const CostVectorDatabase& database() const { return db_; }
+  CostVectorDatabase& database() { return db_; }
+  DcsmOptions& options() { return options_; }
+  const DcsmCostParams& cost_params() const { return params_; }
+
+  /// Summary tables of a group (empty when none built).
+  const std::vector<SummaryTable>* SummariesFor(const CallGroupKey& key) const;
+
+  size_t TotalSummaryBytes() const;
+  size_t TotalSummaryRows() const;
+
+ private:
+  /// Tries to answer `relaxed` (whose constants are exactly the retained
+  /// set) without further relaxation. Returns true and fills `*out` on
+  /// success; accumulates lookup cost either way.
+  bool TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
+                   double* lookup_ms, size_t* rows_scanned) const;
+
+  DcsmOptions options_;
+  DcsmCostParams params_;
+  CostVectorDatabase db_;
+  std::map<CallGroupKey, std::vector<SummaryTable>> summaries_;
+  std::map<std::string, std::shared_ptr<Domain>> native_models_;
+};
+
+}  // namespace hermes::dcsm
+
+#endif  // HERMES_DCSM_DCSM_H_

@@ -1,0 +1,102 @@
+#include "dcsm/persistence.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "lang/parser.h"
+
+namespace hermes::dcsm {
+
+namespace {
+
+void AppendMetric(std::string* out, bool present, double value) {
+  if (!present) {
+    *out += "-";
+    return;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+Result<std::pair<bool, double>> ParseMetric(const std::string& field,
+                                            size_t line_no) {
+  std::string trimmed = TrimString(field);
+  if (trimmed == "-") return std::make_pair(false, 0.0);
+  char* end = nullptr;
+  double value = std::strtod(trimmed.c_str(), &end);
+  if (end == nullptr || *end != '\0' || trimmed.empty()) {
+    return Status::ParseError("bad metric '" + trimmed + "' on line " +
+                              std::to_string(line_no));
+  }
+  return std::make_pair(true, value);
+}
+
+}  // namespace
+
+std::string DumpStatistics(const CostVectorDatabase& db) {
+  std::string out =
+      "# hermes cost-vector database dump\n"
+      "# call | Tf_ms | Ta_ms | Card | flags\n";
+  for (const CallGroupKey& key : db.Groups()) {
+    const std::vector<CostRecord>* records = db.GetGroup(key);
+    if (records == nullptr) continue;
+    for (const CostRecord& record : *records) {
+      out += record.call.ToString();
+      out += " | ";
+      AppendMetric(&out, record.has_t_first, record.cost.t_first_ms);
+      out += " | ";
+      AppendMetric(&out, record.has_t_all, record.cost.t_all_ms);
+      out += " | ";
+      AppendMetric(&out, record.has_cardinality, record.cost.cardinality);
+      out += " | .\n";
+    }
+  }
+  return out;
+}
+
+Result<size_t> LoadStatistics(const std::string& text,
+                              CostVectorDatabase* db) {
+  size_t loaded = 0;
+  size_t line_no = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    std::string line = TrimString(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitString(line, '|');
+    if (fields.size() != 5) {
+      return Status::ParseError("expected 5 '|'-separated fields on line " +
+                                std::to_string(line_no));
+    }
+    Result<lang::DomainCallSpec> spec =
+        lang::Parser::ParseCallPattern(TrimString(fields[0]));
+    if (!spec.ok()) {
+      return Status::ParseError("bad call on line " +
+                                std::to_string(line_no) + ": " +
+                                spec.status().message());
+    }
+    Result<DomainCall> call = DomainCall::FromSpec(*spec);
+    if (!call.ok()) {
+      return Status::ParseError("non-ground call on line " +
+                                std::to_string(line_no));
+    }
+    HERMES_ASSIGN_OR_RETURN(auto tf, ParseMetric(fields[1], line_no));
+    HERMES_ASSIGN_OR_RETURN(auto ta, ParseMetric(fields[2], line_no));
+    HERMES_ASSIGN_OR_RETURN(auto card, ParseMetric(fields[3], line_no));
+
+    CostRecord record;
+    record.call = std::move(call).value();
+    record.has_t_first = tf.first;
+    record.cost.t_first_ms = tf.second;
+    record.has_t_all = ta.first;
+    record.cost.t_all_ms = ta.second;
+    record.has_cardinality = card.first;
+    record.cost.cardinality = card.second;
+    db->Record(std::move(record));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace hermes::dcsm

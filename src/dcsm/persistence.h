@@ -1,0 +1,35 @@
+#ifndef HERMES_DCSM_PERSISTENCE_H_
+#define HERMES_DCSM_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dcsm/cost_vector_db.h"
+
+namespace hermes::dcsm {
+
+/// Text serialization of the cost vector database, one record per line:
+///
+///   <domain>:<function>(<arg>, ...) | Tf | Ta | Card | flags
+///
+/// where each metric is a decimal number or `-` when unobserved, and
+/// `flags` is reserved (currently `.`). Lines starting with `#` and blank
+/// lines are ignored on load. Arguments use the mediator language's
+/// literal syntax and are re-parsed with the real parser, so values
+/// round-trip exactly.
+///
+/// This supports the paper's operational split: statistics are captured
+/// online by the running mediator and summarized *offline* — dump the
+/// database at the end of a run, crunch or age it elsewhere, and load it
+/// back (or into a fresh mediator) before the next one.
+std::string DumpStatistics(const CostVectorDatabase& db);
+
+/// Parses `text` (the DumpStatistics format) and appends every record to
+/// `db`. Returns the number of records loaded. Malformed lines abort with
+/// ParseError naming the line.
+Result<size_t> LoadStatistics(const std::string& text,
+                              CostVectorDatabase* db);
+
+}  // namespace hermes::dcsm
+
+#endif  // HERMES_DCSM_PERSISTENCE_H_

@@ -1,0 +1,51 @@
+#ifndef HERMES_DOMAIN_CALL_H_
+#define HERMES_DOMAIN_CALL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "lang/ast.h"
+
+namespace hermes {
+
+/// A fully-ground external call `domain:function(v_1, ..., v_N)`.
+///
+/// This is the unit of execution, caching (CIM keys its result cache on it)
+/// and statistics recording (DCSM keys cost vectors on it).
+struct DomainCall {
+  std::string domain;
+  std::string function;
+  ValueList args;
+
+  /// Converts a ground DomainCallSpec; fails if any argument is non-constant.
+  static Result<DomainCall> FromSpec(const lang::DomainCallSpec& spec);
+
+  /// Back-conversion to an all-constant spec.
+  lang::DomainCallSpec ToSpec() const;
+
+  bool operator==(const DomainCall& other) const {
+    return domain == other.domain && function == other.function &&
+           args == other.args;
+  }
+
+  size_t Hash() const;
+
+  /// `domain:function(arg, ...)` rendering, usable as a cache key.
+  std::string ToString() const;
+};
+
+/// Hash functor for unordered containers keyed by DomainCall.
+struct DomainCallHash {
+  size_t operator()(const DomainCall& call) const { return call.Hash(); }
+};
+
+/// The answers returned by one domain call, in domain-defined order.
+using AnswerSet = ValueList;
+
+/// Approximate wire size of an answer set in bytes (network accounting).
+size_t AnswerSetByteSize(const AnswerSet& answers);
+
+}  // namespace hermes
+
+#endif  // HERMES_DOMAIN_CALL_H_

@@ -1,0 +1,40 @@
+#ifndef HERMES_DOMAIN_COST_H_
+#define HERMES_DOMAIN_COST_H_
+
+#include <string>
+
+namespace hermes {
+
+/// The paper's cost vector `[T_f, T_a, Card]` (Section 6): estimated time to
+/// the first answer, time to all answers (milliseconds of simulated time),
+/// and cardinality of the answer set.
+struct CostVector {
+  double t_first_ms = 0.0;
+  double t_all_ms = 0.0;
+  double cardinality = 0.0;
+
+  CostVector() = default;
+  CostVector(double t_first, double t_all, double card)
+      : t_first_ms(t_first), t_all_ms(t_all), cardinality(card) {}
+
+  CostVector operator+(const CostVector& other) const {
+    return CostVector(t_first_ms + other.t_first_ms,
+                      t_all_ms + other.t_all_ms,
+                      cardinality + other.cardinality);
+  }
+
+  bool operator==(const CostVector& other) const {
+    return t_first_ms == other.t_first_ms && t_all_ms == other.t_all_ms &&
+           cardinality == other.cardinality;
+  }
+
+  std::string ToString() const {
+    return "[Tf=" + std::to_string(t_first_ms) +
+           "ms, Ta=" + std::to_string(t_all_ms) +
+           "ms, Card=" + std::to_string(cardinality) + "]";
+  }
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_DOMAIN_COST_H_

@@ -1,0 +1,13 @@
+#include "domain/domain.h"
+
+namespace hermes {
+
+double ArrivalOffsetMs(const CallOutput& output, size_t index) {
+  size_t n = output.answers.size();
+  if (n <= 1 || index == 0) return output.first_ms;
+  if (index >= n - 1) return output.all_ms;
+  double frac = static_cast<double>(index) / static_cast<double>(n - 1);
+  return output.first_ms + (output.all_ms - output.first_ms) * frac;
+}
+
+}  // namespace hermes

@@ -1,0 +1,52 @@
+#include "domain/registry.h"
+
+namespace hermes {
+
+Status DomainRegistry::Register(const std::string& name,
+                                std::shared_ptr<Domain> domain) {
+  if (domain == nullptr) {
+    return Status::InvalidArgument("cannot register null domain '" + name +
+                                   "'");
+  }
+  auto [it, inserted] = domains_.emplace(name, std::move(domain));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("domain '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+void DomainRegistry::RegisterOrReplace(const std::string& name,
+                                       std::shared_ptr<Domain> domain) {
+  domains_[name] = std::move(domain);
+}
+
+Status DomainRegistry::Unregister(const std::string& name) {
+  if (domains_.erase(name) == 0) {
+    return Status::NotFound("domain '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Domain>> DomainRegistry::Get(
+    const std::string& name) const {
+  auto it = domains_.find(name);
+  if (it == domains_.end()) {
+    return Status::NotFound("domain '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+Result<CallOutput> DomainRegistry::Run(const DomainCall& call) const {
+  HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> domain, Get(call.domain));
+  return domain->Run(call);
+}
+
+std::vector<std::string> DomainRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(domains_.size());
+  for (const auto& [name, domain] : domains_) out.push_back(name);
+  return out;
+}
+
+}  // namespace hermes

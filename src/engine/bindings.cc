@@ -1,0 +1,24 @@
+#include "engine/bindings.h"
+
+namespace hermes::engine {
+
+Result<Value> ResolveTerm(const lang::Term& term, const Bindings& bindings) {
+  if (term.is_constant()) return term.constant;
+  if (term.is_bound_pattern()) {
+    return Status::InvalidArgument("'$b' cannot appear in executable rules");
+  }
+  auto it = bindings.find(term.var_name);
+  if (it == bindings.end()) {
+    return Status::NotFound("variable '" + term.var_name + "' is unbound");
+  }
+  if (term.path.empty()) return it->second;
+  return it->second.GetPath(term.path);
+}
+
+bool TermIsResolvable(const lang::Term& term, const Bindings& bindings) {
+  if (term.is_constant()) return true;
+  if (term.is_bound_pattern()) return false;
+  return bindings.find(term.var_name) != bindings.end();
+}
+
+}  // namespace hermes::engine

@@ -1,0 +1,58 @@
+#ifndef HERMES_ENGINE_BINDINGS_H_
+#define HERMES_ENGINE_BINDINGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "lang/ast.h"
+
+namespace hermes::engine {
+
+/// Runtime variable bindings of one evaluation branch.
+using Bindings = std::map<std::string, Value>;
+
+/// Records bindings added to a Bindings map so they can be undone when the
+/// evaluator backtracks past the atom that introduced them.
+class BindingFrame {
+ public:
+  explicit BindingFrame(Bindings* bindings) : bindings_(bindings) {}
+  ~BindingFrame() { Rollback(); }
+
+  BindingFrame(const BindingFrame&) = delete;
+  BindingFrame& operator=(const BindingFrame&) = delete;
+
+  /// Binds `var` to `value`, returning false when `var` is already bound
+  /// to a different value (the binding then acts as an equality check).
+  bool Bind(const std::string& var, const Value& value) {
+    auto [it, inserted] = bindings_->emplace(var, value);
+    if (inserted) {
+      added_.push_back(var);
+      return true;
+    }
+    return it->second == value;
+  }
+
+  /// Undoes every binding added through this frame.
+  void Rollback() {
+    for (const std::string& var : added_) bindings_->erase(var);
+    added_.clear();
+  }
+
+ private:
+  Bindings* bindings_;
+  std::vector<std::string> added_;
+};
+
+/// Resolves `term` to a ground value under `bindings`: constants pass
+/// through; variables must be bound, then the attribute path is applied.
+Result<Value> ResolveTerm(const lang::Term& term, const Bindings& bindings);
+
+/// True when `term` can be resolved to a ground value under `bindings`.
+bool TermIsResolvable(const lang::Term& term, const Bindings& bindings);
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_BINDINGS_H_

@@ -1,0 +1,136 @@
+#ifndef HERMES_ENGINE_EXECUTOR_H_
+#define HERMES_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dcsm/dcsm.h"
+#include "domain/registry.h"
+#include "engine/bindings.h"
+#include "lang/ast.h"
+
+namespace hermes::engine {
+
+/// The paper's two modes of operation (Section 3).
+enum class ExecutionMode {
+  kAllAnswers,   ///< Compute every answer.
+  kInteractive,  ///< Stop after the first batch of answers.
+};
+
+/// Tuning knobs of the executor.
+struct ExecutorOptions {
+  ExecutionMode mode = ExecutionMode::kAllAnswers;
+  /// Answers per batch in interactive mode; evaluation stops after the
+  /// first batch (callers re-query for more, as the paper's UI does).
+  size_t interactive_batch = 1;
+  double comparison_cost_ms = 0.001;  ///< Simulated per-comparison CPU.
+  double unification_cost_ms = 0.0005;  ///< Simulated per-tuple plumbing.
+  size_t max_recursion_depth = 64;
+  uint64_t max_domain_calls = 1000000;  ///< Runaway-query guard.
+  bool record_statistics = true;  ///< Feed executed-call cost vectors to DCSM.
+  /// Also record per-predicate invocation statistics (under the pseudo
+  /// domain "idb") — the paper's Section 8 remedy for the estimator's
+  /// blindness to backtracking: "cache, especially the time for the first
+  /// answer of predicates in the same way we cache statistics for domain
+  /// calls". Unresolvable (output) arguments are recorded as null and act
+  /// as wildcards during estimation.
+  bool record_predicate_statistics = true;
+  /// Record every domain call (with timing and outcome) into
+  /// QueryExecution::trace — the execution explain/debug facility.
+  bool collect_trace = false;
+};
+
+/// One domain call as the executor saw it — the execution trace element.
+struct CallTrace {
+  DomainCall call;
+  double t_start_ms = 0.0;  ///< Pipeline time when the call was opened.
+  double first_ms = 0.0;    ///< The call's own first-answer latency.
+  double all_ms = 0.0;      ///< The call's own completion latency.
+  size_t answers = 0;
+  bool failed = false;
+  std::string error;
+
+  std::string ToString() const;
+};
+
+/// The answers and simulated timing of one executed query.
+struct QueryExecution {
+  /// Query variables, in order of first textual occurrence.
+  std::vector<std::string> var_names;
+  /// One row per answer: the values of `var_names`.
+  std::vector<ValueList> answers;
+  double t_first_ms = 0.0;  ///< Simulated time to the first answer.
+  double t_all_ms = 0.0;    ///< Simulated time to evaluation completion.
+  uint64_t domain_calls = 0;
+  bool complete = true;  ///< False when interactive mode stopped early.
+  /// Per-call trace, populated when ExecutorOptions::collect_trace is on.
+  std::vector<CallTrace> trace;
+
+  std::string ToString() const;
+};
+
+/// Pipelined nested-loop evaluator with backtracking (Section 7's
+/// execution model: left-to-right joins, no duplicate elimination).
+///
+/// Every domain call returns its answers together with a simulated latency
+/// profile; the executor threads virtual timestamps through the pipeline —
+/// answer i of a call opened at time t becomes consumable at
+/// t + ArrivalOffsetMs(i), and processing an answer cannot start before
+/// the previous sibling's subtree finished. T_f and T_a are read off these
+/// timestamps, reproducing the paper's measurements (including the
+/// backtracking effects Section 8 discusses) without ever sleeping.
+class Executor {
+ public:
+  /// `dcsm` may be null; when set and record_statistics is on, every
+  /// executed call's cost vector is recorded (the DCSM capture path).
+  Executor(const DomainRegistry* registry, dcsm::Dcsm* dcsm,
+           ExecutorOptions options = {})
+      : registry_(registry), dcsm_(dcsm), options_(options) {}
+
+  /// Evaluates `query` against `program`, with domain calls routed through
+  /// the registry.
+  Result<QueryExecution> Execute(const lang::Program& program,
+                                 const lang::Query& query);
+
+ private:
+  struct EvalState {
+    const lang::Program* program = nullptr;
+    uint64_t domain_calls = 0;
+    size_t emitted = 0;
+    bool stop = false;  // interactive-mode early termination
+    std::vector<CallTrace>* trace = nullptr;  // non-null when collecting
+  };
+
+  /// Called for each solution of a body with the emission timestamp;
+  /// returns the simulated time at which the consumer finished processing
+  /// the solution (the producer stalls until then).
+  using EmitFn =
+      std::function<Result<double>(const Bindings& bindings, double t)>;
+
+  /// Evaluates goals[index..] and returns the simulated completion time.
+  Result<double> EvalGoals(const std::vector<lang::Atom>& goals, size_t index,
+                           Bindings* bindings, double t_now, size_t depth,
+                           EvalState* state, const EmitFn& emit);
+
+  /// Evaluates a predicate atom by trying its rules in program order.
+  Result<double> EvalPredicate(const lang::Atom& atom,
+                               const std::vector<lang::Atom>& goals,
+                               size_t index, Bindings* bindings, double t_now,
+                               size_t depth, EvalState* state,
+                               const EmitFn& emit);
+
+  const DomainRegistry* registry_;
+  dcsm::Dcsm* dcsm_;
+  ExecutorOptions options_;
+};
+
+/// Query variables in order of first occurrence (plain variables only;
+/// `$b` and paths do not introduce result columns).
+std::vector<std::string> QueryVariables(const lang::Query& query);
+
+}  // namespace hermes::engine
+
+#endif  // HERMES_ENGINE_EXECUTOR_H_

@@ -1,0 +1,174 @@
+#include "engine/mediator.h"
+
+#include "common/io.h"
+#include "lang/parser.h"
+
+namespace hermes {
+
+Mediator::Mediator() : Mediator(/*network_seed=*/1996) {}
+
+Mediator::Mediator(uint64_t network_seed)
+    : network_(std::make_shared<net::NetworkSimulator>(network_seed)) {}
+
+Status Mediator::RegisterDomain(const std::string& name,
+                                std::shared_ptr<Domain> domain) {
+  return registry_.Register(name, std::move(domain));
+}
+
+Status Mediator::RegisterRemoteDomain(const std::string& name,
+                                      std::shared_ptr<Domain> inner,
+                                      net::SiteParams site) {
+  return registry_.Register(
+      name, net::MakeRemoteDomain(std::move(inner), std::move(site),
+                                  network_));
+}
+
+Status Mediator::EnableCaching(const std::string& name,
+                               cim::CimOptions options,
+                               cim::CimCostParams params,
+                               size_t cache_max_entries,
+                               size_t cache_max_bytes) {
+  HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> inner, registry_.Get(name));
+  std::string cim_name = "cim_" + name;
+  auto cim_domain = std::make_shared<cim::CimDomain>(
+      cim_name, name, std::move(inner), options, params, cache_max_entries,
+      cache_max_bytes);
+  registry_.RegisterOrReplace(cim_name, cim_domain);
+  cims_[name] = std::move(cim_domain);
+  return Status::OK();
+}
+
+Status Mediator::AddInvariants(const std::string& text) {
+  HERMES_ASSIGN_OR_RETURN(std::vector<lang::Invariant> invariants,
+                          lang::Parser::ParseInvariants(text));
+  for (lang::Invariant& inv : invariants) {
+    auto it = cims_.find(inv.lhs.domain);
+    if (it == cims_.end()) {
+      return Status::InvalidArgument(
+          "invariant targets domain '" + inv.lhs.domain +
+          "' which has no CIM; call EnableCaching first: " + inv.ToString());
+    }
+    it->second->AddInvariant(std::move(inv));
+  }
+  return Status::OK();
+}
+
+Status Mediator::UseNativeCostModel(const std::string& name) {
+  HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> domain, registry_.Get(name));
+  return dcsm_.RegisterNativeModel(name, std::move(domain));
+}
+
+Status Mediator::LoadProgram(const std::string& text) {
+  HERMES_ASSIGN_OR_RETURN(lang::Program parsed,
+                          lang::Parser::ParseProgram(text));
+  for (lang::Rule& rule : parsed.rules) {
+    program_.rules.push_back(std::move(rule));
+  }
+  return Status::OK();
+}
+
+Status Mediator::LoadProgramFile(const std::string& path) {
+  HERMES_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return LoadProgram(text);
+}
+
+cim::CimDomain* Mediator::cim(const std::string& name) {
+  auto it = cims_.find(name);
+  return it == cims_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Mediator::CachedDomains() const {
+  std::vector<std::string> out;
+  out.reserve(cims_.size());
+  for (const auto& [name, cim_domain] : cims_) out.push_back(name);
+  return out;
+}
+
+optimizer::RuleRewriter::Options Mediator::EffectiveRewriterOptions(
+    const QueryOptions& options) const {
+  optimizer::RuleRewriter::Options rw = rewriter_options_;
+  rw.cim_domains = options.use_cim ? CachedDomains() : std::vector<std::string>{};
+  rw.cim_only = options.cim_only && options.use_cim;
+  if (!rw.domain_has_function) {
+    // Selection push-down consults the registry for exported functions.
+    const DomainRegistry* registry = &registry_;
+    rw.domain_has_function = [registry](const std::string& domain,
+                                        const std::string& function,
+                                        size_t arity) {
+      Result<std::shared_ptr<Domain>> d = registry->Get(domain);
+      if (!d.ok()) return false;
+      for (const FunctionInfo& fn : (*d)->Functions()) {
+        if (fn.name == function && fn.arity == arity) return true;
+      }
+      return false;
+    };
+  }
+  return rw;
+}
+
+Result<optimizer::OptimizerResult> Mediator::Plan(
+    const std::string& query_text, const QueryOptions& options) {
+  HERMES_ASSIGN_OR_RETURN(lang::Query query,
+                          lang::Parser::ParseQuery(query_text));
+  optimizer::QueryOptimizer opt(&dcsm_, EffectiveRewriterOptions(options),
+                                estimator_params_);
+  return opt.Optimize(program_, query, options.goal);
+}
+
+Result<QueryResult> Mediator::Query(const std::string& query_text,
+                                    const QueryOptions& options) {
+  HERMES_ASSIGN_OR_RETURN(lang::Query query,
+                          lang::Parser::ParseQuery(query_text));
+
+  QueryResult result;
+  lang::Program plan_program = program_;
+  lang::Query plan_query = query;
+
+  if (options.use_optimizer) {
+    optimizer::QueryOptimizer opt(&dcsm_, EffectiveRewriterOptions(options),
+                                  estimator_params_);
+    HERMES_ASSIGN_OR_RETURN(
+        optimizer::OptimizerResult optimized,
+        opt.Optimize(program_, query, options.goal));
+    plan_program = optimized.best.program;
+    plan_query = optimized.best.query;
+    result.plan_description = optimized.best.description;
+    result.predicted = optimized.best.estimated;
+    result.predicted_valid = optimized.best.estimatable;
+    result.optimize_ms = optimized.total_estimation_ms;
+    result.candidates = std::move(optimized.candidates);
+  } else {
+    result.plan_description = "as-written";
+    if (options.use_cim && !cims_.empty()) {
+      std::vector<std::string> cached = CachedDomains();
+      optimizer::RuleRewriter::RedirectToCim(&plan_query.goals, cached);
+      for (lang::Rule& rule : plan_program.rules) {
+        optimizer::RuleRewriter::RedirectToCim(&rule.body, cached);
+      }
+      result.plan_description = "as-written+cim";
+    }
+  }
+
+  engine::ExecutorOptions exec_options = executor_options_;
+  exec_options.mode = options.mode;
+  exec_options.interactive_batch = options.interactive_batch;
+  exec_options.record_statistics = options.record_statistics;
+  exec_options.collect_trace =
+      options.collect_trace || executor_options_.collect_trace;
+  // Predicate statistics are a sub-category of statistics recording.
+  exec_options.record_predicate_statistics =
+      options.record_statistics &&
+      executor_options_.record_predicate_statistics;
+  engine::Executor executor(&registry_, &dcsm_, exec_options);
+  net::NetworkStats before = network_->stats();
+  HERMES_ASSIGN_OR_RETURN(result.execution,
+                          executor.Execute(plan_program, plan_query));
+  const net::NetworkStats& after = network_->stats();
+  result.traffic.remote_calls = after.calls - before.calls;
+  result.traffic.failures = after.failures - before.failures;
+  result.traffic.bytes = after.bytes_transferred - before.bytes_transferred;
+  result.traffic.charge = after.total_charge - before.total_charge;
+  return result;
+}
+
+}  // namespace hermes

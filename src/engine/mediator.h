@@ -1,0 +1,158 @@
+#ifndef HERMES_ENGINE_MEDIATOR_H_
+#define HERMES_ENGINE_MEDIATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cim/cim.h"
+#include "common/result.h"
+#include "dcsm/dcsm.h"
+#include "domain/registry.h"
+#include "engine/executor.h"
+#include "lang/ast.h"
+#include "net/network.h"
+#include "net/remote_domain.h"
+#include "optimizer/optimizer.h"
+
+namespace hermes {
+
+/// Per-query options of Mediator::Query().
+struct QueryOptions {
+  /// Run the rewriter + cost-based optimizer; false executes the query and
+  /// rules exactly as written.
+  bool use_optimizer = true;
+  optimizer::OptimizationGoal goal = optimizer::OptimizationGoal::kAllAnswers;
+  engine::ExecutionMode mode = engine::ExecutionMode::kAllAnswers;
+  size_t interactive_batch = 1;
+  /// Redirect calls to CIM wrappers where one exists. With the optimizer
+  /// on, both direct and CIM plans are generated and costed; with it off,
+  /// every wrapped domain is redirected unconditionally.
+  bool use_cim = true;
+  /// With the optimizer on: emit only CIM-redirected candidate plans.
+  bool cim_only = false;
+  bool record_statistics = true;  ///< Feed executed calls into the DCSM.
+  bool collect_trace = false;     ///< Fill QueryExecution::trace.
+};
+
+/// Network traffic attributable to one query.
+struct QueryTraffic {
+  uint64_t remote_calls = 0;
+  uint64_t failures = 0;       ///< Calls lost to unavailable sites.
+  uint64_t bytes = 0;
+  double charge = 0.0;         ///< Financial access fees accrued.
+};
+
+/// The answers plus optimizer/engine diagnostics of one query.
+struct QueryResult {
+  engine::QueryExecution execution;
+  /// Every candidate plan the optimizer considered (empty when it did not
+  /// run), with estimates filled where estimatable.
+  std::vector<optimizer::CandidatePlan> candidates;
+  std::string plan_description;     ///< Which plan was executed.
+  CostVector predicted;             ///< DCSM's prediction for that plan.
+  bool predicted_valid = false;
+  double optimize_ms = 0.0;         ///< Simulated optimizer time.
+  QueryTraffic traffic;             ///< Remote calls/bytes/charges used.
+};
+
+/// Top-level facade of the mediator system — the public API a downstream
+/// user programs against. Owns the domain registry, the network simulator,
+/// the DCSM, per-domain CIM wrappers, the optimizer and the executor.
+///
+/// Typical use:
+///   Mediator med;
+///   med.RegisterRemoteDomain("video", avis, net::ItalySite());
+///   med.EnableCaching("video");
+///   med.AddInvariants("F2 <= F1 & L1 <= L2 => "
+///       "video:frames_to_objects(V,F2,L2) >= video:frames_to_objects(V,F1,L1).");
+///   med.LoadProgram("actors(A) :- in(A, video:frames_to_objects('rope', 1, 9000)).");
+///   auto res = med.Query("?- actors(A).", {});
+class Mediator {
+ public:
+  Mediator();
+  explicit Mediator(uint64_t network_seed);
+
+  Mediator(const Mediator&) = delete;
+  Mediator& operator=(const Mediator&) = delete;
+
+  // ---- Domain wiring -------------------------------------------------------
+
+  /// Registers a local (same-machine) domain under `name`.
+  Status RegisterDomain(const std::string& name,
+                        std::shared_ptr<Domain> domain);
+
+  /// Registers `inner` under `name`, behind a simulated link to `site`.
+  Status RegisterRemoteDomain(const std::string& name,
+                              std::shared_ptr<Domain> inner,
+                              net::SiteParams site);
+
+  /// Wraps the domain registered as `name` with a CIM (cache + invariant
+  /// manager), registered as "cim_<name>". Idempotent per name.
+  Status EnableCaching(const std::string& name, cim::CimOptions options = {},
+                       cim::CimCostParams params = {},
+                       size_t cache_max_entries = 0,
+                       size_t cache_max_bytes = 0);
+
+  /// Parses invariants and installs each into the CIM of its lhs domain
+  /// (EnableCaching must have been called for that domain).
+  Status AddInvariants(const std::string& text);
+
+  /// Registers the domain's native cost model with the DCSM (the domain
+  /// must return true from HasCostModel()).
+  Status UseNativeCostModel(const std::string& name);
+
+  // ---- Program management -----------------------------------------------------
+
+  /// Parses `text` and appends its rules to the mediator program.
+  Status LoadProgram(const std::string& text);
+  /// Reads a rule file and appends its rules.
+  Status LoadProgramFile(const std::string& path);
+  void ClearProgram() { program_.rules.clear(); }
+  const lang::Program& program() const { return program_; }
+
+  // ---- Querying ---------------------------------------------------------------
+
+  Result<QueryResult> Query(const std::string& query_text,
+                            const QueryOptions& options = {});
+
+  /// Optimizes without executing (returns the ranked candidates).
+  Result<optimizer::OptimizerResult> Plan(const std::string& query_text,
+                                          const QueryOptions& options = {});
+
+  // ---- Introspection ------------------------------------------------------------
+
+  dcsm::Dcsm& dcsm() { return dcsm_; }
+  net::NetworkSimulator& network() { return *network_; }
+  std::shared_ptr<net::NetworkSimulator> network_ptr() { return network_; }
+  DomainRegistry& registry() { return registry_; }
+  /// The CIM wrapper of `name`, or nullptr when caching is not enabled.
+  cim::CimDomain* cim(const std::string& name);
+  /// Names of domains with CIM wrappers.
+  std::vector<std::string> CachedDomains() const;
+
+  optimizer::RuleRewriter::Options& rewriter_options() {
+    return rewriter_options_;
+  }
+  optimizer::EstimatorParams& estimator_params() { return estimator_params_; }
+  engine::ExecutorOptions& executor_options() { return executor_options_; }
+
+ private:
+  Result<lang::Query> ParseAndPrepare(const std::string& query_text);
+  optimizer::RuleRewriter::Options EffectiveRewriterOptions(
+      const QueryOptions& options) const;
+
+  DomainRegistry registry_;
+  std::shared_ptr<net::NetworkSimulator> network_;
+  dcsm::Dcsm dcsm_;
+  lang::Program program_;
+  std::map<std::string, std::shared_ptr<cim::CimDomain>> cims_;
+  optimizer::RuleRewriter::Options rewriter_options_;
+  optimizer::EstimatorParams estimator_params_;
+  engine::ExecutorOptions executor_options_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_ENGINE_MEDIATOR_H_

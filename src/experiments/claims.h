@@ -1,0 +1,56 @@
+#ifndef HERMES_EXPERIMENTS_CLAIMS_H_
+#define HERMES_EXPERIMENTS_CLAIMS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hermes::experiments {
+
+/// One rewriting pair compared at one parameter point: DCSM predictions
+/// and actual runtimes for both plans.
+struct PlanChoicePoint {
+  std::string pair_label;  ///< e.g. "query1 vs query1'".
+  int64_t first_frame = 0;
+  int64_t last_frame = 0;
+  double predicted_a_all = 0, predicted_b_all = 0;
+  double actual_a_all = 0, actual_b_all = 0;
+  double predicted_a_first = 0, predicted_b_first = 0;
+  double actual_a_first = 0, actual_b_first = 0;
+
+  bool PredictedWinnerCorrectAll() const {
+    return (predicted_a_all <= predicted_b_all) ==
+           (actual_a_all <= actual_b_all);
+  }
+  bool PredictedWinnerCorrectFirst() const {
+    return (predicted_a_first <= predicted_b_first) ==
+           (actual_a_first <= actual_b_first);
+  }
+  /// Relative predicted T_f margin between the plans: |pa−pb|/max(pa,pb).
+  double PredictedFirstMargin() const;
+};
+
+/// Section 8's plan-choice claims: for each rewriting pair (query1/1',
+/// query2/2', query3/4) swept over a grid of frame ranges, predict both
+/// plans with the DCSM (warmed online by the sweep itself) and execute
+/// both, recording who actually won.
+Result<std::vector<PlanChoicePoint>> RunPlanChoice(uint64_t seed = 1996);
+
+/// Accuracy summary of the two claims.
+struct PlanChoiceSummary {
+  size_t points = 0;
+  double all_answers_accuracy = 0.0;    ///< Claim 1.
+  double first_big_margin_accuracy = 0.0;   ///< Claim 2, margin ≥ 50%.
+  double first_small_margin_accuracy = 0.0; ///< Claim 2, margin < 50%.
+  size_t big_margin_points = 0;
+  size_t small_margin_points = 0;
+};
+
+PlanChoiceSummary SummarizePlanChoice(const std::vector<PlanChoicePoint>& points);
+
+std::string RenderPlanChoice(const std::vector<PlanChoicePoint>& points);
+
+}  // namespace hermes::experiments
+
+#endif  // HERMES_EXPERIMENTS_CLAIMS_H_

@@ -1,0 +1,171 @@
+#include "experiments/fig5.h"
+
+#include <cstdio>
+
+#include "engine/mediator.h"
+#include "testbed/scenario.h"
+
+namespace hermes::experiments {
+
+namespace {
+
+/// One Figure 5 workload: the measured query plus the warming queries that
+/// make each cache configuration meaningful.
+struct Workload {
+  std::string description;
+  std::string measured;        ///< The query whose times are reported.
+  std::string equality_warm;   ///< Caches a provably-equal call.
+  std::string partial_warm;    ///< Caches a provable subset.
+};
+
+std::vector<Workload> Workloads() {
+  return {
+      // "Find all actors in 'rope'": the whole movie, expressed with an
+      // over-long frame range so the range-clamp equality invariant has an
+      // equivalent cached twin.
+      {"actors in 'rope'",
+       "?- query3(4, 200000, Object, Actor).",
+       "?- query3(4, 129999, Object, Actor).",
+       "?- query3(4, 9000, Object, Actor)."},
+      // "Objects between frames 4 and 47."
+      {"objects in frames [4,47]",
+       "?- objects(4, 47, O).",
+       "?- objects(4, 60, O).",
+       "?- objects(4, 30, O)."},
+      // "Objects between frames 4 and 127."
+      {"objects in frames [4,127]",
+       "?- objects(4, 127, O).",
+       "?- objects(4, 149, O).",
+       "?- objects(4, 47, O)."},
+  };
+}
+
+/// AVIS content-index knowledge for the 'rope' dataset: no appearance
+/// segment starts inside (40,119] or (120,149], so frame ranges ending
+/// anywhere within those windows return identical object sets — the same
+/// kind of data-specific semantic invariant as the paper's spatial
+/// range-clamping example.
+constexpr const char* kRopeEqualityInvariants = R"(
+  L1 >= 40 & L1 <= 119 & L2 >= 40 & L2 <= 119 =>
+      video:frames_to_objects('rope', F, L1) =
+      video:frames_to_objects('rope', F, L2).
+  L1 >= 120 & L1 <= 149 & L2 >= 120 & L2 <= 149 =>
+      video:frames_to_objects('rope', F, L1) =
+      video:frames_to_objects('rope', F, L2).
+)";
+
+constexpr const char* kObjectsRule =
+    "objects(F, L, O) :- in(O, video:frames_to_objects('rope', F, L)).\n";
+
+Result<Fig5Row> MeasureOne(const Workload& workload, Fig5Config config,
+                           const net::SiteParams& video_site, uint64_t seed) {
+  Mediator med(seed);
+  testbed::RopeScenarioOptions options;
+  options.sites.video_site = video_site;
+  options.sites.relation_site = net::UsaSite("cornell");
+  options.cim_options.use_invariants =
+      config == Fig5Config::kCacheEqualityInvariant ||
+      config == Fig5Config::kCachePartialInvariant;
+  HERMES_RETURN_IF_ERROR(testbed::SetupRopeScenario(&med, options));
+  HERMES_RETURN_IF_ERROR(med.LoadProgram(kObjectsRule));
+  if (options.cim_options.use_invariants) {
+    HERMES_RETURN_IF_ERROR(med.AddInvariants(kRopeEqualityInvariants));
+  }
+
+  QueryOptions direct;
+  direct.use_optimizer = false;
+  direct.use_cim = false;
+
+  QueryOptions via_cim;
+  via_cim.use_optimizer = false;
+  via_cim.use_cim = true;
+
+  // Warm the caches per configuration.
+  switch (config) {
+    case Fig5Config::kNoCacheNoInvariants:
+      break;
+    case Fig5Config::kCacheOnly:
+      HERMES_RETURN_IF_ERROR(med.Query(workload.measured, via_cim).status());
+      break;
+    case Fig5Config::kCacheEqualityInvariant:
+      HERMES_RETURN_IF_ERROR(
+          med.Query(workload.equality_warm, via_cim).status());
+      break;
+    case Fig5Config::kCachePartialInvariant:
+      HERMES_RETURN_IF_ERROR(
+          med.Query(workload.partial_warm, via_cim).status());
+      break;
+  }
+
+  const QueryOptions& measured_options =
+      config == Fig5Config::kNoCacheNoInvariants ? direct : via_cim;
+  HERMES_ASSIGN_OR_RETURN(QueryResult result,
+                          med.Query(workload.measured, measured_options));
+
+  Fig5Row row;
+  row.query = workload.description;
+  row.config = config;
+  row.site = video_site.name;
+  row.t_first_ms = result.execution.t_first_ms;
+  row.t_all_ms = result.execution.t_all_ms;
+  row.tuples = result.execution.answers.size();
+  for (const ValueList& answer : result.execution.answers) {
+    for (const Value& v : answer) row.bytes += v.ApproxByteSize();
+  }
+  return row;
+}
+
+}  // namespace
+
+const char* Fig5ConfigName(Fig5Config config) {
+  switch (config) {
+    case Fig5Config::kNoCacheNoInvariants: return "no cache, no invar.";
+    case Fig5Config::kCacheOnly: return "cache only";
+    case Fig5Config::kCacheEqualityInvariant: return "cache + equality inv.";
+    case Fig5Config::kCachePartialInvariant: return "cache + partial inv.";
+  }
+  return "?";
+}
+
+Result<std::vector<Fig5Row>> RunFig5(uint64_t seed) {
+  std::vector<Fig5Row> rows;
+  for (const Workload& workload : Workloads()) {
+    for (const net::SiteParams& site :
+         {net::UsaSite("usa"), net::ItalySite("italy")}) {
+      for (Fig5Config config :
+           {Fig5Config::kNoCacheNoInvariants, Fig5Config::kCacheOnly,
+            Fig5Config::kCacheEqualityInvariant,
+            Fig5Config::kCachePartialInvariant}) {
+        HERMES_ASSIGN_OR_RETURN(Fig5Row row,
+                                MeasureOne(workload, config, site, seed));
+        rows.push_back(row);
+      }
+    }
+  }
+  return rows;
+}
+
+std::string RenderFig5(const std::vector<Fig5Row>& rows) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s %-23s %-6s %12s %12s %7s %8s\n",
+                "Query", "Type", "Site", "First (ms)", "All (ms)", "Tuples",
+                "Bytes");
+  out += buf;
+  out += std::string(100, '-') + "\n";
+  const std::string* last_query = nullptr;
+  for (const Fig5Row& row : rows) {
+    if (last_query != nullptr && *last_query != row.query) {
+      out += std::string(100, '-') + "\n";
+    }
+    last_query = &row.query;
+    std::snprintf(buf, sizeof(buf), "%-28s %-23s %-6s %12.0f %12.0f %7zu %8zu\n",
+                  row.query.c_str(), Fig5ConfigName(row.config),
+                  row.site.c_str(), row.t_first_ms, row.t_all_ms, row.tuples,
+                  row.bytes);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hermes::experiments

@@ -1,0 +1,49 @@
+#ifndef HERMES_EXPERIMENTS_FIG5_H_
+#define HERMES_EXPERIMENTS_FIG5_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/site.h"
+
+namespace hermes::experiments {
+
+/// Cache/invariant configuration of one Figure 5 row.
+enum class Fig5Config {
+  kNoCacheNoInvariants,
+  kCacheOnly,
+  kCacheEqualityInvariant,
+  kCachePartialInvariant,
+};
+
+const char* Fig5ConfigName(Fig5Config config);
+
+/// One measured row of the paper's Figure 5 table.
+struct Fig5Row {
+  std::string query;    ///< Human-readable query description.
+  Fig5Config config = Fig5Config::kNoCacheNoInvariants;
+  std::string site;     ///< "usa" or "italy".
+  double t_first_ms = 0.0;
+  double t_all_ms = 0.0;
+  size_t tuples = 0;
+  size_t bytes = 0;     ///< Result payload size.
+};
+
+/// Reproduces Figure 5: "Executing Remote Calls with Caching and/or
+/// Invariants". For each of three AVIS workloads (actors in 'rope',
+/// objects in frames [4,47], objects in frames [4,127]) and each site
+/// (USA, Italy), measures the four cache/invariant configurations.
+///
+/// Per configuration the cache is warmed the way the paper's scenarios
+/// imply: kCacheOnly re-runs the identical query; the equality row warms
+/// with a clamped-equivalent frame range; the partial row warms with a
+/// narrower range so the subset invariant fires.
+Result<std::vector<Fig5Row>> RunFig5(uint64_t seed = 1996);
+
+/// Renders rows as an aligned text table.
+std::string RenderFig5(const std::vector<Fig5Row>& rows);
+
+}  // namespace hermes::experiments
+
+#endif  // HERMES_EXPERIMENTS_FIG5_H_

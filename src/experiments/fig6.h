@@ -1,0 +1,43 @@
+#ifndef HERMES_EXPERIMENTS_FIG6_H_
+#define HERMES_EXPERIMENTS_FIG6_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hermes::experiments {
+
+/// One row of the paper's Figure 6 ("The Utility of DCSM"): actual run
+/// time vs. DCSM predictions from lossless and from lossy statistics, for
+/// both the first answer and all answers.
+struct Fig6Row {
+  std::string query;  ///< "query1", "query1'", "query2", ... "query4".
+  double actual_first_ms = 0.0;
+  double actual_all_ms = 0.0;
+  double lossless_first_ms = 0.0;
+  double lossless_all_ms = 0.0;
+  double lossy_first_ms = 0.0;
+  double lossy_all_ms = 0.0;
+};
+
+/// Reproduces Figure 6. The cost vector database is warmed by running the
+/// six appendix queries over ~20 different frame-range instantiations
+/// (mirroring the paper's "about 20 different instantiations"), then each
+/// query at the measured parameters (First=4, Last=47) is
+///   (a) predicted by the rule cost estimator from lossless statistics,
+///   (b) predicted from fully-lossy summaries (every argument dropped),
+///   (c) actually executed,
+/// all against AVIS + the cast relation across the simulated network.
+Result<std::vector<Fig6Row>> RunFig6(uint64_t seed = 1996);
+
+/// Renders rows as an aligned text table.
+std::string RenderFig6(const std::vector<Fig6Row>& rows);
+
+/// Mean relative |predicted − actual| / actual over rows, for the
+/// all-answers column. `lossy` selects which prediction to score.
+double MeanRelativeErrorAll(const std::vector<Fig6Row>& rows, bool lossy);
+
+}  // namespace hermes::experiments
+
+#endif  // HERMES_EXPERIMENTS_FIG6_H_

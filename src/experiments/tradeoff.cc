@@ -1,0 +1,136 @@
+#include "experiments/tradeoff.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "dcsm/dcsm.h"
+#include "lang/parser.h"
+
+namespace hermes::experiments {
+
+namespace {
+
+lang::DomainCallSpec PatternForA(int a) {
+  lang::DomainCallSpec spec;
+  spec.domain = "d";
+  spec.function = "f";
+  spec.args.push_back(lang::Term::Const(Value::Int(a)));
+  spec.args.push_back(lang::Term::Bound());
+  return spec;
+}
+
+}  // namespace
+
+Result<std::vector<TradeoffPoint>> RunSummarizationTradeoff(
+    const std::vector<size_t>& record_counts, size_t distinct_a,
+    uint64_t seed) {
+  std::vector<TradeoffPoint> points;
+
+  for (size_t n : record_counts) {
+    Rng rng(seed);
+    dcsm::Dcsm dcsm;
+    // True model: Ta(A) = 100·(A+1) with ±10% noise; B is irrelevant noise
+    // with many distinct values (it bloats raw storage and lossless
+    // summaries but carries no signal — the setting where lossy
+    // summarization shines).
+    std::vector<double> true_ta(distinct_a);
+    for (size_t a = 0; a < distinct_a; ++a) {
+      true_ta[a] = 100.0 * (static_cast<double>(a) + 1.0);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      int a = static_cast<int>(rng.NextBelow(distinct_a));
+      int b = static_cast<int>(rng.NextBelow(10000));
+      double noise = 1.0 + 0.1 * (2.0 * rng.NextDouble() - 1.0);
+      double ta = true_ta[a] * noise;
+      dcsm.RecordExecution(
+          DomainCall{"d", "f", {Value::Int(a), Value::Int(b)}},
+          CostVector(ta / 4.0, ta, 5.0));
+    }
+
+    TradeoffPoint point;
+    point.records = n;
+    point.distinct_args = distinct_a;
+    point.raw_bytes = dcsm.database().ApproxBytes();
+
+    dcsm::CallGroupKey key{"d", "f", 2};
+
+    // Lossless summaries (all positions retained).
+    HERMES_RETURN_IF_ERROR(dcsm.BuildLosslessSummaries());
+    point.lossless_bytes = dcsm.TotalSummaryBytes();
+
+    // Fully lossy summary alongside (dims = {}).
+    HERMES_RETURN_IF_ERROR(dcsm.BuildSummary(key, {}));
+    point.lossy_bytes = dcsm.TotalSummaryBytes() - point.lossless_bytes;
+
+    // Also a partially-lossy table retaining only A — this is what the
+    // program-analysis dimension dropping would build; use it as the lossy
+    // *estimator* since a fully dropped table cannot answer per-A
+    // questions at all.
+    size_t before_partial = dcsm.TotalSummaryBytes();
+    HERMES_RETURN_IF_ERROR(dcsm.BuildSummary(key, {0}));
+    point.program_lossy_bytes = dcsm.TotalSummaryBytes() - before_partial;
+
+    double raw_lookup = 0, lossless_lookup = 0, lossy_lookup = 0;
+    double lossless_err = 0, lossy_err = 0;
+    for (size_t a = 0; a < distinct_a; ++a) {
+      lang::DomainCallSpec pattern = PatternForA(static_cast<int>(a));
+
+      // Raw only.
+      dcsm.options().use_summaries = false;
+      dcsm.options().use_raw_database = true;
+      HERMES_ASSIGN_OR_RETURN(dcsm::CostEstimate raw, dcsm.Cost(pattern));
+      raw_lookup += raw.lookup_ms;
+
+      // Summaries only. The most specific answering table for (A, $b) is
+      // the A-retaining one (the lossless table needs aggregation since B
+      // is unknown) — measure both by toggling.
+      dcsm.options().use_summaries = true;
+      dcsm.options().use_raw_database = false;
+      HERMES_ASSIGN_OR_RETURN(dcsm::CostEstimate summarized,
+                              dcsm.Cost(pattern));
+      lossless_lookup += summarized.lookup_ms;
+      lossless_err += std::fabs(summarized.cost.t_all_ms - true_ta[a]) /
+                      true_ta[a];
+
+      // Fully lossy view: the global average regardless of A.
+      lang::DomainCallSpec blind = pattern;
+      blind.args[0] = lang::Term::Bound();
+      HERMES_ASSIGN_OR_RETURN(dcsm::CostEstimate lossy, dcsm.Cost(blind));
+      lossy_lookup += lossy.lookup_ms;
+      lossy_err += std::fabs(lossy.cost.t_all_ms - true_ta[a]) / true_ta[a];
+    }
+    double k = static_cast<double>(distinct_a);
+    point.raw_lookup_ms = raw_lookup / k;
+    point.lossless_lookup_ms = lossless_lookup / k;
+    point.lossy_lookup_ms = lossy_lookup / k;
+    point.lossless_error = lossless_err / k;
+    point.lossy_error = lossy_err / k;
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::string RenderTradeoff(const std::vector<TradeoffPoint>& points) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%8s | %10s %10s %9s %8s | %9s %9s | %9s %9s\n", "records",
+                "raw B", "lossless B", "dims{A} B", "dims{} B", "raw ms",
+                "summ ms", "ll err", "lossy err");
+  out += buf;
+  out += std::string(98, '-') + "\n";
+  for (const TradeoffPoint& p : points) {
+    std::snprintf(buf, sizeof(buf),
+                  "%8zu | %10zu %10zu %9zu %8zu | %9.3f %9.3f | %8.1f%% "
+                  "%8.1f%%\n",
+                  p.records, p.raw_bytes, p.lossless_bytes,
+                  p.program_lossy_bytes, p.lossy_bytes, p.raw_lookup_ms,
+                  p.lossless_lookup_ms, 100 * p.lossless_error,
+                  100 * p.lossy_error);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hermes::experiments

@@ -1,0 +1,45 @@
+#ifndef HERMES_EXPERIMENTS_TRADEOFF_H_
+#define HERMES_EXPERIMENTS_TRADEOFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hermes::experiments {
+
+/// One point of the Section 6.2 summarization tradeoff: storage footprint,
+/// simulated estimation latency, and estimation error of the three
+/// statistics representations at a given database size.
+struct TradeoffPoint {
+  size_t records = 0;           ///< Raw cost-vector records.
+  size_t distinct_args = 0;     ///< Distinct argument combinations.
+
+  size_t raw_bytes = 0;
+  size_t lossless_bytes = 0;
+  size_t lossy_bytes = 0;          ///< Fully dropped (one global row).
+  size_t program_lossy_bytes = 0;  ///< Only the signal position retained.
+
+  double raw_lookup_ms = 0.0;       ///< Simulated time per estimate.
+  double lossless_lookup_ms = 0.0;
+  double lossy_lookup_ms = 0.0;
+
+  double lossless_error = 0.0;  ///< Mean relative Ta error vs. ground truth.
+  double lossy_error = 0.0;
+};
+
+/// Sweeps the size of a synthetic cost-vector database (one call group
+/// d:f(A, B) whose true cost depends on A) and measures, at each size, the
+/// storage/lookup-time/accuracy triangle for (a) the raw database,
+/// (b) lossless summaries, (c) fully lossy summaries. Ground truth for the
+/// error metric is the per-A mean.
+Result<std::vector<TradeoffPoint>> RunSummarizationTradeoff(
+    const std::vector<size_t>& record_counts, size_t distinct_a = 16,
+    uint64_t seed = 1996);
+
+std::string RenderTradeoff(const std::vector<TradeoffPoint>& points);
+
+}  // namespace hermes::experiments
+
+#endif  // HERMES_EXPERIMENTS_TRADEOFF_H_

@@ -1,0 +1,137 @@
+#include "face/face_domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hermes::face {
+
+Embedding FaceDomain::MakeEmbedding(uint64_t seed) {
+  Rng rng(seed);
+  Embedding e;
+  for (double& x : e) x = rng.NextGaussian();
+  return e;
+}
+
+double FaceDomain::Distance(const Embedding& a, const Embedding& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < kEmbeddingDim; ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+void FaceDomain::Enroll(const std::string& person, uint64_t seed) {
+  gallery_[person] = MakeEmbedding(seed);
+}
+
+void FaceDomain::AddPhoto(const std::string& photo, const std::string& person,
+                          uint64_t noise_seed, double noise) {
+  Embedding base{};
+  auto it = gallery_.find(person);
+  if (it != gallery_.end()) base = it->second;
+  Rng rng(noise_seed);
+  for (double& x : base) x += noise * rng.NextGaussian() / 4.0;
+  photos_[photo] = base;
+}
+
+std::vector<FunctionInfo> FaceDomain::Functions() const {
+  return {
+      {"match", 2,
+       "match(photo, threshold): {person, distance} within threshold"},
+      {"identify", 1, "identify(photo): singleton best match"},
+      {"people", 0, "people(): all enrolled names"},
+  };
+}
+
+Result<CallOutput> FaceDomain::Run(const DomainCall& call) {
+  const std::string& fn = call.function;
+
+  Rng jitter_rng(call.Hash() ^ 0xFACEULL);
+  double jitter =
+      1.0 + params_.jitter * (2.0 * jitter_rng.NextDouble() - 1.0);
+
+  if (fn == "people") {
+    if (!call.args.empty()) {
+      return Status::InvalidArgument(call.ToString() + ": takes 0 args");
+    }
+    CallOutput out;
+    for (const auto& [person, emb] : gallery_) {
+      out.answers.push_back(Value::Str(person));
+    }
+    out.first_ms = out.all_ms = params_.load_ms * jitter;
+    return out;
+  }
+
+  if (call.args.empty() || !call.args[0].is_string()) {
+    return Status::InvalidArgument(call.ToString() +
+                                   ": first argument must be a photo id");
+  }
+  auto pit = photos_.find(call.args[0].as_string());
+  if (pit == photos_.end()) {
+    return Status::NotFound("no photo '" + call.args[0].as_string() + "'");
+  }
+  const Embedding& probe = pit->second;
+
+  if (fn != "match" && fn != "identify") {
+    return Status::NotFound("domain '" + name_ + "' has no function '" + fn +
+                            "'");
+  }
+  double threshold;
+  if (fn == "match") {
+    if (call.args.size() != 2 || !call.args[1].is_numeric()) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": match takes (photo, threshold)");
+    }
+    threshold = call.args[1].as_number();
+  } else {
+    if (call.args.size() != 1) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": identify takes (photo)");
+    }
+    threshold = std::numeric_limits<double>::infinity();
+  }
+
+  // Coarse pass over the whole gallery, fine pass over survivors — the
+  // data-dependent cost structure that defeats analytic modeling.
+  std::vector<std::pair<double, std::string>> candidates;
+  for (const auto& [person, emb] : gallery_) {
+    double d = Distance(probe, emb);
+    if (d <= params_.coarse_threshold || fn == "identify") {
+      candidates.emplace_back(d, person);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  CallOutput out;
+  if (fn == "identify") {
+    if (!candidates.empty()) {
+      out.answers.push_back(Value::Struct(
+          {{"person", Value::Str(candidates[0].second)},
+           {"distance", Value::Double(candidates[0].first)}}));
+    }
+  } else {
+    for (const auto& [d, person] : candidates) {
+      if (d > threshold) break;
+      out.answers.push_back(Value::Struct(
+          {{"person", Value::Str(person)}, {"distance", Value::Double(d)}}));
+    }
+  }
+  double work_ms =
+      params_.load_ms +
+      params_.per_face_coarse_ms * static_cast<double>(gallery_.size()) +
+      params_.per_candidate_fine_ms * static_cast<double>(candidates.size());
+  out.all_ms = work_ms * jitter;
+  out.first_ms =
+      out.answers.empty()
+          ? out.all_ms
+          : (params_.load_ms +
+             params_.per_face_coarse_ms * static_cast<double>(gallery_.size()) +
+             params_.per_candidate_fine_ms) *
+                jitter;
+  return out;
+}
+
+}  // namespace hermes::face

@@ -1,0 +1,72 @@
+#ifndef HERMES_FACE_FACE_DOMAIN_H_
+#define HERMES_FACE_FACE_DOMAIN_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "domain/domain.h"
+
+namespace hermes::face {
+
+/// Dimensionality of the synthetic face embeddings.
+constexpr size_t kEmbeddingDim = 16;
+using Embedding = std::array<double, kEmbeddingDim>;
+
+/// Simulated compute-cost parameters of the face-recognition package.
+///
+/// Like AVIS, this is a source "for which it is extremely difficult to
+/// develop a reasonable cost model": matching cost grows with the gallery
+/// and with how ambiguous the probe is (more candidates survive the
+/// coarse pass), plus a per-call deterministic jitter.
+struct FaceCostParams {
+  double load_ms = 70.0;          ///< Model + gallery load.
+  double per_face_coarse_ms = 0.8;   ///< Coarse distance per gallery face.
+  double per_candidate_fine_ms = 9.0;  ///< Fine re-scoring per candidate.
+  double coarse_threshold = 1.6;  ///< Distance admitting the fine pass.
+  double jitter = 0.2;
+};
+
+/// Synthetic face-recognition domain (HERMES's face database).
+///
+/// A gallery maps person names to embeddings; probes are *photo ids* that
+/// also carry embeddings (registered via AddPhoto). Exported functions:
+///   match(photo, threshold)  — {person, distance} structs with
+///                              distance <= threshold, nearest first
+///   identify(photo)          — singleton best match (empty if gallery empty)
+///   people()                 — all gallery names
+class FaceDomain : public Domain {
+ public:
+  explicit FaceDomain(std::string name, FaceCostParams params = {})
+      : name_(std::move(name)), params_(params) {}
+
+  /// Enrolls a person with a deterministic synthetic embedding derived
+  /// from `seed`.
+  void Enroll(const std::string& person, uint64_t seed);
+
+  /// Registers a probe photo whose embedding is the person's plus noise
+  /// (so `photo` should match `person` best).
+  void AddPhoto(const std::string& photo, const std::string& person,
+                uint64_t noise_seed, double noise = 0.3);
+
+  size_t gallery_size() const { return gallery_.size(); }
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override;
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+ private:
+  static Embedding MakeEmbedding(uint64_t seed);
+  static double Distance(const Embedding& a, const Embedding& b);
+
+  std::string name_;
+  FaceCostParams params_;
+  std::map<std::string, Embedding> gallery_;  // person → embedding
+  std::map<std::string, Embedding> photos_;   // photo id → embedding
+};
+
+}  // namespace hermes::face
+
+#endif  // HERMES_FACE_FACE_DOMAIN_H_

@@ -1,0 +1,104 @@
+#include "flatfile/flatfile_domain.h"
+
+namespace hermes::flatfile {
+
+void FlatFileDomain::PutFile(const std::string& file,
+                             std::vector<ValueList> records) {
+  files_[file] = std::move(records);
+}
+
+void FlatFileDomain::AppendRecord(const std::string& file, ValueList record) {
+  files_[file].push_back(std::move(record));
+}
+
+std::vector<FunctionInfo> FlatFileDomain::Functions() const {
+  return {
+      {"scan", 1, "scan(file): every record as a positional list"},
+      {"match", 3, "match(file, field_no, value): records whose field equals value"},
+      {"field", 2, "field(file, field_no): the given field of every record"},
+      {"lines", 1, "lines(file): singleton record count"},
+  };
+}
+
+Result<CallOutput> FlatFileDomain::Run(const DomainCall& call) {
+  if (call.args.empty() || !call.args[0].is_string()) {
+    return Status::InvalidArgument(call.ToString() +
+                                   ": first argument must be a file name");
+  }
+  auto it = files_.find(call.args[0].as_string());
+  if (it == files_.end()) {
+    return Status::NotFound("no flat file '" + call.args[0].as_string() + "'");
+  }
+  const std::vector<ValueList>& records = it->second;
+
+  // Flat files are always fully scanned, so T_f is essentially the scan
+  // position of the first matching record.
+  auto finish = [this, &records](AnswerSet answers) {
+    CallOutput out;
+    size_t n = answers.size();
+    double scan_ms =
+        params_.per_line_ms * static_cast<double>(records.size());
+    out.all_ms = params_.open_ms + scan_ms +
+                 params_.per_result_ms * static_cast<double>(n);
+    out.first_ms = n == 0 ? out.all_ms
+                          : params_.open_ms +
+                                scan_ms / static_cast<double>(n + 1) +
+                                params_.per_result_ms;
+    out.answers = std::move(answers);
+    return out;
+  };
+
+  const std::string& fn = call.function;
+  if (fn == "scan") {
+    if (call.args.size() != 1) {
+      return Status::InvalidArgument(call.ToString() + ": scan takes 1 arg");
+    }
+    AnswerSet answers;
+    answers.reserve(records.size());
+    for (const ValueList& rec : records) answers.push_back(Value::List(rec));
+    return finish(std::move(answers));
+  }
+  if (fn == "match") {
+    if (call.args.size() != 3 || !call.args[1].is_int()) {
+      return Status::InvalidArgument(
+          call.ToString() + ": match takes (file, field_no, value)");
+    }
+    size_t field = static_cast<size_t>(call.args[1].as_int());
+    if (field == 0) {
+      return Status::InvalidArgument("field numbers are 1-based");
+    }
+    AnswerSet answers;
+    for (const ValueList& rec : records) {
+      if (field <= rec.size() && rec[field - 1] == call.args[2]) {
+        answers.push_back(Value::List(rec));
+      }
+    }
+    return finish(std::move(answers));
+  }
+  if (fn == "field") {
+    if (call.args.size() != 2 || !call.args[1].is_int()) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": field takes (file, field_no)");
+    }
+    size_t field = static_cast<size_t>(call.args[1].as_int());
+    if (field == 0) {
+      return Status::InvalidArgument("field numbers are 1-based");
+    }
+    AnswerSet answers;
+    for (const ValueList& rec : records) {
+      if (field <= rec.size()) answers.push_back(rec[field - 1]);
+    }
+    return finish(std::move(answers));
+  }
+  if (fn == "lines") {
+    if (call.args.size() != 1) {
+      return Status::InvalidArgument(call.ToString() + ": lines takes 1 arg");
+    }
+    return finish(
+        AnswerSet{Value::Int(static_cast<int64_t>(records.size()))});
+  }
+  return Status::NotFound("domain '" + name_ + "' has no function '" + fn +
+                          "'");
+}
+
+}  // namespace hermes::flatfile

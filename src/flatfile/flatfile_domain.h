@@ -1,0 +1,56 @@
+#ifndef HERMES_FLATFILE_FLATFILE_DOMAIN_H_
+#define HERMES_FLATFILE_FLATFILE_DOMAIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "domain/domain.h"
+
+namespace hermes::flatfile {
+
+/// Simulated compute-cost parameters of the flat-file store.
+struct FlatFileCostParams {
+  double open_ms = 1.5;          ///< Per-call file open/seek overhead.
+  double per_line_ms = 0.004;    ///< Per line read (flat files always scan).
+  double per_result_ms = 0.008;  ///< Per matching record materialized.
+};
+
+/// An in-memory store of named "flat files", each a list of records with
+/// positional fields — the paper's flat-file data source.
+///
+/// Unlike the relational engine, a flat file has no indexes: every access
+/// is a full scan, so selective calls cost as much as full reads. Exported
+/// functions:
+///   scan(file)                    — every record, as a positional list
+///   match(file, field_no, value)  — records whose 1-based field equals value
+///   field(file, field_no)         — the given field of every record
+///   lines(file)                   — singleton record count
+class FlatFileDomain : public Domain {
+ public:
+  explicit FlatFileDomain(std::string name, FlatFileCostParams params = {})
+      : name_(std::move(name)), params_(params) {}
+
+  /// Creates or replaces a file with the given records.
+  void PutFile(const std::string& file, std::vector<ValueList> records);
+
+  /// Appends one record to a file (creating the file if needed).
+  void AppendRecord(const std::string& file, ValueList record);
+
+  bool HasFile(const std::string& file) const {
+    return files_.find(file) != files_.end();
+  }
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override;
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+ private:
+  std::string name_;
+  FlatFileCostParams params_;
+  std::map<std::string, std::vector<ValueList>> files_;
+};
+
+}  // namespace hermes::flatfile
+
+#endif  // HERMES_FLATFILE_FLATFILE_DOMAIN_H_

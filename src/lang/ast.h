@@ -1,0 +1,155 @@
+#ifndef HERMES_LANG_AST_H_
+#define HERMES_LANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace hermes::lang {
+
+/// A term in the mediator language: a ground constant, a variable (with an
+/// optional attribute path, e.g. `P.name` or `$ans.2`), or the `$b`
+/// bound-but-unknown placeholder used in domain-call *patterns*.
+struct Term {
+  enum class Kind { kConstant, kVariable, kBoundPattern };
+
+  Kind kind = Kind::kConstant;
+  Value constant;                  ///< Valid when kind == kConstant.
+  std::string var_name;            ///< Valid when kind == kVariable.
+  std::vector<std::string> path;   ///< Attribute path steps on the variable.
+
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+  static Term Var(std::string name, std::vector<std::string> path = {}) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var_name = std::move(name);
+    t.path = std::move(path);
+    return t;
+  }
+  /// The `$b` placeholder of a call pattern (Section 6: "bound but its
+  /// exact value is not available").
+  static Term Bound() {
+    Term t;
+    t.kind = Kind::kBoundPattern;
+    return t;
+  }
+
+  bool is_constant() const { return kind == Kind::kConstant; }
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_bound_pattern() const { return kind == Kind::kBoundPattern; }
+
+  bool operator==(const Term& other) const;
+  std::string ToString() const;
+};
+
+/// Comparison operator of a constraint atom (`E_i` in Section 2).
+enum class RelOp { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+/// Source spelling of a RelOp ("=", "!=", "<", "<=", ">", ">=").
+const char* RelOpName(RelOp op);
+/// Swaps operand sides: a OP b  ==  b OP' a.
+RelOp FlipRelOp(RelOp op);
+/// Evaluates `lhs OP rhs` on ground values.
+bool EvalRelOp(RelOp op, const Value& lhs, const Value& rhs);
+
+/// A domain call `domain:function(arg_1, ..., arg_N)`, the D_i construct.
+/// When every argument is a constant the spec is ground and executable; a
+/// spec whose arguments include `$b` terms is a *call pattern* used by the
+/// DCSM cost interface.
+struct DomainCallSpec {
+  std::string domain;
+  std::string function;
+  std::vector<Term> args;
+
+  bool is_ground() const;
+  bool operator==(const DomainCallSpec& other) const;
+  std::string ToString() const;
+};
+
+/// One subgoal of a rule body (or the head, which is always kPredicate).
+struct Atom {
+  enum class Kind { kPredicate, kDomainCall, kComparison };
+
+  Kind kind = Kind::kPredicate;
+
+  // kPredicate: predicate(args)
+  std::string predicate;
+  std::vector<Term> args;
+
+  // kDomainCall: in(output, domain:function(args))
+  Term output;
+  DomainCallSpec call;
+
+  // kComparison: lhs op rhs
+  RelOp op = RelOp::kEq;
+  Term lhs;
+  Term rhs;
+
+  static Atom Predicate(std::string name, std::vector<Term> args);
+  static Atom DomainCall(Term output, DomainCallSpec call);
+  static Atom Comparison(RelOp op, Term lhs, Term rhs);
+
+  bool is_predicate() const { return kind == Kind::kPredicate; }
+  bool is_domain_call() const { return kind == Kind::kDomainCall; }
+  bool is_comparison() const { return kind == Kind::kComparison; }
+
+  /// All variable names mentioned by the atom (args + output + operands).
+  std::vector<std::string> Variables() const;
+
+  std::string ToString() const;
+};
+
+/// A mediator rule `head :- g_1 & ... & g_k.`; facts have an empty body.
+struct Rule {
+  Atom head;               // Always kPredicate.
+  std::vector<Atom> body;
+
+  std::string ToString() const;
+};
+
+/// A parsed query `?- g_1 & ... & g_k.`
+struct Query {
+  std::vector<Atom> goals;
+
+  std::string ToString() const;
+};
+
+/// Relationship asserted by an invariant between its two domain calls.
+enum class InvariantRelation {
+  kEqual,     ///< lhs answer set equals rhs answer set.
+  kSuperset,  ///< lhs ⊇ rhs: every rhs answer is an lhs answer.
+  kSubset,    ///< lhs ⊆ rhs: every lhs answer is an rhs answer.
+};
+
+const char* InvariantRelationName(InvariantRelation rel);
+
+/// Section 4's invariant: `Condition => DomainCall_1 R DomainCall_2.`
+///
+/// Conditions are comparison atoms over the variables appearing in the two
+/// domain calls; there are no free variables (every condition variable must
+/// appear in one of the calls).
+struct Invariant {
+  std::vector<Atom> conditions;  // kComparison atoms; empty means "true".
+  DomainCallSpec lhs;
+  InvariantRelation relation = InvariantRelation::kEqual;
+  DomainCallSpec rhs;
+
+  std::string ToString() const;
+};
+
+/// A mediator program: an ordered list of rules.
+struct Program {
+  std::vector<Rule> rules;
+
+  std::string ToString() const;
+};
+
+}  // namespace hermes::lang
+
+#endif  // HERMES_LANG_AST_H_

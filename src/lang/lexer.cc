@@ -1,0 +1,264 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace hermes::lang {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsVariableStart(const std::string& word) {
+  char c = word[0];
+  return std::isupper(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string text) : text_(std::move(text)) {}
+
+char Lexer::Advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '%' || (c == '/' && Peek(1) == '/')) {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind) const {
+  Token t;
+  t.kind = kind;
+  t.line = token_line_;
+  t.column = token_column_;
+  return t;
+}
+
+Status Lexer::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    SkipWhitespaceAndComments();
+    token_line_ = line_;
+    token_column_ = column_;
+    if (AtEnd()) {
+      out.push_back(MakeToken(TokenKind::kEnd));
+      return out;
+    }
+    HERMES_RETURN_IF_ERROR(LexOne(&out));
+  }
+}
+
+Status Lexer::LexOne(std::vector<Token>* out) {
+  char c = Peek();
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '-' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    return LexNumber(out);
+  }
+  if (c == '\'' || c == '"') return LexString(out);
+  if (IsIdentStart(c)) return LexWord(out);
+
+  Advance();
+  switch (c) {
+    case '(':
+      out->push_back(MakeToken(TokenKind::kLParen));
+      return Status::OK();
+    case ')':
+      out->push_back(MakeToken(TokenKind::kRParen));
+      return Status::OK();
+    case '[':
+      out->push_back(MakeToken(TokenKind::kLBracket));
+      return Status::OK();
+    case ']':
+      out->push_back(MakeToken(TokenKind::kRBracket));
+      return Status::OK();
+    case ',':
+      out->push_back(MakeToken(TokenKind::kComma));
+      return Status::OK();
+    case '.':
+      out->push_back(MakeToken(TokenKind::kDot));
+      return Status::OK();
+    case '&':
+      out->push_back(MakeToken(TokenKind::kAmp));
+      return Status::OK();
+    case ':':
+      if (Peek() == '-') {
+        Advance();
+        out->push_back(MakeToken(TokenKind::kIf));
+      } else {
+        out->push_back(MakeToken(TokenKind::kColon));
+      }
+      return Status::OK();
+    case '?':
+      if (Peek() == '-') {
+        Advance();
+        out->push_back(MakeToken(TokenKind::kQuery));
+        return Status::OK();
+      }
+      return ErrorHere("unexpected '?'");
+    case '=':
+      if (Peek() == '>') {
+        Advance();
+        out->push_back(MakeToken(TokenKind::kImplies));
+      } else if (Peek() == '=') {
+        Advance();  // '==' is accepted as '='.
+        out->push_back(MakeToken(TokenKind::kEq));
+      } else {
+        out->push_back(MakeToken(TokenKind::kEq));
+      }
+      return Status::OK();
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        out->push_back(MakeToken(TokenKind::kNeq));
+        return Status::OK();
+      }
+      return ErrorHere("unexpected '!'");
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        out->push_back(MakeToken(TokenKind::kLe));
+      } else if (Peek() == '>') {
+        Advance();
+        out->push_back(MakeToken(TokenKind::kNeq));
+      } else {
+        out->push_back(MakeToken(TokenKind::kLt));
+      }
+      return Status::OK();
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        out->push_back(MakeToken(TokenKind::kGe));
+      } else {
+        out->push_back(MakeToken(TokenKind::kGt));
+      }
+      return Status::OK();
+    default:
+      return ErrorHere(std::string("unexpected character '") + c + "'");
+  }
+}
+
+Status Lexer::LexNumber(std::vector<Token>* out) {
+  std::string digits;
+  if (Peek() == '-') digits += Advance();
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+    digits += Advance();
+  }
+  bool is_double = false;
+  // A '.' continues the number only when followed by a digit; otherwise it
+  // is the clause terminator.
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_double = true;
+    digits += Advance();
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+  }
+  if (Peek() == 'e' || Peek() == 'E') {
+    size_t look = 1;
+    if (Peek(1) == '+' || Peek(1) == '-') look = 2;
+    if (std::isdigit(static_cast<unsigned char>(Peek(look)))) {
+      is_double = true;
+      digits += Advance();  // e
+      if (Peek() == '+' || Peek() == '-') digits += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Advance();
+      }
+    }
+  }
+  Token t = MakeToken(is_double ? TokenKind::kDouble : TokenKind::kInt);
+  t.text = digits;
+  if (is_double) {
+    t.double_value = std::stod(digits);
+  } else {
+    t.int_value = std::stoll(digits);
+  }
+  out->push_back(std::move(t));
+  return Status::OK();
+}
+
+Status Lexer::LexString(std::vector<Token>* out) {
+  char quote = Advance();
+  std::string body;
+  while (true) {
+    if (AtEnd()) return ErrorHere("unterminated string literal");
+    char c = Advance();
+    if (c == quote) break;
+    if (c == '\\' && !AtEnd()) {
+      char esc = Advance();
+      switch (esc) {
+        case 'n': body += '\n'; break;
+        case 't': body += '\t'; break;
+        default: body += esc; break;
+      }
+    } else {
+      body += c;
+    }
+  }
+  Token t = MakeToken(TokenKind::kString);
+  t.text = std::move(body);
+  out->push_back(std::move(t));
+  return Status::OK();
+}
+
+Status Lexer::LexWord(std::vector<Token>* out) {
+  std::string word;
+  word += Advance();  // ident start (may be '$')
+  while (!AtEnd() && IsIdentChar(Peek())) word += Advance();
+
+  if (word == "$b") {
+    out->push_back(MakeToken(TokenKind::kDollarB));
+    return Status::OK();
+  }
+  if (word == "$") return ErrorHere("'$' must begin a variable name");
+
+  Token t = MakeToken(IsVariableStart(word) ? TokenKind::kVariable
+                                            : TokenKind::kIdent);
+  t.text = std::move(word);
+
+  // Attribute path: Var.attr, Var.2, $ans.1.name — consumed only when the
+  // dot is immediately adjacent and followed by an identifier or number.
+  if (t.kind == TokenKind::kVariable) {
+    while (Peek() == '.' &&
+           (IsIdentStart(Peek(1)) ||
+            std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      // A digit-led step could be the start of a new numeric token after a
+      // clause terminator only if preceded by whitespace; adjacency rules
+      // this out here.
+      Advance();  // '.'
+      std::string step;
+      while (!AtEnd() && IsIdentChar(Peek())) step += Advance();
+      if (step.empty()) return ErrorHere("empty attribute path step");
+      t.path.push_back(std::move(step));
+    }
+  }
+  out->push_back(std::move(t));
+  return Status::OK();
+}
+
+}  // namespace hermes::lang

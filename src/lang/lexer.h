@@ -1,0 +1,53 @@
+#ifndef HERMES_LANG_LEXER_H_
+#define HERMES_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace hermes::lang {
+
+/// Tokenizes mediator-language text.
+///
+/// Conventions:
+///  - `%` and `//` start line comments.
+///  - Identifiers beginning with a lowercase letter are constant symbols;
+///    identifiers beginning with an uppercase letter, `_`, or `$` are
+///    variables. `$b` is the special bound-pattern token.
+///  - A variable immediately followed by `.attr` or `.3` (no whitespace)
+///    lexes as a single variable token carrying the attribute path, which
+///    keeps the clause-terminating dot unambiguous.
+class Lexer {
+ public:
+  explicit Lexer(std::string text);
+
+  /// Lexes the entire input. On success the final token is kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance();
+  void SkipWhitespaceAndComments();
+  Status LexOne(std::vector<Token>* out);
+  Status LexNumber(std::vector<Token>* out);
+  Status LexString(std::vector<Token>* out);
+  Status LexWord(std::vector<Token>* out);
+  Token MakeToken(TokenKind kind) const;
+  Status ErrorHere(const std::string& message) const;
+
+  std::string text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace hermes::lang
+
+#endif  // HERMES_LANG_LEXER_H_

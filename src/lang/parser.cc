@@ -1,0 +1,365 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace hermes::lang {
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // final kEnd token
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenKind kind, const char* context) {
+  if (Match(kind)) return Status::OK();
+  return ErrorAt(Peek(), std::string("expected ") + TokenKindName(kind) +
+                             " " + context + ", found " + Peek().Describe());
+}
+
+Status Parser::ErrorAt(const Token& token, const std::string& message) const {
+  return Status::ParseError(message + " (line " + std::to_string(token.line) +
+                            ", column " + std::to_string(token.column) + ")");
+}
+
+bool Parser::IsRelOpToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEq:
+    case TokenKind::kNeq:
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kGt:
+    case TokenKind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RelOp Parser::RelOpFromToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEq: return RelOp::kEq;
+    case TokenKind::kNeq: return RelOp::kNeq;
+    case TokenKind::kLt: return RelOp::kLt;
+    case TokenKind::kLe: return RelOp::kLe;
+    case TokenKind::kGt: return RelOp::kGt;
+    default: return RelOp::kGe;
+  }
+}
+
+Result<Term> Parser::ParseTerm() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInt: {
+      Advance();
+      return Term::Const(Value::Int(t.int_value));
+    }
+    case TokenKind::kDouble: {
+      Advance();
+      return Term::Const(Value::Double(t.double_value));
+    }
+    case TokenKind::kString: {
+      Advance();
+      return Term::Const(Value::Str(t.text));
+    }
+    case TokenKind::kIdent: {
+      Advance();
+      if (t.text == "true") return Term::Const(Value::Bool(true));
+      if (t.text == "false") return Term::Const(Value::Bool(false));
+      if (t.text == "null") return Term::Const(Value::Null());
+      return Term::Const(Value::Str(t.text));
+    }
+    case TokenKind::kVariable: {
+      Advance();
+      return Term::Var(t.text, t.path);
+    }
+    case TokenKind::kDollarB: {
+      Advance();
+      return Term::Bound();
+    }
+    case TokenKind::kLBracket: {
+      Advance();
+      ValueList items;
+      if (!Check(TokenKind::kRBracket)) {
+        while (true) {
+          HERMES_ASSIGN_OR_RETURN(Term item, ParseTerm());
+          if (!item.is_constant()) {
+            return ErrorAt(t, "list literals may contain only constants");
+          }
+          items.push_back(item.constant);
+          if (!Match(TokenKind::kComma)) break;
+        }
+      }
+      HERMES_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "to close list"));
+      return Term::Const(Value::List(std::move(items)));
+    }
+    default:
+      return ErrorAt(t, "expected a term, found " + t.Describe());
+  }
+}
+
+Result<DomainCallSpec> Parser::ParseDomainCall() {
+  const Token& dom = Peek();
+  if (dom.kind != TokenKind::kIdent) {
+    return ErrorAt(dom, "expected domain name, found " + dom.Describe());
+  }
+  Advance();
+  HERMES_RETURN_IF_ERROR(Expect(TokenKind::kColon, "after domain name"));
+  const Token& fn = Peek();
+  if (fn.kind != TokenKind::kIdent) {
+    return ErrorAt(fn, "expected function name, found " + fn.Describe());
+  }
+  Advance();
+  HERMES_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after function name"));
+  DomainCallSpec spec;
+  spec.domain = dom.text;
+  spec.function = fn.text;
+  if (!Check(TokenKind::kRParen)) {
+    while (true) {
+      HERMES_ASSIGN_OR_RETURN(Term arg, ParseTerm());
+      spec.args.push_back(std::move(arg));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  HERMES_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close domain call"));
+  return spec;
+}
+
+Result<Atom> Parser::ParseAtom() {
+  const Token& t = Peek();
+
+  // Prefix comparison: =(X, Y), <=(X, 5), ...
+  if (IsRelOpToken(t.kind) && Peek(1).kind == TokenKind::kLParen) {
+    RelOp op = RelOpFromToken(t.kind);
+    Advance();
+    Advance();  // '('
+    HERMES_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    HERMES_RETURN_IF_ERROR(Expect(TokenKind::kComma, "in comparison"));
+    HERMES_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    HERMES_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close comparison"));
+    return Atom::Comparison(op, std::move(lhs), std::move(rhs));
+  }
+
+  // in(Output, domain:function(args))
+  if (t.kind == TokenKind::kIdent && t.text == "in" &&
+      Peek(1).kind == TokenKind::kLParen) {
+    Advance();
+    Advance();  // '('
+    HERMES_ASSIGN_OR_RETURN(Term output, ParseTerm());
+    HERMES_RETURN_IF_ERROR(Expect(TokenKind::kComma, "after in() output term"));
+    HERMES_ASSIGN_OR_RETURN(DomainCallSpec call, ParseDomainCall());
+    HERMES_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close in()"));
+    return Atom::DomainCall(std::move(output), std::move(call));
+  }
+
+  // Predicate atom: ident(...) or bare ident.
+  if (t.kind == TokenKind::kIdent) {
+    Advance();
+    std::vector<Term> args;
+    if (Match(TokenKind::kLParen)) {
+      if (!Check(TokenKind::kRParen)) {
+        while (true) {
+          HERMES_ASSIGN_OR_RETURN(Term arg, ParseTerm());
+          args.push_back(std::move(arg));
+          if (!Match(TokenKind::kComma)) break;
+        }
+      }
+      HERMES_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close predicate"));
+    }
+    return Atom::Predicate(t.text, std::move(args));
+  }
+
+  // Infix comparison: Term relop Term.
+  HERMES_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+  const Token& op_tok = Peek();
+  if (!IsRelOpToken(op_tok.kind)) {
+    return ErrorAt(op_tok,
+                   "expected comparison operator, found " + op_tok.Describe());
+  }
+  RelOp op = RelOpFromToken(op_tok.kind);
+  Advance();
+  HERMES_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+  return Atom::Comparison(op, std::move(lhs), std::move(rhs));
+}
+
+Result<Atom> Parser::ParseHeadAtom() {
+  const Token& t = Peek();
+  if (t.kind != TokenKind::kIdent) {
+    return ErrorAt(t, "expected predicate name, found " + t.Describe());
+  }
+  HERMES_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+  if (!atom.is_predicate()) {
+    return ErrorAt(t, "rule head must be a predicate atom");
+  }
+  return atom;
+}
+
+Result<std::vector<Atom>> Parser::ParseBody() {
+  std::vector<Atom> body;
+  while (true) {
+    HERMES_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    body.push_back(std::move(atom));
+    if (!Match(TokenKind::kAmp) && !Match(TokenKind::kComma)) break;
+  }
+  return body;
+}
+
+Result<Rule> Parser::ParseRuleInternal() {
+  Rule rule;
+  HERMES_ASSIGN_OR_RETURN(rule.head, ParseHeadAtom());
+  if (Match(TokenKind::kIf)) {
+    HERMES_ASSIGN_OR_RETURN(rule.body, ParseBody());
+  }
+  HERMES_RETURN_IF_ERROR(Expect(TokenKind::kDot, "to end rule"));
+  return rule;
+}
+
+Result<Invariant> Parser::ParseInvariantInternal() {
+  Invariant inv;
+  if (!Match(TokenKind::kImplies)) {
+    // Parse conditions up to '=>'.
+    while (true) {
+      HERMES_ASSIGN_OR_RETURN(Atom cond, ParseAtom());
+      if (!cond.is_comparison()) {
+        return Status::ParseError(
+            "invariant conditions must be comparison atoms, got '" +
+            cond.ToString() + "'");
+      }
+      inv.conditions.push_back(std::move(cond));
+      if (Match(TokenKind::kAmp) || Match(TokenKind::kComma)) continue;
+      break;
+    }
+    HERMES_RETURN_IF_ERROR(Expect(TokenKind::kImplies, "after conditions"));
+  }
+  HERMES_ASSIGN_OR_RETURN(inv.lhs, ParseDomainCall());
+  const Token& rel = Peek();
+  switch (rel.kind) {
+    case TokenKind::kEq:
+      inv.relation = InvariantRelation::kEqual;
+      break;
+    case TokenKind::kGe:
+      inv.relation = InvariantRelation::kSuperset;
+      break;
+    case TokenKind::kLe:
+      inv.relation = InvariantRelation::kSubset;
+      break;
+    default:
+      return ErrorAt(rel, "expected invariant relation '=', '>=' or '<='");
+  }
+  Advance();
+  HERMES_ASSIGN_OR_RETURN(inv.rhs, ParseDomainCall());
+  HERMES_RETURN_IF_ERROR(Expect(TokenKind::kDot, "to end invariant"));
+
+  // Well-formedness: no free variables — every condition variable must
+  // appear in one of the two domain calls (Section 4).
+  auto call_has_var = [](const DomainCallSpec& call, const std::string& name) {
+    for (const Term& arg : call.args) {
+      if (arg.is_variable() && arg.var_name == name) return true;
+    }
+    return false;
+  };
+  for (const Atom& cond : inv.conditions) {
+    for (const std::string& var : cond.Variables()) {
+      if (!call_has_var(inv.lhs, var) && !call_has_var(inv.rhs, var)) {
+        return Status::ParseError("invariant condition variable '" + var +
+                                  "' does not appear in either domain call");
+      }
+    }
+  }
+  return inv;
+}
+
+Result<Program> Parser::ParseProgram(const std::string& text) {
+  Lexer lexer(text);
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  Program program;
+  while (!parser.AtEnd()) {
+    HERMES_ASSIGN_OR_RETURN(Rule rule, parser.ParseRuleInternal());
+    program.rules.push_back(std::move(rule));
+  }
+  return program;
+}
+
+Result<Rule> Parser::ParseRule(const std::string& text) {
+  Lexer lexer(text);
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  HERMES_ASSIGN_OR_RETURN(Rule rule, parser.ParseRuleInternal());
+  if (!parser.AtEnd()) {
+    return parser.ErrorAt(parser.Peek(), "trailing input after rule");
+  }
+  return rule;
+}
+
+Result<Query> Parser::ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  parser.Match(TokenKind::kQuery);  // optional '?-'
+  Query query;
+  HERMES_ASSIGN_OR_RETURN(query.goals, parser.ParseBody());
+  HERMES_RETURN_IF_ERROR(parser.Expect(TokenKind::kDot, "to end query"));
+  if (!parser.AtEnd()) {
+    return parser.ErrorAt(parser.Peek(), "trailing input after query");
+  }
+  return query;
+}
+
+Result<Invariant> Parser::ParseInvariant(const std::string& text) {
+  Lexer lexer(text);
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  HERMES_ASSIGN_OR_RETURN(Invariant inv, parser.ParseInvariantInternal());
+  if (!parser.AtEnd()) {
+    return parser.ErrorAt(parser.Peek(), "trailing input after invariant");
+  }
+  return inv;
+}
+
+Result<std::vector<Invariant>> Parser::ParseInvariants(
+    const std::string& text) {
+  Lexer lexer(text);
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  std::vector<Invariant> out;
+  while (!parser.AtEnd()) {
+    HERMES_ASSIGN_OR_RETURN(Invariant inv, parser.ParseInvariantInternal());
+    out.push_back(std::move(inv));
+  }
+  return out;
+}
+
+Result<DomainCallSpec> Parser::ParseCallPattern(const std::string& text) {
+  Lexer lexer(text);
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  HERMES_ASSIGN_OR_RETURN(DomainCallSpec spec, parser.ParseDomainCall());
+  parser.Match(TokenKind::kDot);  // optional terminator
+  if (!parser.AtEnd()) {
+    return parser.ErrorAt(parser.Peek(), "trailing input after call pattern");
+  }
+  for (const Term& arg : spec.args) {
+    if (arg.is_variable()) {
+      return Status::ParseError(
+          "call patterns may not contain variables; use '$b' for bound-"
+          "unknown arguments (got '" + arg.ToString() + "')");
+    }
+  }
+  return spec;
+}
+
+}  // namespace hermes::lang

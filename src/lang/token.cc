@@ -1,0 +1,45 @@
+#include "lang/token.h"
+
+namespace hermes::lang {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end-of-input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "double";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kIf: return "':-'";
+    case TokenKind::kQuery: return "'?-'";
+    case TokenKind::kImplies: return "'=>'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kDollarB: return "'$b'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  std::string out = TokenKindName(kind);
+  if (!text.empty()) {
+    out += " '";
+    out += text;
+    out += "'";
+  }
+  return out;
+}
+
+}  // namespace hermes::lang

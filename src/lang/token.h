@@ -1,0 +1,57 @@
+#ifndef HERMES_LANG_TOKEN_H_
+#define HERMES_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes::lang {
+
+/// Lexical token kinds of the mediator language.
+enum class TokenKind {
+  kEnd,         // end of input
+  kIdent,       // lowercase-initial identifier: constant symbol / names
+  kVariable,    // uppercase/underscore/$-initial identifier, with opt. path
+  kInt,         // integer literal
+  kDouble,      // floating literal
+  kString,      // 'single-quoted' string
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kComma,       // ,
+  kDot,         // . (clause terminator)
+  kColon,       // :
+  kAmp,         // &
+  kIf,          // :-
+  kQuery,       // ?-
+  kImplies,     // =>
+  kEq,          // =
+  kNeq,         // != or <>
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kDollarB,     // $b  (the "bound, value unknown" pattern symbol)
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+/// One lexical token. For kVariable, `text` holds the variable name and
+/// `path` any attribute-path steps lexed from `Var.attr.2` syntax.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;                // identifier/variable/string spelling
+  std::vector<std::string> path;   // attribute path steps (variables only)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace hermes::lang
+
+#endif  // HERMES_LANG_TOKEN_H_

@@ -1,0 +1,42 @@
+#include "net/network.h"
+
+#include <functional>
+
+namespace hermes::net {
+
+NetworkSimulator::Transfer NetworkSimulator::PlanCall(const SiteParams& site,
+                                                      size_t call_hash) {
+  Rng rng(seed_ ^ call_hash ^ std::hash<std::string>()(site.name) ^
+          (++sequence_ * 0x2545F4914F6CDD1DULL));
+  Transfer t;
+  ++stats_.calls;
+
+  if (site.availability < 1.0 && rng.NextDouble() >= site.availability) {
+    t.available = false;
+    t.penalty_ms = site.retry_timeout_ms;
+    return t;
+  }
+
+  auto jittered = [&rng, &site](double base) {
+    return base * (1.0 + site.jitter * (2.0 * rng.NextDouble() - 1.0));
+  };
+  t.request_ms = jittered(site.connect_ms) + jittered(site.rtt_ms / 2.0);
+  t.response_lag_ms = jittered(site.rtt_ms / 2.0);
+  t.per_byte_ms =
+      site.bytes_per_ms > 0 ? jittered(1.0 / site.bytes_per_ms) : 0.0;
+  return t;
+}
+
+double NetworkSimulator::RecordTransfer(const SiteParams& site, size_t bytes,
+                                        double network_ms) {
+  stats_.bytes_transferred += bytes;
+  stats_.total_network_ms += network_ms;
+  double charge = site.charge_per_call +
+                  site.charge_per_kb * (static_cast<double>(bytes) / 1024.0);
+  stats_.total_charge += charge;
+  return charge;
+}
+
+void NetworkSimulator::RecordFailure() { ++stats_.failures; }
+
+}  // namespace hermes::net

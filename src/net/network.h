@@ -1,0 +1,69 @@
+#ifndef HERMES_NET_NETWORK_H_
+#define HERMES_NET_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "net/site.h"
+
+namespace hermes::net {
+
+/// Aggregate traffic statistics kept by the network simulator.
+struct NetworkStats {
+  uint64_t calls = 0;           ///< Remote calls attempted.
+  uint64_t failures = 0;        ///< Calls lost to site unavailability.
+  uint64_t bytes_transferred = 0;
+  double total_charge = 0.0;    ///< Financial charges accrued.
+  double total_network_ms = 0.0;
+};
+
+/// Deterministic wide-area-network simulator.
+///
+/// The simulator never sleeps: it *plans* the latency profile of a remote
+/// call (connection, request flight, per-byte transfer, jitter,
+/// availability) and the caller folds those times into the simulated
+/// CallOutput latencies. All randomness is derived from the constructor
+/// seed plus the call hash, so a given experiment replays identically.
+class NetworkSimulator {
+ public:
+  explicit NetworkSimulator(uint64_t seed = 1996) : seed_(seed) {}
+
+  NetworkSimulator(const NetworkSimulator&) = delete;
+  NetworkSimulator& operator=(const NetworkSimulator&) = delete;
+
+  /// The planned latency profile of shipping one call to `site`.
+  struct Transfer {
+    bool available = true;
+    double request_ms = 0.0;       ///< connect + request flight time.
+    double response_lag_ms = 0.0;  ///< Return flight time (first byte).
+    double per_byte_ms = 0.0;      ///< Transfer cost per response byte.
+    double penalty_ms = 0.0;       ///< Retry timeout when unavailable.
+  };
+
+  /// Plans a call. `call_hash` individualizes jitter per distinct call;
+  /// an internal sequence counter makes *repetitions* of the same call
+  /// jitter independently.
+  Transfer PlanCall(const SiteParams& site, size_t call_hash);
+
+  /// Records a completed transfer of `bytes` answer bytes to `site`,
+  /// accumulating byte counts and financial charges.
+  /// Returns the financial charge for this call.
+  double RecordTransfer(const SiteParams& site, size_t bytes,
+                        double network_ms);
+
+  /// Records a failed (unavailable) call.
+  void RecordFailure();
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  uint64_t seed_;
+  uint64_t sequence_ = 0;
+  NetworkStats stats_;
+};
+
+}  // namespace hermes::net
+
+#endif  // HERMES_NET_NETWORK_H_

@@ -1,0 +1,58 @@
+#include "net/remote_domain.h"
+
+namespace hermes::net {
+
+Result<CallOutput> RemoteDomain::Run(const DomainCall& call) {
+  NetworkSimulator::Transfer transfer = network_->PlanCall(site_, call.Hash());
+  if (!transfer.available) {
+    last_penalty_ms_ = transfer.penalty_ms;
+    network_->RecordFailure();
+    return Status::Unavailable("site '" + site_.name +
+                               "' is temporarily unavailable for " +
+                               call.ToString());
+  }
+  last_penalty_ms_ = 0.0;
+
+  HERMES_ASSIGN_OR_RETURN(CallOutput inner_out, inner_->Run(call));
+
+  size_t total_bytes = AnswerSetByteSize(inner_out.answers);
+  size_t first_bytes =
+      inner_out.answers.empty() ? 0 : inner_out.answers[0].ApproxByteSize();
+
+  CallOutput out;
+  out.first_ms = transfer.request_ms + inner_out.first_ms +
+                 transfer.response_lag_ms +
+                 transfer.per_byte_ms * static_cast<double>(first_bytes);
+  out.all_ms = transfer.request_ms + inner_out.all_ms +
+               transfer.response_lag_ms +
+               transfer.per_byte_ms * static_cast<double>(total_bytes);
+  if (out.first_ms > out.all_ms) out.first_ms = out.all_ms;
+  out.answers = std::move(inner_out.answers);
+
+  double network_ms = out.all_ms;
+  network_->RecordTransfer(site_, total_bytes, network_ms);
+  return out;
+}
+
+Result<CostVector> RemoteDomain::EstimateCost(
+    const lang::DomainCallSpec& pattern) const {
+  HERMES_ASSIGN_OR_RETURN(CostVector inner_cost,
+                          inner_->EstimateCost(pattern));
+  // Add expected (jitter-free) network time on top of the inner model.
+  double request = site_.connect_ms + site_.rtt_ms;
+  double per_byte = site_.bytes_per_ms > 0 ? 1.0 / site_.bytes_per_ms : 0.0;
+  // Without knowing answer sizes, assume ~64 bytes per answer.
+  double transfer = per_byte * 64.0 * inner_cost.cardinality;
+  return CostVector(inner_cost.t_first_ms + request + per_byte * 64.0,
+                    inner_cost.t_all_ms + request + transfer,
+                    inner_cost.cardinality);
+}
+
+std::shared_ptr<RemoteDomain> MakeRemoteDomain(
+    std::shared_ptr<Domain> inner, SiteParams site,
+    std::shared_ptr<NetworkSimulator> network) {
+  return std::make_shared<RemoteDomain>(std::move(inner), std::move(site),
+                                        std::move(network));
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,73 @@
+#ifndef HERMES_NET_REMOTE_DOMAIN_H_
+#define HERMES_NET_REMOTE_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "domain/domain.h"
+#include "net/network.h"
+#include "net/site.h"
+
+namespace hermes::net {
+
+/// Wraps any local Domain behind a simulated wide-area link.
+///
+/// The returned latency profile composes:
+///   first_ms = connect + request flight + inner first_ms
+///            + return flight + first answer transfer
+///   all_ms   = connect + request flight + inner all_ms
+///            + return flight + full answer-set transfer
+///
+/// When the site is (probabilistically) unavailable the call fails with
+/// Status::Unavailable after charging the retry timeout, which the CIM
+/// layer can mask with cached results — the paper's "temporary
+/// unavailability" motivation.
+class RemoteDomain : public Domain {
+ public:
+  RemoteDomain(std::shared_ptr<Domain> inner, SiteParams site,
+               std::shared_ptr<NetworkSimulator> network)
+      : inner_(std::move(inner)),
+        site_(std::move(site)),
+        network_(std::move(network)),
+        name_(inner_->name() + "@" + site_.name) {}
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return inner_->Functions();
+  }
+
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+  /// Cost estimation passes through to the wrapped domain, with network
+  /// time added (the wrapped model knows nothing about the link).
+  bool HasCostModel() const override { return inner_->HasCostModel(); }
+  Result<CostVector> EstimateCost(
+      const lang::DomainCallSpec& pattern) const override;
+
+  const SiteParams& site() const { return site_; }
+  /// Mutable link parameters — used by failure-injection scenarios to take
+  /// a site down (set availability to 0) or degrade it mid-run.
+  SiteParams& mutable_site() { return site_; }
+  Domain* inner() { return inner_.get(); }
+
+  /// Simulated time the last Run() lost to an unavailable site (0 when the
+  /// last call succeeded). Exposed so callers can account the penalty.
+  double last_unavailable_penalty_ms() const { return last_penalty_ms_; }
+
+ private:
+  std::shared_ptr<Domain> inner_;
+  SiteParams site_;
+  std::shared_ptr<NetworkSimulator> network_;
+  std::string name_;
+  double last_penalty_ms_ = 0.0;
+};
+
+/// Convenience factory.
+std::shared_ptr<RemoteDomain> MakeRemoteDomain(
+    std::shared_ptr<Domain> inner, SiteParams site,
+    std::shared_ptr<NetworkSimulator> network);
+
+}  // namespace hermes::net
+
+#endif  // HERMES_NET_REMOTE_DOMAIN_H_

@@ -1,0 +1,47 @@
+#include "net/site.h"
+
+namespace hermes::net {
+
+SiteParams LocalSite() {
+  SiteParams p;
+  p.name = "local";
+  p.connect_ms = 0.05;
+  p.rtt_ms = 0.1;
+  p.bytes_per_ms = 1e6;
+  p.jitter = 0.0;
+  return p;
+}
+
+SiteParams UsaSite(std::string name) {
+  SiteParams p;
+  p.name = std::move(name);
+  p.connect_ms = 900.0;
+  p.rtt_ms = 160.0;
+  p.bytes_per_ms = 2.0;  // ~2 KB/s effective mid-90s WAN throughput
+  p.jitter = 0.10;
+  return p;
+}
+
+SiteParams ItalySite(std::string name) {
+  SiteParams p;
+  p.name = std::move(name);
+  p.connect_ms = 42000.0;  // transatlantic dial-through, 1996-style
+  p.rtt_ms = 1400.0;
+  p.bytes_per_ms = 0.6;
+  p.jitter = 0.15;
+  return p;
+}
+
+SiteParams AustraliaSite(std::string name) {
+  SiteParams p;
+  p.name = std::move(name);
+  p.connect_ms = 8000.0;
+  p.rtt_ms = 900.0;
+  p.bytes_per_ms = 1.0;
+  p.jitter = 0.12;
+  p.charge_per_call = 0.25;
+  p.charge_per_kb = 0.02;
+  return p;
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,45 @@
+#ifndef HERMES_NET_SITE_H_
+#define HERMES_NET_SITE_H_
+
+#include <string>
+
+namespace hermes::net {
+
+/// Link characteristics of one remote site hosting a domain.
+///
+/// Values are calibrated so the preset sites reproduce the latency regimes
+/// of the paper's Section 8 testbed (mid-1990s Internet): nearby US sites
+/// cost ~1–2 s per remote call, the Italian site tens of seconds.
+struct SiteParams {
+  std::string name;
+
+  double connect_ms = 5.0;     ///< Connection setup overhead per call.
+  double rtt_ms = 10.0;        ///< Round-trip time.
+  double bytes_per_ms = 1000;  ///< Transfer bandwidth.
+  double jitter = 0.10;        ///< Relative jitter on all network times.
+
+  double charge_per_call = 0.0;  ///< Financial access fee per call.
+  double charge_per_kb = 0.0;    ///< Financial fee per KB transferred.
+
+  double availability = 1.0;       ///< Per-call probability of reachability.
+  double retry_timeout_ms = 2000;  ///< Time lost discovering unavailability.
+};
+
+/// Same-machine "site": negligible latency.
+SiteParams LocalSite();
+
+/// A site elsewhere in the USA (the paper's Maryland/Cornell/Bucknell
+/// class): ~1 s connection, moderate bandwidth.
+SiteParams UsaSite(std::string name = "usa");
+
+/// The paper's Italian site: very high connection overhead and a thin,
+/// jittery transatlantic link (tens of seconds per call).
+SiteParams ItalySite(std::string name = "italy");
+
+/// An intercontinental site with an access fee, for charge-accounting
+/// scenarios (the paper's Australia site).
+SiteParams AustraliaSite(std::string name = "australia");
+
+}  // namespace hermes::net
+
+#endif  // HERMES_NET_SITE_H_

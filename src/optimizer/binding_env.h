@@ -1,0 +1,68 @@
+#ifndef HERMES_OPTIMIZER_BINDING_ENV_H_
+#define HERMES_OPTIMIZER_BINDING_ENV_H_
+
+#include <map>
+#include <string>
+
+#include "common/value.h"
+
+namespace hermes::optimizer {
+
+/// Static binding knowledge about one variable during plan analysis
+/// (Section 5/6's adornments): free, bound to an unknown value (`$b`), or
+/// bound to a known constant.
+struct BindingInfo {
+  enum class Kind { kFree, kBound, kConst };
+  Kind kind = Kind::kFree;
+  Value constant;  ///< Valid when kind == kConst.
+
+  static BindingInfo Free() { return BindingInfo{}; }
+  static BindingInfo Bound() {
+    BindingInfo b;
+    b.kind = Kind::kBound;
+    return b;
+  }
+  static BindingInfo Const(Value v) {
+    BindingInfo b;
+    b.kind = Kind::kConst;
+    b.constant = std::move(v);
+    return b;
+  }
+
+  bool is_free() const { return kind == Kind::kFree; }
+  bool is_bound() const { return kind != Kind::kFree; }
+  bool is_const() const { return kind == Kind::kConst; }
+};
+
+/// Variable name → binding knowledge. Variables not in the map are free.
+class BindingEnv {
+ public:
+  BindingEnv() = default;
+
+  const BindingInfo& Get(const std::string& var) const {
+    static const BindingInfo kFree{};
+    auto it = vars_.find(var);
+    return it == vars_.end() ? kFree : it->second;
+  }
+
+  void Set(const std::string& var, BindingInfo info) {
+    vars_[var] = std::move(info);
+  }
+
+  /// Marks `var` bound-unknown unless it is already const.
+  void MarkBound(const std::string& var) {
+    BindingInfo& info = vars_[var];
+    if (info.kind == BindingInfo::Kind::kFree) {
+      info.kind = BindingInfo::Kind::kBound;
+    }
+  }
+
+  bool IsBound(const std::string& var) const { return Get(var).is_bound(); }
+
+ private:
+  std::map<std::string, BindingInfo> vars_;
+};
+
+}  // namespace hermes::optimizer
+
+#endif  // HERMES_OPTIMIZER_BINDING_ENV_H_

@@ -1,0 +1,400 @@
+#include "optimizer/rewriter.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hermes::optimizer {
+
+namespace {
+
+/// Does `term` only mention variables in `bound` (constants are fine)?
+bool TermResolvable(const lang::Term& term, const std::set<std::string>& bound) {
+  if (term.is_constant()) return true;
+  if (term.is_bound_pattern()) return false;
+  return bound.count(term.var_name) > 0;
+}
+
+/// Can `atom` execute with `bound` variables available? On success, adds
+/// the variables the atom binds to `*bound_after` (a copy of `bound`).
+bool AtomExecutable(const lang::Atom& atom, const std::set<std::string>& bound,
+                    std::set<std::string>* bound_after) {
+  *bound_after = bound;
+  switch (atom.kind) {
+    case lang::Atom::Kind::kDomainCall: {
+      for (const lang::Term& arg : atom.call.args) {
+        if (!TermResolvable(arg, bound)) return false;
+      }
+      if (atom.output.is_variable()) {
+        if (!atom.output.path.empty() && bound.count(atom.output.var_name) == 0) {
+          return false;  // cannot bind through an attribute path
+        }
+        bound_after->insert(atom.output.var_name);
+      }
+      return true;
+    }
+    case lang::Atom::Kind::kComparison: {
+      bool lhs_ok = TermResolvable(atom.lhs, bound);
+      bool rhs_ok = TermResolvable(atom.rhs, bound);
+      if (lhs_ok && rhs_ok) return true;
+      // '=' with exactly one resolvable side binds the other, provided the
+      // free side is a plain variable.
+      if (atom.op == lang::RelOp::kEq) {
+        if (lhs_ok && atom.rhs.is_variable() && atom.rhs.path.empty()) {
+          bound_after->insert(atom.rhs.var_name);
+          return true;
+        }
+        if (rhs_ok && atom.lhs.is_variable() && atom.lhs.path.empty()) {
+          bound_after->insert(atom.lhs.var_name);
+          return true;
+        }
+      }
+      return false;
+    }
+    case lang::Atom::Kind::kPredicate: {
+      // IDB predicates can generate bindings; feasibility of the chosen
+      // adornment is checked later by the cost estimator / executor.
+      for (const lang::Term& arg : atom.args) {
+        if (arg.is_variable()) bound_after->insert(arg.var_name);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Depth-first enumeration of valid atom orderings.
+void EnumerateOrderings(const std::vector<lang::Atom>& body,
+                        std::vector<bool>* used,
+                        std::vector<lang::Atom>* current,
+                        const std::set<std::string>& bound,
+                        size_t max_orderings,
+                        std::vector<std::vector<lang::Atom>>* out) {
+  if (out->size() >= max_orderings) return;
+  if (current->size() == body.size()) {
+    out->push_back(*current);
+    return;
+  }
+  for (size_t i = 0; i < body.size(); ++i) {
+    if ((*used)[i]) continue;
+    std::set<std::string> bound_after;
+    if (!AtomExecutable(body[i], bound, &bound_after)) continue;
+    (*used)[i] = true;
+    current->push_back(body[i]);
+    EnumerateOrderings(body, used, current, bound_after, max_orderings, out);
+    current->pop_back();
+    (*used)[i] = false;
+    if (out->size() >= max_orderings) return;
+  }
+}
+
+bool SameOrdering(const std::vector<lang::Atom>& a,
+                  const std::vector<lang::Atom>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ToString() != b[i].ToString()) return false;
+  }
+  return true;
+}
+
+/// Maps a comparison operator to the select-family function that
+/// implements it source-side, with the comparison's constant on the right:
+/// `V.attr op c`.
+const char* SelectFunctionFor(lang::RelOp op) {
+  switch (op) {
+    case lang::RelOp::kEq: return "equal";
+    case lang::RelOp::kNeq: return "select_neq";
+    case lang::RelOp::kLt: return "select_lt";
+    case lang::RelOp::kLe: return "select_le";
+    case lang::RelOp::kGt: return "select_gt";
+    case lang::RelOp::kGe: return "select_ge";
+  }
+  return "equal";
+}
+
+bool DefaultDomainHasFunction(const std::string& domain,
+                              const std::string& function, size_t arity) {
+  (void)domain;
+  (void)arity;
+  // By default assume the relational select family exists; other domains
+  // should be described via Options::domain_has_function.
+  return function == "equal" || function == "select_eq" ||
+         function == "select_neq" || function == "select_lt" ||
+         function == "select_le" || function == "select_gt" ||
+         function == "select_ge";
+}
+
+/// Predicates reachable from the query (name/arity pairs).
+std::set<std::pair<std::string, size_t>> ReachablePredicates(
+    const lang::Program& program, const lang::Query& query) {
+  std::set<std::pair<std::string, size_t>> reachable;
+  std::vector<std::pair<std::string, size_t>> frontier;
+  auto visit = [&](const lang::Atom& atom) {
+    if (!atom.is_predicate()) return;
+    auto key = std::make_pair(atom.predicate, atom.args.size());
+    if (reachable.insert(key).second) frontier.push_back(key);
+  };
+  for (const lang::Atom& goal : query.goals) visit(goal);
+  while (!frontier.empty()) {
+    auto key = frontier.back();
+    frontier.pop_back();
+    for (const lang::Rule& rule : program.rules) {
+      if (rule.head.predicate != key.first ||
+          rule.head.args.size() != key.second) {
+        continue;
+      }
+      for (const lang::Atom& atom : rule.body) visit(atom);
+    }
+  }
+  return reachable;
+}
+
+}  // namespace
+
+size_t RuleRewriter::RedirectToCim(std::vector<lang::Atom>* atoms,
+                                   const std::vector<std::string>& cim_domains) {
+  size_t redirected = 0;
+  for (lang::Atom& atom : *atoms) {
+    if (!atom.is_domain_call()) continue;
+    for (const std::string& d : cim_domains) {
+      if (atom.call.domain == d) {
+        atom.call.domain = "cim_" + d;
+        ++redirected;
+        break;
+      }
+    }
+  }
+  return redirected;
+}
+
+size_t RuleRewriter::PushSelections(
+    std::vector<lang::Atom>* body,
+    const std::function<bool(const std::string&, const std::string&, size_t)>&
+        domain_has_function) {
+  auto has_function =
+      domain_has_function ? domain_has_function : DefaultDomainHasFunction;
+  size_t pushed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ci = 0; ci < body->size() && !changed; ++ci) {
+      const lang::Atom& cmp = (*body)[ci];
+      if (!cmp.is_comparison()) continue;
+
+      // Normalize to: Var.attr op Constant.
+      lang::Term var_side, const_side;
+      lang::RelOp op = cmp.op;
+      if (cmp.lhs.is_variable() && cmp.lhs.path.size() == 1 &&
+          cmp.rhs.is_constant()) {
+        var_side = cmp.lhs;
+        const_side = cmp.rhs;
+      } else if (cmp.rhs.is_variable() && cmp.rhs.path.size() == 1 &&
+                 cmp.lhs.is_constant()) {
+        var_side = cmp.rhs;
+        const_side = cmp.lhs;
+        op = lang::FlipRelOp(op);
+      } else {
+        continue;
+      }
+
+      // Find the full-scan call producing this variable.
+      for (size_t di = 0; di < body->size() && !changed; ++di) {
+        lang::Atom& call_atom = (*body)[di];
+        if (!call_atom.is_domain_call() || !call_atom.output.is_variable() ||
+            call_atom.output.var_name != var_side.var_name ||
+            !call_atom.output.path.empty()) {
+          continue;
+        }
+        if (call_atom.call.function != "all" ||
+            call_atom.call.args.size() != 1) {
+          continue;
+        }
+        const std::string target = SelectFunctionFor(op);
+        if (!has_function(call_atom.call.domain, target, 3)) continue;
+
+        // Other comparisons may still reference the variable's remaining
+        // attributes — that is fine because select answers keep the full
+        // row structure.
+        call_atom.call.function = target;
+        call_atom.call.args.push_back(
+            lang::Term::Const(Value::Str(var_side.path[0])));
+        call_atom.call.args.push_back(const_side);
+        body->erase(body->begin() + ci);
+        ++pushed;
+        changed = true;
+      }
+    }
+  }
+  return pushed;
+}
+
+std::vector<std::vector<lang::Atom>> RuleRewriter::ValidOrderings(
+    const std::vector<lang::Atom>& body,
+    const std::vector<std::string>& initially_bound, size_t max_orderings) {
+  std::set<std::string> bound(initially_bound.begin(), initially_bound.end());
+  std::vector<std::vector<lang::Atom>> out;
+
+  // The original order goes first when it is valid.
+  {
+    std::set<std::string> running = bound;
+    bool valid = true;
+    for (const lang::Atom& atom : body) {
+      std::set<std::string> after;
+      if (!AtomExecutable(atom, running, &after)) {
+        valid = false;
+        break;
+      }
+      running = std::move(after);
+    }
+    if (valid) out.push_back(body);
+  }
+
+  std::vector<bool> used(body.size(), false);
+  std::vector<lang::Atom> current;
+  std::vector<std::vector<lang::Atom>> enumerated;
+  EnumerateOrderings(body, &used, &current, bound, max_orderings + 1,
+                     &enumerated);
+  for (std::vector<lang::Atom>& ordering : enumerated) {
+    if (out.size() >= max_orderings) break;
+    bool duplicate = false;
+    for (const std::vector<lang::Atom>& existing : out) {
+      if (SameOrdering(existing, ordering)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(std::move(ordering));
+  }
+  return out;
+}
+
+Result<std::vector<CandidatePlan>> RuleRewriter::Rewrite(
+    const lang::Program& program, const lang::Query& query,
+    const Options& options) {
+  std::set<std::pair<std::string, size_t>> reachable =
+      ReachablePredicates(program, query);
+
+  // Variants along two axes: selection push-down and CIM redirection.
+  struct Variant {
+    lang::Program program;
+    lang::Query query;
+    std::string description;
+  };
+  std::vector<Variant> variants;
+
+  auto make_variant = [&](bool pushdown, bool cim) -> Variant {
+    Variant v;
+    v.program = program;
+    v.query = query;
+    size_t pushed = 0;
+    size_t redirected = 0;
+    if (pushdown) {
+      pushed += PushSelections(&v.query.goals, options.domain_has_function);
+      for (lang::Rule& rule : v.program.rules) {
+        pushed += PushSelections(&rule.body, options.domain_has_function);
+      }
+    }
+    if (cim) {
+      redirected += RedirectToCim(&v.query.goals, options.cim_domains);
+      for (lang::Rule& rule : v.program.rules) {
+        redirected += RedirectToCim(&rule.body, options.cim_domains);
+      }
+    }
+    v.description = pushdown && pushed > 0 ? "pushdown" : "direct";
+    if (cim && redirected > 0) v.description += "+cim";
+    return v;
+  };
+
+  std::vector<std::pair<bool, bool>> axes;
+  bool with_cim = !options.cim_domains.empty();
+  if (!options.cim_only) axes.push_back({false, false});
+  if (options.push_selections && !options.cim_only) axes.push_back({true, false});
+  if (with_cim) {
+    axes.push_back({false, true});
+    if (options.push_selections) axes.push_back({true, true});
+  }
+
+  for (auto [pushdown, cim] : axes) {
+    Variant v = make_variant(pushdown, cim);
+    bool duplicate = false;
+    for (const Variant& existing : variants) {
+      if (existing.query.ToString() == v.query.ToString() &&
+          existing.program.ToString() == v.program.ToString()) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) variants.push_back(std::move(v));
+  }
+
+  // Expand each variant into ordered plans: orderings of the query goals ×
+  // orderings of every reachable rule body.
+  std::vector<CandidatePlan> plans;
+  for (const Variant& variant : variants) {
+    std::vector<std::vector<lang::Atom>> query_orderings =
+        options.reorder_subgoals
+            ? ValidOrderings(variant.query.goals, {},
+                             options.max_orderings_per_body)
+            : std::vector<std::vector<lang::Atom>>{variant.query.goals};
+    if (query_orderings.empty()) continue;  // no executable order
+
+    // Per-rule orderings (only reachable rules are reordered).
+    std::vector<size_t> rule_indexes;
+    std::vector<std::vector<std::vector<lang::Atom>>> rule_orderings;
+    for (size_t r = 0; r < variant.program.rules.size(); ++r) {
+      const lang::Rule& rule = variant.program.rules[r];
+      auto key = std::make_pair(rule.head.predicate, rule.head.args.size());
+      if (!options.reorder_subgoals || reachable.count(key) == 0 ||
+          rule.body.size() <= 1) {
+        continue;
+      }
+      std::vector<std::string> head_vars = rule.head.Variables();
+      std::vector<std::vector<lang::Atom>> orderings = ValidOrderings(
+          rule.body, head_vars, options.max_orderings_per_body);
+      if (orderings.size() > 1) {
+        rule_indexes.push_back(r);
+        rule_orderings.push_back(std::move(orderings));
+      }
+    }
+
+    // Cartesian product with a global cap.
+    std::vector<size_t> cursor(rule_indexes.size(), 0);
+    bool exhausted = false;
+    while (!exhausted && plans.size() < options.max_plans) {
+      for (const std::vector<lang::Atom>& qorder : query_orderings) {
+        if (plans.size() >= options.max_plans) break;
+        CandidatePlan plan;
+        plan.program = variant.program;
+        plan.query.goals = qorder;
+        for (size_t k = 0; k < rule_indexes.size(); ++k) {
+          plan.program.rules[rule_indexes[k]].body =
+              rule_orderings[k][cursor[k]];
+        }
+        plan.description = variant.description;
+        plans.push_back(std::move(plan));
+      }
+      // Advance the cartesian cursor.
+      exhausted = true;
+      for (size_t k = 0; k < cursor.size(); ++k) {
+        if (++cursor[k] < rule_orderings[k].size()) {
+          exhausted = false;
+          break;
+        }
+        cursor[k] = 0;
+      }
+      if (cursor.empty()) exhausted = true;
+    }
+  }
+
+  if (plans.empty()) {
+    return Status::InvalidArgument(
+        "no executable ordering exists for the query (a domain call's "
+        "arguments can never all be bound)");
+  }
+  // Number the plans for readability.
+  for (size_t i = 0; i < plans.size(); ++i) {
+    plans[i].description += " #" + std::to_string(i);
+  }
+  return plans;
+}
+
+}  // namespace hermes::optimizer

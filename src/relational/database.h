@@ -1,0 +1,58 @@
+#ifndef HERMES_RELATIONAL_DATABASE_H_
+#define HERMES_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace hermes::relational {
+
+/// Catalog of named tables — the mini DBMS instance a RelationalDomain
+/// serves.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table. Fails if the name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table by name.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.find(name) != tables_.end();
+  }
+
+  /// Drops a table; NotFound when absent.
+  Status DropTable(const std::string& name);
+
+  /// Table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Creates a table from CSV-style text. The first line is a header of
+  /// `name:type` pairs (type ∈ int,double,string,bool; default string).
+  /// Example:
+  ///   name:string,role:string,salary:int
+  ///   'jimmy stewart',rupert,120
+  Result<Table*> LoadCsv(const std::string& table_name,
+                         const std::string& csv_text);
+
+  /// LoadCsv from a file on disk.
+  Result<Table*> LoadCsvFile(const std::string& table_name,
+                             const std::string& path);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace hermes::relational
+
+#endif  // HERMES_RELATIONAL_DATABASE_H_

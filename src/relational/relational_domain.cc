@@ -1,0 +1,190 @@
+#include "relational/relational_domain.h"
+
+namespace hermes::relational {
+
+namespace {
+
+Status WrongArity(const DomainCall& call, size_t expected) {
+  return Status::InvalidArgument(
+      call.ToString() + ": expected " + std::to_string(expected) +
+      " arguments, got " + std::to_string(call.args.size()));
+}
+
+Result<std::string> StringArg(const DomainCall& call, size_t i) {
+  if (!call.args[i].is_string()) {
+    return Status::TypeError(call.ToString() + ": argument " +
+                             std::to_string(i + 1) + " must be a string");
+  }
+  return call.args[i].as_string();
+}
+
+}  // namespace
+
+std::vector<FunctionInfo> RelationalDomain::Functions() const {
+  return {
+      {"all", 1, "all(table): every row of the table, as structs"},
+      {"equal", 3, "equal(table, attr, value): rows with attr = value"},
+      {"select_eq", 3, "select_eq(table, attr, value): rows with attr = value"},
+      {"select_neq", 3, "select_neq(table, attr, value): rows with attr != value"},
+      {"select_lt", 3, "select_lt(table, attr, value): rows with attr < value"},
+      {"select_le", 3, "select_le(table, attr, value): rows with attr <= value"},
+      {"select_gt", 3, "select_gt(table, attr, value): rows with attr > value"},
+      {"select_ge", 3, "select_ge(table, attr, value): rows with attr >= value"},
+      {"project", 2, "project(table, attr): attr value of every row"},
+      {"distinct", 2, "distinct(table, attr): distinct attr values"},
+      {"count", 1, "count(table): singleton row count"},
+  };
+}
+
+CallOutput RelationalDomain::Finish(AnswerSet answers,
+                                    size_t rows_examined) const {
+  CallOutput out;
+  size_t n = answers.size();
+  double scan_ms = params_.per_row_ms * static_cast<double>(rows_examined);
+  out.all_ms = params_.base_ms + scan_ms +
+               params_.per_result_ms * static_cast<double>(n);
+  // The first matching row is reached, on average, a fraction 1/(n+1) of
+  // the way through the scan.
+  out.first_ms = n == 0 ? out.all_ms
+                        : params_.base_ms +
+                              scan_ms / static_cast<double>(n + 1) +
+                              params_.per_result_ms;
+  out.answers = std::move(answers);
+  return out;
+}
+
+Result<CallOutput> RelationalDomain::RunSelect(const DomainCall& call,
+                                               lang::RelOp op) const {
+  if (call.args.size() != 3) return WrongArity(call, 3);
+  HERMES_ASSIGN_OR_RETURN(std::string table_name, StringArg(call, 0));
+  HERMES_ASSIGN_OR_RETURN(std::string attr, StringArg(call, 1));
+  HERMES_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(table_name));
+  HERMES_ASSIGN_OR_RETURN(Table::ScanResult scan,
+                          table->FindCompare(attr, op, call.args[2]));
+  AnswerSet answers;
+  answers.reserve(scan.row_ids.size());
+  for (RowId id : scan.row_ids) answers.push_back(table->RowAsStruct(id));
+  return Finish(std::move(answers), scan.rows_examined);
+}
+
+Result<CallOutput> RelationalDomain::Run(const DomainCall& call) {
+  const std::string& fn = call.function;
+
+  if (fn == "all") {
+    if (call.args.size() != 1) return WrongArity(call, 1);
+    HERMES_ASSIGN_OR_RETURN(std::string table_name, StringArg(call, 0));
+    HERMES_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(table_name));
+    Table::ScanResult scan = table->FindAll();
+    AnswerSet answers;
+    answers.reserve(scan.row_ids.size());
+    for (RowId id : scan.row_ids) answers.push_back(table->RowAsStruct(id));
+    return Finish(std::move(answers), scan.rows_examined);
+  }
+  if (fn == "equal" || fn == "select_eq") {
+    return RunSelect(call, lang::RelOp::kEq);
+  }
+  if (fn == "select_neq") return RunSelect(call, lang::RelOp::kNeq);
+  if (fn == "select_lt") return RunSelect(call, lang::RelOp::kLt);
+  if (fn == "select_le") return RunSelect(call, lang::RelOp::kLe);
+  if (fn == "select_gt") return RunSelect(call, lang::RelOp::kGt);
+  if (fn == "select_ge") return RunSelect(call, lang::RelOp::kGe);
+
+  if (fn == "project" || fn == "distinct") {
+    if (call.args.size() != 2) return WrongArity(call, 2);
+    HERMES_ASSIGN_OR_RETURN(std::string table_name, StringArg(call, 0));
+    HERMES_ASSIGN_OR_RETURN(std::string attr, StringArg(call, 1));
+    HERMES_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(table_name));
+    HERMES_ASSIGN_OR_RETURN(size_t col, table->schema().ColumnIndex(attr));
+    AnswerSet answers;
+    if (fn == "project") {
+      answers.reserve(table->num_rows());
+      for (const ValueList& row : table->rows()) answers.push_back(row[col]);
+    } else {
+      for (const ValueList& row : table->rows()) {
+        bool duplicate = false;
+        for (const Value& v : answers) {
+          if (v == row[col]) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) answers.push_back(row[col]);
+      }
+    }
+    return Finish(std::move(answers), table->num_rows());
+  }
+
+  if (fn == "count") {
+    if (call.args.size() != 1) return WrongArity(call, 1);
+    HERMES_ASSIGN_OR_RETURN(std::string table_name, StringArg(call, 0));
+    HERMES_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(table_name));
+    return Finish(
+        AnswerSet{Value::Int(static_cast<int64_t>(table->num_rows()))}, 1);
+  }
+
+  return Status::NotFound("domain '" + name_ + "' has no function '" + fn +
+                          "/" + std::to_string(call.args.size()) + "'");
+}
+
+Result<CostVector> RelationalDomain::EstimateCost(
+    const lang::DomainCallSpec& pattern) const {
+  if (!provide_cost_model_) {
+    return Status::Unimplemented("domain '" + name_ +
+                                 "' has no native cost model");
+  }
+  const std::string& fn = pattern.function;
+  // The table name must be a known constant for catalog-based estimation.
+  if (pattern.args.empty() || !pattern.args[0].is_constant() ||
+      !pattern.args[0].constant.is_string()) {
+    return Status::InvalidArgument(
+        "native cost model needs a constant table name: " +
+        pattern.ToString());
+  }
+  HERMES_ASSIGN_OR_RETURN(const Table* table,
+                          db_->GetTable(pattern.args[0].constant.as_string()));
+  double rows = static_cast<double>(table->num_rows());
+
+  auto make_cost = [this, rows](double expected_results) {
+    double t_all = params_.base_ms + params_.per_row_ms * rows +
+                   params_.per_result_ms * expected_results;
+    // First answer: proportional position of the first hit in the scan.
+    double frac = expected_results > 0 ? 1.0 / (expected_results + 1.0) : 1.0;
+    double t_first = params_.base_ms + params_.per_row_ms * rows * frac +
+                     params_.per_result_ms;
+    return CostVector(t_first, t_all, expected_results);
+  };
+
+  if (fn == "all" || fn == "project") return make_cost(rows);
+  if (fn == "count") return make_cost(1.0);
+  if (fn == "distinct") {
+    if (pattern.args.size() < 2 || !pattern.args[1].is_constant()) {
+      return make_cost(rows);
+    }
+    HERMES_ASSIGN_OR_RETURN(
+        size_t distinct,
+        table->DistinctCount(pattern.args[1].constant.as_string()));
+    return make_cost(static_cast<double>(distinct));
+  }
+  if (fn == "equal" || fn == "select_eq" || fn == "select_neq" ||
+      fn == "select_lt" || fn == "select_le" || fn == "select_gt" ||
+      fn == "select_ge") {
+    if (pattern.args.size() < 2 || !pattern.args[1].is_constant() ||
+        !pattern.args[1].constant.is_string()) {
+      return make_cost(rows / 2.0);
+    }
+    const std::string attr = pattern.args[1].constant.as_string();
+    HERMES_ASSIGN_OR_RETURN(size_t distinct, table->DistinctCount(attr));
+    double selectivity =
+        (fn == "equal" || fn == "select_eq")
+            ? (distinct > 0 ? 1.0 / static_cast<double>(distinct) : 0.0)
+            : (fn == "select_neq"
+                   ? (distinct > 0
+                          ? 1.0 - 1.0 / static_cast<double>(distinct)
+                          : 1.0)
+                   : 1.0 / 3.0);  // System-R style range default.
+    return make_cost(rows * selectivity);
+  }
+  return Status::NotFound("no cost model for function '" + fn + "'");
+}
+
+}  // namespace hermes::relational

@@ -1,0 +1,73 @@
+#ifndef HERMES_RELATIONAL_RELATIONAL_DOMAIN_H_
+#define HERMES_RELATIONAL_RELATIONAL_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "domain/domain.h"
+#include "relational/database.h"
+
+namespace hermes::relational {
+
+/// Simulated compute-cost parameters of the relational engine.
+struct RelationalCostParams {
+  double base_ms = 0.4;         ///< Fixed per-call overhead (parse/plan).
+  double per_row_ms = 0.002;    ///< Per row examined during a scan/probe.
+  double per_result_ms = 0.01;  ///< Per result row materialized.
+};
+
+/// Domain adapter exposing a Database as a mediator domain (the paper's
+/// INGRES / Paradox / DBase role).
+///
+/// Exported functions (answers are structs keyed by column name unless
+/// noted):
+///   all(table)                      — every row
+///   equal(table, attr, value)      — rows with attr = value
+///   select_eq / select_neq /
+///   select_lt / select_le /
+///   select_gt / select_ge
+///     (table, attr, value)          — comparison selects
+///   project(table, attr)           — attr values of every row
+///   distinct(table, attr)          — distinct attr values
+///   count(table)                   — singleton int
+///
+/// The domain optionally exposes a *native cost model* built from exact
+/// catalog statistics (row counts, distinct counts); this exercises the
+/// DCSM extensibility path for sources that do ship cost estimators.
+class RelationalDomain : public Domain {
+ public:
+  RelationalDomain(std::string name, std::shared_ptr<Database> db,
+                   RelationalCostParams params = {},
+                   bool provide_cost_model = false)
+      : name_(std::move(name)),
+        db_(std::move(db)),
+        params_(params),
+        provide_cost_model_(provide_cost_model) {}
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override;
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+  bool HasCostModel() const override { return provide_cost_model_; }
+  Result<CostVector> EstimateCost(
+      const lang::DomainCallSpec& pattern) const override;
+
+  Database* database() { return db_.get(); }
+  const RelationalCostParams& cost_params() const { return params_; }
+
+ private:
+  Result<CallOutput> RunSelect(const DomainCall& call, lang::RelOp op) const;
+  /// Packs answers with the simulated latency profile of a scan that
+  /// examined `rows_examined` rows.
+  CallOutput Finish(AnswerSet answers, size_t rows_examined) const;
+
+  std::string name_;
+  std::shared_ptr<Database> db_;
+  RelationalCostParams params_;
+  bool provide_cost_model_;
+};
+
+}  // namespace hermes::relational
+
+#endif  // HERMES_RELATIONAL_RELATIONAL_DOMAIN_H_

@@ -1,0 +1,64 @@
+#include "relational/schema.h"
+
+namespace hermes::relational {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt: return "int";
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kString: return "string";
+    case ColumnType::kBool: return "bool";
+  }
+  return "?";
+}
+
+bool ValueMatchesType(const Value& v, ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return v.is_int();
+    case ColumnType::kDouble:
+      return v.is_numeric();
+    case ColumnType::kString:
+      return v.is_string();
+    case ColumnType::kBool:
+      return v.is_bool();
+  }
+  return false;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in schema " + ToString());
+}
+
+Status Schema::ValidateRow(const ValueList& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        ToString());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!ValueMatchesType(row[i], columns_[i].type)) {
+      return Status::TypeError("value " + row[i].ToString() +
+                               " does not match column '" + columns_[i].name +
+                               "' of type " + ColumnTypeName(columns_[i].type));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ColumnTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hermes::relational

@@ -1,0 +1,51 @@
+#ifndef HERMES_RELATIONAL_SCHEMA_H_
+#define HERMES_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace hermes::relational {
+
+/// Column value types of the mini relational engine.
+enum class ColumnType { kInt, kDouble, kString, kBool };
+
+const char* ColumnTypeName(ColumnType type);
+
+/// True when `v` is acceptable in a column of type `type` (ints are
+/// accepted in double columns).
+bool ValueMatchesType(const Value& v, ColumnType type);
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+};
+
+/// Ordered list of columns making up a relation's schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Validates a row against this schema (arity and types).
+  Status ValidateRow(const ValueList& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace hermes::relational
+
+#endif  // HERMES_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,172 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace hermes::relational {
+
+Status Table::Insert(ValueList row) {
+  HERMES_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::CreateHashIndex(const std::string& column) {
+  HERMES_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  hash_indexes_[col] = {};
+  hash_index_rows_[col] = 0;
+  EnsureHashIndexFresh(col);
+  return Status::OK();
+}
+
+Status Table::CreateOrderedIndex(const std::string& column) {
+  HERMES_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  ordered_indexes_[col] = {};
+  ordered_index_rows_[col] = 0;
+  EnsureOrderedIndexFresh(col);
+  return Status::OK();
+}
+
+bool Table::HasHashIndex(const std::string& column) const {
+  Result<size_t> col = schema_.ColumnIndex(column);
+  return col.ok() && hash_indexes_.count(*col) > 0;
+}
+
+bool Table::HasOrderedIndex(const std::string& column) const {
+  Result<size_t> col = schema_.ColumnIndex(column);
+  return col.ok() && ordered_indexes_.count(*col) > 0;
+}
+
+void Table::EnsureHashIndexFresh(size_t column_index) const {
+  auto it = hash_indexes_.find(column_index);
+  if (it == hash_indexes_.end()) return;
+  size_t& built_rows = hash_index_rows_[column_index];
+  if (built_rows == rows_.size()) return;
+  it->second.clear();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    it->second[rows_[id][column_index]].push_back(id);
+  }
+  built_rows = rows_.size();
+}
+
+void Table::EnsureOrderedIndexFresh(size_t column_index) const {
+  auto it = ordered_indexes_.find(column_index);
+  if (it == ordered_indexes_.end()) return;
+  size_t& built_rows = ordered_index_rows_[column_index];
+  if (built_rows == rows_.size()) return;
+  it->second.clear();
+  it->second.reserve(rows_.size());
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    it->second.push_back({rows_[id][column_index], id});
+  }
+  std::stable_sort(it->second.begin(), it->second.end(),
+                   [](const OrderedEntry& a, const OrderedEntry& b) {
+                     return a.value < b.value;
+                   });
+  built_rows = rows_.size();
+}
+
+Result<Table::ScanResult> Table::FindEqual(const std::string& column,
+                                           const Value& value) const {
+  HERMES_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  ScanResult result;
+  auto idx = hash_indexes_.find(col);
+  if (idx != hash_indexes_.end()) {
+    EnsureHashIndexFresh(col);
+    auto hit = idx->second.find(value);
+    if (hit != idx->second.end()) {
+      result.row_ids = hit->second;
+      result.rows_examined = hit->second.size();
+    } else {
+      result.rows_examined = 1;  // one bucket probe
+    }
+    return result;
+  }
+  // Full scan.
+  result.rows_examined = rows_.size();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id][col] == value) result.row_ids.push_back(id);
+  }
+  return result;
+}
+
+Result<Table::ScanResult> Table::FindCompare(const std::string& column,
+                                             lang::RelOp op,
+                                             const Value& value) const {
+  if (op == lang::RelOp::kEq) return FindEqual(column, value);
+  HERMES_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  ScanResult result;
+
+  auto idx = ordered_indexes_.find(col);
+  if (idx != ordered_indexes_.end() && op != lang::RelOp::kNeq) {
+    EnsureOrderedIndexFresh(col);
+    const std::vector<OrderedEntry>& entries = idx->second;
+    auto lower = std::lower_bound(
+        entries.begin(), entries.end(), value,
+        [](const OrderedEntry& e, const Value& v) { return e.value < v; });
+    auto upper = std::upper_bound(
+        entries.begin(), entries.end(), value,
+        [](const Value& v, const OrderedEntry& e) { return v < e.value; });
+    auto emit = [&result](auto first, auto last) {
+      for (auto it = first; it != last; ++it) {
+        result.row_ids.push_back(it->row);
+      }
+      result.rows_examined += static_cast<size_t>(last - first);
+    };
+    switch (op) {
+      case lang::RelOp::kLt:
+        emit(entries.begin(), lower);
+        break;
+      case lang::RelOp::kLe:
+        emit(entries.begin(), upper);
+        break;
+      case lang::RelOp::kGt:
+        emit(upper, entries.end());
+        break;
+      case lang::RelOp::kGe:
+        emit(lower, entries.end());
+        break;
+      default:
+        break;
+    }
+    result.rows_examined += 2;  // binary-search probes
+    std::sort(result.row_ids.begin(), result.row_ids.end());
+    return result;
+  }
+
+  // Full scan.
+  result.rows_examined = rows_.size();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (lang::EvalRelOp(op, rows_[id][col], value)) {
+      result.row_ids.push_back(id);
+    }
+  }
+  return result;
+}
+
+Table::ScanResult Table::FindAll() const {
+  ScanResult result;
+  result.rows_examined = rows_.size();
+  result.row_ids.reserve(rows_.size());
+  for (RowId id = 0; id < rows_.size(); ++id) result.row_ids.push_back(id);
+  return result;
+}
+
+Value Table::RowAsStruct(RowId id) const {
+  StructFields fields;
+  fields.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    fields.emplace_back(schema_.column(i).name, rows_[id][i]);
+  }
+  return Value::Struct(std::move(fields));
+}
+
+Value Table::RowAsList(RowId id) const { return Value::List(rows_[id]); }
+
+Result<size_t> Table::DistinctCount(const std::string& column) const {
+  HERMES_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  std::unordered_map<Value, bool, ValueHash> seen;
+  for (const ValueList& row : rows_) seen[row[col]] = true;
+  return seen.size();
+}
+
+}  // namespace hermes::relational

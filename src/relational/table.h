@@ -1,0 +1,105 @@
+#ifndef HERMES_RELATIONAL_TABLE_H_
+#define HERMES_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "lang/ast.h"
+#include "relational/schema.h"
+
+namespace hermes::relational {
+
+/// Row identifier within a Table.
+using RowId = size_t;
+
+/// A heap-resident relation with optional per-column hash and ordered
+/// indexes.
+///
+/// Scans and index probes report how many rows they *touched* so the cost
+/// simulation can charge realistic, data-dependent compute time.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const ValueList& row(RowId id) const { return rows_[id]; }
+  const std::vector<ValueList>& rows() const { return rows_; }
+
+  /// Appends a row after schema validation. Invalidates indexes lazily
+  /// (they are rebuilt on next use).
+  Status Insert(ValueList row);
+
+  /// Builds (or rebuilds) a hash index on `column`.
+  Status CreateHashIndex(const std::string& column);
+  /// Builds (or rebuilds) an ordered index on `column`.
+  Status CreateOrderedIndex(const std::string& column);
+
+  bool HasHashIndex(const std::string& column) const;
+  bool HasOrderedIndex(const std::string& column) const;
+
+  /// Result of a scan/probe: matching row ids plus the number of index or
+  /// row entries examined to find them.
+  struct ScanResult {
+    std::vector<RowId> row_ids;
+    size_t rows_examined = 0;
+  };
+
+  /// Rows where `column == value`; uses the hash index when present.
+  Result<ScanResult> FindEqual(const std::string& column,
+                               const Value& value) const;
+
+  /// Rows satisfying `column <op> value`; uses the ordered index for
+  /// range operators and the hash index for equality when present.
+  Result<ScanResult> FindCompare(const std::string& column, lang::RelOp op,
+                                 const Value& value) const;
+
+  /// All row ids.
+  ScanResult FindAll() const;
+
+  /// Renders row `id` as a struct value with column-named attributes.
+  Value RowAsStruct(RowId id) const;
+  /// Renders row `id` as a positional list value.
+  Value RowAsList(RowId id) const;
+
+  /// Number of distinct values in `column` (used by the native cost model).
+  Result<size_t> DistinctCount(const std::string& column) const;
+
+ private:
+  struct OrderedEntry {
+    Value value;
+    RowId row;
+  };
+
+  void EnsureHashIndexFresh(size_t column_index) const;
+  void EnsureOrderedIndexFresh(size_t column_index) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<ValueList> rows_;
+
+  // Index storage, keyed by column index. Mutable: indexes are caches
+  // rebuilt lazily after inserts.
+  mutable std::unordered_map<size_t,
+                             std::unordered_map<Value, std::vector<RowId>,
+                                                ValueHash>>
+      hash_indexes_;
+  mutable std::unordered_map<size_t, std::vector<OrderedEntry>>
+      ordered_indexes_;
+  mutable std::unordered_map<size_t, size_t> hash_index_rows_;     // rows at build
+  mutable std::unordered_map<size_t, size_t> ordered_index_rows_;  // rows at build
+};
+
+}  // namespace hermes::relational
+
+#endif  // HERMES_RELATIONAL_TABLE_H_

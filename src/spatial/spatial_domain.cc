@@ -1,0 +1,164 @@
+#include "spatial/spatial_domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hermes::spatial {
+
+void SpatialDomain::PointFile::BuildIndex() {
+  if (points.empty()) {
+    min_x = min_y = 0;
+    max_x = max_y = 1;
+  } else {
+    min_x = max_x = points[0].x;
+    min_y = max_y = points[0].y;
+    for (const Point& p : points) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  // Aim for ~4 points per cell.
+  double area = std::max((max_x - min_x) * (max_y - min_y), 1e-9);
+  double target_cells = std::max<double>(points.size() / 4.0, 1.0);
+  cell = std::sqrt(area / target_cells);
+  if (cell <= 0) cell = 1.0;
+  cells_x = std::max(1, static_cast<int>((max_x - min_x) / cell) + 1);
+  cells_y = std::max(1, static_cast<int>((max_y - min_y) / cell) + 1);
+  grid.assign(static_cast<size_t>(cells_x) * cells_y, {});
+  for (size_t i = 0; i < points.size(); ++i) {
+    grid[CellOf(points[i].x, points[i].y)].push_back(i);
+  }
+}
+
+int SpatialDomain::PointFile::CellOf(double x, double y) const {
+  int cx = std::clamp(static_cast<int>((x - min_x) / cell), 0, cells_x - 1);
+  int cy = std::clamp(static_cast<int>((y - min_y) / cell), 0, cells_y - 1);
+  return cy * cells_x + cx;
+}
+
+void SpatialDomain::PutFile(const std::string& file,
+                            std::vector<Point> points) {
+  PointFile pf;
+  pf.points = std::move(points);
+  pf.BuildIndex();
+  files_[file] = std::move(pf);
+}
+
+std::vector<FunctionInfo> SpatialDomain::Functions() const {
+  return {
+      {"range", 4, "range(file, x, y, dist): points within dist of (x, y)"},
+      {"count_range", 4, "count_range(file, x, y, dist): singleton count"},
+      {"extent", 1, "extent(file): singleton bounding box struct"},
+  };
+}
+
+Result<CallOutput> SpatialDomain::Run(const DomainCall& call) {
+  if (call.args.empty() || !call.args[0].is_string()) {
+    return Status::InvalidArgument(call.ToString() +
+                                   ": first argument must be a file name");
+  }
+  auto it = files_.find(call.args[0].as_string());
+  if (it == files_.end()) {
+    return Status::NotFound("no point file '" + call.args[0].as_string() +
+                            "'");
+  }
+  const PointFile& pf = it->second;
+  const std::string& fn = call.function;
+
+  if (fn == "extent") {
+    if (call.args.size() != 1) {
+      return Status::InvalidArgument(call.ToString() + ": extent takes 1 arg");
+    }
+    CallOutput out;
+    out.answers = {Value::Struct({{"min_x", Value::Double(pf.min_x)},
+                                  {"min_y", Value::Double(pf.min_y)},
+                                  {"max_x", Value::Double(pf.max_x)},
+                                  {"max_y", Value::Double(pf.max_y)}})};
+    out.first_ms = out.all_ms = params_.base_ms;
+    return out;
+  }
+
+  if (fn == "range" || fn == "count_range") {
+    if (call.args.size() != 4 || !call.args[1].is_numeric() ||
+        !call.args[2].is_numeric() || !call.args[3].is_numeric()) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": takes (file, x, y, dist)");
+    }
+    double qx = call.args[1].as_number();
+    double qy = call.args[2].as_number();
+    double dist = call.args[3].as_number();
+    if (dist < 0) {
+      return Status::InvalidArgument(call.ToString() + ": negative distance");
+    }
+
+    // Visit the grid cells overlapping the query square.
+    int cx_lo = std::clamp(static_cast<int>((qx - dist - pf.min_x) / pf.cell),
+                           0, pf.cells_x - 1);
+    int cx_hi = std::clamp(static_cast<int>((qx + dist - pf.min_x) / pf.cell),
+                           0, pf.cells_x - 1);
+    int cy_lo = std::clamp(static_cast<int>((qy - dist - pf.min_y) / pf.cell),
+                           0, pf.cells_y - 1);
+    int cy_hi = std::clamp(static_cast<int>((qy + dist - pf.min_y) / pf.cell),
+                           0, pf.cells_y - 1);
+
+    size_t cells_visited = 0;
+    size_t points_tested = 0;
+    std::vector<const Point*> hits;
+    for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+        ++cells_visited;
+        for (size_t idx : pf.grid[static_cast<size_t>(cy) * pf.cells_x + cx]) {
+          ++points_tested;
+          const Point& p = pf.points[idx];
+          double dx = p.x - qx, dy = p.y - qy;
+          if (dx * dx + dy * dy <= dist * dist) hits.push_back(&p);
+        }
+      }
+    }
+    double search_ms =
+        params_.per_cell_ms * static_cast<double>(cells_visited) +
+        params_.per_point_ms * static_cast<double>(points_tested);
+    CallOutput out;
+    if (fn == "count_range") {
+      out.answers = {Value::Int(static_cast<int64_t>(hits.size()))};
+      out.all_ms = params_.base_ms + search_ms;
+      out.first_ms = out.all_ms;  // a count is only known after the search
+      return out;
+    }
+    out.answers.reserve(hits.size());
+    for (const Point* p : hits) {
+      out.answers.push_back(Value::Struct({{"id", Value::Str(p->id)},
+                                           {"x", Value::Double(p->x)},
+                                           {"y", Value::Double(p->y)}}));
+    }
+    size_t n = out.answers.size();
+    out.all_ms = params_.base_ms + search_ms +
+                 params_.per_result_ms * static_cast<double>(n);
+    out.first_ms = n == 0 ? out.all_ms
+                          : params_.base_ms +
+                                search_ms / static_cast<double>(n + 1) +
+                                params_.per_result_ms;
+    return out;
+  }
+
+  return Status::NotFound("domain '" + name_ + "' has no function '" + fn +
+                          "'");
+}
+
+std::vector<Point> MakeUniformPoints(uint64_t seed, size_t count, double width,
+                                     double height) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    points.push_back({"p" + std::to_string(i), rng.NextDoubleIn(0, width),
+                      rng.NextDoubleIn(0, height)});
+  }
+  return points;
+}
+
+}  // namespace hermes::spatial

@@ -1,0 +1,77 @@
+#ifndef HERMES_SPATIAL_SPATIAL_DOMAIN_H_
+#define HERMES_SPATIAL_SPATIAL_DOMAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "domain/domain.h"
+
+namespace hermes::spatial {
+
+/// One named 2-D point.
+struct Point {
+  std::string id;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Simulated compute-cost parameters of the spatial package.
+struct SpatialCostParams {
+  double base_ms = 3.0;        ///< Index open overhead.
+  double per_cell_ms = 0.05;   ///< Per grid cell visited.
+  double per_point_ms = 0.02;  ///< Per candidate point tested.
+  double per_result_ms = 0.05; ///< Per answer materialized.
+};
+
+/// Grid-indexed point-set domain (the paper's spatial data structure
+/// package, used in the Section 4 invariant example).
+///
+/// Exported functions:
+///   range(file, x, y, dist)   — points within Euclidean `dist` of (x, y),
+///                               as {id, x, y} structs
+///   count_range(file, x, y, dist) — singleton count
+///   extent(file)              — singleton {min_x, min_y, max_x, max_y}
+class SpatialDomain : public Domain {
+ public:
+  explicit SpatialDomain(std::string name, SpatialCostParams params = {})
+      : name_(std::move(name)), params_(params) {}
+
+  /// Creates or replaces a point file; builds its grid index.
+  void PutFile(const std::string& file, std::vector<Point> points);
+
+  bool HasFile(const std::string& file) const {
+    return files_.find(file) != files_.end();
+  }
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override;
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+ private:
+  struct PointFile {
+    std::vector<Point> points;
+    // Uniform grid index: cell → point indices.
+    double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+    double cell = 1.0;
+    int cells_x = 1, cells_y = 1;
+    std::vector<std::vector<size_t>> grid;  // cells_x * cells_y buckets
+
+    void BuildIndex();
+    int CellOf(double x, double y) const;
+  };
+
+  std::string name_;
+  SpatialCostParams params_;
+  std::map<std::string, PointFile> files_;
+};
+
+/// Deterministically generates `count` points uniform in
+/// [0, width] × [0, height].
+std::vector<Point> MakeUniformPoints(uint64_t seed, size_t count, double width,
+                                     double height);
+
+}  // namespace hermes::spatial
+
+#endif  // HERMES_SPATIAL_SPATIAL_DOMAIN_H_

@@ -1,0 +1,186 @@
+#include "terrain/terrain_domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace hermes::terrain {
+
+void TerrainDomain::InitGrid(int width, int height) {
+  width_ = width;
+  height_ = height;
+  cell_cost_.assign(static_cast<size_t>(width) * height, 1.0);
+  locations_.clear();
+}
+
+void TerrainDomain::SetObstacle(int x, int y) { SetCellCost(x, y, 0.0); }
+
+void TerrainDomain::SetCellCost(int x, int y, double cost) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  cell_cost_[CellIndex(x, y)] = cost;
+}
+
+Status TerrainDomain::AddLocation(const std::string& name, int x, int y) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    return Status::InvalidArgument("location '" + name +
+                                   "' outside the grid");
+  }
+  locations_[name] = CellIndex(x, y);
+  return Status::OK();
+}
+
+Result<int> TerrainDomain::CellOfLocation(const std::string& loc) const {
+  auto it = locations_.find(loc);
+  if (it == locations_.end()) {
+    return Status::NotFound("no location '" + loc + "' on the terrain map");
+  }
+  return it->second;
+}
+
+TerrainDomain::PlanResult TerrainDomain::Plan(int from_cell,
+                                              int to_cell) const {
+  PlanResult result;
+  size_t n = cell_cost_.size();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<int> prev(n, -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
+  dist[from_cell] = 0.0;
+  frontier.push({0.0, from_cell});
+
+  const int dx[] = {1, -1, 0, 0};
+  const int dy[] = {0, 0, 1, -1};
+
+  while (!frontier.empty()) {
+    auto [d, cell] = frontier.top();
+    frontier.pop();
+    if (d > dist[cell]) continue;
+    ++result.expanded;
+    if (cell == to_cell) break;
+    int x = cell % width_;
+    int y = cell / width_;
+    for (int k = 0; k < 4; ++k) {
+      int nx = x + dx[k];
+      int ny = y + dy[k];
+      if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_) continue;
+      int ncell = CellIndex(nx, ny);
+      double step = cell_cost_[ncell];
+      if (step <= 0.0) continue;  // impassable
+      double nd = d + step;
+      if (nd < dist[ncell]) {
+        dist[ncell] = nd;
+        prev[ncell] = cell;
+        frontier.push({nd, ncell});
+      }
+    }
+  }
+
+  if (!std::isfinite(dist[to_cell])) return result;
+  result.found = true;
+  result.cost = dist[to_cell];
+  for (int cell = to_cell; cell != -1; cell = prev[cell]) {
+    result.cells.push_back(cell);
+    if (cell == from_cell) break;
+  }
+  std::reverse(result.cells.begin(), result.cells.end());
+  return result;
+}
+
+std::vector<FunctionInfo> TerrainDomain::Functions() const {
+  return {
+      {"findrte", 2, "findrte(from, to): singleton route struct"},
+      {"distance", 2, "distance(from, to): singleton planned path cost"},
+      {"reachable", 1, "reachable(from): reachable location names"},
+      {"locations", 0, "locations(): all location names"},
+  };
+}
+
+Result<CallOutput> TerrainDomain::Run(const DomainCall& call) {
+  const std::string& fn = call.function;
+  // Planning must finish before any part of a route exists, so the first
+  // answer is only marginally cheaper than the full set.
+  auto finish = [this](AnswerSet answers, size_t expanded, size_t waypoints) {
+    CallOutput out;
+    double plan_ms =
+        params_.base_ms +
+        params_.per_expanded_ms * static_cast<double>(expanded);
+    out.all_ms = plan_ms +
+                 params_.per_waypoint_ms * static_cast<double>(waypoints);
+    out.first_ms = answers.empty()
+                       ? out.all_ms
+                       : plan_ms + params_.per_waypoint_ms;
+    out.answers = std::move(answers);
+    return out;
+  };
+
+  if (fn == "locations") {
+    if (!call.args.empty()) {
+      return Status::InvalidArgument(call.ToString() + ": takes 0 args");
+    }
+    AnswerSet answers;
+    for (const auto& [name, cell] : locations_) {
+      answers.push_back(Value::Str(name));
+    }
+    size_t n = answers.size();
+    return finish(std::move(answers), 0, n);
+  }
+
+  if (fn == "findrte" || fn == "distance") {
+    if (call.args.size() != 2 || !call.args[0].is_string() ||
+        !call.args[1].is_string()) {
+      return Status::InvalidArgument(call.ToString() + ": takes (from, to)");
+    }
+    HERMES_ASSIGN_OR_RETURN(int from_cell,
+                            CellOfLocation(call.args[0].as_string()));
+    HERMES_ASSIGN_OR_RETURN(int to_cell,
+                            CellOfLocation(call.args[1].as_string()));
+    PlanResult plan = Plan(from_cell, to_cell);
+    if (!plan.found) {
+      return finish(AnswerSet{}, plan.expanded, 0);  // no route
+    }
+    if (fn == "distance") {
+      return finish(AnswerSet{Value::Double(plan.cost)}, plan.expanded, 1);
+    }
+
+    ValueList waypoints;
+    waypoints.reserve(plan.cells.size());
+    for (int cell : plan.cells) {
+      waypoints.push_back(
+          Value::Struct({{"x", Value::Int(cell % width_)},
+                         {"y", Value::Int(cell / width_)}}));
+    }
+    size_t route_len = plan.cells.size();
+    return finish(
+        AnswerSet{Value::Struct(
+            {{"from", call.args[0]},
+             {"to", call.args[1]},
+             {"length", Value::Int(static_cast<int64_t>(route_len))},
+             {"cost", Value::Double(plan.cost)},
+             {"waypoints", Value::List(std::move(waypoints))}})},
+        plan.expanded, route_len);
+  }
+
+  if (fn == "reachable") {
+    if (call.args.size() != 1 || !call.args[0].is_string()) {
+      return Status::InvalidArgument(call.ToString() + ": takes (from)");
+    }
+    HERMES_ASSIGN_OR_RETURN(int from_cell,
+                            CellOfLocation(call.args[0].as_string()));
+    size_t total_expanded = 0;
+    AnswerSet answers;
+    for (const auto& [name, cell] : locations_) {
+      if (cell == from_cell) continue;
+      PlanResult plan = Plan(from_cell, cell);
+      total_expanded += plan.expanded;
+      if (plan.found) answers.push_back(Value::Str(name));
+    }
+    size_t n = answers.size();
+    return finish(std::move(answers), total_expanded, n);
+  }
+
+  return Status::NotFound("domain '" + name_ + "' has no function '" + fn +
+                          "'");
+}
+
+}  // namespace hermes::terrain

@@ -1,0 +1,72 @@
+#ifndef HERMES_TERRAIN_TERRAIN_DOMAIN_H_
+#define HERMES_TERRAIN_TERRAIN_DOMAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "domain/domain.h"
+
+namespace hermes::terrain {
+
+/// Simulated compute-cost parameters of the path-planning package.
+struct TerrainCostParams {
+  double base_ms = 40.0;          ///< Map load / planner setup.
+  double per_expanded_ms = 0.03;  ///< Per search node expanded.
+  double per_waypoint_ms = 0.5;   ///< Per route waypoint emitted.
+};
+
+/// Grid-world route planner (the paper's US Army terrain-reasoning / path
+/// planning package, used by the Section 2 `routetosupplies` example).
+///
+/// The world is a W×H grid of traversal costs (0 = impassable). Named
+/// locations map to grid cells. Exported functions:
+///   findrte(from, to)    — singleton route struct
+///                          {from, to, length, cost, waypoints}
+///   distance(from, to)   — singleton planned path cost (double)
+///   reachable(from)      — names of locations reachable from `from`
+///   locations()          — all location names
+///
+/// Routing runs Dijkstra; node expansions dominate the (simulated) cost,
+/// making this an expensive, hard-to-model domain like AVIS.
+class TerrainDomain : public Domain {
+ public:
+  explicit TerrainDomain(std::string name, TerrainCostParams params = {})
+      : name_(std::move(name)), params_(params) {}
+
+  /// Resets the world to a W×H grid with all cells traversable at cost 1.
+  void InitGrid(int width, int height);
+  /// Marks a cell impassable.
+  void SetObstacle(int x, int y);
+  /// Sets the traversal cost of a cell (0 = impassable).
+  void SetCellCost(int x, int y, double cost);
+  /// Names a grid cell as a location.
+  Status AddLocation(const std::string& name, int x, int y);
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override;
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+ private:
+  struct PlanResult {
+    bool found = false;
+    double cost = 0.0;
+    std::vector<int> cells;  // route as cell indexes, from → to
+    size_t expanded = 0;
+  };
+  PlanResult Plan(int from_cell, int to_cell) const;
+  Result<int> CellOfLocation(const std::string& loc) const;
+  int CellIndex(int x, int y) const { return y * width_ + x; }
+
+  std::string name_;
+  TerrainCostParams params_;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> cell_cost_;        // 0 = impassable
+  std::map<std::string, int> locations_;  // name → cell index
+};
+
+}  // namespace hermes::terrain
+
+#endif  // HERMES_TERRAIN_TERRAIN_DOMAIN_H_

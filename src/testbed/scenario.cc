@@ -1,0 +1,176 @@
+#include "testbed/scenario.h"
+
+namespace hermes::testbed {
+
+namespace {
+
+constexpr const char* kCastCsv = R"(name:string,role:string
+'james stewart',rupert
+'john dall',brandon
+'farley granger',phillip
+'dick hogan',david
+'joan chandler',janet
+'douglas dick',kenneth
+'cedric hardwicke',mr_kentley
+'constance collier',mrs_atwater
+'edith evanson',mrs_wilson
+)";
+
+constexpr const char* kInventoryCsv = R"(item:string,loc:string
+'h-22 fuel',depot_north
+'h-22 fuel',depot_east
+rations,depot_north
+rations,depot_south
+ammunition,depot_east
+medkits,depot_west
+)";
+
+}  // namespace
+
+std::shared_ptr<relational::Database> MakeCastDatabase() {
+  auto db = std::make_shared<relational::Database>();
+  Result<relational::Table*> table = db->LoadCsv("cast", kCastCsv);
+  (void)table;
+  return db;
+}
+
+std::shared_ptr<relational::Database> MakeInventoryDatabase() {
+  auto db = std::make_shared<relational::Database>();
+  Result<relational::Table*> table = db->LoadCsv("inventory", kInventoryCsv);
+  (void)table;
+  return db;
+}
+
+std::shared_ptr<avis::VideoDatabase> MakeRopeVideoDatabase(
+    size_t extra_videos) {
+  auto db = std::make_shared<avis::VideoDatabase>();
+  avis::LoadRopeDataset(db.get());
+  if (extra_videos > 0) {
+    avis::LoadSyntheticVideos(db.get(), /*seed=*/7, extra_videos,
+                              /*objects_per_video=*/12,
+                              /*frames_per_video=*/100000);
+  }
+  return db;
+}
+
+std::shared_ptr<terrain::TerrainDomain> MakeSupplyTerrain() {
+  auto domain = std::make_shared<terrain::TerrainDomain>("terraindb");
+  domain->InitGrid(64, 64);
+  // A mountain ridge with a single pass.
+  for (int y = 0; y < 64; ++y) {
+    if (y == 20) continue;  // the pass
+    domain->SetObstacle(32, y);
+  }
+  // Swampy ground east of the ridge costs triple.
+  for (int x = 40; x < 52; ++x) {
+    for (int y = 30; y < 44; ++y) domain->SetCellCost(x, y, 3.0);
+  }
+  (void)domain->AddLocation("place1", 4, 4);
+  (void)domain->AddLocation("depot_north", 10, 56);
+  (void)domain->AddLocation("depot_east", 58, 36);
+  (void)domain->AddLocation("depot_south", 44, 6);
+  (void)domain->AddLocation("depot_west", 6, 30);
+  return domain;
+}
+
+std::shared_ptr<spatial::SpatialDomain> MakeSectionFourSpatial() {
+  auto domain = std::make_shared<spatial::SpatialDomain>("spatial");
+  // 'points': everything inside a 100×100 square (diameter ≈ 142), the
+  // paper's example for the range-clamping equality invariant.
+  domain->PutFile("points",
+                  spatial::MakeUniformPoints(/*seed=*/11, 400, 100, 100));
+  // 'map1': a wider map that contains the same 100×100 region and more.
+  domain->PutFile("map1",
+                  spatial::MakeUniformPoints(/*seed=*/13, 2000, 1000, 1000));
+  return domain;
+}
+
+const char* kAppendixProgram = R"(
+% Appendix queries of the paper, in executable form. Primed variants (1p,
+% 2p) differ only in subgoal order — they are rewritings of one another.
+
+query1(First, Last, Object, Size) :-
+    in(Size, video:video_size('rope')) &
+    in(Object, video:frames_to_objects('rope', First, Last)).
+
+query1p(First, Last, Object, Size) :-
+    in(Object, video:frames_to_objects('rope', First, Last)) &
+    in(Size, video:video_size('rope')).
+
+query2(First, Last, Object, Frames, Actor) :-
+    in(Object, video:frames_to_objects('rope', First, Last)) &
+    in(Frames, video:object_to_frames('rope', Object)) &
+    in(T, relation:equal('cast', role, Object)) &
+    =(Actor, T.name).
+
+query2p(First, Last, Object, Frames, Actor) :-
+    in(Object, video:frames_to_objects('rope', First, Last)) &
+    in(T, relation:equal('cast', role, Object)) &
+    =(Actor, T.name) &
+    in(Frames, video:object_to_frames('rope', Object)).
+
+query3(First, Last, Object, Actor) :-
+    in(Object, video:frames_to_objects('rope', First, Last)) &
+    in(T, relation:equal('cast', role, Object)) &
+    =(Actor, T.name).
+
+query4(First, Last, Object, Actor) :-
+    in(P, relation:all('cast')) &
+    =(P.name, Actor) &
+    =(P.role, Object) &
+    in(Object, video:frames_to_objects('rope', First, Last)).
+)";
+
+std::string AppendixQuery(int number, bool primed, int64_t first,
+                          int64_t last) {
+  std::string name = "query" + std::to_string(number) + (primed ? "p" : "");
+  std::string args = std::to_string(first) + ", " + std::to_string(last);
+  switch (number) {
+    case 1:
+      return "?- " + name + "(" + args + ", Object, Size).";
+    case 2:
+      return "?- " + name + "(" + args + ", Object, Frames, Actor).";
+    default:
+      return "?- " + name + "(" + args + ", Object, Actor).";
+  }
+}
+
+Status SetupRopeScenario(Mediator* med, const RopeScenarioOptions& options) {
+  auto cast_db = MakeCastDatabase();
+  auto ingres = std::make_shared<relational::RelationalDomain>(
+      "ingres", cast_db, relational::RelationalCostParams{},
+      options.relational_native_cost_model);
+  auto videos = MakeRopeVideoDatabase();
+  auto avis_domain = std::make_shared<avis::AvisDomain>("avis", videos);
+
+  HERMES_RETURN_IF_ERROR(
+      med->RegisterRemoteDomain("video", avis_domain, options.sites.video_site));
+  HERMES_RETURN_IF_ERROR(med->RegisterRemoteDomain(
+      "relation", ingres, options.sites.relation_site));
+
+  if (options.enable_caching) {
+    HERMES_RETURN_IF_ERROR(
+        med->EnableCaching("video", options.cim_options));
+    HERMES_RETURN_IF_ERROR(
+        med->EnableCaching("relation", options.cim_options));
+    if (options.add_frame_invariants) {
+      HERMES_RETURN_IF_ERROR(med->AddInvariants(R"(
+        % A wider frame range sees at least the objects of a narrower one.
+        F2 <= F1 & L1 <= L2 =>
+            video:frames_to_objects(V, F2, L2) >=
+            video:frames_to_objects(V, F1, L1).
+        % 'rope' has 130000 frames; ranges beyond that are equivalent to
+        % the clamped range (the paper's range-shrinking equality example).
+        L >= 130000 =>
+            video:frames_to_objects('rope', F, L) =
+            video:frames_to_objects('rope', F, 129999).
+      )"));
+    }
+  }
+  if (options.relational_native_cost_model) {
+    HERMES_RETURN_IF_ERROR(med->UseNativeCostModel("relation"));
+  }
+  return med->LoadProgram(kAppendixProgram);
+}
+
+}  // namespace hermes::testbed

@@ -1,0 +1,71 @@
+#ifndef HERMES_TESTBED_SCENARIO_H_
+#define HERMES_TESTBED_SCENARIO_H_
+
+#include <memory>
+#include <string>
+
+#include "avis/avis_domain.h"
+#include "avis/video_db.h"
+#include "engine/mediator.h"
+#include "flatfile/flatfile_domain.h"
+#include "relational/relational_domain.h"
+#include "spatial/spatial_domain.h"
+#include "terrain/terrain_domain.h"
+
+namespace hermes::testbed {
+
+/// The 'cast' relation of the paper's appendix queries (role → actor name),
+/// mirroring the cast of Hitchcock's "Rope".
+std::shared_ptr<relational::Database> MakeCastDatabase();
+
+/// An 'inventory' relation for the Section 2 `routetosupplies` example:
+/// (item, loc) rows.
+std::shared_ptr<relational::Database> MakeInventoryDatabase();
+
+/// The AVIS video store with the 'rope' dataset loaded (plus synthetic
+/// extras when `extra_videos` > 0).
+std::shared_ptr<avis::VideoDatabase> MakeRopeVideoDatabase(
+    size_t extra_videos = 0);
+
+/// A terrain map with named supply locations for `routetosupplies`.
+std::shared_ptr<terrain::TerrainDomain> MakeSupplyTerrain();
+
+/// A spatial domain with the Section 4 example files: 'map1' (sparse wide
+/// map) and 'points' (all points inside a 100×100 square).
+std::shared_ptr<spatial::SpatialDomain> MakeSectionFourSpatial();
+
+/// Where each source lives in a scenario.
+struct ScenarioSites {
+  net::SiteParams video_site = net::UsaSite("umd");
+  net::SiteParams relation_site = net::UsaSite("cornell");
+};
+
+/// Options controlling the standard "rope" scenario construction.
+struct RopeScenarioOptions {
+  ScenarioSites sites;
+  bool enable_caching = true;
+  cim::CimOptions cim_options = {};
+  bool add_frame_invariants = true;  ///< Frame-range ⊇ and clamp = invariants.
+  bool relational_native_cost_model = false;
+  uint64_t network_seed = 1996;
+};
+
+/// Wires `med` with the paper's Section 8 testbed: the AVIS 'rope' store
+/// as domain "video", the cast relation as domain "relation" (both behind
+/// simulated sites), caching/invariants per the options, and the mediator
+/// rules used by the appendix queries. `med` must be freshly constructed.
+Status SetupRopeScenario(Mediator* med, const RopeScenarioOptions& options);
+
+/// The appendix's query bodies (already in our surface syntax), rule-form:
+/// query1/query1' differ in subgoal order, query2/query2' likewise;
+/// query4 is query3 with the selection NOT pushed into the source.
+extern const char* kAppendixProgram;
+
+/// Query strings `?- queryN(...)` over kAppendixProgram with the frame
+/// parameters used in the paper's Figure 6 runs.
+std::string AppendixQuery(int number, bool primed, int64_t first,
+                          int64_t last);
+
+}  // namespace hermes::testbed
+
+#endif  // HERMES_TESTBED_SCENARIO_H_

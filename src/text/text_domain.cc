@@ -1,0 +1,202 @@
+#include "text/text_domain.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hermes::text {
+
+std::vector<std::string> TextDomain::Tokenize(const std::string& body) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : body) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+void TextDomain::AddDocument(const std::string& collection,
+                             const std::string& id, const std::string& body) {
+  Collection& coll = collections_[collection];
+  // Replace: remove old postings first.
+  auto existing = coll.documents.find(id);
+  if (existing != coll.documents.end()) {
+    for (const std::string& term : Tokenize(existing->second)) {
+      auto postings = coll.index.find(term);
+      if (postings != coll.index.end()) {
+        postings->second.erase(id);
+        if (postings->second.empty()) coll.index.erase(postings);
+      }
+    }
+  }
+  coll.documents[id] = body;
+  for (const std::string& term : Tokenize(body)) {
+    ++coll.index[term][id];
+  }
+}
+
+std::vector<FunctionInfo> TextDomain::Functions() const {
+  return {
+      {"search", 2, "search(coll, word): {doc, hits} by descending hits"},
+      {"cooccur", 3, "cooccur(coll, w1, w2): docs containing both words"},
+      {"doc", 2, "doc(coll, id): singleton full text"},
+      {"docs", 1, "docs(coll): all document ids"},
+      {"doc_count", 1, "doc_count(coll): singleton count"},
+  };
+}
+
+Result<CallOutput> TextDomain::Run(const DomainCall& call) {
+  if (call.args.empty() || !call.args[0].is_string()) {
+    return Status::InvalidArgument(call.ToString() +
+                                   ": first argument must be a collection");
+  }
+  auto cit = collections_.find(call.args[0].as_string());
+  if (cit == collections_.end()) {
+    return Status::NotFound("no text collection '" +
+                            call.args[0].as_string() + "'");
+  }
+  const Collection& coll = cit->second;
+  const std::string& fn = call.function;
+
+  auto finish = [this](AnswerSet answers, size_t postings,
+                       size_t doc_bytes) {
+    CallOutput out;
+    size_t n = answers.size();
+    double work_ms =
+        params_.per_posting_ms * static_cast<double>(postings) +
+        params_.per_doc_byte_ms * static_cast<double>(doc_bytes);
+    out.all_ms = params_.base_ms + work_ms +
+                 params_.per_result_ms * static_cast<double>(n);
+    out.first_ms = n == 0 ? out.all_ms
+                          : params_.base_ms +
+                                work_ms / static_cast<double>(n + 1) +
+                                params_.per_result_ms;
+    out.answers = std::move(answers);
+    return out;
+  };
+
+  if (fn == "search") {
+    if (call.args.size() != 2 || !call.args[1].is_string()) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": search takes (coll, word)");
+    }
+    std::vector<std::string> terms = Tokenize(call.args[1].as_string());
+    if (terms.size() != 1) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": search expects a single word");
+    }
+    auto postings = coll.index.find(terms[0]);
+    AnswerSet answers;
+    size_t scanned = 0;
+    if (postings != coll.index.end()) {
+      // Order by descending hit count, then id, deterministically.
+      std::vector<std::pair<std::string, int>> ranked(
+          postings->second.begin(), postings->second.end());
+      scanned = ranked.size();
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
+                });
+      for (const auto& [doc, hits] : ranked) {
+        answers.push_back(Value::Struct(
+            {{"doc", Value::Str(doc)}, {"hits", Value::Int(hits)}}));
+      }
+    }
+    return finish(std::move(answers), scanned, 0);
+  }
+
+  if (fn == "cooccur") {
+    if (call.args.size() != 3 || !call.args[1].is_string() ||
+        !call.args[2].is_string()) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": cooccur takes (coll, w1, w2)");
+    }
+    std::vector<std::string> w1 = Tokenize(call.args[1].as_string());
+    std::vector<std::string> w2 = Tokenize(call.args[2].as_string());
+    if (w1.size() != 1 || w2.size() != 1) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": cooccur expects single words");
+    }
+    auto p1 = coll.index.find(w1[0]);
+    auto p2 = coll.index.find(w2[0]);
+    AnswerSet answers;
+    size_t scanned = 0;
+    if (p1 != coll.index.end() && p2 != coll.index.end()) {
+      scanned = p1->second.size() + p2->second.size();
+      for (const auto& [doc, hits] : p1->second) {
+        if (p2->second.count(doc) > 0) answers.push_back(Value::Str(doc));
+      }
+    }
+    return finish(std::move(answers), scanned, 0);
+  }
+
+  if (fn == "doc") {
+    if (call.args.size() != 2 || !call.args[1].is_string()) {
+      return Status::InvalidArgument(call.ToString() +
+                                     ": doc takes (coll, id)");
+    }
+    auto dit = coll.documents.find(call.args[1].as_string());
+    if (dit == coll.documents.end()) {
+      return Status::NotFound("no document '" + call.args[1].as_string() +
+                              "'");
+    }
+    return finish(AnswerSet{Value::Str(dit->second)}, 0, dit->second.size());
+  }
+
+  if (fn == "docs" || fn == "doc_count") {
+    if (call.args.size() != 1) {
+      return Status::InvalidArgument(call.ToString() + ": takes (coll)");
+    }
+    if (fn == "doc_count") {
+      return finish(
+          AnswerSet{Value::Int(static_cast<int64_t>(coll.documents.size()))},
+          0, 0);
+    }
+    AnswerSet answers;
+    for (const auto& [id, body] : coll.documents) {
+      answers.push_back(Value::Str(id));
+    }
+    return finish(std::move(answers), coll.documents.size(), 0);
+  }
+
+  return Status::NotFound("domain '" + name_ + "' has no function '" + fn +
+                          "'");
+}
+
+void LoadNewsCorpus(TextDomain* domain) {
+  struct Article {
+    const char* id;
+    const char* body;
+  };
+  const Article articles[] = {
+      {"nw01",
+       "Army logistics planners demand better terrain data for route "
+       "planning as supply convoys stretch across the desert."},
+      {"nw02",
+       "Hollywood archives digitize classic Hitchcock films; Rope and The "
+       "Birds lead the restoration effort."},
+      {"nw03",
+       "Database researchers integrate heterogeneous sources: video "
+       "archives, terrain maps and supply databases answer one query."},
+      {"nw04",
+       "Internet links to Italy remain slow; researchers cache query "
+       "results to hide transatlantic latency."},
+      {"nw05",
+       "James Stewart retrospective draws crowds; the actor's role in Rope "
+       "remains a critics' favorite."},
+      {"nw06",
+       "Supply depots report fuel shortages; the army reroutes convoys "
+       "through the northern pass."},
+  };
+  for (const Article& a : articles) {
+    domain->AddDocument("usatoday", a.id, a.body);
+  }
+}
+
+}  // namespace hermes::text

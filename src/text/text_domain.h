@@ -1,0 +1,68 @@
+#ifndef HERMES_TEXT_TEXT_DOMAIN_H_
+#define HERMES_TEXT_TEXT_DOMAIN_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "domain/domain.h"
+
+namespace hermes::text {
+
+/// Simulated compute-cost parameters of the text-retrieval package.
+struct TextCostParams {
+  double base_ms = 4.0;          ///< Index open / query parse.
+  double per_posting_ms = 0.01;  ///< Per posting-list entry scanned.
+  double per_result_ms = 0.05;   ///< Per matching document materialized.
+  double per_doc_byte_ms = 0.002;  ///< Retrieving full document text.
+};
+
+/// Keyword-indexed document store (the paper's text database — the USA
+/// Today news-wire corpora — as a mediator domain).
+///
+/// Documents are tokenized on non-alphanumerics and indexed case-folded.
+/// Exported functions:
+///   search(coll, word)          — {doc, hits} structs, by descending hits
+///   cooccur(coll, w1, w2)       — doc ids containing both words
+///   doc(coll, id)               — singleton full text
+///   docs(coll)                  — all document ids
+///   doc_count(coll)             — singleton count
+class TextDomain : public Domain {
+ public:
+  explicit TextDomain(std::string name, TextCostParams params = {})
+      : name_(std::move(name)), params_(params) {}
+
+  /// Adds (or replaces) a document and indexes its terms.
+  void AddDocument(const std::string& collection, const std::string& id,
+                   const std::string& body);
+
+  bool HasCollection(const std::string& collection) const {
+    return collections_.find(collection) != collections_.end();
+  }
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override;
+  Result<CallOutput> Run(const DomainCall& call) override;
+
+ private:
+  struct Collection {
+    std::map<std::string, std::string> documents;  // id → body
+    // term → (doc id → occurrence count), deterministic ordering.
+    std::map<std::string, std::map<std::string, int>> index;
+  };
+
+  static std::vector<std::string> Tokenize(const std::string& body);
+
+  std::string name_;
+  TextCostParams params_;
+  std::map<std::string, Collection> collections_;
+};
+
+/// Loads a miniature news-wire corpus ('usatoday' collection) used by the
+/// tests and the shell demo.
+void LoadNewsCorpus(TextDomain* domain);
+
+}  // namespace hermes::text
+
+#endif  // HERMES_TEXT_TEXT_DOMAIN_H_

@@ -1,0 +1,174 @@
+#include "avis/avis_domain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "avis/video_db.h"
+
+namespace hermes::avis {
+namespace {
+
+std::shared_ptr<AvisDomain> MakeDomain() {
+  auto db = std::make_shared<VideoDatabase>();
+  LoadRopeDataset(db.get());
+  return std::make_shared<AvisDomain>("avis", db);
+}
+
+DomainCall Call(const std::string& fn, ValueList args) {
+  return DomainCall{"video", fn, std::move(args)};
+}
+
+std::vector<std::string> Names(const AnswerSet& answers) {
+  std::vector<std::string> out;
+  for (const Value& v : answers) out.push_back(v.as_string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(VideoDatabaseTest, RopeDatasetLoads) {
+  VideoDatabase db;
+  LoadRopeDataset(&db);
+  EXPECT_EQ(db.num_videos(), 2u);
+  ASSERT_TRUE(db.GetVideo("rope").ok());
+  EXPECT_TRUE(db.GetVideo("ghost").status().IsNotFound());
+}
+
+TEST(VideoDatabaseTest, ObjectsInRangeRespectsOverlap) {
+  VideoDatabase db;
+  LoadRopeDataset(&db);
+  Result<VideoDatabase::RangeResult> r = db.ObjectsInRange("rope", 4, 47);
+  ASSERT_TRUE(r.ok());
+  // Segments overlapping [4,47]: rupert, brandon, phillip, david,
+  // mrs_wilson, rope_prop, chest.
+  EXPECT_EQ(r->objects.size(), 7u);
+  EXPECT_GT(r->segments_examined, 0u);
+}
+
+TEST(VideoDatabaseTest, FramesOfObjectReturnsAllSegments) {
+  VideoDatabase db;
+  LoadRopeDataset(&db);
+  Result<VideoDatabase::FramesResult> r = db.FramesOfObject("rope", "rupert");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->segments.size(), 3u);
+}
+
+TEST(VideoDatabaseTest, SyntheticGenerationIsDeterministic) {
+  VideoDatabase a, b;
+  LoadSyntheticVideos(&a, 99, 3, 5, 1000);
+  LoadSyntheticVideos(&b, 99, 3, 5, 1000);
+  Result<const VideoInfo*> va = a.GetVideo("video_0");
+  Result<const VideoInfo*> vb = b.GetVideo("video_0");
+  ASSERT_TRUE(va.ok() && vb.ok());
+  ASSERT_EQ((*va)->segments.size(), (*vb)->segments.size());
+  for (size_t i = 0; i < (*va)->segments.size(); ++i) {
+    EXPECT_EQ((*va)->segments[i].first_frame, (*vb)->segments[i].first_frame);
+  }
+}
+
+TEST(AvisDomainTest, VideoSizeAndFrames) {
+  auto d = MakeDomain();
+  Result<CallOutput> size = d->Run(Call("video_size", {Value::Str("rope")}));
+  ASSERT_TRUE(size.ok()) << size.status();
+  EXPECT_EQ(size->answers, AnswerSet{Value::Int(1214800000)});
+  Result<CallOutput> frames =
+      d->Run(Call("video_frames", {Value::Str("rope")}));
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(frames->answers, AnswerSet{Value::Int(130000)});
+}
+
+TEST(AvisDomainTest, FramesToObjectsRange) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(
+      Call("frames_to_objects", {Value::Str("rope"), Value::Int(4),
+                                 Value::Int(47)}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  std::vector<std::string> names = Names(out->answers);
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "rupert"));
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "brandon"));
+  EXPECT_FALSE(std::count(names.begin(), names.end(), "janet"));
+}
+
+TEST(AvisDomainTest, WiderRangeSeesSuperset) {
+  // The subset property behind the scenario's frame-range invariant.
+  auto d = MakeDomain();
+  Result<CallOutput> narrow = d->Run(Call(
+      "frames_to_objects", {Value::Str("rope"), Value::Int(4), Value::Int(47)}));
+  Result<CallOutput> wide = d->Run(Call(
+      "frames_to_objects", {Value::Str("rope"), Value::Int(4), Value::Int(127)}));
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  std::vector<std::string> n = Names(narrow->answers);
+  std::vector<std::string> w = Names(wide->answers);
+  EXPECT_TRUE(std::includes(w.begin(), w.end(), n.begin(), n.end()));
+  EXPECT_GE(w.size(), n.size());
+}
+
+TEST(AvisDomainTest, ObjectToFramesStructs) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(
+      Call("object_to_frames", {Value::Str("rope"), Value::Str("rupert")}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->answers.size(), 3u);
+  EXPECT_EQ(*out->answers[0].GetAttr("first"), Value::Int(4));
+  EXPECT_EQ(*out->answers[0].GetAttr("last"), Value::Int(42));
+}
+
+TEST(AvisDomainTest, VideosListsStore) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call("videos", {}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Names(out->answers),
+            (std::vector<std::string>{"rope", "the_birds"}));
+}
+
+TEST(AvisDomainTest, EmptyRangeRejected) {
+  auto d = MakeDomain();
+  EXPECT_FALSE(d->Run(Call("frames_to_objects",
+                           {Value::Str("rope"), Value::Int(47), Value::Int(4)}))
+                   .ok());
+}
+
+TEST(AvisDomainTest, JitterIsDeterministicPerCall) {
+  auto d = MakeDomain();
+  DomainCall call = Call("frames_to_objects",
+                         {Value::Str("rope"), Value::Int(4), Value::Int(47)});
+  Result<CallOutput> a = d->Run(call);
+  Result<CallOutput> b = d->Run(call);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->all_ms, b->all_ms);  // repeating a call costs the same
+  EXPECT_DOUBLE_EQ(a->first_ms, b->first_ms);
+}
+
+TEST(AvisDomainTest, DifferentCallsJitterDifferently) {
+  auto d = MakeDomain();
+  Result<CallOutput> a = d->Run(Call(
+      "frames_to_objects", {Value::Str("rope"), Value::Int(4), Value::Int(47)}));
+  Result<CallOutput> b = d->Run(Call(
+      "frames_to_objects", {Value::Str("rope"), Value::Int(4), Value::Int(48)}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->all_ms, b->all_ms);
+}
+
+TEST(AvisDomainTest, CostGrowsWithRangeLength) {
+  AvisCostParams no_jitter;
+  no_jitter.jitter = 0.0;
+  auto db = std::make_shared<VideoDatabase>();
+  LoadRopeDataset(db.get());
+  AvisDomain d("avis", db, no_jitter);
+  Result<CallOutput> narrow = d.Run(Call(
+      "frames_to_objects", {Value::Str("rope"), Value::Int(4), Value::Int(47)}));
+  Result<CallOutput> wide = d.Run(Call(
+      "frames_to_objects",
+      {Value::Str("rope"), Value::Int(4), Value::Int(100000)}));
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_GT(wide->all_ms, narrow->all_ms);
+}
+
+TEST(AvisDomainTest, UnknownVideoIsNotFound) {
+  auto d = MakeDomain();
+  EXPECT_TRUE(
+      d->Run(Call("video_size", {Value::Str("ghost")})).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace hermes::avis

@@ -1,0 +1,129 @@
+#include "cim/result_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::cim {
+namespace {
+
+DomainCall Call(int i) {
+  return DomainCall{"d", "f", {Value::Int(i)}};
+}
+
+AnswerSet Answers(int n) {
+  AnswerSet out;
+  for (int i = 0; i < n; ++i) out.push_back(Value::Int(i));
+  return out;
+}
+
+TEST(ResultCacheTest, PutAndGet) {
+  ResultCache cache;
+  cache.Put(Call(1), Answers(3));
+  const CacheEntry* e = cache.Get(Call(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->answers.size(), 3u);
+  EXPECT_TRUE(e->complete);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ResultCacheTest, MissCountsAndReturnsNull) {
+  ResultCache cache;
+  EXPECT_EQ(cache.Get(Call(9)), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, PutReplacesExisting) {
+  ResultCache cache;
+  cache.Put(Call(1), Answers(3));
+  cache.Put(Call(1), Answers(5));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(Call(1))->answers.size(), 5u);
+}
+
+TEST(ResultCacheTest, PeekDoesNotTouchStats) {
+  ResultCache cache;
+  cache.Put(Call(1), Answers(1));
+  EXPECT_NE(cache.Peek(Call(1)), nullptr);
+  EXPECT_EQ(cache.Peek(Call(2)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ResultCacheTest, EntryCountEviction) {
+  ResultCache cache(/*max_entries=*/2);
+  cache.Put(Call(1), Answers(1));
+  cache.Put(Call(2), Answers(1));
+  cache.Put(Call(3), Answers(1));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Peek(Call(1)), nullptr);  // LRU victim
+  EXPECT_NE(cache.Peek(Call(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, GetRefreshesRecency) {
+  ResultCache cache(/*max_entries=*/2);
+  cache.Put(Call(1), Answers(1));
+  cache.Put(Call(2), Answers(1));
+  (void)cache.Get(Call(1));  // bump 1 to the front
+  cache.Put(Call(3), Answers(1));
+  EXPECT_NE(cache.Peek(Call(1)), nullptr);
+  EXPECT_EQ(cache.Peek(Call(2)), nullptr);  // 2 became the victim
+}
+
+TEST(ResultCacheTest, ByteBoundEviction) {
+  // Each Int answer is ~8 bytes.
+  ResultCache cache(/*max_entries=*/0, /*max_bytes=*/100);
+  cache.Put(Call(1), Answers(5));   // ~40 bytes
+  cache.Put(Call(2), Answers(5));   // ~80 total
+  cache.Put(Call(3), Answers(5));   // would exceed 100 → evict LRU
+  EXPECT_LE(cache.total_bytes(), 100u);
+  EXPECT_EQ(cache.Peek(Call(1)), nullptr);
+}
+
+TEST(ResultCacheTest, RemoveAndClear) {
+  ResultCache cache;
+  cache.Put(Call(1), Answers(2));
+  cache.Put(Call(2), Answers(2));
+  cache.Remove(Call(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Remove(Call(99));  // no-op
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.total_bytes(), 0u);
+}
+
+TEST(ResultCacheTest, IncompleteEntriesKeepFlag) {
+  ResultCache cache;
+  cache.Put(Call(1), Answers(2), /*complete=*/false);
+  EXPECT_FALSE(cache.Get(Call(1))->complete);
+}
+
+TEST(ResultCacheTest, ForEachVisitsAllAndCanStop) {
+  ResultCache cache;
+  cache.Put(Call(1), Answers(1));
+  cache.Put(Call(2), Answers(1));
+  cache.Put(Call(3), Answers(1));
+  int visited = 0;
+  cache.ForEach([&](const CacheEntry&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 3);
+  visited = 0;
+  cache.ForEach([&](const CacheEntry&) {
+    ++visited;
+    return false;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(ResultCacheTest, TotalBytesTracksContent) {
+  ResultCache cache;
+  cache.Put(Call(1), Answers(10));
+  size_t bytes = cache.total_bytes();
+  EXPECT_GT(bytes, 0u);
+  cache.Put(Call(2), Answers(10));
+  EXPECT_EQ(cache.total_bytes(), 2 * bytes);
+}
+
+}  // namespace
+}  // namespace hermes::cim

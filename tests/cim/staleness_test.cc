@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "cim/cim.h"
+
+namespace hermes::cim {
+namespace {
+
+/// Counts calls; answers change with every execution, so a stale cache is
+/// observably wrong.
+class VersionedDomain : public Domain {
+ public:
+  explicit VersionedDomain(std::string name) : name_(std::move(name)) {}
+  int calls() const { return calls_; }
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override { return {}; }
+  Result<CallOutput> Run(const DomainCall& call) override {
+    (void)call;
+    ++calls_;
+    CallOutput out;
+    out.answers = {Value::Int(calls_)};  // version tag
+    out.first_ms = out.all_ms = 100.0;
+    return out;
+  }
+
+ private:
+  std::string name_;
+  int calls_ = 0;
+};
+
+DomainCall TheCall() { return DomainCall{"v", "now", {Value::Int(1)}}; }
+
+TEST(CimStalenessTest, UnboundedAgeServesForever) {
+  auto inner = std::make_shared<VersionedDomain>("v");
+  CimDomain cim("cim_v", "v", inner);
+  (void)cim.Run(TheCall());
+  for (int i = 0; i < 10; ++i) {
+    Result<CallOutput> out = cim.Run(TheCall());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->answers, AnswerSet{Value::Int(1)});  // original version
+  }
+  EXPECT_EQ(inner->calls(), 1);
+}
+
+TEST(CimStalenessTest, AgedEntriesAreRefetched) {
+  auto inner = std::make_shared<VersionedDomain>("v");
+  CimOptions options;
+  options.max_entry_age = 3;
+  CimDomain cim("cim_v", "v", inner, options);
+
+  (void)cim.Run(TheCall());                      // tick 1: miss, cached @1
+  EXPECT_EQ(cim.Run(TheCall())->answers[0], Value::Int(1));  // tick 2: hit
+  EXPECT_EQ(cim.Run(TheCall())->answers[0], Value::Int(1));  // tick 3: hit
+  EXPECT_EQ(cim.Run(TheCall())->answers[0], Value::Int(1));  // tick 4: hit
+  // tick 5: age (5-1) > 3 → stale, refetched and re-cached.
+  Result<CallOutput> refreshed = cim.Run(TheCall());
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed->answers[0], Value::Int(2));
+  EXPECT_EQ(inner->calls(), 2);
+  EXPECT_EQ(cim.stats().exact_hits, 3u);
+  EXPECT_EQ(cim.stats().misses, 2u);
+}
+
+TEST(CimStalenessTest, StaleEntriesInvisibleToInvariants) {
+  auto inner = std::make_shared<VersionedDomain>("v");
+  CimOptions options;
+  options.max_entry_age = 1;
+  CimDomain cim("cim_v", "v", inner, options);
+  ASSERT_TRUE(cim.AddInvariants("=> v:now(X) = v:now(X).").ok());
+
+  (void)cim.Run(TheCall());  // tick 1: cached @1
+  (void)cim.Run(DomainCall{"v", "now", {Value::Int(2)}});  // tick 2
+  // tick 3: the @1 entry is now 2 ticks old (> 1): neither the exact probe
+  // nor the (self-)equality invariant may serve it.
+  Result<CallOutput> out = cim.Run(TheCall());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers[0], Value::Int(3));
+  EXPECT_EQ(cim.stats().equality_hits, 0u);
+}
+
+}  // namespace
+}  // namespace hermes::cim

@@ -1,0 +1,128 @@
+#include "cim/substitution.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace hermes::cim {
+namespace {
+
+lang::DomainCallSpec SpecOf(const std::string& invariant_text, bool lhs) {
+  Result<lang::Invariant> inv = lang::Parser::ParseInvariant(invariant_text);
+  EXPECT_TRUE(inv.ok()) << inv.status();
+  return lhs ? inv->lhs : inv->rhs;
+}
+
+TEST(SubstitutionTest, MatchBindsVariables) {
+  lang::DomainCallSpec pattern =
+      SpecOf("=> spatial:range(F, X, Y, D) = spatial:range(F, X, Y, D).",
+             true);
+  DomainCall call{"spatial",
+                  "range",
+                  {Value::Str("map1"), Value::Int(3), Value::Int(4),
+                   Value::Int(50)}};
+  Substitution theta;
+  ASSERT_TRUE(MatchCallAgainstSpec(pattern, call, &theta));
+  EXPECT_EQ(theta.at("F"), Value::Str("map1"));
+  EXPECT_EQ(theta.at("D"), Value::Int(50));
+}
+
+TEST(SubstitutionTest, MatchChecksConstants) {
+  lang::DomainCallSpec pattern =
+      SpecOf("=> spatial:range('map1', X, Y, D) = spatial:range('p', X, Y, D).",
+             true);
+  DomainCall wrong{"spatial",
+                   "range",
+                   {Value::Str("other"), Value::Int(0), Value::Int(0),
+                    Value::Int(1)}};
+  Substitution theta;
+  EXPECT_FALSE(MatchCallAgainstSpec(pattern, wrong, &theta));
+}
+
+TEST(SubstitutionTest, MatchRejectsDomainFunctionArityMismatch) {
+  lang::DomainCallSpec pattern = SpecOf("=> d:f(X) = d:g(X).", true);
+  Substitution theta;
+  EXPECT_FALSE(MatchCallAgainstSpec(pattern, DomainCall{"e", "f", {Value::Int(1)}},
+                                    &theta));
+  EXPECT_FALSE(MatchCallAgainstSpec(pattern, DomainCall{"d", "g", {Value::Int(1)}},
+                                    &theta));
+  EXPECT_FALSE(MatchCallAgainstSpec(
+      pattern, DomainCall{"d", "f", {Value::Int(1), Value::Int(2)}}, &theta));
+}
+
+TEST(SubstitutionTest, RepeatedVariableMustAgree) {
+  lang::DomainCallSpec pattern = SpecOf("=> d:f(X, X) = d:g(X).", true);
+  Substitution theta;
+  EXPECT_TRUE(MatchCallAgainstSpec(
+      pattern, DomainCall{"d", "f", {Value::Int(1), Value::Int(1)}}, &theta));
+  Substitution theta2;
+  EXPECT_FALSE(MatchCallAgainstSpec(
+      pattern, DomainCall{"d", "f", {Value::Int(1), Value::Int(2)}}, &theta2));
+}
+
+TEST(SubstitutionTest, ApplySubstitutionGroundsBoundVars) {
+  lang::DomainCallSpec rhs =
+      SpecOf("D > 142 => spatial:range('map1', X, Y, D) = "
+             "spatial:range('points', X, Y, 142).",
+             false);
+  Substitution theta{{"X", Value::Int(7)}, {"Y", Value::Int(9)}};
+  lang::DomainCallSpec grounded = ApplySubstitution(rhs, theta);
+  EXPECT_TRUE(grounded.is_ground());
+  EXPECT_EQ(grounded.args[1].constant, Value::Int(7));
+  EXPECT_EQ(grounded.args[3].constant, Value::Int(142));
+}
+
+TEST(SubstitutionTest, ApplySubstitutionLeavesUnboundVars) {
+  lang::DomainCallSpec rhs =
+      SpecOf("V1 <= V2 => d:sel(T, V2) >= d:sel(T, V1).", false);
+  Substitution theta{{"T", Value::Str("t")}, {"V2", Value::Int(10)}};
+  lang::DomainCallSpec partial = ApplySubstitution(rhs, theta);
+  EXPECT_FALSE(partial.is_ground());
+  EXPECT_TRUE(partial.args[1].is_variable());
+  EXPECT_EQ(partial.args[1].var_name, "V1");
+}
+
+TEST(SubstitutionTest, ResolveTermWithPath) {
+  Substitution theta{
+      {"T", Value::Struct({{"loc", Value::Str("depot")}})}};
+  lang::Term term = lang::Term::Var("T", {"loc"});
+  Result<Value> v = ResolveTerm(term, theta);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Str("depot"));
+}
+
+TEST(SubstitutionTest, EvalConditionsAllHold) {
+  Result<lang::Invariant> inv = lang::Parser::ParseInvariant(
+      "F2 <= F1 & L1 <= L2 => v:f(V, F2, L2) >= v:f(V, F1, L1).");
+  ASSERT_TRUE(inv.ok());
+  Substitution theta{{"F1", Value::Int(4)},
+                     {"F2", Value::Int(1)},
+                     {"L1", Value::Int(47)},
+                     {"L2", Value::Int(100)}};
+  Result<bool> holds = EvalConditions(inv->conditions, theta);
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);
+}
+
+TEST(SubstitutionTest, EvalConditionsFailsWhenViolated) {
+  Result<lang::Invariant> inv =
+      lang::Parser::ParseInvariant("A < B => d:f(A) <= d:f(B).");
+  ASSERT_TRUE(inv.ok());
+  Substitution theta{{"A", Value::Int(5)}, {"B", Value::Int(3)}};
+  Result<bool> holds = EvalConditions(inv->conditions, theta);
+  ASSERT_TRUE(holds.ok());
+  EXPECT_FALSE(*holds);
+}
+
+TEST(SubstitutionTest, EvalConditionsUnboundVariableIsFalse) {
+  Result<lang::Invariant> inv =
+      lang::Parser::ParseInvariant("A < B => d:f(A) <= d:f(B).");
+  ASSERT_TRUE(inv.ok());
+  Substitution theta{{"A", Value::Int(5)}};  // B unbound
+  Result<bool> holds = EvalConditions(inv->conditions, theta);
+  ASSERT_TRUE(holds.ok());
+  EXPECT_FALSE(*holds);
+}
+
+}  // namespace
+}  // namespace hermes::cim

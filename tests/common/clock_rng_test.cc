@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace hermes {
+namespace {
+
+TEST(SimClockTest, AdvancesAndResets) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ms(), 0.0);
+  clock.Advance(12.5);
+  clock.Advance(7.5);
+  EXPECT_EQ(clock.now_ms(), 20.0);
+  clock.Reset();
+  EXPECT_EQ(clock.now_ms(), 0.0);
+}
+
+TEST(SimClockTest, IgnoresNegativeCharges) {
+  SimClock clock;
+  clock.Advance(5.0);
+  clock.Advance(-3.0);
+  EXPECT_EQ(clock.now_ms(), 5.0);
+}
+
+TEST(LogicalTimeTest, StrictlyIncreases) {
+  LogicalTime t;
+  uint64_t a = t.Next();
+  uint64_t b = t.Next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(t.last(), b);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextU64() != b.NextU64()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextInRangeIsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianHasReasonableMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,68 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine/mediator.h"
+#include "relational/database.h"
+
+namespace hermes {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, WriteThenReadRoundTrips) {
+  std::string path = TempPath("io_roundtrip.txt");
+  const std::string payload = "line one\nline two\n\x01\x02 binary-ish\n";
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(ReadFileToString("/nonexistent/truly/missing").status()
+                  .IsNotFound());
+}
+
+TEST(IoTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteStringToFile("/nonexistent/dir/file", "x").ok());
+}
+
+TEST(IoTest, MediatorLoadsProgramFile) {
+  std::string path = TempPath("program.hm");
+  ASSERT_TRUE(WriteStringToFile(path,
+                                "% a rule file\n"
+                                "greeting('hello').\n"
+                                "both(X) :- greeting(X).\n")
+                  .ok());
+  Mediator med;
+  ASSERT_TRUE(med.LoadProgramFile(path).ok());
+  Result<QueryResult> res = med.Query("?- both(X).", QueryOptions{});
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->execution.answers.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MediatorLoadProgramFileMissing) {
+  Mediator med;
+  EXPECT_TRUE(med.LoadProgramFile("/no/such/file.hm").IsNotFound());
+}
+
+TEST(IoTest, DatabaseLoadsCsvFile) {
+  std::string path = TempPath("cast.csv");
+  ASSERT_TRUE(
+      WriteStringToFile(path, "name:string,n:int\n'a',1\n'b',2\n").ok());
+  relational::Database db;
+  Result<relational::Table*> table = db.LoadCsvFile("cast", path);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hermes

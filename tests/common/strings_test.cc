@@ -1,0 +1,39 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(SplitString(JoinStrings(parts, "|"), '|'), parts);
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringsTest, TrimStripsBothEnds) {
+  EXPECT_EQ(TrimString("  hello \t\n"), "hello");
+  EXPECT_EQ(TrimString("   "), "");
+  EXPECT_EQ(TrimString("x"), "x");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD 42"), "mixed 42");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("cim_video", "cim_"));
+  EXPECT_FALSE(StartsWith("video", "cim_"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,147 @@
+#include "dcsm/cost_vector_db.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace hermes::dcsm {
+namespace {
+
+DomainCall P(const std::string& a) {
+  return DomainCall{"d1", "p_bf", {Value::Str(a)}};
+}
+
+lang::DomainCallSpec Pattern(const std::string& text) {
+  Result<lang::DomainCallSpec> spec = lang::Parser::ParseCallPattern(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *spec;
+}
+
+/// Loads the paper's table (T16): statistics of d1:p_bf calls.
+///   A='a': Ta 2.00, 2.20 (Card 2, 2); A='c': 2.80, 2.84 (Card 3, 3).
+void LoadT16(CostVectorDatabase* db) {
+  db->RecordExecution(P("a"), CostVector(0.5, 2.00, 2));
+  db->RecordExecution(P("a"), CostVector(0.5, 2.20, 2));
+  db->RecordExecution(P("c"), CostVector(0.6, 2.80, 3));
+  db->RecordExecution(P("c"), CostVector(0.6, 2.84, 3));
+}
+
+TEST(CostVectorDbTest, RecordGroupsByDomainFunctionArity) {
+  CostVectorDatabase db;
+  LoadT16(&db);
+  db.RecordExecution(DomainCall{"d2", "q_bf", {Value::Str("b")}},
+                     CostVector(1, 5, 4));
+  EXPECT_EQ(db.TotalRecords(), 5u);
+  EXPECT_EQ(db.Groups().size(), 2u);
+  const std::vector<CostRecord>* group =
+      db.GetGroup(CallGroupKey{"d1", "p_bf", 1});
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 4u);
+  EXPECT_EQ(db.GetGroup(CallGroupKey{"d1", "p_bf", 2}), nullptr);
+}
+
+TEST(CostVectorDbTest, RecordTimesAreMonotone) {
+  CostVectorDatabase db;
+  LoadT16(&db);
+  const std::vector<CostRecord>* group =
+      db.GetGroup(CallGroupKey{"d1", "p_bf", 1});
+  ASSERT_NE(group, nullptr);
+  for (size_t i = 1; i < group->size(); ++i) {
+    EXPECT_GT((*group)[i].record_time, (*group)[i - 1].record_time);
+  }
+}
+
+TEST(CostVectorDbTest, PaperExampleConstantEstimate) {
+  // Section 6.1: the cost of d1:p_bf('a') is the average of the two 'a'
+  // entries: (2.00 + 2.20) / 2 = 2.10.
+  CostVectorDatabase db;
+  LoadT16(&db);
+  Result<Aggregate> agg = db.Estimate(Pattern("d1:p_bf('a')"));
+  ASSERT_TRUE(agg.ok()) << agg.status();
+  EXPECT_DOUBLE_EQ(agg->cost.t_all_ms, 2.10);
+  EXPECT_EQ(agg->matched, 2u);
+  EXPECT_EQ(agg->rows_scanned, 4u);
+}
+
+TEST(CostVectorDbTest, PaperExampleBoundEstimate) {
+  // Section 6.1: the cost of d1:p_bf($b) is the average of all four
+  // entries: (2.00 + 2.20 + 2.80 + 2.84) / 4 = 2.46.
+  CostVectorDatabase db;
+  LoadT16(&db);
+  Result<Aggregate> agg = db.Estimate(Pattern("d1:p_bf($b)"));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->cost.t_all_ms, 2.46);
+  EXPECT_DOUBLE_EQ(agg->cost.cardinality, 2.5);
+  EXPECT_EQ(agg->matched, 4u);
+}
+
+TEST(CostVectorDbTest, UnmatchedConstantIsNotFound) {
+  CostVectorDatabase db;
+  LoadT16(&db);
+  EXPECT_TRUE(db.Estimate(Pattern("d1:p_bf('zzz')")).status().IsNotFound());
+  EXPECT_TRUE(db.Estimate(Pattern("d9:none($b)")).status().IsNotFound());
+}
+
+TEST(CostVectorDbTest, MissingMetricsAreSkippedInAverages) {
+  CostVectorDatabase db;
+  CostRecord r1;
+  r1.call = P("a");
+  r1.cost = CostVector(1.0, 10.0, 5);
+  db.Record(r1);
+  CostRecord r2;  // interactive-mode record: Ta and Card unknown
+  r2.call = P("a");
+  r2.cost = CostVector(2.0, 999.0, 999);
+  r2.has_t_all = false;
+  r2.has_cardinality = false;
+  db.Record(r2);
+
+  Result<Aggregate> agg = db.Estimate(Pattern("d1:p_bf('a')"));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->cost.t_first_ms, 1.5);  // both records
+  EXPECT_DOUBLE_EQ(agg->cost.t_all_ms, 10.0);   // only the complete one
+  EXPECT_DOUBLE_EQ(agg->cost.cardinality, 5.0);
+  EXPECT_TRUE(agg->has_t_all);
+}
+
+TEST(CostVectorDbTest, RecencyWeightingFavorsNewRecords) {
+  CostVectorDatabase db;
+  db.RecordExecution(P("a"), CostVector(1, 100.0, 1));
+  for (int i = 0; i < 10; ++i) {
+    db.RecordExecution(P("a"), CostVector(1, 10.0, 1));
+  }
+  Result<Aggregate> flat = db.Estimate(Pattern("d1:p_bf('a')"), 0.0);
+  Result<Aggregate> recent = db.Estimate(Pattern("d1:p_bf('a')"), 2.0);
+  ASSERT_TRUE(flat.ok() && recent.ok());
+  // Unweighted: (100 + 10*10)/11 ≈ 18.2. Recency-weighted: ≈ 10.
+  EXPECT_GT(flat->cost.t_all_ms, 15.0);
+  EXPECT_LT(recent->cost.t_all_ms, 11.0);
+}
+
+TEST(CostVectorDbTest, VariablePatternsRejected) {
+  CostVectorDatabase db;
+  LoadT16(&db);
+  lang::DomainCallSpec bad;
+  bad.domain = "d1";
+  bad.function = "p_bf";
+  bad.args.push_back(lang::Term::Var("X"));
+  EXPECT_EQ(db.Estimate(bad).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CostVectorDbTest, ApproxBytesGrowsWithRecords) {
+  CostVectorDatabase db;
+  LoadT16(&db);
+  size_t four = db.ApproxBytes();
+  LoadT16(&db);
+  EXPECT_GT(db.ApproxBytes(), four);
+}
+
+TEST(CostVectorDbTest, ClearEmptiesEverything) {
+  CostVectorDatabase db;
+  LoadT16(&db);
+  db.Clear();
+  EXPECT_EQ(db.TotalRecords(), 0u);
+  EXPECT_TRUE(db.Groups().empty());
+}
+
+}  // namespace
+}  // namespace hermes::dcsm

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "dcsm/dcsm.h"
+#include "lang/parser.h"
+
+namespace hermes::dcsm {
+namespace {
+
+lang::DomainCallSpec Pattern(const std::string& text) {
+  Result<lang::DomainCallSpec> spec = lang::Parser::ParseCallPattern(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *spec;
+}
+
+DomainCall Call(int a) { return DomainCall{"d", "f", {Value::Int(a)}}; }
+
+TEST(IncrementalSummaryTest, FoldEqualsRebuild) {
+  // Property: folding records one at a time yields the same table as a
+  // full rebuild over the whole record set.
+  Dcsm incremental;
+  incremental.options().auto_update_summaries = true;
+  Dcsm rebuilt;
+
+  // Seed both with the same initial records and build summaries.
+  for (int i = 0; i < 5; ++i) {
+    incremental.RecordExecution(Call(i % 2), CostVector(1, 10.0 + i, 2));
+    rebuilt.RecordExecution(Call(i % 2), CostVector(1, 10.0 + i, 2));
+  }
+  ASSERT_TRUE(incremental.BuildLosslessSummaries().ok());
+
+  // Stream more records: incremental folds them in; `rebuilt` gets them
+  // recorded and summarized from scratch at the end.
+  for (int i = 5; i < 30; ++i) {
+    incremental.RecordExecution(Call(i % 2), CostVector(1, 10.0 + i, 2));
+    rebuilt.RecordExecution(Call(i % 2), CostVector(1, 10.0 + i, 2));
+  }
+  ASSERT_TRUE(rebuilt.BuildLosslessSummaries().ok());
+
+  incremental.options().use_raw_database = false;
+  rebuilt.options().use_raw_database = false;
+  for (const char* text : {"d:f(0)", "d:f(1)", "d:f($b)"}) {
+    Result<CostEstimate> a = incremental.Cost(Pattern(text));
+    Result<CostEstimate> b = rebuilt.Cost(Pattern(text));
+    ASSERT_TRUE(a.ok() && b.ok()) << text;
+    EXPECT_DOUBLE_EQ(a->cost.t_all_ms, b->cost.t_all_ms) << text;
+    EXPECT_EQ(a->records_matched, b->records_matched) << text;
+  }
+}
+
+TEST(IncrementalSummaryTest, OffByDefault) {
+  Dcsm dcsm;
+  dcsm.RecordExecution(Call(0), CostVector(1, 10, 2));
+  ASSERT_TRUE(dcsm.BuildLosslessSummaries().ok());
+  dcsm.RecordExecution(Call(0), CostVector(1, 90, 2));
+
+  dcsm.options().use_raw_database = false;
+  Result<CostEstimate> stale = dcsm.Cost(Pattern("d:f(0)"));
+  ASSERT_TRUE(stale.ok());
+  // Without auto-update the summary still reflects only the first record.
+  EXPECT_DOUBLE_EQ(stale->cost.t_all_ms, 10.0);
+}
+
+TEST(IncrementalSummaryTest, NewDimensionValuesCreateRows) {
+  Dcsm dcsm;
+  dcsm.options().auto_update_summaries = true;
+  dcsm.RecordExecution(Call(0), CostVector(1, 10, 2));
+  ASSERT_TRUE(dcsm.BuildLosslessSummaries().ok());
+  dcsm.RecordExecution(Call(7), CostVector(1, 70, 2));  // unseen value
+
+  dcsm.options().use_raw_database = false;
+  Result<CostEstimate> est = dcsm.Cost(Pattern("d:f(7)"));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->cost.t_all_ms, 70.0);
+}
+
+TEST(IncrementalSummaryTest, FoldIgnoresForeignRecords) {
+  CostRecord foreign;
+  foreign.call = DomainCall{"other", "g", {Value::Int(1)}};
+  foreign.cost = CostVector(1, 1, 1);
+  Result<SummaryTable> table = SummaryTable::Build(
+      CallGroupKey{"d", "f", 1}, {}, {0});
+  ASSERT_TRUE(table.ok());
+  table->Fold(foreign);
+  EXPECT_EQ(table->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace hermes::dcsm

@@ -1,0 +1,173 @@
+#include "dcsm/summary_table.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace hermes::dcsm {
+namespace {
+
+lang::DomainCallSpec Pattern(const std::string& text) {
+  Result<lang::DomainCallSpec> spec = lang::Parser::ParseCallPattern(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *spec;
+}
+
+/// The paper's table (T16) records for d1:p_bf.
+std::vector<CostRecord> T16Records() {
+  std::vector<CostRecord> out;
+  auto add = [&out](const std::string& a, double ta, double card) {
+    CostRecord r;
+    r.call = DomainCall{"d1", "p_bf", {Value::Str(a)}};
+    r.cost = CostVector(ta / 4, ta, card);
+    out.push_back(r);
+  };
+  add("a", 2.00, 2);
+  add("a", 2.20, 2);
+  add("c", 2.80, 3);
+  add("c", 2.84, 3);
+  return out;
+}
+
+CallGroupKey T16Key() { return CallGroupKey{"d1", "p_bf", 1}; }
+
+TEST(SummaryTableTest, LosslessBuildMatchesPaperT20) {
+  // Figure 3's table (T20): the 'a' rows aggregate to Ta 2.10 with l=2,
+  // the 'c' rows to Ta 2.82 with l=2.
+  Result<SummaryTable> table =
+      SummaryTable::Build(T16Key(), T16Records(), {0});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_TRUE(table->IsLossless());
+  EXPECT_EQ(table->num_rows(), 2u);
+
+  const SummaryRow* row_a = table->Lookup({Value::Str("a")});
+  ASSERT_NE(row_a, nullptr);
+  EXPECT_DOUBLE_EQ(row_a->Mean().t_all_ms, 2.10);
+  EXPECT_DOUBLE_EQ(row_a->Mean().cardinality, 2.0);
+  EXPECT_EQ(row_a->l, 2u);
+
+  const SummaryRow* row_c = table->Lookup({Value::Str("c")});
+  ASSERT_NE(row_c, nullptr);
+  EXPECT_DOUBLE_EQ(row_c->Mean().t_all_ms, 2.82);
+}
+
+TEST(SummaryTableTest, LosslessAnswersSameAsRawForAllQuestions) {
+  // The defining property of lossless summarization (Section 6.2.1): any
+  // statistics question answers identically on the summary and the raw
+  // records.
+  CostVectorDatabase db;
+  for (const CostRecord& r : T16Records()) db.Record(CostRecord(r));
+  Result<SummaryTable> table =
+      SummaryTable::Build(T16Key(), T16Records(), {0});
+  ASSERT_TRUE(table.ok());
+
+  for (const char* pattern_text : {"d1:p_bf('a')", "d1:p_bf('c')",
+                                   "d1:p_bf($b)"}) {
+    lang::DomainCallSpec pattern = Pattern(pattern_text);
+    Result<Aggregate> raw = db.Estimate(pattern);
+    Result<Aggregate> summarized = table->EstimateForPattern(pattern);
+    ASSERT_TRUE(raw.ok() && summarized.ok()) << pattern_text;
+    EXPECT_DOUBLE_EQ(raw->cost.t_all_ms, summarized->cost.t_all_ms)
+        << pattern_text;
+    EXPECT_DOUBLE_EQ(raw->cost.cardinality, summarized->cost.cardinality)
+        << pattern_text;
+    EXPECT_EQ(raw->matched, summarized->matched) << pattern_text;
+  }
+}
+
+TEST(SummaryTableTest, FullyLossyCollapsesToOneRow) {
+  // Figure 4: dropping the dimension leaves a single averaged row.
+  Result<SummaryTable> table = SummaryTable::Build(T16Key(), T16Records(), {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->IsLossless());
+  EXPECT_EQ(table->num_rows(), 1u);
+  const SummaryRow* row = table->Lookup({});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->Mean().t_all_ms, 2.46);
+  EXPECT_DOUBLE_EQ(row->Mean().cardinality, 2.5);
+  EXPECT_EQ(row->l, 4u);
+}
+
+TEST(SummaryTableTest, LossyCannotAnswerConstantQuestions) {
+  Result<SummaryTable> table = SummaryTable::Build(T16Key(), T16Records(), {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->CanAnswer(Pattern("d1:p_bf('a')")));
+  EXPECT_TRUE(table->CanAnswer(Pattern("d1:p_bf($b)")));
+  EXPECT_FALSE(table->EstimateForPattern(Pattern("d1:p_bf('a')")).ok());
+}
+
+TEST(SummaryTableTest, LossyAnswerForBoundPatternMatchesRawAverage) {
+  Result<SummaryTable> table = SummaryTable::Build(T16Key(), T16Records(), {});
+  ASSERT_TRUE(table.ok());
+  Result<Aggregate> agg = table->EstimateForPattern(Pattern("d1:p_bf($b)"));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->cost.t_all_ms, 2.46);
+  EXPECT_EQ(agg->matched, 4u);
+}
+
+TEST(SummaryTableTest, MultiDimensionPartialRetention) {
+  // d:f(A, B) with only position 0 retained (Example 6.2's dropping of
+  // never-instantiable positions).
+  std::vector<CostRecord> records;
+  auto add = [&records](int a, int b, double ta) {
+    CostRecord r;
+    r.call = DomainCall{"d", "f", {Value::Int(a), Value::Int(b)}};
+    r.cost = CostVector(ta / 2, ta, 1);
+    records.push_back(r);
+  };
+  add(1, 10, 4.0);
+  add(1, 20, 6.0);
+  add(2, 10, 10.0);
+  CallGroupKey key{"d", "f", 2};
+  Result<SummaryTable> table = SummaryTable::Build(key, records, {0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+
+  // Constant at the retained position: answerable.
+  Result<Aggregate> agg = table->EstimateForPattern(Pattern("d:f(1, $b)"));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->cost.t_all_ms, 5.0);
+  // Constant at the dropped position: not answerable.
+  EXPECT_FALSE(table->EstimateForPattern(Pattern("d:f($b, 10)")).ok());
+}
+
+TEST(SummaryTableTest, DimensionOutOfRangeRejected) {
+  EXPECT_FALSE(SummaryTable::Build(T16Key(), T16Records(), {3}).ok());
+}
+
+TEST(SummaryTableTest, ApproxBytesSmallerThanRawForRepeatedArgs) {
+  // 100 records over 2 distinct argument values: the summary must be far
+  // smaller than the raw statistics.
+  std::vector<CostRecord> records;
+  CostVectorDatabase db;
+  for (int i = 0; i < 100; ++i) {
+    CostRecord r;
+    r.call = DomainCall{"d1", "p_bf", {Value::Str(i % 2 ? "a" : "c")}};
+    r.cost = CostVector(1, 2, 3);
+    records.push_back(r);
+    db.Record(CostRecord(r));
+  }
+  Result<SummaryTable> table = SummaryTable::Build(T16Key(), records, {0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_LT(table->ApproxBytes(), db.ApproxBytes() / 10);
+}
+
+TEST(SummaryTableTest, MissingMetricsPropagate) {
+  std::vector<CostRecord> records;
+  CostRecord r;
+  r.call = DomainCall{"d1", "p_bf", {Value::Str("a")}};
+  r.cost = CostVector(1.0, 0.0, 0.0);
+  r.has_t_all = false;
+  r.has_cardinality = false;
+  records.push_back(r);
+  Result<SummaryTable> table = SummaryTable::Build(T16Key(), records, {0});
+  ASSERT_TRUE(table.ok());
+  Result<Aggregate> agg = table->EstimateForPattern(Pattern("d1:p_bf('a')"));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg->has_t_first);
+  EXPECT_FALSE(agg->has_t_all);
+  EXPECT_FALSE(agg->has_cardinality);
+}
+
+}  // namespace
+}  // namespace hermes::dcsm

@@ -1,0 +1,88 @@
+#include "domain/call.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "domain/domain.h"
+#include "lang/parser.h"
+
+namespace hermes {
+namespace {
+
+TEST(DomainCallTest, FromGroundSpec) {
+  Result<lang::DomainCallSpec> spec =
+      lang::Parser::ParseCallPattern("video:frames_to_objects('rope', 4, 47)");
+  ASSERT_TRUE(spec.ok());
+  Result<DomainCall> call = DomainCall::FromSpec(*spec);
+  ASSERT_TRUE(call.ok()) << call.status();
+  EXPECT_EQ(call->domain, "video");
+  EXPECT_EQ(call->function, "frames_to_objects");
+  ASSERT_EQ(call->args.size(), 3u);
+  EXPECT_EQ(call->args[1], Value::Int(4));
+}
+
+TEST(DomainCallTest, FromNonGroundSpecFails) {
+  Result<lang::DomainCallSpec> spec =
+      lang::Parser::ParseCallPattern("d:f(5, $b)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(DomainCall::FromSpec(*spec).ok());
+}
+
+TEST(DomainCallTest, ToSpecRoundTrip) {
+  DomainCall call{"d", "f", {Value::Int(1), Value::Str("x")}};
+  lang::DomainCallSpec spec = call.ToSpec();
+  EXPECT_TRUE(spec.is_ground());
+  Result<DomainCall> back = DomainCall::FromSpec(spec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, call);
+}
+
+TEST(DomainCallTest, EqualityAndHash) {
+  DomainCall a{"d", "f", {Value::Int(1)}};
+  DomainCall b{"d", "f", {Value::Int(1)}};
+  DomainCall c{"d", "f", {Value::Int(2)}};
+  DomainCall d{"e", "f", {Value::Int(1)}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+
+  std::unordered_set<DomainCall, DomainCallHash> set;
+  set.insert(a);
+  EXPECT_EQ(set.count(b), 1u);
+  EXPECT_EQ(set.count(c), 0u);
+}
+
+TEST(DomainCallTest, ToStringRendering) {
+  DomainCall call{"video", "video_size", {Value::Str("rope")}};
+  EXPECT_EQ(call.ToString(), "video:video_size('rope')");
+}
+
+TEST(DomainCallTest, AnswerSetByteSizeSumsValues) {
+  AnswerSet answers = {Value::Int(1), Value::Str("abc")};
+  EXPECT_EQ(AnswerSetByteSize(answers),
+            Value::Int(1).ApproxByteSize() + Value::Str("abc").ApproxByteSize());
+  EXPECT_EQ(AnswerSetByteSize({}), 0u);
+}
+
+TEST(ArrivalOffsetTest, InterpolatesBetweenFirstAndAll) {
+  CallOutput out;
+  out.answers = {Value::Int(0), Value::Int(1), Value::Int(2)};
+  out.first_ms = 10.0;
+  out.all_ms = 30.0;
+  EXPECT_DOUBLE_EQ(ArrivalOffsetMs(out, 0), 10.0);
+  EXPECT_DOUBLE_EQ(ArrivalOffsetMs(out, 1), 20.0);
+  EXPECT_DOUBLE_EQ(ArrivalOffsetMs(out, 2), 30.0);
+}
+
+TEST(ArrivalOffsetTest, SingleAnswerArrivesAtFirst) {
+  CallOutput out;
+  out.answers = {Value::Int(0)};
+  out.first_ms = 5.0;
+  out.all_ms = 9.0;
+  EXPECT_DOUBLE_EQ(ArrivalOffsetMs(out, 0), 5.0);
+}
+
+}  // namespace
+}  // namespace hermes

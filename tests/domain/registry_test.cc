@@ -1,0 +1,88 @@
+#include "domain/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes {
+namespace {
+
+/// A trivial in-memory domain for registry tests: echo:id(x) → {x}.
+class EchoDomain : public Domain {
+ public:
+  explicit EchoDomain(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return {{"id", 1, "id(x): {x}"}};
+  }
+  Result<CallOutput> Run(const DomainCall& call) override {
+    if (call.function != "id" || call.args.size() != 1) {
+      return Status::NotFound("no function " + call.function);
+    }
+    CallOutput out;
+    out.answers = {call.args[0]};
+    out.first_ms = out.all_ms = 1.0;
+    return out;
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(RegistryTest, RegisterAndRun) {
+  DomainRegistry registry;
+  ASSERT_TRUE(registry.Register("echo", std::make_shared<EchoDomain>("echo"))
+                  .ok());
+  EXPECT_TRUE(registry.Has("echo"));
+  DomainCall call{"echo", "id", {Value::Int(9)}};
+  Result<CallOutput> out = registry.Run(call);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->answers, AnswerSet{Value::Int(9)});
+}
+
+TEST(RegistryTest, DuplicateNameRejected) {
+  DomainRegistry registry;
+  ASSERT_TRUE(registry.Register("d", std::make_shared<EchoDomain>("d")).ok());
+  EXPECT_EQ(registry.Register("d", std::make_shared<EchoDomain>("d"))
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, RegisterOrReplaceOverwrites) {
+  DomainRegistry registry;
+  auto a = std::make_shared<EchoDomain>("a");
+  auto b = std::make_shared<EchoDomain>("b");
+  registry.RegisterOrReplace("d", a);
+  registry.RegisterOrReplace("d", b);
+  Result<std::shared_ptr<Domain>> got = registry.Get("d");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->name(), "b");
+}
+
+TEST(RegistryTest, NullDomainRejected) {
+  DomainRegistry registry;
+  EXPECT_FALSE(registry.Register("d", nullptr).ok());
+}
+
+TEST(RegistryTest, UnknownDomainIsNotFound) {
+  DomainRegistry registry;
+  DomainCall call{"ghost", "id", {}};
+  EXPECT_TRUE(registry.Run(call).status().IsNotFound());
+  EXPECT_TRUE(registry.Get("ghost").status().IsNotFound());
+}
+
+TEST(RegistryTest, UnregisterRemoves) {
+  DomainRegistry registry;
+  ASSERT_TRUE(registry.Register("d", std::make_shared<EchoDomain>("d")).ok());
+  EXPECT_TRUE(registry.Unregister("d").ok());
+  EXPECT_FALSE(registry.Has("d"));
+  EXPECT_TRUE(registry.Unregister("d").IsNotFound());
+}
+
+TEST(RegistryTest, NamesAreSorted) {
+  DomainRegistry registry;
+  (void)registry.Register("zeta", std::make_shared<EchoDomain>("zeta"));
+  (void)registry.Register("alpha", std::make_shared<EchoDomain>("alpha"));
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,126 @@
+// Edge-case coverage for the executor: attribute paths in call arguments,
+// bounded caches under load, deeply nested values, unavailability
+// propagation through rules.
+
+#include <gtest/gtest.h>
+
+#include "engine/mediator.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+TEST(ExecutorEdgeTest, AttributePathAsDomainCallArgument) {
+  // in(R, terraindb:findrte(From, T.loc)) — the call argument is resolved
+  // through the struct produced by an earlier goal.
+  Mediator med;
+  ASSERT_TRUE(med.RegisterDomain("terraindb", testbed::MakeSupplyTerrain())
+                  .ok());
+  auto inv = testbed::MakeInventoryDatabase();
+  ASSERT_TRUE(med.RegisterDomain(
+                     "ingres",
+                     std::make_shared<relational::RelationalDomain>("i", inv))
+                  .ok());
+  ASSERT_TRUE(med.LoadProgram(R"(
+      route_direct(From, Sup, R) :-
+          in(T, ingres:equal('inventory', item, Sup)) &
+          in(R, terraindb:findrte(From, T.loc)).
+  )")
+                  .ok());
+  Result<QueryResult> res = med.Query(
+      "?- route_direct('place1', 'rations', R).", QueryOptions{});
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->execution.answers.size(), 2u);  // north + south depots
+}
+
+TEST(ExecutorEdgeTest, BoundedCimCacheEvictsUnderLoad) {
+  Mediator med;
+  testbed::RopeScenarioOptions options;
+  options.enable_caching = false;  // wire caching manually with bounds
+  ASSERT_TRUE(testbed::SetupRopeScenario(&med, options).ok());
+  ASSERT_TRUE(med.EnableCaching("video", cim::CimOptions{},
+                                cim::CimCostParams{},
+                                /*cache_max_entries=*/3)
+                  .ok());
+  QueryOptions via_cim;
+  via_cim.use_optimizer = false;
+  for (int last = 10; last <= 80; last += 10) {
+    ASSERT_TRUE(
+        med.Query(testbed::AppendixQuery(1, true, 4, last), via_cim).ok());
+  }
+  cim::CimDomain* cim = med.cim("video");
+  EXPECT_LE(cim->cache().size(), 3u);
+  EXPECT_GT(cim->cache().stats().evictions, 0u);
+  // The cache still functions: the most recent call is a hit.
+  uint64_t hits = cim->stats().exact_hits;
+  ASSERT_TRUE(
+      med.Query(testbed::AppendixQuery(1, true, 4, 80), via_cim).ok());
+  EXPECT_GT(cim->stats().exact_hits, hits);
+}
+
+TEST(ExecutorEdgeTest, UnavailabilityPropagatesThroughRules) {
+  Mediator med;
+  testbed::RopeScenarioOptions options;
+  options.sites.video_site.availability = 0.0;
+  options.enable_caching = false;
+  ASSERT_TRUE(testbed::SetupRopeScenario(&med, options).ok());
+  QueryOptions direct;
+  direct.use_optimizer = false;
+  direct.use_cim = false;
+  Result<QueryResult> res =
+      med.Query(testbed::AppendixQuery(3, false, 4, 47), direct);
+  EXPECT_TRUE(res.status().IsUnavailable());
+}
+
+TEST(ExecutorEdgeTest, ComparisonOnlyQuery) {
+  Mediator med;
+  ASSERT_TRUE(med.LoadProgram("tautology(X) :- =(X, 42) & X > 10.").ok());
+  Result<QueryResult> res = med.Query("?- tautology(X).", QueryOptions{});
+  ASSERT_TRUE(res.ok()) << res.status();
+  ASSERT_EQ(res->execution.answers.size(), 1u);
+  EXPECT_EQ(res->execution.answers[0][0], Value::Int(42));
+
+  Result<QueryResult> none = med.Query("?- tautology(5).", QueryOptions{});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->execution.answers.empty());
+}
+
+TEST(ExecutorEdgeTest, DeeplyNestedAnswerStructures) {
+  // Terrain routes contain lists of structs; drill in through paths.
+  Mediator med;
+  ASSERT_TRUE(med.RegisterDomain("terraindb", testbed::MakeSupplyTerrain())
+                  .ok());
+  ASSERT_TRUE(med.LoadProgram(R"(
+      first_waypoint_x(From, To, X) :-
+          in(R, terraindb:findrte(From, To)) &
+          =(X, R.waypoints.1.x).
+  )")
+                  .ok());
+  Result<QueryResult> res = med.Query(
+      "?- first_waypoint_x('place1', 'depot_west', X).", QueryOptions{});
+  ASSERT_TRUE(res.ok()) << res.status();
+  ASSERT_EQ(res->execution.answers.size(), 1u);
+  EXPECT_EQ(res->execution.answers.back().back(), Value::Int(4));  // place1.x
+}
+
+TEST(ExecutorEdgeTest, RuleChainsThreeLevelsDeep) {
+  Mediator med;
+  auto db = testbed::MakeCastDatabase();
+  ASSERT_TRUE(med.RegisterDomain(
+                     "relation",
+                     std::make_shared<relational::RelationalDomain>("r", db))
+                  .ok());
+  ASSERT_TRUE(med.LoadProgram(R"(
+      level1(R, N) :- in(T, relation:equal('cast', 'role', R)) & =(N, T.name).
+      level2(R, N) :- level1(R, N).
+      level3(N) :- level2('rupert', N).
+  )")
+                  .ok());
+  Result<QueryResult> res = med.Query("?- level3(N).", QueryOptions{});
+  ASSERT_TRUE(res.ok()) << res.status();
+  ASSERT_EQ(res->execution.answers.size(), 1u);
+  EXPECT_EQ(res->execution.answers[0][0], Value::Str("james stewart"));
+}
+
+}  // namespace
+}  // namespace hermes

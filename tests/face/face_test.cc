@@ -1,0 +1,128 @@
+#include "face/face_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/mediator.h"
+#include "relational/relational_domain.h"
+
+namespace hermes::face {
+namespace {
+
+std::shared_ptr<FaceDomain> MakeDomain() {
+  auto d = std::make_shared<FaceDomain>("face");
+  d->Enroll("stewart", 1);
+  d->Enroll("dall", 2);
+  d->Enroll("granger", 3);
+  d->Enroll("chandler", 4);
+  d->AddPhoto("photo_stewart", "stewart", 100);
+  d->AddPhoto("photo_dall", "dall", 101);
+  d->AddPhoto("photo_blurry", "granger", 102, /*noise=*/1.0);
+  return d;
+}
+
+DomainCall Call(const std::string& fn, ValueList args) {
+  return DomainCall{"face", fn, std::move(args)};
+}
+
+TEST(FaceDomainTest, IdentifyFindsEnrolledPerson) {
+  auto d = MakeDomain();
+  Result<CallOutput> out =
+      d->Run(Call("identify", {Value::Str("photo_stewart")}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->answers.size(), 1u);
+  EXPECT_EQ(*out->answers[0].GetAttr("person"), Value::Str("stewart"));
+  EXPECT_LT(out->answers[0].GetAttr("distance")->as_double(), 0.5);
+}
+
+TEST(FaceDomainTest, MatchRespectsThresholdAndOrder) {
+  auto d = MakeDomain();
+  Result<CallOutput> tight =
+      d->Run(Call("match", {Value::Str("photo_dall"), Value::Double(0.5)}));
+  ASSERT_TRUE(tight.ok());
+  ASSERT_EQ(tight->answers.size(), 1u);
+  EXPECT_EQ(*tight->answers[0].GetAttr("person"), Value::Str("dall"));
+
+  Result<CallOutput> loose =
+      d->Run(Call("match", {Value::Str("photo_dall"), Value::Double(100.0)}));
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GE(loose->answers.size(), tight->answers.size());
+  // Nearest first.
+  double prev = 0.0;
+  for (const Value& row : loose->answers) {
+    double dist = row.GetAttr("distance")->as_double();
+    EXPECT_GE(dist, prev);
+    prev = dist;
+  }
+}
+
+TEST(FaceDomainTest, NoisyPhotoStillResolves) {
+  auto d = MakeDomain();
+  Result<CallOutput> out =
+      d->Run(Call("identify", {Value::Str("photo_blurry")}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->answers.size(), 1u);
+  EXPECT_EQ(*out->answers[0].GetAttr("person"), Value::Str("granger"));
+}
+
+TEST(FaceDomainTest, PeopleListsGallery) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call("people", {}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers.size(), 4u);
+}
+
+TEST(FaceDomainTest, UnknownPhotoIsNotFound) {
+  auto d = MakeDomain();
+  EXPECT_TRUE(
+      d->Run(Call("identify", {Value::Str("ghost")})).status().IsNotFound());
+}
+
+TEST(FaceDomainTest, CostGrowsWithGallery) {
+  auto small = std::make_shared<FaceDomain>("face");
+  small->Enroll("a", 1);
+  small->AddPhoto("p", "a", 9);
+  auto big = std::make_shared<FaceDomain>("face");
+  for (int i = 0; i < 200; ++i) big->Enroll("p" + std::to_string(i), i);
+  big->AddPhoto("p", "p0", 9);
+  Result<CallOutput> cheap = small->Run(Call("identify", {Value::Str("p")}));
+  Result<CallOutput> pricey = big->Run(Call("identify", {Value::Str("p")}));
+  ASSERT_TRUE(cheap.ok() && pricey.ok());
+  EXPECT_GT(pricey->all_ms, 2.0 * cheap->all_ms);
+}
+
+TEST(FaceDomainTest, DeterministicPerCall) {
+  auto d = MakeDomain();
+  Result<CallOutput> a = d->Run(Call("identify", {Value::Str("photo_dall")}));
+  Result<CallOutput> b = d->Run(Call("identify", {Value::Str("photo_dall")}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->all_ms, b->all_ms);
+}
+
+TEST(FaceDomainTest, MediatesSecuritySweepRule) {
+  // Who was photographed at the depot, and what do they do? face + cast.
+  Mediator med;
+  ASSERT_TRUE(med.RegisterDomain("face", MakeDomain()).ok());
+  auto db = std::make_shared<relational::Database>();
+  ASSERT_TRUE(db->LoadCsv("staff", "name:string,clearance:string\n"
+                                   "stewart,alpha\ndall,beta\n")
+                  .ok());
+  ASSERT_TRUE(med.RegisterDomain(
+                     "relation",
+                     std::make_shared<relational::RelationalDomain>("rel", db))
+                  .ok());
+  ASSERT_TRUE(med.LoadProgram(R"(
+      sighting(Photo, Person, Clearance) :-
+          in(M, face:identify(Photo)) &
+          =(Person, M.person) &
+          in(T, relation:equal('staff', 'name', Person)) &
+          =(Clearance, T.clearance).
+  )")
+                  .ok());
+  Result<QueryResult> res =
+      med.Query("?- sighting('photo_dall', P, C).", QueryOptions{});
+  ASSERT_TRUE(res.ok()) << res.status();
+  ASSERT_EQ(res->execution.answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hermes::face

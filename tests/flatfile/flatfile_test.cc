@@ -1,0 +1,101 @@
+#include "flatfile/flatfile_domain.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::flatfile {
+namespace {
+
+std::shared_ptr<FlatFileDomain> MakeDomain() {
+  auto d = std::make_shared<FlatFileDomain>("files");
+  d->PutFile("supplies", {
+                             {Value::Str("h-22 fuel"), Value::Str("depot_north")},
+                             {Value::Str("rations"), Value::Str("depot_north")},
+                             {Value::Str("rations"), Value::Str("depot_south")},
+                         });
+  return d;
+}
+
+DomainCall Call(const std::string& fn, ValueList args) {
+  return DomainCall{"files", fn, std::move(args)};
+}
+
+TEST(FlatFileTest, ScanReturnsRecordsAsLists) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call("scan", {Value::Str("supplies")}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->answers.size(), 3u);
+  EXPECT_EQ(*out->answers[0].GetIndex(1), Value::Str("h-22 fuel"));
+}
+
+TEST(FlatFileTest, MatchFiltersOnOneBasedField) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call(
+      "match", {Value::Str("supplies"), Value::Int(1), Value::Str("rations")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers.size(), 2u);
+  // Field 2 match.
+  out = d->Run(Call("match", {Value::Str("supplies"), Value::Int(2),
+                              Value::Str("depot_north")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers.size(), 2u);
+}
+
+TEST(FlatFileTest, FieldProjectsColumn) {
+  auto d = MakeDomain();
+  Result<CallOutput> out =
+      d->Run(Call("field", {Value::Str("supplies"), Value::Int(2)}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers.size(), 3u);
+  EXPECT_EQ(out->answers[2], Value::Str("depot_south"));
+}
+
+TEST(FlatFileTest, LinesCountsRecords) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call("lines", {Value::Str("supplies")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers, AnswerSet{Value::Int(3)});
+}
+
+TEST(FlatFileTest, MissingFileIsNotFound) {
+  auto d = MakeDomain();
+  EXPECT_TRUE(d->Run(Call("scan", {Value::Str("ghost")})).status().IsNotFound());
+}
+
+TEST(FlatFileTest, ZeroFieldNumberRejected) {
+  auto d = MakeDomain();
+  EXPECT_FALSE(d->Run(Call("field", {Value::Str("supplies"), Value::Int(0)}))
+                   .ok());
+}
+
+TEST(FlatFileTest, ScanCostScalesWithFileSize) {
+  auto d = MakeDomain();
+  std::vector<ValueList> big(1000, {Value::Int(1)});
+  d->PutFile("big", std::move(big));
+  Result<CallOutput> small_out =
+      d->Run(Call("lines", {Value::Str("supplies")}));
+  Result<CallOutput> big_out = d->Run(Call("lines", {Value::Str("big")}));
+  ASSERT_TRUE(small_out.ok() && big_out.ok());
+  EXPECT_GT(big_out->all_ms, small_out->all_ms);
+}
+
+TEST(FlatFileTest, AppendRecordCreatesAndGrowsFile) {
+  auto d = MakeDomain();
+  EXPECT_FALSE(d->HasFile("log"));
+  d->AppendRecord("log", {Value::Int(1)});
+  d->AppendRecord("log", {Value::Int(2)});
+  EXPECT_TRUE(d->HasFile("log"));
+  Result<CallOutput> out = d->Run(Call("lines", {Value::Str("log")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers, AnswerSet{Value::Int(2)});
+}
+
+TEST(FlatFileTest, MatchOutOfRangeFieldMatchesNothing) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call(
+      "match", {Value::Str("supplies"), Value::Int(9), Value::Str("x")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->answers.empty());
+}
+
+}  // namespace
+}  // namespace hermes::flatfile

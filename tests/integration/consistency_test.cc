@@ -1,0 +1,165 @@
+// Metamorphic consistency: whatever the optimizer, cache, invariants, or
+// execution mode do to *performance*, they must never change the *answers*
+// (up to ordering and duplicates-from-plan-shape). This sweeps every
+// configuration over the appendix queries and a synthetic multi-video
+// store and compares answer multisets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "avis/avis_domain.h"
+#include "engine/mediator.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+/// Sorted multiset rendering of the answers, independent of result order.
+std::vector<std::string> Canonical(const engine::QueryExecution& exec) {
+  std::vector<std::string> rows;
+  rows.reserve(exec.answers.size());
+  for (const ValueList& row : exec.answers) {
+    rows.push_back(ValueListToString(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+struct Config {
+  const char* label;
+  bool use_optimizer;
+  bool use_cim;
+};
+
+class ConsistencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencySweep, AnswersInvariantAcrossConfigurations) {
+  int query_number = GetParam() % 4 + 1;
+  bool primed = GetParam() >= 4 && query_number <= 2;
+  std::string query =
+      testbed::AppendixQuery(query_number, primed, 4, 127);
+
+  const Config configs[] = {
+      {"as-written, direct", false, false},
+      {"as-written, cim", false, true},
+      {"optimized, direct-only", true, false},
+      {"optimized, cim-allowed", true, true},
+  };
+
+  std::vector<std::string> reference;
+  bool have_reference = false;
+  for (const Config& config : configs) {
+    // A fresh mediator per configuration so caches/statistics from one
+    // configuration cannot leak into another.
+    Mediator med;
+    testbed::RopeScenarioOptions options;
+    options.sites.video_site = net::LocalSite();
+    options.sites.relation_site = net::LocalSite();
+    ASSERT_TRUE(testbed::SetupRopeScenario(&med, options).ok());
+
+    QueryOptions qo;
+    qo.use_optimizer = config.use_optimizer;
+    qo.use_cim = config.use_cim;
+
+    // Run twice: cold and warm (the warm run exercises cache paths).
+    for (int round = 0; round < 2; ++round) {
+      Result<QueryResult> res = med.Query(query, qo);
+      ASSERT_TRUE(res.ok()) << config.label << ": " << res.status();
+      std::vector<std::string> rows = Canonical(res->execution);
+      if (!have_reference) {
+        reference = rows;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(rows, reference)
+            << query << " under " << config.label << " round " << round;
+      }
+    }
+  }
+  EXPECT_TRUE(have_reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(AppendixQueries, ConsistencySweep,
+                         ::testing::Range(0, 6));
+
+TEST(ConsistencyTest, InteractivePrefixOfAllAnswers) {
+  // Interactive mode must return a prefix of the all-answers result (same
+  // plan, same order).
+  Mediator med;
+  testbed::RopeScenarioOptions options;
+  options.sites.video_site = net::LocalSite();
+  options.sites.relation_site = net::LocalSite();
+  ASSERT_TRUE(testbed::SetupRopeScenario(&med, options).ok());
+
+  QueryOptions all;
+  all.use_optimizer = false;
+  all.use_cim = false;
+  std::string query = testbed::AppendixQuery(3, false, 4, 127);
+  Result<QueryResult> full = med.Query(query, all);
+  ASSERT_TRUE(full.ok());
+
+  for (size_t k : {size_t(1), size_t(2), size_t(5)}) {
+    QueryOptions first = all;
+    first.mode = engine::ExecutionMode::kInteractive;
+    first.interactive_batch = k;
+    Result<QueryResult> batch = med.Query(query, first);
+    ASSERT_TRUE(batch.ok());
+    size_t expect =
+        std::min(k, full->execution.answers.size());
+    ASSERT_EQ(batch->execution.answers.size(), expect);
+    for (size_t i = 0; i < expect; ++i) {
+      EXPECT_EQ(ValueListToString(batch->execution.answers[i]),
+                ValueListToString(full->execution.answers[i]))
+          << "k=" << k << " row " << i;
+    }
+  }
+}
+
+TEST(ConsistencyTest, SyntheticMultiVideoJoinStress) {
+  // A larger synthetic store: answers through the CIM with invariants must
+  // equal direct answers for nested range queries.
+  Mediator med;
+  auto videos = std::make_shared<avis::VideoDatabase>();
+  avis::LoadSyntheticVideos(videos.get(), /*seed=*/123, /*num_videos=*/4,
+                            /*objects_per_video=*/10,
+                            /*frames_per_video=*/5000);
+  auto avis_domain = std::make_shared<avis::AvisDomain>("avis", videos);
+  ASSERT_TRUE(
+      med.RegisterRemoteDomain("video", avis_domain, net::UsaSite("umd"))
+          .ok());
+  ASSERT_TRUE(med.EnableCaching("video").ok());
+  ASSERT_TRUE(med.AddInvariants(
+                     "F2 <= F1 & L1 <= L2 => "
+                     "video:frames_to_objects(V, F2, L2) >= "
+                     "video:frames_to_objects(V, F1, L1).")
+                  .ok());
+  ASSERT_TRUE(med.LoadProgram(
+                     "objs(V, F, L, O) :- "
+                     "in(O, video:frames_to_objects(V, F, L)).")
+                  .ok());
+
+  QueryOptions direct;
+  direct.use_optimizer = false;
+  direct.use_cim = false;
+  QueryOptions cached;
+  cached.use_optimizer = false;
+  cached.use_cim = true;
+
+  // Nested ranges ensure plenty of partial-invariant traffic.
+  for (int v = 0; v < 4; ++v) {
+    std::string video = "'video_" + std::to_string(v) + "'";
+    for (int64_t last : {500, 1200, 2500, 4900}) {
+      std::string query =
+          "?- objs(" + video + ", 100, " + std::to_string(last) + ", O).";
+      Result<QueryResult> a = med.Query(query, direct);
+      Result<QueryResult> b = med.Query(query, cached);
+      ASSERT_TRUE(a.ok() && b.ok()) << query;
+      EXPECT_EQ(Canonical(a->execution), Canonical(b->execution)) << query;
+    }
+  }
+  EXPECT_GT(med.cim("video")->stats().partial_hits, 0u);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "net/remote_domain.h"
+#include "relational/relational_domain.h"
+#include "testbed/scenario.h"
+
+namespace hermes::net {
+namespace {
+
+TEST(RemoteEstimateTest, PassthroughAddsNetworkTime) {
+  auto sim = std::make_shared<NetworkSimulator>(3);
+  auto inner = std::make_shared<relational::RelationalDomain>(
+      "ingres", testbed::MakeCastDatabase(), relational::RelationalCostParams{},
+      /*provide_cost_model=*/true);
+  SiteParams site = UsaSite();
+  RemoteDomain remote(inner, site, sim);
+  EXPECT_TRUE(remote.HasCostModel());
+
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("ingres:all('cast')");
+  ASSERT_TRUE(pattern.ok());
+  Result<CostVector> local = inner->EstimateCost(*pattern);
+  Result<CostVector> wan = remote.EstimateCost(*pattern);
+  ASSERT_TRUE(local.ok() && wan.ok());
+  EXPECT_GT(wan->t_all_ms, local->t_all_ms + site.connect_ms);
+  EXPECT_GT(wan->t_first_ms, local->t_first_ms + site.connect_ms);
+  EXPECT_DOUBLE_EQ(wan->cardinality, local->cardinality);
+}
+
+TEST(RemoteEstimateTest, NoInnerModelMeansNoModel) {
+  auto sim = std::make_shared<NetworkSimulator>(3);
+  auto inner = std::make_shared<relational::RelationalDomain>(
+      "ingres", testbed::MakeCastDatabase());
+  RemoteDomain remote(inner, UsaSite(), sim);
+  EXPECT_FALSE(remote.HasCostModel());
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("ingres:all('cast')");
+  EXPECT_FALSE(remote.EstimateCost(*pattern).ok());
+}
+
+TEST(RemoteEstimateTest, MutableSiteInjectsFailures) {
+  auto sim = std::make_shared<NetworkSimulator>(3);
+  auto inner = std::make_shared<relational::RelationalDomain>(
+      "ingres", testbed::MakeCastDatabase());
+  RemoteDomain remote(inner, UsaSite(), sim);
+  DomainCall call{"relation", "count", {Value::Str("cast")}};
+  EXPECT_TRUE(remote.Run(call).ok());
+  remote.mutable_site().availability = 0.0;
+  EXPECT_TRUE(remote.Run(call).status().IsUnavailable());
+  remote.mutable_site().availability = 1.0;
+  EXPECT_TRUE(remote.Run(call).ok());
+}
+
+TEST(RemoteEstimateTest, FunctionsPassThrough) {
+  auto sim = std::make_shared<NetworkSimulator>(3);
+  auto inner = std::make_shared<relational::RelationalDomain>(
+      "ingres", testbed::MakeCastDatabase());
+  RemoteDomain remote(inner, UsaSite(), sim);
+  EXPECT_EQ(remote.Functions().size(), inner->Functions().size());
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,165 @@
+#include "relational/relational_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "testbed/scenario.h"
+
+namespace hermes::relational {
+namespace {
+
+std::shared_ptr<RelationalDomain> MakeDomain(bool cost_model = false) {
+  return std::make_shared<RelationalDomain>(
+      "ingres", testbed::MakeCastDatabase(), RelationalCostParams{},
+      cost_model);
+}
+
+DomainCall Call(const std::string& fn, ValueList args) {
+  return DomainCall{"ingres", fn, std::move(args)};
+}
+
+TEST(RelationalDomainTest, AllReturnsEveryRowAsStruct) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call("all", {Value::Str("cast")}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->answers.size(), 9u);
+  EXPECT_TRUE(out->answers[0].is_struct());
+  EXPECT_TRUE(out->answers[0].GetAttr("name").ok());
+  EXPECT_GT(out->all_ms, 0.0);
+  EXPECT_LE(out->first_ms, out->all_ms);
+}
+
+TEST(RelationalDomainTest, EqualSelectsMatchingRows) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(
+      Call("equal", {Value::Str("cast"), Value::Str("role"),
+                     Value::Str("rupert")}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->answers.size(), 1u);
+  EXPECT_EQ(*out->answers[0].GetAttr("name"), Value::Str("james stewart"));
+}
+
+TEST(RelationalDomainTest, SelectFamilyAgreesWithPredicate) {
+  auto d = MakeDomain();
+  struct Case {
+    const char* fn;
+    lang::RelOp op;
+  };
+  for (const Case& c :
+       {Case{"select_lt", lang::RelOp::kLt}, Case{"select_le", lang::RelOp::kLe},
+        Case{"select_gt", lang::RelOp::kGt}, Case{"select_ge", lang::RelOp::kGe},
+        Case{"select_neq", lang::RelOp::kNeq},
+        Case{"select_eq", lang::RelOp::kEq}}) {
+    Result<CallOutput> out = d->Run(Call(
+        c.fn, {Value::Str("cast"), Value::Str("role"), Value::Str("janet")}));
+    ASSERT_TRUE(out.ok()) << c.fn << ": " << out.status();
+    for (const Value& row : out->answers) {
+      EXPECT_TRUE(lang::EvalRelOp(c.op, *row.GetAttr("role"),
+                                  Value::Str("janet")))
+          << c.fn;
+    }
+  }
+}
+
+TEST(RelationalDomainTest, ProjectAndDistinct) {
+  auto d = MakeDomain();
+  Result<CallOutput> proj =
+      d->Run(Call("project", {Value::Str("cast"), Value::Str("role")}));
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->answers.size(), 9u);
+
+  Result<CallOutput> dist =
+      d->Run(Call("distinct", {Value::Str("cast"), Value::Str("role")}));
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->answers.size(), 9u);  // all roles distinct
+}
+
+TEST(RelationalDomainTest, CountReturnsSingleton) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call("count", {Value::Str("cast")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers, AnswerSet{Value::Int(9)});
+}
+
+TEST(RelationalDomainTest, UnknownTableIsNotFound) {
+  auto d = MakeDomain();
+  EXPECT_TRUE(d->Run(Call("all", {Value::Str("ghost")})).status().IsNotFound());
+}
+
+TEST(RelationalDomainTest, UnknownFunctionIsNotFound) {
+  auto d = MakeDomain();
+  EXPECT_TRUE(
+      d->Run(Call("frobnicate", {Value::Str("cast")})).status().IsNotFound());
+}
+
+TEST(RelationalDomainTest, WrongArityIsInvalidArgument) {
+  auto d = MakeDomain();
+  EXPECT_EQ(d->Run(Call("all", {})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(d->Run(Call("equal", {Value::Str("cast")})).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RelationalDomainTest, EmptyResultStillCostsScanTime) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call(
+      "equal", {Value::Str("cast"), Value::Str("role"), Value::Str("nobody")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->answers.empty());
+  EXPECT_GT(out->all_ms, 0.0);
+  EXPECT_DOUBLE_EQ(out->first_ms, out->all_ms);
+}
+
+TEST(RelationalDomainTest, NoCostModelByDefault) {
+  auto d = MakeDomain(false);
+  EXPECT_FALSE(d->HasCostModel());
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("ingres:all('cast')");
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(d->EstimateCost(*pattern).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(RelationalDomainTest, NativeCostModelPredictsCardinalities) {
+  auto d = MakeDomain(true);
+  EXPECT_TRUE(d->HasCostModel());
+
+  Result<lang::DomainCallSpec> all =
+      lang::Parser::ParseCallPattern("ingres:all('cast')");
+  Result<CostVector> all_cost = d->EstimateCost(*all);
+  ASSERT_TRUE(all_cost.ok()) << all_cost.status();
+  EXPECT_DOUBLE_EQ(all_cost->cardinality, 9.0);
+
+  // equal on 'role' (9 distinct values over 9 rows) → 1 expected row.
+  Result<lang::DomainCallSpec> eq =
+      lang::Parser::ParseCallPattern("ingres:equal('cast', 'role', $b)");
+  Result<CostVector> eq_cost = d->EstimateCost(*eq);
+  ASSERT_TRUE(eq_cost.ok()) << eq_cost.status();
+  EXPECT_NEAR(eq_cost->cardinality, 1.0, 1e-9);
+
+  // The estimate should be close to an actual execution's cost.
+  Result<CallOutput> actual = d->Run(
+      Call("equal", {Value::Str("cast"), Value::Str("role"),
+                     Value::Str("rupert")}));
+  ASSERT_TRUE(actual.ok());
+  EXPECT_NEAR(eq_cost->t_all_ms, actual->all_ms, actual->all_ms * 0.5 + 0.1);
+}
+
+TEST(RelationalDomainTest, NativeCostModelNeedsConstantTable) {
+  auto d = MakeDomain(true);
+  Result<lang::DomainCallSpec> pattern =
+      lang::Parser::ParseCallPattern("ingres:all($b)");
+  EXPECT_FALSE(d->EstimateCost(*pattern).ok());
+}
+
+TEST(RelationalDomainTest, FunctionsListIsComplete) {
+  auto d = MakeDomain();
+  std::vector<FunctionInfo> fns = d->Functions();
+  EXPECT_GE(fns.size(), 10u);
+  bool has_equal = false;
+  for (const FunctionInfo& fn : fns) has_equal |= fn.name == "equal";
+  EXPECT_TRUE(has_equal);
+}
+
+}  // namespace
+}  // namespace hermes::relational

@@ -1,0 +1,146 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hermes::relational {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"name", ColumnType::kString},
+                 {"role", ColumnType::kString},
+                 {"salary", ColumnType::kInt}});
+}
+
+Table MakeCast() {
+  Table t("cast", TestSchema());
+  EXPECT_TRUE(t.Insert({Value::Str("stewart"), Value::Str("rupert"),
+                        Value::Int(120)})
+                  .ok());
+  EXPECT_TRUE(
+      t.Insert({Value::Str("dall"), Value::Str("brandon"), Value::Int(80)})
+          .ok());
+  EXPECT_TRUE(t.Insert({Value::Str("granger"), Value::Str("phillip"),
+                        Value::Int(85)})
+                  .ok());
+  EXPECT_TRUE(t.Insert({Value::Str("stewart"), Value::Str("narrator"),
+                        Value::Int(120)})
+                  .ok());
+  return t;
+}
+
+TEST(SchemaTest, ColumnIndexAndValidation) {
+  Schema s = TestSchema();
+  EXPECT_EQ(*s.ColumnIndex("role"), 1u);
+  EXPECT_TRUE(s.ColumnIndex("ghost").status().IsNotFound());
+  EXPECT_TRUE(s.ValidateRow({Value::Str("a"), Value::Str("b"), Value::Int(1)})
+                  .ok());
+  // Wrong arity.
+  EXPECT_FALSE(s.ValidateRow({Value::Str("a")}).ok());
+  // Wrong type.
+  EXPECT_EQ(s.ValidateRow({Value::Str("a"), Value::Str("b"), Value::Str("c")})
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(SchemaTest, IntAcceptedInDoubleColumn) {
+  Schema s({{"x", ColumnType::kDouble}});
+  EXPECT_TRUE(s.ValidateRow({Value::Int(3)}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::Str("3")}).ok());
+}
+
+TEST(TableTest, InsertAndScan) {
+  Table t = MakeCast();
+  EXPECT_EQ(t.num_rows(), 4u);
+  Table::ScanResult all = t.FindAll();
+  EXPECT_EQ(all.row_ids.size(), 4u);
+  EXPECT_EQ(all.rows_examined, 4u);
+}
+
+TEST(TableTest, FindEqualWithoutIndexScansAll) {
+  Table t = MakeCast();
+  Result<Table::ScanResult> r = t.FindEqual("name", Value::Str("stewart"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 2u);
+  EXPECT_EQ(r->rows_examined, 4u);  // full scan
+}
+
+TEST(TableTest, FindEqualWithHashIndexProbes) {
+  Table t = MakeCast();
+  ASSERT_TRUE(t.CreateHashIndex("name").ok());
+  Result<Table::ScanResult> r = t.FindEqual("name", Value::Str("stewart"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 2u);
+  EXPECT_LT(r->rows_examined, 4u);  // index probe, not a scan
+}
+
+TEST(TableTest, HashIndexRefreshesAfterInsert) {
+  Table t = MakeCast();
+  ASSERT_TRUE(t.CreateHashIndex("role").ok());
+  ASSERT_TRUE(
+      t.Insert({Value::Str("x"), Value::Str("rupert"), Value::Int(1)}).ok());
+  Result<Table::ScanResult> r = t.FindEqual("role", Value::Str("rupert"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 2u);
+}
+
+TEST(TableTest, FindCompareRange) {
+  Table t = MakeCast();
+  Result<Table::ScanResult> r =
+      t.FindCompare("salary", lang::RelOp::kGe, Value::Int(85));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 3u);
+}
+
+TEST(TableTest, OrderedIndexMatchesScanResults) {
+  // Property: with and without the ordered index, comparison results agree.
+  Rng rng(123);
+  Table plain("t", Schema({{"v", ColumnType::kInt}}));
+  Table indexed("t", Schema({{"v", ColumnType::kInt}}));
+  for (int i = 0; i < 300; ++i) {
+    Value v = Value::Int(rng.NextInRange(0, 50));
+    ASSERT_TRUE(plain.Insert({v}).ok());
+    ASSERT_TRUE(indexed.Insert({v}).ok());
+  }
+  ASSERT_TRUE(indexed.CreateOrderedIndex("v").ok());
+  for (lang::RelOp op : {lang::RelOp::kLt, lang::RelOp::kLe, lang::RelOp::kGt,
+                         lang::RelOp::kGe, lang::RelOp::kEq,
+                         lang::RelOp::kNeq}) {
+    for (int64_t pivot : {-1, 0, 13, 25, 50, 99}) {
+      Result<Table::ScanResult> a =
+          plain.FindCompare("v", op, Value::Int(pivot));
+      Result<Table::ScanResult> b =
+          indexed.FindCompare("v", op, Value::Int(pivot));
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a->row_ids, b->row_ids)
+          << "op=" << lang::RelOpName(op) << " pivot=" << pivot;
+    }
+  }
+}
+
+TEST(TableTest, RowAsStructAndList) {
+  Table t = MakeCast();
+  Value s = t.RowAsStruct(0);
+  EXPECT_EQ(*s.GetAttr("name"), Value::Str("stewart"));
+  EXPECT_EQ(*s.GetAttr("salary"), Value::Int(120));
+  Value l = t.RowAsList(0);
+  EXPECT_EQ(*l.GetIndex(2), Value::Str("rupert"));
+}
+
+TEST(TableTest, DistinctCount) {
+  Table t = MakeCast();
+  EXPECT_EQ(*t.DistinctCount("name"), 3u);
+  EXPECT_EQ(*t.DistinctCount("role"), 4u);
+  EXPECT_FALSE(t.DistinctCount("ghost").ok());
+}
+
+TEST(TableTest, UnknownColumnErrors) {
+  Table t = MakeCast();
+  EXPECT_FALSE(t.FindEqual("ghost", Value::Int(1)).ok());
+  EXPECT_FALSE(t.CreateHashIndex("ghost").ok());
+  EXPECT_FALSE(t.CreateOrderedIndex("ghost").ok());
+}
+
+}  // namespace
+}  // namespace hermes::relational

@@ -1,0 +1,115 @@
+#include "spatial/spatial_domain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hermes::spatial {
+namespace {
+
+DomainCall RangeCall(const std::string& file, double x, double y,
+                     double dist) {
+  return DomainCall{"spatial",
+                    "range",
+                    {Value::Str(file), Value::Double(x), Value::Double(y),
+                     Value::Double(dist)}};
+}
+
+TEST(SpatialTest, RangeFindsExactPoints) {
+  SpatialDomain d("spatial");
+  d.PutFile("f", {{"a", 0, 0}, {"b", 3, 4}, {"c", 10, 10}});
+  Result<CallOutput> out = d.Run(RangeCall("f", 0, 0, 5.0));
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->answers.size(), 2u);  // a (dist 0) and b (dist 5, inclusive)
+}
+
+TEST(SpatialTest, GridIndexMatchesBruteForce) {
+  // Property: the grid-indexed range query returns exactly the points a
+  // brute-force distance check would.
+  std::vector<Point> points = MakeUniformPoints(42, 500, 100, 100);
+  SpatialDomain d("spatial");
+  d.PutFile("f", points);
+  struct Probe {
+    double x, y, dist;
+  };
+  for (const Probe& p : {Probe{50, 50, 10}, Probe{0, 0, 30}, Probe{99, 99, 5},
+                         Probe{50, 50, 200}, Probe{-10, -10, 5}}) {
+    Result<CallOutput> out = d.Run(RangeCall("f", p.x, p.y, p.dist));
+    ASSERT_TRUE(out.ok());
+    size_t brute = 0;
+    for (const Point& pt : points) {
+      double dx = pt.x - p.x, dy = pt.y - p.y;
+      if (dx * dx + dy * dy <= p.dist * p.dist) ++brute;
+    }
+    EXPECT_EQ(out->answers.size(), brute)
+        << "probe (" << p.x << "," << p.y << ") dist " << p.dist;
+  }
+}
+
+TEST(SpatialTest, CountRangeAgreesWithRange) {
+  SpatialDomain d("spatial");
+  d.PutFile("f", MakeUniformPoints(7, 200, 50, 50));
+  Result<CallOutput> range = d.Run(RangeCall("f", 25, 25, 10));
+  Result<CallOutput> count = d.Run(DomainCall{
+      "spatial",
+      "count_range",
+      {Value::Str("f"), Value::Double(25), Value::Double(25),
+       Value::Double(10)}});
+  ASSERT_TRUE(range.ok() && count.ok());
+  EXPECT_EQ(count->answers[0].as_int(),
+            static_cast<int64_t>(range->answers.size()));
+}
+
+TEST(SpatialTest, ExtentReportsBoundingBox) {
+  SpatialDomain d("spatial");
+  d.PutFile("f", {{"a", 1, 2}, {"b", 9, 4}});
+  Result<CallOutput> out =
+      d.Run(DomainCall{"spatial", "extent", {Value::Str("f")}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out->answers[0].GetAttr("min_x"), Value::Double(1.0));
+  EXPECT_EQ(*out->answers[0].GetAttr("max_x"), Value::Double(9.0));
+}
+
+TEST(SpatialTest, SectionFourInvariantPropertyHolds) {
+  // The 100×100 'points' file: a range of 142 from its centre covers the
+  // whole square, so any larger radius returns the identical answer set —
+  // the paper's range-clamping equality invariant.
+  SpatialDomain d("spatial");
+  d.PutFile("points", MakeUniformPoints(11, 400, 100, 100));
+  Result<CallOutput> clamped = d.Run(RangeCall("points", 50, 50, 142));
+  Result<CallOutput> huge = d.Run(RangeCall("points", 50, 50, 10000));
+  ASSERT_TRUE(clamped.ok() && huge.ok());
+  EXPECT_EQ(clamped->answers.size(), 400u);
+  EXPECT_EQ(huge->answers.size(), 400u);
+}
+
+TEST(SpatialTest, BiggerRangeCostsMore) {
+  SpatialDomain d("spatial");
+  d.PutFile("f", MakeUniformPoints(3, 2000, 1000, 1000));
+  Result<CallOutput> small_q = d.Run(RangeCall("f", 500, 500, 10));
+  Result<CallOutput> large_q = d.Run(RangeCall("f", 500, 500, 400));
+  ASSERT_TRUE(small_q.ok() && large_q.ok());
+  EXPECT_GT(large_q->all_ms, small_q->all_ms);
+}
+
+TEST(SpatialTest, NegativeDistanceRejected) {
+  SpatialDomain d("spatial");
+  d.PutFile("f", {{"a", 0, 0}});
+  EXPECT_FALSE(d.Run(RangeCall("f", 0, 0, -1)).ok());
+}
+
+TEST(SpatialTest, MissingFileIsNotFound) {
+  SpatialDomain d("spatial");
+  EXPECT_TRUE(d.Run(RangeCall("ghost", 0, 0, 1)).status().IsNotFound());
+}
+
+TEST(SpatialTest, EmptyFileReturnsNothing) {
+  SpatialDomain d("spatial");
+  d.PutFile("empty", {});
+  Result<CallOutput> out = d.Run(RangeCall("empty", 0, 0, 100));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->answers.empty());
+}
+
+}  // namespace
+}  // namespace hermes::spatial

@@ -1,0 +1,123 @@
+#include "terrain/terrain_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/scenario.h"
+
+namespace hermes::terrain {
+namespace {
+
+DomainCall Call(const std::string& fn, ValueList args) {
+  return DomainCall{"terraindb", fn, std::move(args)};
+}
+
+TEST(TerrainTest, StraightLineRouteOnOpenGrid) {
+  TerrainDomain d("t");
+  d.InitGrid(10, 10);
+  ASSERT_TRUE(d.AddLocation("a", 0, 0).ok());
+  ASSERT_TRUE(d.AddLocation("b", 5, 0).ok());
+  Result<CallOutput> out =
+      d.Run(Call("findrte", {Value::Str("a"), Value::Str("b")}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->answers.size(), 1u);
+  const Value& route = out->answers[0];
+  EXPECT_EQ(*route.GetAttr("cost"), Value::Double(5.0));
+  EXPECT_EQ(*route.GetAttr("length"), Value::Int(6));  // 6 cells incl. ends
+}
+
+TEST(TerrainTest, RouteAvoidsObstacles) {
+  TerrainDomain d("t");
+  d.InitGrid(5, 5);
+  // Wall at x=2 except the top row.
+  for (int y = 0; y < 4; ++y) d.SetObstacle(2, y);
+  ASSERT_TRUE(d.AddLocation("a", 0, 0).ok());
+  ASSERT_TRUE(d.AddLocation("b", 4, 0).ok());
+  Result<CallOutput> out =
+      d.Run(Call("distance", {Value::Str("a"), Value::Str("b")}));
+  ASSERT_TRUE(out.ok());
+  // Must detour via y=4: 0,0 → 0,4 → 4,4 → 4,0 is 12 steps.
+  EXPECT_EQ(out->answers[0], Value::Double(12.0));
+}
+
+TEST(TerrainTest, WeightedCellsChangeRouteCost) {
+  TerrainDomain d("t");
+  d.InitGrid(3, 1);
+  d.SetCellCost(1, 0, 10.0);
+  ASSERT_TRUE(d.AddLocation("a", 0, 0).ok());
+  ASSERT_TRUE(d.AddLocation("b", 2, 0).ok());
+  Result<CallOutput> out =
+      d.Run(Call("distance", {Value::Str("a"), Value::Str("b")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers[0], Value::Double(11.0));  // 10 + 1
+}
+
+TEST(TerrainTest, UnreachableTargetYieldsEmptySet) {
+  TerrainDomain d("t");
+  d.InitGrid(5, 1);
+  d.SetObstacle(2, 0);
+  ASSERT_TRUE(d.AddLocation("a", 0, 0).ok());
+  ASSERT_TRUE(d.AddLocation("b", 4, 0).ok());
+  Result<CallOutput> out =
+      d.Run(Call("findrte", {Value::Str("a"), Value::Str("b")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->answers.empty());
+  EXPECT_GT(out->all_ms, 0.0);  // the failed search still cost time
+}
+
+TEST(TerrainTest, ReachableEnumeratesConnectedLocations) {
+  TerrainDomain d("t");
+  d.InitGrid(5, 1);
+  d.SetObstacle(2, 0);
+  ASSERT_TRUE(d.AddLocation("a", 0, 0).ok());
+  ASSERT_TRUE(d.AddLocation("near", 1, 0).ok());
+  ASSERT_TRUE(d.AddLocation("far", 4, 0).ok());
+  Result<CallOutput> out = d.Run(Call("reachable", {Value::Str("a")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->answers, AnswerSet{Value::Str("near")});
+}
+
+TEST(TerrainTest, UnknownLocationIsNotFound) {
+  TerrainDomain d("t");
+  d.InitGrid(3, 3);
+  ASSERT_TRUE(d.AddLocation("a", 0, 0).ok());
+  EXPECT_TRUE(d.Run(Call("findrte", {Value::Str("a"), Value::Str("ghost")}))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(TerrainTest, LocationOutsideGridRejected) {
+  TerrainDomain d("t");
+  d.InitGrid(3, 3);
+  EXPECT_FALSE(d.AddLocation("x", 5, 5).ok());
+  EXPECT_FALSE(d.AddLocation("y", -1, 0).ok());
+}
+
+TEST(TerrainTest, LongerRouteCostsMoreSimTime) {
+  TerrainDomain d("t");
+  d.InitGrid(60, 60);
+  ASSERT_TRUE(d.AddLocation("a", 0, 0).ok());
+  ASSERT_TRUE(d.AddLocation("near", 2, 0).ok());
+  ASSERT_TRUE(d.AddLocation("far", 59, 59).ok());
+  Result<CallOutput> near_out =
+      d.Run(Call("findrte", {Value::Str("a"), Value::Str("near")}));
+  Result<CallOutput> far_out =
+      d.Run(Call("findrte", {Value::Str("a"), Value::Str("far")}));
+  ASSERT_TRUE(near_out.ok() && far_out.ok());
+  EXPECT_GT(far_out->all_ms, near_out->all_ms);
+}
+
+TEST(TerrainTest, SupplyTerrainScenarioRoutes) {
+  auto d = testbed::MakeSupplyTerrain();
+  Result<CallOutput> locations = d->Run(Call("locations", {}));
+  ASSERT_TRUE(locations.ok());
+  EXPECT_EQ(locations->answers.size(), 5u);
+  // place1 is west of the ridge; depot_east requires crossing the pass.
+  Result<CallOutput> route =
+      d->Run(Call("findrte", {Value::Str("place1"), Value::Str("depot_east")}));
+  ASSERT_TRUE(route.ok());
+  ASSERT_EQ(route->answers.size(), 1u);
+  EXPECT_GT(route->answers[0].GetAttr("cost")->as_double(), 50.0);
+}
+
+}  // namespace
+}  // namespace hermes::terrain

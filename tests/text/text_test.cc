@@ -1,0 +1,141 @@
+#include "text/text_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/mediator.h"
+#include "relational/relational_domain.h"
+
+namespace hermes::text {
+namespace {
+
+std::shared_ptr<TextDomain> MakeDomain() {
+  auto d = std::make_shared<TextDomain>("text");
+  LoadNewsCorpus(d.get());
+  return d;
+}
+
+DomainCall Call(const std::string& fn, ValueList args) {
+  return DomainCall{"text", fn, std::move(args)};
+}
+
+TEST(TextDomainTest, SearchFindsAndRanks) {
+  auto d = MakeDomain();
+  Result<CallOutput> out =
+      d->Run(Call("search", {Value::Str("usatoday"), Value::Str("supply")}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_GE(out->answers.size(), 2u);
+  // Ranked by descending hits.
+  int64_t prev = out->answers[0].GetAttr("hits")->as_int();
+  for (const Value& row : out->answers) {
+    int64_t hits = row.GetAttr("hits")->as_int();
+    EXPECT_LE(hits, prev);
+    prev = hits;
+  }
+}
+
+TEST(TextDomainTest, SearchIsCaseInsensitive) {
+  auto d = MakeDomain();
+  Result<CallOutput> lower =
+      d->Run(Call("search", {Value::Str("usatoday"), Value::Str("rope")}));
+  Result<CallOutput> upper =
+      d->Run(Call("search", {Value::Str("usatoday"), Value::Str("Rope")}));
+  ASSERT_TRUE(lower.ok() && upper.ok());
+  EXPECT_EQ(lower->answers.size(), upper->answers.size());
+  EXPECT_GE(lower->answers.size(), 2u);  // nw02, nw05
+}
+
+TEST(TextDomainTest, CooccurIntersectsPostings) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(Call(
+      "cooccur",
+      {Value::Str("usatoday"), Value::Str("terrain"), Value::Str("supply")}));
+  ASSERT_TRUE(out.ok()) << out.status();
+  // nw01 mentions terrain+supply; nw03 mentions terrain+supply too.
+  EXPECT_EQ(out->answers.size(), 2u);
+}
+
+TEST(TextDomainTest, DocRetrievesFullText) {
+  auto d = MakeDomain();
+  Result<CallOutput> out =
+      d->Run(Call("doc", {Value::Str("usatoday"), Value::Str("nw04")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->answers[0].as_string().find("transatlantic"),
+            std::string::npos);
+  EXPECT_TRUE(
+      d->Run(Call("doc", {Value::Str("usatoday"), Value::Str("zz")}))
+          .status()
+          .IsNotFound());
+}
+
+TEST(TextDomainTest, DocsAndCount) {
+  auto d = MakeDomain();
+  Result<CallOutput> docs = d->Run(Call("docs", {Value::Str("usatoday")}));
+  Result<CallOutput> count =
+      d->Run(Call("doc_count", {Value::Str("usatoday")}));
+  ASSERT_TRUE(docs.ok() && count.ok());
+  EXPECT_EQ(docs->answers.size(), 6u);
+  EXPECT_EQ(count->answers, AnswerSet{Value::Int(6)});
+}
+
+TEST(TextDomainTest, ReindexOnReplace) {
+  auto d = MakeDomain();
+  d->AddDocument("usatoday", "nw01", "entirely new body about databases");
+  Result<CallOutput> old_term =
+      d->Run(Call("search", {Value::Str("usatoday"), Value::Str("convoys")}));
+  ASSERT_TRUE(old_term.ok());
+  // nw01 no longer matches 'convoys' (only nw06 does).
+  EXPECT_EQ(old_term->answers.size(), 1u);
+  Result<CallOutput> new_term = d->Run(
+      Call("search", {Value::Str("usatoday"), Value::Str("databases")}));
+  ASSERT_TRUE(new_term.ok());
+  EXPECT_EQ(new_term->answers.size(), 2u);  // nw01 (new body) + nw03
+}
+
+TEST(TextDomainTest, UnknownCollectionAndBadArgs) {
+  auto d = MakeDomain();
+  EXPECT_TRUE(d->Run(Call("search", {Value::Str("ghost"), Value::Str("x")}))
+                  .status()
+                  .IsNotFound());
+  EXPECT_FALSE(
+      d->Run(Call("search", {Value::Str("usatoday"), Value::Str("two words")}))
+          .ok());
+  EXPECT_FALSE(d->Run(Call("search", {Value::Str("usatoday")})).ok());
+}
+
+TEST(TextDomainTest, MissingTermYieldsEmptyNotError) {
+  auto d = MakeDomain();
+  Result<CallOutput> out = d->Run(
+      Call("search", {Value::Str("usatoday"), Value::Str("xylophone")}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->answers.empty());
+  EXPECT_GT(out->all_ms, 0.0);
+}
+
+TEST(TextDomainTest, MediatesWithOtherDomains) {
+  // Join news mentions of actors against the cast relation via a rule.
+  Mediator med;
+  ASSERT_TRUE(med.RegisterDomain("text", MakeDomain()).ok());
+  auto cast_db = std::make_shared<relational::Database>();
+  ASSERT_TRUE(cast_db->LoadCsv("cast", "name:string,role:string\n"
+                                       "'james stewart',rupert\n")
+                  .ok());
+  ASSERT_TRUE(
+      med.RegisterDomain("relation",
+                         std::make_shared<relational::RelationalDomain>(
+                             "rel", cast_db))
+          .ok());
+  ASSERT_TRUE(med.LoadProgram(R"(
+      press_mentions(Word, Doc, Text) :-
+          in(Hit, text:search('usatoday', Word)) &
+          =(Doc, Hit.doc) &
+          in(Text, text:doc('usatoday', Doc)).
+  )")
+                  .ok());
+  Result<QueryResult> res =
+      med.Query("?- press_mentions('stewart', D, T).", QueryOptions{});
+  ASSERT_TRUE(res.ok()) << res.status();
+  ASSERT_EQ(res->execution.answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hermes::text
