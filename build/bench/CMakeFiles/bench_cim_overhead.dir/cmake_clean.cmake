@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cim_overhead.dir/cim_overhead.cc.o"
+  "CMakeFiles/bench_cim_overhead.dir/cim_overhead.cc.o.d"
+  "bench_cim_overhead"
+  "bench_cim_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cim_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_caching_invariants.dir/fig5_caching_invariants.cc.o"
+  "CMakeFiles/bench_fig5_caching_invariants.dir/fig5_caching_invariants.cc.o.d"
+  "bench_fig5_caching_invariants"
+  "bench_fig5_caching_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_caching_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dcsm_utility.dir/fig6_dcsm_utility.cc.o"
+  "CMakeFiles/bench_fig6_dcsm_utility.dir/fig6_dcsm_utility.cc.o.d"
+  "bench_fig6_dcsm_utility"
+  "bench_fig6_dcsm_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dcsm_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

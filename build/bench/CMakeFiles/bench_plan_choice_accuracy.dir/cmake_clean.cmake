@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_choice_accuracy.dir/plan_choice_accuracy.cc.o"
+  "CMakeFiles/bench_plan_choice_accuracy.dir/plan_choice_accuracy.cc.o.d"
+  "bench_plan_choice_accuracy"
+  "bench_plan_choice_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_choice_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

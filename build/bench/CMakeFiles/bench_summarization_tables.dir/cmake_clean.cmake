@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summarization_tables.dir/summarization_tables.cc.o"
+  "CMakeFiles/bench_summarization_tables.dir/summarization_tables.cc.o.d"
+  "bench_summarization_tables"
+  "bench_summarization_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summarization_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summarization_tradeoff.dir/summarization_tradeoff.cc.o"
+  "CMakeFiles/bench_summarization_tradeoff.dir/summarization_tradeoff.cc.o.d"
+  "bench_summarization_tradeoff"
+  "bench_summarization_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summarization_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_shell.dir/hermes_shell.cpp.o"
+  "CMakeFiles/hermes_shell.dir/hermes_shell.cpp.o.d"
+  "hermes_shell"
+  "hermes_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

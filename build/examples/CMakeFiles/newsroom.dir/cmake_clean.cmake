@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsroom.dir/newsroom.cpp.o"
+  "CMakeFiles/newsroom.dir/newsroom.cpp.o.d"
+  "newsroom"
+  "newsroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

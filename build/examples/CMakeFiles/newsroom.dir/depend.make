@@ -1,0 +1,2 @@
+# Empty dependencies file for newsroom.
+# This may be replaced when dependencies are built.

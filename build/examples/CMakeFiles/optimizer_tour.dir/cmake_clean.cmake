@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_tour.dir/optimizer_tour.cpp.o"
+  "CMakeFiles/optimizer_tour.dir/optimizer_tour.cpp.o.d"
+  "optimizer_tour"
+  "optimizer_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

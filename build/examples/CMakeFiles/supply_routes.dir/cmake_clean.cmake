@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_routes.dir/supply_routes.cpp.o"
+  "CMakeFiles/supply_routes.dir/supply_routes.cpp.o.d"
+  "supply_routes"
+  "supply_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

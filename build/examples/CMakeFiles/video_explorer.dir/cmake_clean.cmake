@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_explorer.dir/video_explorer.cpp.o"
+  "CMakeFiles/video_explorer.dir/video_explorer.cpp.o.d"
+  "video_explorer"
+  "video_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lang")
+subdirs("domain")
+subdirs("relational")
+subdirs("flatfile")
+subdirs("avis")
+subdirs("spatial")
+subdirs("terrain")
+subdirs("text")
+subdirs("face")
+subdirs("net")
+subdirs("cim")
+subdirs("dcsm")
+subdirs("optimizer")
+subdirs("engine")
+subdirs("testbed")
+subdirs("experiments")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_avis.dir/avis_domain.cc.o"
+  "CMakeFiles/hermes_avis.dir/avis_domain.cc.o.d"
+  "CMakeFiles/hermes_avis.dir/video_db.cc.o"
+  "CMakeFiles/hermes_avis.dir/video_db.cc.o.d"
+  "libhermes_avis.a"
+  "libhermes_avis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_avis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

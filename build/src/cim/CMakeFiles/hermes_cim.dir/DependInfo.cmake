@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cim/cim.cc" "src/cim/CMakeFiles/hermes_cim.dir/cim.cc.o" "gcc" "src/cim/CMakeFiles/hermes_cim.dir/cim.cc.o.d"
+  "/root/repo/src/cim/result_cache.cc" "src/cim/CMakeFiles/hermes_cim.dir/result_cache.cc.o" "gcc" "src/cim/CMakeFiles/hermes_cim.dir/result_cache.cc.o.d"
+  "/root/repo/src/cim/substitution.cc" "src/cim/CMakeFiles/hermes_cim.dir/substitution.cc.o" "gcc" "src/cim/CMakeFiles/hermes_cim.dir/substitution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hermes_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/hermes_domain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_cim.dir/cim.cc.o"
+  "CMakeFiles/hermes_cim.dir/cim.cc.o.d"
+  "CMakeFiles/hermes_cim.dir/result_cache.cc.o"
+  "CMakeFiles/hermes_cim.dir/result_cache.cc.o.d"
+  "CMakeFiles/hermes_cim.dir/substitution.cc.o"
+  "CMakeFiles/hermes_cim.dir/substitution.cc.o.d"
+  "libhermes_cim.a"
+  "libhermes_cim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_common.dir/io.cc.o"
+  "CMakeFiles/hermes_common.dir/io.cc.o.d"
+  "CMakeFiles/hermes_common.dir/status.cc.o"
+  "CMakeFiles/hermes_common.dir/status.cc.o.d"
+  "CMakeFiles/hermes_common.dir/strings.cc.o"
+  "CMakeFiles/hermes_common.dir/strings.cc.o.d"
+  "CMakeFiles/hermes_common.dir/value.cc.o"
+  "CMakeFiles/hermes_common.dir/value.cc.o.d"
+  "libhermes_common.a"
+  "libhermes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcsm/cost_vector_db.cc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/cost_vector_db.cc.o" "gcc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/cost_vector_db.cc.o.d"
+  "/root/repo/src/dcsm/dcsm.cc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/dcsm.cc.o" "gcc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/dcsm.cc.o.d"
+  "/root/repo/src/dcsm/persistence.cc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/persistence.cc.o" "gcc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/persistence.cc.o.d"
+  "/root/repo/src/dcsm/summary_table.cc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/summary_table.cc.o" "gcc" "src/dcsm/CMakeFiles/hermes_dcsm.dir/summary_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hermes_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/hermes_domain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_dcsm.dir/cost_vector_db.cc.o"
+  "CMakeFiles/hermes_dcsm.dir/cost_vector_db.cc.o.d"
+  "CMakeFiles/hermes_dcsm.dir/dcsm.cc.o"
+  "CMakeFiles/hermes_dcsm.dir/dcsm.cc.o.d"
+  "CMakeFiles/hermes_dcsm.dir/persistence.cc.o"
+  "CMakeFiles/hermes_dcsm.dir/persistence.cc.o.d"
+  "CMakeFiles/hermes_dcsm.dir/summary_table.cc.o"
+  "CMakeFiles/hermes_dcsm.dir/summary_table.cc.o.d"
+  "libhermes_dcsm.a"
+  "libhermes_dcsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_dcsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

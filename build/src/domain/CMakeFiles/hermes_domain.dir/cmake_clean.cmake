@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_domain.dir/call.cc.o"
+  "CMakeFiles/hermes_domain.dir/call.cc.o.d"
+  "CMakeFiles/hermes_domain.dir/domain.cc.o"
+  "CMakeFiles/hermes_domain.dir/domain.cc.o.d"
+  "CMakeFiles/hermes_domain.dir/registry.cc.o"
+  "CMakeFiles/hermes_domain.dir/registry.cc.o.d"
+  "libhermes_domain.a"
+  "libhermes_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bindings.cc" "src/engine/CMakeFiles/hermes_engine.dir/bindings.cc.o" "gcc" "src/engine/CMakeFiles/hermes_engine.dir/bindings.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/hermes_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/hermes_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/mediator.cc" "src/engine/CMakeFiles/hermes_engine.dir/mediator.cc.o" "gcc" "src/engine/CMakeFiles/hermes_engine.dir/mediator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hermes_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/hermes_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/hermes_cim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcsm/CMakeFiles/hermes_dcsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/hermes_optimizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_engine.dir/bindings.cc.o"
+  "CMakeFiles/hermes_engine.dir/bindings.cc.o.d"
+  "CMakeFiles/hermes_engine.dir/executor.cc.o"
+  "CMakeFiles/hermes_engine.dir/executor.cc.o.d"
+  "CMakeFiles/hermes_engine.dir/mediator.cc.o"
+  "CMakeFiles/hermes_engine.dir/mediator.cc.o.d"
+  "libhermes_engine.a"
+  "libhermes_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_experiments.dir/claims.cc.o"
+  "CMakeFiles/hermes_experiments.dir/claims.cc.o.d"
+  "CMakeFiles/hermes_experiments.dir/fig5.cc.o"
+  "CMakeFiles/hermes_experiments.dir/fig5.cc.o.d"
+  "CMakeFiles/hermes_experiments.dir/fig6.cc.o"
+  "CMakeFiles/hermes_experiments.dir/fig6.cc.o.d"
+  "CMakeFiles/hermes_experiments.dir/tradeoff.cc.o"
+  "CMakeFiles/hermes_experiments.dir/tradeoff.cc.o.d"
+  "libhermes_experiments.a"
+  "libhermes_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

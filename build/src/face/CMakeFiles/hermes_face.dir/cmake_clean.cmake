@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_face.dir/face_domain.cc.o"
+  "CMakeFiles/hermes_face.dir/face_domain.cc.o.d"
+  "libhermes_face.a"
+  "libhermes_face.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_face.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_flatfile.dir/flatfile_domain.cc.o"
+  "CMakeFiles/hermes_flatfile.dir/flatfile_domain.cc.o.d"
+  "libhermes_flatfile.a"
+  "libhermes_flatfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_flatfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

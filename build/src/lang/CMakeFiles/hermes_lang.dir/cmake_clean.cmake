@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_lang.dir/ast.cc.o"
+  "CMakeFiles/hermes_lang.dir/ast.cc.o.d"
+  "CMakeFiles/hermes_lang.dir/lexer.cc.o"
+  "CMakeFiles/hermes_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/hermes_lang.dir/parser.cc.o"
+  "CMakeFiles/hermes_lang.dir/parser.cc.o.d"
+  "CMakeFiles/hermes_lang.dir/token.cc.o"
+  "CMakeFiles/hermes_lang.dir/token.cc.o.d"
+  "libhermes_lang.a"
+  "libhermes_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

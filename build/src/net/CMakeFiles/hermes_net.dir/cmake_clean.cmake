@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_net.dir/network.cc.o"
+  "CMakeFiles/hermes_net.dir/network.cc.o.d"
+  "CMakeFiles/hermes_net.dir/remote_domain.cc.o"
+  "CMakeFiles/hermes_net.dir/remote_domain.cc.o.d"
+  "CMakeFiles/hermes_net.dir/site.cc.o"
+  "CMakeFiles/hermes_net.dir/site.cc.o.d"
+  "libhermes_net.a"
+  "libhermes_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

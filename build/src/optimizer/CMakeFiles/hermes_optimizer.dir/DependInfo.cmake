@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/estimator.cc" "src/optimizer/CMakeFiles/hermes_optimizer.dir/estimator.cc.o" "gcc" "src/optimizer/CMakeFiles/hermes_optimizer.dir/estimator.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/hermes_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/hermes_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rewriter.cc" "src/optimizer/CMakeFiles/hermes_optimizer.dir/rewriter.cc.o" "gcc" "src/optimizer/CMakeFiles/hermes_optimizer.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hermes_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/hermes_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcsm/CMakeFiles/hermes_dcsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

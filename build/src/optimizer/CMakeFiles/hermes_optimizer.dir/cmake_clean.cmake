@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_optimizer.dir/estimator.cc.o"
+  "CMakeFiles/hermes_optimizer.dir/estimator.cc.o.d"
+  "CMakeFiles/hermes_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/hermes_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/hermes_optimizer.dir/rewriter.cc.o"
+  "CMakeFiles/hermes_optimizer.dir/rewriter.cc.o.d"
+  "libhermes_optimizer.a"
+  "libhermes_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

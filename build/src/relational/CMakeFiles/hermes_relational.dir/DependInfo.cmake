@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/hermes_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/hermes_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/relational_domain.cc" "src/relational/CMakeFiles/hermes_relational.dir/relational_domain.cc.o" "gcc" "src/relational/CMakeFiles/hermes_relational.dir/relational_domain.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/hermes_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/hermes_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/hermes_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/hermes_relational.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hermes_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/hermes_domain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_relational.dir/database.cc.o"
+  "CMakeFiles/hermes_relational.dir/database.cc.o.d"
+  "CMakeFiles/hermes_relational.dir/relational_domain.cc.o"
+  "CMakeFiles/hermes_relational.dir/relational_domain.cc.o.d"
+  "CMakeFiles/hermes_relational.dir/schema.cc.o"
+  "CMakeFiles/hermes_relational.dir/schema.cc.o.d"
+  "CMakeFiles/hermes_relational.dir/table.cc.o"
+  "CMakeFiles/hermes_relational.dir/table.cc.o.d"
+  "libhermes_relational.a"
+  "libhermes_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

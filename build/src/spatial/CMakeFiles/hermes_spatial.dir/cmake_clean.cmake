@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_spatial.dir/spatial_domain.cc.o"
+  "CMakeFiles/hermes_spatial.dir/spatial_domain.cc.o.d"
+  "libhermes_spatial.a"
+  "libhermes_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

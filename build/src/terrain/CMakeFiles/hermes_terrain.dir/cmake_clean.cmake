@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_terrain.dir/terrain_domain.cc.o"
+  "CMakeFiles/hermes_terrain.dir/terrain_domain.cc.o.d"
+  "libhermes_terrain.a"
+  "libhermes_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_testbed.dir/scenario.cc.o"
+  "CMakeFiles/hermes_testbed.dir/scenario.cc.o.d"
+  "libhermes_testbed.a"
+  "libhermes_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_text.dir/text_domain.cc.o"
+  "CMakeFiles/hermes_text.dir/text_domain.cc.o.d"
+  "libhermes_text.a"
+  "libhermes_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avis_avis_test.dir/avis/avis_test.cc.o"
+  "CMakeFiles/avis_avis_test.dir/avis/avis_test.cc.o.d"
+  "avis_avis_test"
+  "avis_avis_test.pdb"
+  "avis_avis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avis_avis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_cim_test.dir/cim/cim_test.cc.o"
+  "CMakeFiles/cim_cim_test.dir/cim/cim_test.cc.o.d"
+  "cim_cim_test"
+  "cim_cim_test.pdb"
+  "cim_cim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_cim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

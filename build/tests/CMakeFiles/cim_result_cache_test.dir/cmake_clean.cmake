@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_result_cache_test.dir/cim/result_cache_test.cc.o"
+  "CMakeFiles/cim_result_cache_test.dir/cim/result_cache_test.cc.o.d"
+  "cim_result_cache_test"
+  "cim_result_cache_test.pdb"
+  "cim_result_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_result_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_staleness_test.dir/cim/staleness_test.cc.o"
+  "CMakeFiles/cim_staleness_test.dir/cim/staleness_test.cc.o.d"
+  "cim_staleness_test"
+  "cim_staleness_test.pdb"
+  "cim_staleness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_staleness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_substitution_test.dir/cim/substitution_test.cc.o"
+  "CMakeFiles/cim_substitution_test.dir/cim/substitution_test.cc.o.d"
+  "cim_substitution_test"
+  "cim_substitution_test.pdb"
+  "cim_substitution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_substitution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

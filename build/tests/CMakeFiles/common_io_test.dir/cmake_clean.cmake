@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_io_test.dir/common/io_test.cc.o"
+  "CMakeFiles/common_io_test.dir/common/io_test.cc.o.d"
+  "common_io_test"
+  "common_io_test.pdb"
+  "common_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsm_cost_vector_db_test.dir/dcsm/cost_vector_db_test.cc.o"
+  "CMakeFiles/dcsm_cost_vector_db_test.dir/dcsm/cost_vector_db_test.cc.o.d"
+  "dcsm_cost_vector_db_test"
+  "dcsm_cost_vector_db_test.pdb"
+  "dcsm_cost_vector_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsm_cost_vector_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

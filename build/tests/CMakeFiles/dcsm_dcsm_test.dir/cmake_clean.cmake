@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsm_dcsm_test.dir/dcsm/dcsm_test.cc.o"
+  "CMakeFiles/dcsm_dcsm_test.dir/dcsm/dcsm_test.cc.o.d"
+  "dcsm_dcsm_test"
+  "dcsm_dcsm_test.pdb"
+  "dcsm_dcsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsm_dcsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsm_incremental_summary_test.dir/dcsm/incremental_summary_test.cc.o"
+  "CMakeFiles/dcsm_incremental_summary_test.dir/dcsm/incremental_summary_test.cc.o.d"
+  "dcsm_incremental_summary_test"
+  "dcsm_incremental_summary_test.pdb"
+  "dcsm_incremental_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsm_incremental_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dcsm/persistence_test.cc" "tests/CMakeFiles/dcsm_persistence_test.dir/dcsm/persistence_test.cc.o" "gcc" "tests/CMakeFiles/dcsm_persistence_test.dir/dcsm/persistence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/hermes_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/hermes_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hermes_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/hermes_cim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/hermes_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcsm/CMakeFiles/hermes_dcsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/hermes_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/avis/CMakeFiles/hermes_avis.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatfile/CMakeFiles/hermes_flatfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/hermes_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/hermes_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hermes_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/hermes_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/hermes_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hermes_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hermes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

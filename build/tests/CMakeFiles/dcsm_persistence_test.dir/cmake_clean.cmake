@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsm_persistence_test.dir/dcsm/persistence_test.cc.o"
+  "CMakeFiles/dcsm_persistence_test.dir/dcsm/persistence_test.cc.o.d"
+  "dcsm_persistence_test"
+  "dcsm_persistence_test.pdb"
+  "dcsm_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsm_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

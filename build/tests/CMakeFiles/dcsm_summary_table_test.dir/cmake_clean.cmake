@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsm_summary_table_test.dir/dcsm/summary_table_test.cc.o"
+  "CMakeFiles/dcsm_summary_table_test.dir/dcsm/summary_table_test.cc.o.d"
+  "dcsm_summary_table_test"
+  "dcsm_summary_table_test.pdb"
+  "dcsm_summary_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsm_summary_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

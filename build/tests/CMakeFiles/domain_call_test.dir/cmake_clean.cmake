@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_call_test.dir/domain/call_test.cc.o"
+  "CMakeFiles/domain_call_test.dir/domain/call_test.cc.o.d"
+  "domain_call_test"
+  "domain_call_test.pdb"
+  "domain_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_registry_test.dir/domain/registry_test.cc.o"
+  "CMakeFiles/domain_registry_test.dir/domain/registry_test.cc.o.d"
+  "domain_registry_test"
+  "domain_registry_test.pdb"
+  "domain_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

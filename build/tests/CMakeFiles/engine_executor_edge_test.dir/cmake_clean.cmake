@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_executor_edge_test.dir/engine/executor_edge_test.cc.o"
+  "CMakeFiles/engine_executor_edge_test.dir/engine/executor_edge_test.cc.o.d"
+  "engine_executor_edge_test"
+  "engine_executor_edge_test.pdb"
+  "engine_executor_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_executor_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_mediator_test.dir/engine/mediator_test.cc.o"
+  "CMakeFiles/engine_mediator_test.dir/engine/mediator_test.cc.o.d"
+  "engine_mediator_test"
+  "engine_mediator_test.pdb"
+  "engine_mediator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_mediator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

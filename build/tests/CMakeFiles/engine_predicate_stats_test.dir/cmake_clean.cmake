@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_predicate_stats_test.dir/engine/predicate_stats_test.cc.o"
+  "CMakeFiles/engine_predicate_stats_test.dir/engine/predicate_stats_test.cc.o.d"
+  "engine_predicate_stats_test"
+  "engine_predicate_stats_test.pdb"
+  "engine_predicate_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_predicate_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatfile_flatfile_test.dir/flatfile/flatfile_test.cc.o"
+  "CMakeFiles/flatfile_flatfile_test.dir/flatfile/flatfile_test.cc.o.d"
+  "flatfile_flatfile_test"
+  "flatfile_flatfile_test.pdb"
+  "flatfile_flatfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatfile_flatfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flatfile_flatfile_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_experiments_test.dir/integration/experiments_test.cc.o"
+  "CMakeFiles/integration_experiments_test.dir/integration/experiments_test.cc.o.d"
+  "integration_experiments_test"
+  "integration_experiments_test.pdb"
+  "integration_experiments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

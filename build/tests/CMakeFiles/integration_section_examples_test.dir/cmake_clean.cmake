@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_section_examples_test.dir/integration/section_examples_test.cc.o"
+  "CMakeFiles/integration_section_examples_test.dir/integration/section_examples_test.cc.o.d"
+  "integration_section_examples_test"
+  "integration_section_examples_test.pdb"
+  "integration_section_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_section_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

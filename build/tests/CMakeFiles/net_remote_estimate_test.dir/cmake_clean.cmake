@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_remote_estimate_test.dir/net/remote_estimate_test.cc.o"
+  "CMakeFiles/net_remote_estimate_test.dir/net/remote_estimate_test.cc.o.d"
+  "net_remote_estimate_test"
+  "net_remote_estimate_test.pdb"
+  "net_remote_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_remote_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

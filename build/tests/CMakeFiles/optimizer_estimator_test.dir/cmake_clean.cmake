@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_estimator_test.dir/optimizer/estimator_test.cc.o"
+  "CMakeFiles/optimizer_estimator_test.dir/optimizer/estimator_test.cc.o.d"
+  "optimizer_estimator_test"
+  "optimizer_estimator_test.pdb"
+  "optimizer_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_goal_test.dir/optimizer/goal_test.cc.o"
+  "CMakeFiles/optimizer_goal_test.dir/optimizer/goal_test.cc.o.d"
+  "optimizer_goal_test"
+  "optimizer_goal_test.pdb"
+  "optimizer_goal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_goal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

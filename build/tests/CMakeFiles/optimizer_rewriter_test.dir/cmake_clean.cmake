@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_rewriter_test.dir/optimizer/rewriter_test.cc.o"
+  "CMakeFiles/optimizer_rewriter_test.dir/optimizer/rewriter_test.cc.o.d"
+  "optimizer_rewriter_test"
+  "optimizer_rewriter_test.pdb"
+  "optimizer_rewriter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_database_test.dir/relational/database_test.cc.o"
+  "CMakeFiles/relational_database_test.dir/relational/database_test.cc.o.d"
+  "relational_database_test"
+  "relational_database_test.pdb"
+  "relational_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

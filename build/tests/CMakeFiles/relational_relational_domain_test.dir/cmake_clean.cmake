@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_relational_domain_test.dir/relational/relational_domain_test.cc.o"
+  "CMakeFiles/relational_relational_domain_test.dir/relational/relational_domain_test.cc.o.d"
+  "relational_relational_domain_test"
+  "relational_relational_domain_test.pdb"
+  "relational_relational_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_relational_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

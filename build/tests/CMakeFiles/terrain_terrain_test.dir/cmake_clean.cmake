@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_terrain_test.dir/terrain/terrain_test.cc.o"
+  "CMakeFiles/terrain_terrain_test.dir/terrain/terrain_test.cc.o.d"
+  "terrain_terrain_test"
+  "terrain_terrain_test.pdb"
+  "terrain_terrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_terrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
