@@ -66,10 +66,10 @@ int main() {
        med.Query("?- objects(4, 127, O).", all));
 
   std::printf("\n-- Milan goes down: the cache keeps answering\n");
-  // Failure injection: take the site behind the CIM's wrapped domain down.
-  auto* remote = dynamic_cast<net::RemoteDomain*>(cim->inner());
-  if (remote == nullptr) return 1;
-  remote->mutable_site().availability = 0.0;
+  // Failure injection: take down the network layer the cache sits on.
+  net::NetworkInterceptor* link = med.remote_link("video");
+  if (link == nullptr) return 1;
+  link->mutable_site().availability = 0.0;
   Show("objects [4,47] (cached, site down)",
        med.Query("?- objects(4, 47, O).", all));
   // [4,500] was never asked; the cached [4,127] subset is the best the

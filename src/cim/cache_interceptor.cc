@@ -1,0 +1,30 @@
+#include "cim/cache_interceptor.h"
+
+namespace hermes::cim {
+
+const std::string& CacheInterceptor::name() const {
+  static const std::string kName = "cache";
+  return kName;
+}
+
+Result<CallOutput> CacheInterceptor::Intercept(CallContext& ctx,
+                                               const DomainCall& call,
+                                               const Next& next) {
+  const CimStats& stats = cim_->stats();
+  uint64_t hits_before =
+      stats.exact_hits + stats.equality_hits + stats.partial_hits;
+  uint64_t misses_before = stats.misses;
+
+  Result<CallOutput> out = cim_->RunWith(
+      call, [&ctx, &next](const DomainCall& actual) {
+        return next(ctx, actual);
+      });
+
+  ctx.metrics.cache_hits +=
+      stats.exact_hits + stats.equality_hits + stats.partial_hits -
+      hits_before;
+  ctx.metrics.cache_misses += stats.misses - misses_before;
+  return out;
+}
+
+}  // namespace hermes::cim

@@ -26,9 +26,10 @@ CallOutput CimDomain::ServeFromCache(const CacheEntry& entry, double lead_ms,
   return out;
 }
 
-Result<CallOutput> CimDomain::RunActual(const DomainCall& call) {
+Result<CallOutput> CimDomain::RunActual(const DomainCall& call,
+                                        const ActualCallFn& actual) {
   ++stats_.actual_calls;
-  HERMES_ASSIGN_OR_RETURN(CallOutput out, inner_->Run(call));
+  HERMES_ASSIGN_OR_RETURN(CallOutput out, actual(call));
   if (options_.cache_results && out.complete) {
     cache_.Put(call, out.answers, /*complete=*/true, tick_);
   }
@@ -131,6 +132,12 @@ std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
 }
 
 Result<CallOutput> CimDomain::Run(const DomainCall& raw_call) {
+  return RunWith(raw_call,
+                 [this](const DomainCall& call) { return inner_->Run(call); });
+}
+
+Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
+                                      const ActualCallFn& actual) {
   // Normalize to the logical domain name used by rules/invariants/cache.
   DomainCall call = raw_call;
   call.domain = target_domain_;
@@ -178,20 +185,20 @@ Result<CallOutput> CimDomain::Run(const DomainCall& raw_call) {
 
     // All-answers mode: issue the actual call "in parallel" with serving
     // the cached subset, then merge with duplicate elimination.
-    Result<CallOutput> actual = RunActual(call);
-    if (!actual.ok()) {
-      if (actual.status().IsUnavailable() && options_.mask_unavailability) {
+    Result<CallOutput> full = RunActual(call, actual);
+    if (!full.ok()) {
+      if (full.status().IsUnavailable() && options_.mask_unavailability) {
         ++stats_.unavailable_masked;
         return ServeFromCache(partial, lead_ms, /*complete=*/false);
       }
-      return actual.status();
+      return full.status();
     }
 
     CallOutput out;
     out.answers = partial.answers;  // cached subset arrives first
     std::unordered_set<Value, ValueHash> seen(partial.answers.begin(),
                                               partial.answers.end());
-    for (Value& v : actual->answers) {
+    for (Value& v : full->answers) {
       if (seen.find(v) == seen.end()) out.answers.push_back(std::move(v));
     }
     double cached_all_ms =
@@ -204,21 +211,21 @@ Result<CallOutput> CimDomain::Run(const DomainCall& raw_call) {
     double merge_ms =
         params_.per_compare_byte_ms * static_cast<double>(partial.bytes);
     out.first_ms = lead_ms + params_.per_cached_answer_ms;
-    out.all_ms = std::max(cached_all_ms, lead_ms + actual->all_ms) + merge_ms;
+    out.all_ms = std::max(cached_all_ms, lead_ms + full->all_ms) + merge_ms;
     out.complete = true;
     return out;
   }
 
   // Step 4: miss — the actual call must be made.
   ++stats_.misses;
-  Result<CallOutput> actual = RunActual(call);
-  if (!actual.ok()) {
-    if (actual.status().IsUnavailable()) ++stats_.unavailable_failed;
-    return actual.status();
+  Result<CallOutput> full = RunActual(call, actual);
+  if (!full.ok()) {
+    if (full.status().IsUnavailable()) ++stats_.unavailable_failed;
+    return full.status();
   }
-  actual->first_ms += lead_ms;
-  actual->all_ms += lead_ms;
-  return std::move(actual).value();
+  full->first_ms += lead_ms;
+  full->all_ms += lead_ms;
+  return std::move(full).value();
 }
 
 }  // namespace hermes::cim

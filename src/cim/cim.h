@@ -2,6 +2,7 @@
 #define HERMES_CIM_CIM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -106,6 +107,18 @@ class CimDomain : public Domain {
     return inner_->Functions();
   }
   Result<CallOutput> Run(const DomainCall& call) override;
+  using Domain::Run;
+
+  /// How the CIM reaches the real source when the cache cannot (fully)
+  /// answer. CacheInterceptor passes the rest of its pipeline; plain
+  /// Run(call) passes the wrapped inner domain.
+  using ActualCallFn = std::function<Result<CallOutput>(const DomainCall&)>;
+
+  /// Section 4.1's lookup algorithm with the actual-call path factored out:
+  /// exact hit → equality invariant → subset invariant (partial) → actual
+  /// call via `actual`, whose complete results are inserted into the cache.
+  Result<CallOutput> RunWith(const DomainCall& raw_call,
+                             const ActualCallFn& actual);
 
   ResultCache& cache() { return cache_; }
   const CimStats& stats() const { return stats_; }
@@ -141,8 +154,9 @@ class CimDomain : public Domain {
   CallOutput ServeFromCache(const CacheEntry& entry, double lead_ms,
                             bool complete) const;
 
-  /// Runs the actual call through the inner domain, caching on success.
-  Result<CallOutput> RunActual(const DomainCall& call);
+  /// Runs the actual call through `actual`, caching on success.
+  Result<CallOutput> RunActual(const DomainCall& call,
+                               const ActualCallFn& actual);
 
   std::string name_;
   std::string target_domain_;

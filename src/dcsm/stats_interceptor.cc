@@ -1,0 +1,35 @@
+#include "dcsm/stats_interceptor.h"
+
+namespace hermes::dcsm {
+
+const std::string& StatsInterceptor::name() const {
+  static const std::string kName = "stats";
+  return kName;
+}
+
+Result<CallOutput> StatsInterceptor::Intercept(CallContext& ctx,
+                                               const DomainCall& call,
+                                               const Next& next) {
+  Result<CallOutput> run = next(ctx, call);
+  if (run.ok()) {
+    RecordSample(ctx, call,
+                 CostVector(run->first_ms, run->all_ms,
+                            static_cast<double>(run->answers.size())),
+                 run->complete);
+  }
+  return run;
+}
+
+void StatsInterceptor::RecordSample(CallContext& ctx, const DomainCall& call,
+                                    const CostVector& cost, bool complete) {
+  if (dcsm_ == nullptr) return;
+  CostRecord record;
+  record.call = call;
+  record.cost = cost;
+  record.has_t_all = complete;
+  record.has_cardinality = complete;
+  dcsm_->Record(std::move(record));
+  ++ctx.metrics.stats_records;
+}
+
+}  // namespace hermes::dcsm

@@ -1,0 +1,42 @@
+#ifndef HERMES_DCSM_STATS_INTERCEPTOR_H_
+#define HERMES_DCSM_STATS_INTERCEPTOR_H_
+
+#include <string>
+
+#include "dcsm/dcsm.h"
+#include "domain/pipeline.h"
+
+namespace hermes::dcsm {
+
+/// The statistics layer of the call pipeline: records every successful
+/// call's cost vector into the DCSM (the paper's online statistics-caching
+/// path, formerly inlined in the executor).
+///
+/// The recorded call is the call as the layer saw it — stacked above a
+/// cache layer it records CIM-wrapper costs (what plan estimation for
+/// CIM-redirected plans consumes); stacked below, it would record only
+/// actual source calls.
+class StatsInterceptor : public CallInterceptor {
+ public:
+  explicit StatsInterceptor(Dcsm* dcsm) : dcsm_(dcsm) {}
+
+  const std::string& name() const override;
+
+  Result<CallOutput> Intercept(CallContext& ctx, const DomainCall& call,
+                               const Next& next) override;
+
+  /// Records one measured cost sample into the DCSM. The interceptor path
+  /// uses it for executed domain calls; the executor feeds predicate
+  /// invocations (under the pseudo domain "idb") through it as well, so
+  /// all DCSM capture flows through the stats layer. When `complete` is
+  /// false the Ta/cardinality metrics are marked partially observed.
+  void RecordSample(CallContext& ctx, const DomainCall& call,
+                    const CostVector& cost, bool complete);
+
+ private:
+  Dcsm* dcsm_;
+};
+
+}  // namespace hermes::dcsm
+
+#endif  // HERMES_DCSM_STATS_INTERCEPTOR_H_

@@ -11,6 +11,8 @@
 
 namespace hermes {
 
+struct CallContext;
+
 /// Signature of one callable function exported by a domain.
 struct FunctionInfo {
   std::string name;
@@ -62,6 +64,14 @@ class Domain {
   /// name() when the domain is wrapped (by RemoteDomain or CIM);
   /// implementations should dispatch on `call.function`/`call.args` only.
   virtual Result<CallOutput> Run(const DomainCall& call) = 0;
+
+  /// Context-aware execution (the call-pipeline path). Plain domains ignore
+  /// the context; PipelineDomain threads it through its interceptor stack
+  /// so per-query metrics accumulate. Results are identical either way.
+  virtual Result<CallOutput> Run(CallContext& ctx, const DomainCall& call) {
+    (void)ctx;
+    return Run(call);
+  }
 
   /// True when the domain ships its own cost-estimation module.
   virtual bool HasCostModel() const { return false; }

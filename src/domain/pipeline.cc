@@ -1,0 +1,142 @@
+#include "domain/pipeline.h"
+
+#include <cstdio>
+
+namespace hermes {
+
+void CallMetrics::Merge(const CallMetrics& other) {
+  domain_calls += other.domain_calls;
+  traced_calls += other.traced_calls;
+  stats_records += other.stats_records;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  remote_calls += other.remote_calls;
+  remote_failures += other.remote_failures;
+  bytes_transferred += other.bytes_transferred;
+  network_charge += other.network_charge;
+  network_ms += other.network_ms;
+}
+
+std::string CallTrace::ToString() const {
+  char buf[160];
+  if (failed) {
+    std::snprintf(buf, sizeof(buf), "t=%9.1fms  %-44s FAILED: ", t_start_ms,
+                  call.ToString().c_str());
+    return std::string(buf) + error;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "t=%9.1fms  %-44s %4zu answer(s) first=%.1fms all=%.1fms",
+                t_start_ms, call.ToString().c_str(), answers, first_ms,
+                all_ms);
+  return buf;
+}
+
+Status CallContext::ChargeCall() {
+  if (metrics.domain_calls >= call_budget) {
+    return Status::Internal("domain-call budget exhausted (" +
+                            std::to_string(call_budget) +
+                            "); runaway query?");
+  }
+  ++metrics.domain_calls;
+  return Status::OK();
+}
+
+Result<CallOutput> CallPipeline::Run(CallContext& ctx,
+                                     const DomainCall& call) const {
+  return RunFrom(0, ctx, call);
+}
+
+Result<CallOutput> CallPipeline::RunFrom(size_t index, CallContext& ctx,
+                                         const DomainCall& call) const {
+  if (index == stack_.size()) return terminal_(ctx, call);
+  return stack_[index]->Intercept(
+      ctx, call,
+      [this, index](CallContext& c, const DomainCall& k) {
+        return RunFrom(index + 1, c, k);
+      });
+}
+
+PipelineDomain::PipelineDomain(
+    std::string name, std::vector<std::shared_ptr<CallInterceptor>> stack,
+    std::shared_ptr<Domain> terminal)
+    : name_(std::move(name)),
+      terminal_(std::move(terminal)),
+      pipeline_(std::move(stack),
+                [this](CallContext& ctx, const DomainCall& call) {
+                  return terminal_->Run(ctx, call);
+                }) {}
+
+Result<CallOutput> PipelineDomain::Run(const DomainCall& call) {
+  CallContext scratch;
+  return Run(scratch, call);
+}
+
+Result<CallOutput> PipelineDomain::Run(CallContext& ctx,
+                                       const DomainCall& call) {
+  return pipeline_.Run(ctx, call);
+}
+
+bool PipelineDomain::HasCostModel() const {
+  bool has = terminal_->HasCostModel();
+  const auto& stack = pipeline_.stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    has = (*it)->HasCostModel(has);
+  }
+  return has;
+}
+
+Result<CostVector> PipelineDomain::EstimateCost(
+    const lang::DomainCallSpec& pattern) const {
+  // Fold the estimate bottom-up: the terminal's model, decorated by each
+  // layer in reverse stack order (mirroring how Run composes latencies).
+  CallInterceptor::EstimateNext next =
+      [this](const lang::DomainCallSpec& p) -> Result<CostVector> {
+    return terminal_->EstimateCost(p);
+  };
+  const auto& stack = pipeline_.stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    const CallInterceptor* layer = it->get();
+    CallInterceptor::EstimateNext inner = std::move(next);
+    next = [layer, inner = std::move(inner)](
+               const lang::DomainCallSpec& p) -> Result<CostVector> {
+      return layer->EstimateCost(p, inner);
+    };
+  }
+  return next(pattern);
+}
+
+CallInterceptor* PipelineDomain::FindLayer(const std::string& layer) const {
+  for (const auto& interceptor : pipeline_.stack()) {
+    if (interceptor->name() == layer) return interceptor.get();
+  }
+  return nullptr;
+}
+
+const std::string& TraceInterceptor::name() const {
+  static const std::string kName = "trace";
+  return kName;
+}
+
+Result<CallOutput> TraceInterceptor::Intercept(CallContext& ctx,
+                                               const DomainCall& call,
+                                               const Next& next) {
+  Result<CallOutput> run = next(ctx, call);
+  if (ctx.trace != nullptr) {
+    CallTrace entry;
+    entry.call = call;
+    entry.t_start_ms = ctx.now_ms;
+    entry.failed = !run.ok();
+    if (run.ok()) {
+      entry.first_ms = run->first_ms;
+      entry.all_ms = run->all_ms;
+      entry.answers = run->answers.size();
+    } else {
+      entry.error = run.status().ToString();
+    }
+    ctx.trace->push_back(std::move(entry));
+    ++ctx.metrics.traced_calls;
+  }
+  return run;
+}
+
+}  // namespace hermes

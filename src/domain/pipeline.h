@@ -1,0 +1,191 @@
+#ifndef HERMES_DOMAIN_PIPELINE_H_
+#define HERMES_DOMAIN_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "domain/cost.h"
+#include "domain/domain.h"
+#include "lang/ast.h"
+
+namespace hermes {
+
+/// Per-layer counters accumulated along one query's call path. Each
+/// interceptor owns a slice: the trace layer counts traced calls, the cache
+/// layer hit/miss outcomes, the network layer traffic and charges. The
+/// engine counts dispatched calls. Metrics are additive, so a caller can
+/// attribute exactly what one query consumed without diffing any global
+/// statistics (the old QueryTraffic-by-NetworkStats-delta bug).
+struct CallMetrics {
+  // Dispatch layer (the executor charging calls against the budget).
+  uint64_t domain_calls = 0;
+  // Trace layer.
+  uint64_t traced_calls = 0;
+  // Statistics layer (cost vectors recorded into the DCSM).
+  uint64_t stats_records = 0;
+  // Cache layer (exact + equality + partial hits vs. actual-call misses).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // Network layer.
+  uint64_t remote_calls = 0;     ///< Remote calls attempted (incl. failures).
+  uint64_t remote_failures = 0;  ///< Calls lost to site unavailability.
+  uint64_t bytes_transferred = 0;
+  double network_charge = 0.0;   ///< Financial access fees accrued.
+  double network_ms = 0.0;       ///< Simulated network time consumed.
+
+  /// Adds `other`'s counters into this one.
+  void Merge(const CallMetrics& other);
+};
+
+/// One domain call as the trace layer saw it — the execution trace element.
+struct CallTrace {
+  DomainCall call;
+  double t_start_ms = 0.0;  ///< Pipeline time when the call was opened.
+  double first_ms = 0.0;    ///< The call's own first-answer latency.
+  double all_ms = 0.0;      ///< The call's own completion latency.
+  size_t answers = 0;
+  bool failed = false;
+  std::string error;
+
+  std::string ToString() const;
+};
+
+/// Per-query state threaded from the executor through the registry down to
+/// the leaf domain. Every layer reads the simulated clock from it and
+/// accumulates its metrics into it; the caller that created the context
+/// (Mediator::Query) reads the per-query attribution off it afterwards.
+struct CallContext {
+  /// Identifier of the query this call belongs to (0 for standalone calls).
+  uint64_t query_id = 0;
+  /// Simulated pipeline time at which the current call was opened.
+  double now_ms = 0.0;
+  /// Domain-call budget for the whole query (the runaway-query guard).
+  uint64_t call_budget = std::numeric_limits<uint64_t>::max();
+  /// Counters accumulated by every layer the call path crossed.
+  CallMetrics metrics;
+  /// Trace sink; the trace layer records into it when non-null.
+  std::vector<CallTrace>* trace = nullptr;
+
+  /// Charges one domain call against the budget; fails once exhausted.
+  Status ChargeCall();
+};
+
+/// One composable stage of the domain-call path.
+///
+/// An interceptor wraps the call on its way down to the domain (and the
+/// answers on their way back up): it may serve the call itself (cache hit),
+/// decorate latencies (network link), or observe the outcome (trace,
+/// statistics). `next` continues with the remainder of the stack; not
+/// invoking it short-circuits the call.
+class CallInterceptor {
+ public:
+  using Next =
+      std::function<Result<CallOutput>(CallContext&, const DomainCall&)>;
+  using EstimateNext =
+      std::function<Result<CostVector>(const lang::DomainCallSpec&)>;
+
+  virtual ~CallInterceptor() = default;
+
+  /// Layer name for diagnostics ("trace", "stats", "cache", "network").
+  virtual const std::string& name() const = 0;
+
+  virtual Result<CallOutput> Intercept(CallContext& ctx,
+                                       const DomainCall& call,
+                                       const Next& next) = 0;
+
+  /// Optimizer-time cost-model composition. `inner_has` tells whether the
+  /// layers below ship a cost model; a layer that hides the model (cache)
+  /// returns false, one that decorates it (network) returns `inner_has`.
+  virtual bool HasCostModel(bool inner_has) const { return inner_has; }
+
+  /// Cost estimation through this layer; the default passes through.
+  virtual Result<CostVector> EstimateCost(const lang::DomainCallSpec& pattern,
+                                          const EstimateNext& next) const {
+    return next(pattern);
+  }
+};
+
+/// An ordered interceptor stack over a terminal call handler.
+class CallPipeline {
+ public:
+  using Handler =
+      std::function<Result<CallOutput>(CallContext&, const DomainCall&)>;
+
+  CallPipeline() = default;
+  CallPipeline(std::vector<std::shared_ptr<CallInterceptor>> stack,
+               Handler terminal)
+      : stack_(std::move(stack)), terminal_(std::move(terminal)) {}
+
+  /// Runs `call` through the stack, top first, ending at the terminal.
+  Result<CallOutput> Run(CallContext& ctx, const DomainCall& call) const;
+
+  const std::vector<std::shared_ptr<CallInterceptor>>& stack() const {
+    return stack_;
+  }
+
+ private:
+  Result<CallOutput> RunFrom(size_t index, CallContext& ctx,
+                             const DomainCall& call) const;
+
+  std::vector<std::shared_ptr<CallInterceptor>> stack_;
+  Handler terminal_;
+};
+
+/// An interceptor stack over a terminal domain, packaged as a Domain so it
+/// registers like any other (the paper's "behaves like any other domain").
+///
+/// Context-aware callers (DomainRegistry::Run with a CallContext) thread
+/// their context through the stack; legacy callers get a scratch context,
+/// so the answers and simulated latencies are identical either way — only
+/// the per-query attribution is lost.
+class PipelineDomain : public Domain {
+ public:
+  PipelineDomain(std::string name,
+                 std::vector<std::shared_ptr<CallInterceptor>> stack,
+                 std::shared_ptr<Domain> terminal);
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return terminal_->Functions();
+  }
+
+  Result<CallOutput> Run(const DomainCall& call) override;
+  Result<CallOutput> Run(CallContext& ctx, const DomainCall& call) override;
+
+  /// Cost-model visibility/estimation folded through the stack, bottom-up.
+  bool HasCostModel() const override;
+  Result<CostVector> EstimateCost(
+      const lang::DomainCallSpec& pattern) const override;
+
+  const std::vector<std::shared_ptr<CallInterceptor>>& stack() const {
+    return pipeline_.stack();
+  }
+  const std::shared_ptr<Domain>& terminal() const { return terminal_; }
+
+  /// First interceptor in the stack named `layer`, or nullptr. Lets callers
+  /// reach a layer for scenario control (e.g. taking a site down).
+  CallInterceptor* FindLayer(const std::string& layer) const;
+
+ private:
+  std::string name_;
+  std::shared_ptr<Domain> terminal_;
+  CallPipeline pipeline_;
+};
+
+/// The trace layer: records every call it sees (including ones a cache
+/// layer below serves without contacting the source) into `ctx.trace`.
+class TraceInterceptor : public CallInterceptor {
+ public:
+  const std::string& name() const override;
+  Result<CallOutput> Intercept(CallContext& ctx, const DomainCall& call,
+                               const Next& next) override;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_DOMAIN_PIPELINE_H_

@@ -37,9 +37,15 @@ Result<std::shared_ptr<Domain>> DomainRegistry::Get(
   return it->second;
 }
 
-Result<CallOutput> DomainRegistry::Run(const DomainCall& call) const {
+Result<CallOutput> DomainRegistry::Run(CallContext& ctx,
+                                       const DomainCall& call) const {
   HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> domain, Get(call.domain));
-  return domain->Run(call);
+  return domain->Run(ctx, call);
+}
+
+Result<CallOutput> DomainRegistry::Run(const DomainCall& call) const {
+  CallContext scratch;
+  return Run(scratch, call);
 }
 
 std::vector<std::string> DomainRegistry::Names() const {

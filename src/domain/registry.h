@@ -7,7 +7,8 @@
 #include <vector>
 
 #include "common/result.h"
-#include "domain/domain.h"  // IWYU pragma: export
+#include "domain/domain.h"    // IWYU pragma: export
+#include "domain/pipeline.h"  // IWYU pragma: export
 
 namespace hermes {
 
@@ -40,7 +41,12 @@ class DomainRegistry {
   /// Looks up the domain registered under `name`.
   Result<std::shared_ptr<Domain>> Get(const std::string& name) const;
 
-  /// Executes a ground call by routing on call.domain.
+  /// Executes a ground call by routing on call.domain, threading `ctx`
+  /// through the target's interceptor stack (when it has one).
+  Result<CallOutput> Run(CallContext& ctx, const DomainCall& call) const;
+
+  /// Executes a ground call by routing on call.domain. Forwards to the
+  /// context-taking overload with a default (scratch) context.
   Result<CallOutput> Run(const DomainCall& call) const;
 
   /// All registered names, sorted.

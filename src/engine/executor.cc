@@ -4,19 +4,13 @@
 
 namespace hermes::engine {
 
-std::string CallTrace::ToString() const {
-  char buf[160];
-  if (failed) {
-    std::snprintf(buf, sizeof(buf), "t=%9.1fms  %-44s FAILED: ",
-                  t_start_ms, call.ToString().c_str());
-    return std::string(buf) + error;
-  }
-  std::snprintf(buf, sizeof(buf),
-                "t=%9.1fms  %-44s %4zu answer(s) first=%.1fms all=%.1fms",
-                t_start_ms, call.ToString().c_str(), answers, first_ms,
-                all_ms);
-  return buf;
-}
+Executor::Executor(const DomainRegistry* registry, dcsm::Dcsm* dcsm,
+                   ExecutorOptions options)
+    : registry_(registry),
+      options_(options),
+      stats_layer_(dcsm == nullptr
+                       ? nullptr
+                       : std::make_shared<dcsm::StatsInterceptor>(dcsm)) {}
 
 std::string QueryExecution::ToString() const {
   std::string out = std::to_string(answers.size()) + " answer(s), Tf=" +
@@ -73,37 +67,13 @@ Result<double> Executor::EvalGoals(const std::vector<lang::Atom>& goals,
         HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(arg, *bindings));
         call.args.push_back(std::move(v));
       }
-      if (++state->domain_calls > options_.max_domain_calls) {
-        return Status::Internal("domain-call budget exhausted (" +
-                                std::to_string(options_.max_domain_calls) +
-                                "); runaway query?");
-      }
-      Result<CallOutput> run = registry_->Run(call);
-      if (state->trace != nullptr) {
-        CallTrace entry;
-        entry.call = call;
-        entry.t_start_ms = t_now;
-        entry.failed = !run.ok();
-        if (run.ok()) {
-          entry.first_ms = run->first_ms;
-          entry.all_ms = run->all_ms;
-          entry.answers = run->answers.size();
-        } else {
-          entry.error = run.status().ToString();
-        }
-        state->trace->push_back(std::move(entry));
-      }
-      HERMES_ASSIGN_OR_RETURN(CallOutput output, std::move(run));
-      if (dcsm_ != nullptr && options_.record_statistics) {
-        dcsm::CostRecord record;
-        record.call = call;
-        record.cost = CostVector(
-            output.first_ms, output.all_ms,
-            static_cast<double>(output.answers.size()));
-        record.has_t_all = output.complete;
-        record.has_cardinality = output.complete;
-        dcsm_->Record(std::move(record));
-      }
+      // Dispatch through the call pipeline: the trace and stats layers
+      // observe the call, then the registry routes it through the target
+      // domain's own interceptor stack (cache, network).
+      HERMES_RETURN_IF_ERROR(state->ctx->ChargeCall());
+      state->ctx->now_ms = t_now;
+      HERMES_ASSIGN_OR_RETURN(CallOutput output,
+                              state->pipeline->Run(*state->ctx, call));
 
       if (TermIsResolvable(goal.output, *bindings)) {
         // Membership check: in(X, d:f(...)) with X already ground.
@@ -284,34 +254,70 @@ Result<double> Executor::EvalPredicate(const lang::Atom& atom,
                             "/" + std::to_string(atom.args.size()) + "'");
   }
 
-  if (dcsm_ != nullptr && options_.record_predicate_statistics &&
+  if (stats_layer_ != nullptr && options_.record_predicate_statistics &&
       !state->stop) {
-    dcsm::CostRecord record;
-    record.call.domain = "idb";
-    record.call.function = atom.predicate;
-    record.call.args.reserve(atom.args.size());
+    // Report the measured invocation to the stats layer under the pseudo
+    // domain "idb"; unresolvable (output) arguments become null wildcards.
+    DomainCall invocation;
+    invocation.domain = "idb";
+    invocation.function = atom.predicate;
+    invocation.args.reserve(atom.args.size());
     for (const lang::Term& arg : atom.args) {
       Result<Value> v = TermIsResolvable(arg, *bindings)
                             ? ResolveTerm(arg, *bindings)
                             : Result<Value>(Value::Null());
-      record.call.args.push_back(v.ok() ? *v : Value::Null());
+      invocation.args.push_back(v.ok() ? *v : Value::Null());
     }
-    record.cost = CostVector(
-        (first_solution_t < 0 ? t_cursor : first_solution_t) - t_now,
-        t_cursor - t_now, static_cast<double>(solutions));
-    dcsm_->Record(std::move(record));
+    stats_layer_->RecordSample(
+        *state->ctx, invocation,
+        CostVector((first_solution_t < 0 ? t_cursor : first_solution_t) -
+                       t_now,
+                   t_cursor - t_now, static_cast<double>(solutions)),
+        /*complete=*/true);
   }
   return t_cursor;
 }
 
 Result<QueryExecution> Executor::Execute(const lang::Program& program,
                                          const lang::Query& query) {
+  CallContext ctx;
+  return Execute(program, query, &ctx);
+}
+
+Result<QueryExecution> Executor::Execute(const lang::Program& program,
+                                         const lang::Query& query,
+                                         CallContext* ctx) {
   QueryExecution exec;
   exec.var_names = QueryVariables(query);
 
+  // Executor-level layers of the call pipeline; the registry continues
+  // into the target domain's own stack (cache, network).
+  std::vector<std::shared_ptr<CallInterceptor>> layers;
+  if (options_.collect_trace) layers.push_back(std::make_shared<TraceInterceptor>());
+  if (stats_layer_ != nullptr && options_.record_statistics) {
+    layers.push_back(stats_layer_);
+  }
+  CallPipeline pipeline(
+      std::move(layers),
+      [this](CallContext& c, const DomainCall& call) {
+        return registry_->Run(c, call);
+      });
+
+  // The budget covers this execution on top of whatever the caller's
+  // context already consumed; the trace sink is restored on every exit.
+  const uint64_t calls_before = ctx->metrics.domain_calls;
+  ctx->call_budget = calls_before + options_.max_domain_calls;
+  struct TraceSinkGuard {
+    CallContext* ctx;
+    std::vector<CallTrace>* previous;
+    ~TraceSinkGuard() { ctx->trace = previous; }
+  } trace_guard{ctx, ctx->trace};
+  if (options_.collect_trace) ctx->trace = &exec.trace;
+
   EvalState state;
   state.program = &program;
-  if (options_.collect_trace) state.trace = &exec.trace;
+  state.ctx = ctx;
+  state.pipeline = &pipeline;
 
   Bindings bindings;
   EmitFn emit = [&](const Bindings& b, double t) -> Result<double> {
@@ -337,7 +343,7 @@ Result<QueryExecution> Executor::Execute(const lang::Program& program,
                                emit));
   exec.t_all_ms = t_done;
   if (exec.answers.empty()) exec.t_first_ms = t_done;
-  exec.domain_calls = state.domain_calls;
+  exec.domain_calls = ctx->metrics.domain_calls - calls_before;
   return exec;
 }
 

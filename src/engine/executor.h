@@ -7,7 +7,8 @@
 #include <vector>
 
 #include "common/result.h"
-#include "dcsm/dcsm.h"
+#include "dcsm/stats_interceptor.h"
+#include "domain/pipeline.h"
 #include "domain/registry.h"
 #include "engine/bindings.h"
 #include "lang/ast.h"
@@ -43,18 +44,9 @@ struct ExecutorOptions {
   bool collect_trace = false;
 };
 
-/// One domain call as the executor saw it — the execution trace element.
-struct CallTrace {
-  DomainCall call;
-  double t_start_ms = 0.0;  ///< Pipeline time when the call was opened.
-  double first_ms = 0.0;    ///< The call's own first-answer latency.
-  double all_ms = 0.0;      ///< The call's own completion latency.
-  size_t answers = 0;
-  bool failed = false;
-  std::string error;
-
-  std::string ToString() const;
-};
+/// One domain call as the trace layer saw it — the execution trace element
+/// (now recorded by TraceInterceptor; the type lives in domain/pipeline.h).
+using CallTrace = ::hermes::CallTrace;
 
 /// The answers and simulated timing of one executed query.
 struct QueryExecution {
@@ -84,24 +76,31 @@ struct QueryExecution {
 /// backtracking effects Section 8 discusses) without ever sleeping.
 class Executor {
  public:
-  /// `dcsm` may be null; when set and record_statistics is on, every
-  /// executed call's cost vector is recorded (the DCSM capture path).
+  /// `dcsm` may be null; when set and record_statistics is on, the stats
+  /// layer (dcsm::StatsInterceptor) records every executed call's cost
+  /// vector.
   Executor(const DomainRegistry* registry, dcsm::Dcsm* dcsm,
-           ExecutorOptions options = {})
-      : registry_(registry), dcsm_(dcsm), options_(options) {}
+           ExecutorOptions options = {});
 
   /// Evaluates `query` against `program`, with domain calls routed through
-  /// the registry.
+  /// the call pipeline: executor → trace → stats → (per-domain stack via
+  /// the registry) → domain.
   Result<QueryExecution> Execute(const lang::Program& program,
                                  const lang::Query& query);
+
+  /// Same, threading the caller's `ctx` through every domain call so the
+  /// caller can read per-query CallMetrics afterwards. The executor sets
+  /// the call budget and the trace sink; query_id is the caller's to set.
+  Result<QueryExecution> Execute(const lang::Program& program,
+                                 const lang::Query& query, CallContext* ctx);
 
  private:
   struct EvalState {
     const lang::Program* program = nullptr;
-    uint64_t domain_calls = 0;
+    CallContext* ctx = nullptr;            // per-query call context
+    const CallPipeline* pipeline = nullptr;  // executor-level call path
     size_t emitted = 0;
     bool stop = false;  // interactive-mode early termination
-    std::vector<CallTrace>* trace = nullptr;  // non-null when collecting
   };
 
   /// Called for each solution of a body with the emission timestamp;
@@ -123,8 +122,10 @@ class Executor {
                                const EmitFn& emit);
 
   const DomainRegistry* registry_;
-  dcsm::Dcsm* dcsm_;
   ExecutorOptions options_;
+  /// The stats layer; also receives predicate-invocation samples (the
+  /// Section 8 predicate-Tf extension). Null when no DCSM was supplied.
+  std::shared_ptr<dcsm::StatsInterceptor> stats_layer_;
 };
 
 /// Query variables in order of first occurrence (plain variables only;

@@ -1,5 +1,6 @@
 #include "engine/mediator.h"
 
+#include "cim/cache_interceptor.h"
 #include "common/io.h"
 #include "lang/parser.h"
 
@@ -18,9 +19,15 @@ Status Mediator::RegisterDomain(const std::string& name,
 Status Mediator::RegisterRemoteDomain(const std::string& name,
                                       std::shared_ptr<Domain> inner,
                                       net::SiteParams site) {
+  // Declarative stack: [network] over the source domain.
+  auto link =
+      std::make_shared<net::NetworkInterceptor>(std::move(site), network_);
+  std::string pipeline_name = inner->name() + "@" + link->site().name;
   return registry_.Register(
-      name, net::MakeRemoteDomain(std::move(inner), std::move(site),
-                                  network_));
+      name, std::make_shared<PipelineDomain>(
+                std::move(pipeline_name),
+                std::vector<std::shared_ptr<CallInterceptor>>{std::move(link)},
+                std::move(inner)));
 }
 
 Status Mediator::EnableCaching(const std::string& name,
@@ -31,9 +38,22 @@ Status Mediator::EnableCaching(const std::string& name,
   HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> inner, registry_.Get(name));
   std::string cim_name = "cim_" + name;
   auto cim_domain = std::make_shared<cim::CimDomain>(
-      cim_name, name, std::move(inner), options, params, cache_max_entries,
+      cim_name, name, inner, options, params, cache_max_entries,
       cache_max_bytes);
-  registry_.RegisterOrReplace(cim_name, cim_domain);
+
+  // Declarative stack: [cache] prepended to the wrapped entry's own stack
+  // (so e.g. "cim_video" = cache → network → avis). The shared CIM state
+  // lives in cim_domain; the interceptor is its pipeline entry path.
+  std::vector<std::shared_ptr<CallInterceptor>> stack;
+  stack.push_back(std::make_shared<cim::CacheInterceptor>(cim_domain));
+  std::shared_ptr<Domain> terminal = std::move(inner);
+  if (auto* wrapped = dynamic_cast<PipelineDomain*>(terminal.get())) {
+    for (const auto& layer : wrapped->stack()) stack.push_back(layer);
+    terminal = wrapped->terminal();
+  }
+  registry_.RegisterOrReplace(
+      cim_name, std::make_shared<PipelineDomain>(cim_name, std::move(stack),
+                                                 std::move(terminal)));
   cims_[name] = std::move(cim_domain);
   return Status::OK();
 }
@@ -75,6 +95,15 @@ Status Mediator::LoadProgramFile(const std::string& path) {
 cim::CimDomain* Mediator::cim(const std::string& name) {
   auto it = cims_.find(name);
   return it == cims_.end() ? nullptr : it->second.get();
+}
+
+net::NetworkInterceptor* Mediator::remote_link(const std::string& name) {
+  Result<std::shared_ptr<Domain>> domain = registry_.Get(name);
+  if (!domain.ok()) return nullptr;
+  auto* pipeline = dynamic_cast<PipelineDomain*>(domain->get());
+  if (pipeline == nullptr) return nullptr;
+  return dynamic_cast<net::NetworkInterceptor*>(
+      pipeline->FindLayer("network"));
 }
 
 std::vector<std::string> Mediator::CachedDomains() const {
@@ -160,14 +189,15 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
       options.record_statistics &&
       executor_options_.record_predicate_statistics;
   engine::Executor executor(&registry_, &dcsm_, exec_options);
-  net::NetworkStats before = network_->stats();
+  CallContext ctx;
+  ctx.query_id = ++next_query_id_;
   HERMES_ASSIGN_OR_RETURN(result.execution,
-                          executor.Execute(plan_program, plan_query));
-  const net::NetworkStats& after = network_->stats();
-  result.traffic.remote_calls = after.calls - before.calls;
-  result.traffic.failures = after.failures - before.failures;
-  result.traffic.bytes = after.bytes_transferred - before.bytes_transferred;
-  result.traffic.charge = after.total_charge - before.total_charge;
+                          executor.Execute(plan_program, plan_query, &ctx));
+  result.metrics = ctx.metrics;
+  result.traffic.remote_calls = ctx.metrics.remote_calls;
+  result.traffic.failures = ctx.metrics.remote_failures;
+  result.traffic.bytes = ctx.metrics.bytes_transferred;
+  result.traffic.charge = ctx.metrics.network_charge;
   return result;
 }
 

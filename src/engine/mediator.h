@@ -9,11 +9,12 @@
 #include "cim/cim.h"
 #include "common/result.h"
 #include "dcsm/dcsm.h"
+#include "domain/pipeline.h"
 #include "domain/registry.h"
 #include "engine/executor.h"
 #include "lang/ast.h"
 #include "net/network.h"
-#include "net/remote_domain.h"
+#include "net/network_interceptor.h"
 #include "optimizer/optimizer.h"
 
 namespace hermes {
@@ -36,7 +37,9 @@ struct QueryOptions {
   bool collect_trace = false;     ///< Fill QueryExecution::trace.
 };
 
-/// Network traffic attributable to one query.
+/// Network traffic attributable to one query. Derived from the query's
+/// CallContext metrics (the network layer attributes per-query), never by
+/// diffing the shared simulator's global statistics.
 struct QueryTraffic {
   uint64_t remote_calls = 0;
   uint64_t failures = 0;       ///< Calls lost to unavailable sites.
@@ -55,11 +58,21 @@ struct QueryResult {
   bool predicted_valid = false;
   double optimize_ms = 0.0;         ///< Simulated optimizer time.
   QueryTraffic traffic;             ///< Remote calls/bytes/charges used.
+  /// Per-layer counters of this query's call path (trace/stats/cache/
+  /// network), accumulated through its CallContext.
+  CallMetrics metrics;
 };
 
 /// Top-level facade of the mediator system — the public API a downstream
 /// user programs against. Owns the domain registry, the network simulator,
-/// the DCSM, per-domain CIM wrappers, the optimizer and the executor.
+/// the DCSM, per-domain CIM state, the optimizer and the executor.
+///
+/// Domains are registered as declarative interceptor stacks (PipelineDomain):
+/// RegisterRemoteDomain installs [network → domain], EnableCaching installs
+/// [cache → network → domain] under "cim_<name>". At query time the executor
+/// prepends its trace and stats layers and threads a per-query CallContext
+/// through the whole stack, which is where QueryResult::traffic/metrics
+/// come from.
 ///
 /// Typical use:
 ///   Mediator med;
@@ -129,6 +142,10 @@ class Mediator {
   DomainRegistry& registry() { return registry_; }
   /// The CIM wrapper of `name`, or nullptr when caching is not enabled.
   cim::CimDomain* cim(const std::string& name);
+  /// The network layer of the domain registered under `name` (the original
+  /// registration name, e.g. "video"), or nullptr when the domain is local.
+  /// Failure-injection scenarios use it to take a site down mid-run.
+  net::NetworkInterceptor* remote_link(const std::string& name);
   /// Names of domains with CIM wrappers.
   std::vector<std::string> CachedDomains() const;
 
@@ -147,6 +164,7 @@ class Mediator {
   std::shared_ptr<net::NetworkSimulator> network_;
   dcsm::Dcsm dcsm_;
   lang::Program program_;
+  uint64_t next_query_id_ = 0;
   std::map<std::string, std::shared_ptr<cim::CimDomain>> cims_;
   optimizer::RuleRewriter::Options rewriter_options_;
   optimizer::EstimatorParams estimator_params_;

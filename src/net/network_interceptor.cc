@@ -1,0 +1,74 @@
+#include "net/network_interceptor.h"
+
+namespace hermes::net {
+
+CallOutput ComposeRemoteLatency(const NetworkSimulator::Transfer& transfer,
+                                CallOutput inner_out) {
+  size_t total_bytes = AnswerSetByteSize(inner_out.answers);
+  size_t first_bytes =
+      inner_out.answers.empty() ? 0 : inner_out.answers[0].ApproxByteSize();
+
+  CallOutput out;
+  out.first_ms = transfer.request_ms + inner_out.first_ms +
+                 transfer.response_lag_ms +
+                 transfer.per_byte_ms * static_cast<double>(first_bytes);
+  out.all_ms = transfer.request_ms + inner_out.all_ms +
+               transfer.response_lag_ms +
+               transfer.per_byte_ms * static_cast<double>(total_bytes);
+  if (out.first_ms > out.all_ms) out.first_ms = out.all_ms;
+  out.answers = std::move(inner_out.answers);
+  return out;
+}
+
+const std::string& NetworkInterceptor::name() const {
+  static const std::string kName = "network";
+  return kName;
+}
+
+Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
+                                                 const DomainCall& call,
+                                                 const Next& next) {
+  NetworkSimulator::Transfer transfer = network_->PlanCall(site_, call.Hash());
+  ++ctx.metrics.remote_calls;
+  if (!transfer.available) {
+    last_penalty_ms_ = transfer.penalty_ms;
+    network_->RecordFailure();
+    ++ctx.metrics.remote_failures;
+    return Status::Unavailable("site '" + site_.name +
+                               "' is temporarily unavailable for " +
+                               call.ToString());
+  }
+  last_penalty_ms_ = 0.0;
+
+  HERMES_ASSIGN_OR_RETURN(CallOutput inner_out, next(ctx, call));
+
+  size_t total_bytes = AnswerSetByteSize(inner_out.answers);
+  CallOutput out = ComposeRemoteLatency(transfer, std::move(inner_out));
+
+  double network_ms = out.all_ms;
+  double charge = network_->RecordTransfer(site_, total_bytes, network_ms);
+  ctx.metrics.bytes_transferred += total_bytes;
+  ctx.metrics.network_charge += charge;
+  ctx.metrics.network_ms += network_ms;
+  return out;
+}
+
+Result<CostVector> NetworkInterceptor::EstimateCost(
+    const lang::DomainCallSpec& pattern, const EstimateNext& next) const {
+  HERMES_ASSIGN_OR_RETURN(CostVector inner_cost, next(pattern));
+  return DecorateRemoteEstimate(site_, inner_cost);
+}
+
+CostVector DecorateRemoteEstimate(const SiteParams& site,
+                                  const CostVector& inner_cost) {
+  // Add expected (jitter-free) network time on top of the inner model.
+  double request = site.connect_ms + site.rtt_ms;
+  double per_byte = site.bytes_per_ms > 0 ? 1.0 / site.bytes_per_ms : 0.0;
+  // Without knowing answer sizes, assume ~64 bytes per answer.
+  double transfer = per_byte * 64.0 * inner_cost.cardinality;
+  return CostVector(inner_cost.t_first_ms + request + per_byte * 64.0,
+                    inner_cost.t_all_ms + request + transfer,
+                    inner_cost.cardinality);
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,70 @@
+#ifndef HERMES_NET_NETWORK_INTERCEPTOR_H_
+#define HERMES_NET_NETWORK_INTERCEPTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "domain/pipeline.h"
+#include "net/network.h"
+#include "net/site.h"
+
+namespace hermes::net {
+
+/// Folds a planned transfer into an inner call's latency profile:
+///   first_ms = connect + request flight + inner first_ms
+///            + return flight + first answer transfer
+///   all_ms   = connect + request flight + inner all_ms
+///            + return flight + full answer-set transfer
+/// Shared by RemoteDomain (the legacy wrapper) and NetworkInterceptor so
+/// both paths produce bit-identical simulated times.
+CallOutput ComposeRemoteLatency(const NetworkSimulator::Transfer& transfer,
+                                CallOutput inner_out);
+
+/// The network layer of the call pipeline: plans each call's transfer over
+/// a simulated wide-area link, composes the latency profile onto the inner
+/// result, and attributes traffic (calls, bytes, charges, failures) to the
+/// query via CallContext::metrics — in addition to the simulator's global
+/// aggregate statistics.
+///
+/// When the site is (probabilistically) unavailable the call fails with
+/// Status::Unavailable after charging the retry timeout, which a cache
+/// layer above can mask with cached results — the paper's "temporary
+/// unavailability" motivation.
+class NetworkInterceptor : public CallInterceptor {
+ public:
+  NetworkInterceptor(SiteParams site, std::shared_ptr<NetworkSimulator> network)
+      : site_(std::move(site)), network_(std::move(network)) {}
+
+  const std::string& name() const override;
+
+  Result<CallOutput> Intercept(CallContext& ctx, const DomainCall& call,
+                               const Next& next) override;
+
+  /// Cost estimation decorates the inner model with expected (jitter-free)
+  /// network time — same formula as RemoteDomain::EstimateCost.
+  Result<CostVector> EstimateCost(const lang::DomainCallSpec& pattern,
+                                  const EstimateNext& next) const override;
+
+  const SiteParams& site() const { return site_; }
+  /// Mutable link parameters — used by failure-injection scenarios to take
+  /// a site down (set availability to 0) or degrade it mid-run.
+  SiteParams& mutable_site() { return site_; }
+
+  /// Simulated time the last call lost to an unavailable site (0 when the
+  /// last call succeeded).
+  double last_unavailable_penalty_ms() const { return last_penalty_ms_; }
+
+ private:
+  SiteParams site_;
+  std::shared_ptr<NetworkSimulator> network_;
+  double last_penalty_ms_ = 0.0;
+};
+
+/// Expected (jitter-free) network cost decoration shared by the interceptor
+/// and RemoteDomain: request/response flight plus ~64 bytes per answer.
+CostVector DecorateRemoteEstimate(const SiteParams& site,
+                                  const CostVector& inner_cost);
+
+}  // namespace hermes::net
+
+#endif  // HERMES_NET_NETWORK_INTERCEPTOR_H_

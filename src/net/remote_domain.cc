@@ -1,5 +1,7 @@
 #include "net/remote_domain.h"
 
+#include "net/network_interceptor.h"
+
 namespace hermes::net {
 
 Result<CallOutput> RemoteDomain::Run(const DomainCall& call) {
@@ -16,18 +18,7 @@ Result<CallOutput> RemoteDomain::Run(const DomainCall& call) {
   HERMES_ASSIGN_OR_RETURN(CallOutput inner_out, inner_->Run(call));
 
   size_t total_bytes = AnswerSetByteSize(inner_out.answers);
-  size_t first_bytes =
-      inner_out.answers.empty() ? 0 : inner_out.answers[0].ApproxByteSize();
-
-  CallOutput out;
-  out.first_ms = transfer.request_ms + inner_out.first_ms +
-                 transfer.response_lag_ms +
-                 transfer.per_byte_ms * static_cast<double>(first_bytes);
-  out.all_ms = transfer.request_ms + inner_out.all_ms +
-               transfer.response_lag_ms +
-               transfer.per_byte_ms * static_cast<double>(total_bytes);
-  if (out.first_ms > out.all_ms) out.first_ms = out.all_ms;
-  out.answers = std::move(inner_out.answers);
+  CallOutput out = ComposeRemoteLatency(transfer, std::move(inner_out));
 
   double network_ms = out.all_ms;
   network_->RecordTransfer(site_, total_bytes, network_ms);
@@ -38,14 +29,7 @@ Result<CostVector> RemoteDomain::EstimateCost(
     const lang::DomainCallSpec& pattern) const {
   HERMES_ASSIGN_OR_RETURN(CostVector inner_cost,
                           inner_->EstimateCost(pattern));
-  // Add expected (jitter-free) network time on top of the inner model.
-  double request = site_.connect_ms + site_.rtt_ms;
-  double per_byte = site_.bytes_per_ms > 0 ? 1.0 / site_.bytes_per_ms : 0.0;
-  // Without knowing answer sizes, assume ~64 bytes per answer.
-  double transfer = per_byte * 64.0 * inner_cost.cardinality;
-  return CostVector(inner_cost.t_first_ms + request + per_byte * 64.0,
-                    inner_cost.t_all_ms + request + transfer,
-                    inner_cost.cardinality);
+  return DecorateRemoteEstimate(site_, inner_cost);
 }
 
 std::shared_ptr<RemoteDomain> MakeRemoteDomain(

@@ -13,6 +13,12 @@ namespace hermes::net {
 
 /// Wraps any local Domain behind a simulated wide-area link.
 ///
+/// This is the self-contained Domain-wrapper form of the network layer,
+/// kept for direct construction (tests, ad-hoc registries). The mediator's
+/// query path uses NetworkInterceptor inside a PipelineDomain instead,
+/// which shares the exact latency composition (ComposeRemoteLatency) and
+/// additionally attributes traffic to the querying CallContext.
+///
 /// The returned latency profile composes:
 ///   first_ms = connect + request flight + inner first_ms
 ///            + return flight + first answer transfer

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "domain/pipeline.h"
+#include "net/network.h"
+#include "net/network_interceptor.h"
+#include "net/remote_domain.h"
+#include "net/site.h"
+
+namespace hermes::net {
+namespace {
+
+/// Fixed-latency source for wrapping tests.
+class StubDomain : public Domain {
+ public:
+  explicit StubDomain(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return {{"f", 1, "f(x): {x, x}"}};
+  }
+  Result<CallOutput> Run(const DomainCall& call) override {
+    CallOutput out;
+    out.answers = {call.args[0], call.args[0]};
+    out.first_ms = 4.0;
+    out.all_ms = 9.0;
+    return out;
+  }
+
+ private:
+  std::string name_;
+};
+
+DomainCall F(int64_t x) { return DomainCall{"stub", "f", {Value::Int(x)}}; }
+
+TEST(NetworkDeterminismTest, SameSeedSameSequenceReplaysIdentically) {
+  // Same seed + same call sequence ⇒ identical Transfer plans and identical
+  // accumulated NetworkStats, even across distinct simulator instances.
+  NetworkSimulator a(77), b(77);
+  SiteParams site = ItalySite();
+  site.availability = 0.9;  // exercise the availability branch too
+  for (int i = 0; i < 200; ++i) {
+    NetworkSimulator::Transfer ta = a.PlanCall(site, i % 7);
+    NetworkSimulator::Transfer tb = b.PlanCall(site, i % 7);
+    EXPECT_EQ(ta.available, tb.available);
+    EXPECT_EQ(ta.request_ms, tb.request_ms);
+    EXPECT_EQ(ta.response_lag_ms, tb.response_lag_ms);
+    EXPECT_EQ(ta.per_byte_ms, tb.per_byte_ms);
+    EXPECT_EQ(ta.penalty_ms, tb.penalty_ms);
+    if (ta.available) {
+      a.RecordTransfer(site, 100 + i, ta.request_ms);
+      b.RecordTransfer(site, 100 + i, tb.request_ms);
+    } else {
+      a.RecordFailure();
+      b.RecordFailure();
+    }
+  }
+  EXPECT_EQ(a.stats().calls, b.stats().calls);
+  EXPECT_EQ(a.stats().failures, b.stats().failures);
+  EXPECT_EQ(a.stats().bytes_transferred, b.stats().bytes_transferred);
+  EXPECT_EQ(a.stats().total_charge, b.stats().total_charge);
+  EXPECT_EQ(a.stats().total_network_ms, b.stats().total_network_ms);
+}
+
+TEST(NetworkDeterminismTest, StatsRecordingDoesNotPerturbReplay) {
+  // Stats accumulation (RecordTransfer/RecordFailure) must not advance the
+  // jitter sequence: only PlanCall draws from the RNG.
+  NetworkSimulator clean(5), noisy(5);
+  SiteParams site = UsaSite();
+  (void)noisy.RecordTransfer(site, 123456, 42.0);
+  noisy.RecordFailure();
+  for (int i = 0; i < 50; ++i) {
+    NetworkSimulator::Transfer tc = clean.PlanCall(site, 1);
+    NetworkSimulator::Transfer tn = noisy.PlanCall(site, 1);
+    EXPECT_EQ(tc.request_ms, tn.request_ms);
+    EXPECT_EQ(tc.per_byte_ms, tn.per_byte_ms);
+  }
+}
+
+TEST(NetworkDeterminismTest, InterceptorAndLegacyWrapperAgreeExactly) {
+  // The pipeline's network layer and the legacy RemoteDomain wrapper must
+  // produce bit-identical simulated latencies for the same seed and call
+  // sequence — both delegate to ComposeRemoteLatency.
+  SiteParams site = ItalySite("milan");
+  site.availability = 0.95;
+  auto stub = std::make_shared<StubDomain>("stub");
+
+  auto sim_a = std::make_shared<NetworkSimulator>(1996);
+  PipelineDomain piped("stub@milan",
+                       {std::make_shared<NetworkInterceptor>(site, sim_a)},
+                       stub);
+  auto sim_b = std::make_shared<NetworkSimulator>(1996);
+  RemoteDomain legacy(stub, site, sim_b);
+
+  CallContext ctx;
+  for (int i = 0; i < 100; ++i) {
+    Result<CallOutput> p = piped.Run(ctx, F(i % 5));
+    Result<CallOutput> l = legacy.Run(F(i % 5));
+    ASSERT_EQ(p.ok(), l.ok()) << "call " << i;
+    if (!p.ok()) {
+      EXPECT_TRUE(p.status().IsUnavailable());
+      EXPECT_EQ(p.status().ToString(), l.status().ToString());
+      continue;
+    }
+    EXPECT_EQ(p->answers, l->answers);
+    EXPECT_EQ(p->first_ms, l->first_ms) << "call " << i;
+    EXPECT_EQ(p->all_ms, l->all_ms) << "call " << i;
+  }
+  // Identical traffic accounted globally... and the interceptor also
+  // attributed every byte to the context.
+  EXPECT_EQ(sim_a->stats().calls, sim_b->stats().calls);
+  EXPECT_EQ(sim_a->stats().failures, sim_b->stats().failures);
+  EXPECT_EQ(sim_a->stats().bytes_transferred, sim_b->stats().bytes_transferred);
+  EXPECT_EQ(sim_a->stats().total_charge, sim_b->stats().total_charge);
+  EXPECT_EQ(ctx.metrics.remote_calls, sim_a->stats().calls);
+  EXPECT_EQ(ctx.metrics.remote_failures, sim_a->stats().failures);
+  EXPECT_EQ(ctx.metrics.bytes_transferred, sim_a->stats().bytes_transferred);
+  EXPECT_DOUBLE_EQ(ctx.metrics.network_charge, sim_a->stats().total_charge);
+}
+
+TEST(NetworkDeterminismTest, UnavailableSiteChargesPenaltyAndFails) {
+  SiteParams site = UsaSite();
+  site.availability = 0.0;
+  auto sim = std::make_shared<NetworkSimulator>(3);
+  auto stub = std::make_shared<StubDomain>("stub");
+  auto link = std::make_shared<NetworkInterceptor>(site, sim);
+  PipelineDomain piped("stub@usa", {link}, stub);
+
+  CallContext ctx;
+  Result<CallOutput> out = piped.Run(ctx, F(1));
+  EXPECT_TRUE(out.status().IsUnavailable());
+  EXPECT_EQ(link->last_unavailable_penalty_ms(), site.retry_timeout_ms);
+  EXPECT_EQ(ctx.metrics.remote_calls, 1u);
+  EXPECT_EQ(ctx.metrics.remote_failures, 1u);
+  EXPECT_EQ(ctx.metrics.bytes_transferred, 0u);
+  EXPECT_EQ(sim->stats().failures, 1u);
+}
+
+}  // namespace
+}  // namespace hermes::net
