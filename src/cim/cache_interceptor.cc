@@ -10,20 +10,20 @@ const std::string& CacheInterceptor::name() const {
 Result<CallOutput> CacheInterceptor::Intercept(CallContext& ctx,
                                                const DomainCall& call,
                                                const Next& next) {
-  const CimStats& stats = cim_->stats();
-  uint64_t hits_before =
-      stats.exact_hits + stats.equality_hits + stats.partial_hits;
-  uint64_t misses_before = stats.misses;
-
+  // The outcome is reported per call rather than inferred by diffing the
+  // CIM's shared counters, which would misattribute concurrent queries'
+  // hits and misses to each other.
+  CimOutcome outcome = CimOutcome::kMiss;
   Result<CallOutput> out = cim_->RunWith(
-      call, [&ctx, &next](const DomainCall& actual) {
-        return next(ctx, actual);
-      });
+      call,
+      [&ctx, &next](const DomainCall& actual) { return next(ctx, actual); },
+      &outcome);
 
-  ctx.metrics.cache_hits +=
-      stats.exact_hits + stats.equality_hits + stats.partial_hits -
-      hits_before;
-  ctx.metrics.cache_misses += stats.misses - misses_before;
+  if (outcome == CimOutcome::kMiss) {
+    ++ctx.metrics.cache_misses;
+  } else {
+    ++ctx.metrics.cache_hits;
+  }
   return out;
 }
 

@@ -14,53 +14,79 @@ Status CimDomain::AddInvariants(const std::string& text) {
   return Status::OK();
 }
 
-CallOutput CimDomain::ServeFromCache(const CacheEntry& entry, double lead_ms,
+CimStats CimDomain::stats() const {
+  CimStats snapshot;
+  snapshot.exact_hits = stats_.exact_hits.load(std::memory_order_relaxed);
+  snapshot.equality_hits = stats_.equality_hits.load(std::memory_order_relaxed);
+  snapshot.partial_hits = stats_.partial_hits.load(std::memory_order_relaxed);
+  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
+  snapshot.actual_calls = stats_.actual_calls.load(std::memory_order_relaxed);
+  snapshot.unavailable_masked =
+      stats_.unavailable_masked.load(std::memory_order_relaxed);
+  snapshot.unavailable_failed =
+      stats_.unavailable_failed.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void CimDomain::ResetStats() {
+  stats_.exact_hits.store(0, std::memory_order_relaxed);
+  stats_.equality_hits.store(0, std::memory_order_relaxed);
+  stats_.partial_hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.actual_calls.store(0, std::memory_order_relaxed);
+  stats_.unavailable_masked.store(0, std::memory_order_relaxed);
+  stats_.unavailable_failed.store(0, std::memory_order_relaxed);
+}
+
+CallOutput CimDomain::ServeFromCache(CacheEntry entry, double lead_ms,
                                      bool complete) const {
   CallOutput out;
-  out.answers = entry.answers;
   out.first_ms = lead_ms + params_.per_cached_answer_ms;
   out.all_ms = lead_ms + params_.per_cached_answer_ms *
                              static_cast<double>(
                                  std::max<size_t>(entry.answers.size(), 1));
   out.complete = complete && entry.complete;
+  out.answers = std::move(entry.answers);
   return out;
 }
 
 Result<CallOutput> CimDomain::RunActual(const DomainCall& call,
                                         const ActualCallFn& actual) {
-  ++stats_.actual_calls;
+  stats_.actual_calls.fetch_add(1, std::memory_order_relaxed);
   HERMES_ASSIGN_OR_RETURN(CallOutput out, actual(call));
   if (options_.cache_results && out.complete) {
-    cache_.Put(call, out.answers, /*complete=*/true, tick_);
+    cache_.Put(call, out.answers, /*complete=*/true,
+               tick_.load(std::memory_order_relaxed));
   }
   return out;
 }
 
 bool CimDomain::IsStale(const CacheEntry& entry) const {
   return options_.max_entry_age > 0 &&
-         tick_ - entry.inserted_at > options_.max_entry_age;
+         tick_.load(std::memory_order_relaxed) - entry.inserted_at >
+             options_.max_entry_age;
 }
 
-const CacheEntry* CimDomain::ProbeForSpec(
+std::optional<CacheEntry> CimDomain::ProbeForSpec(
     const lang::DomainCallSpec& target, const Substitution& theta,
     const std::vector<lang::Atom>& conditions, double* search_ms) const {
   lang::DomainCallSpec substituted = ApplySubstitution(target, theta);
 
   if (substituted.is_ground()) {
     Result<bool> holds = EvalConditions(conditions, theta);
-    if (!holds.ok() || !*holds) return nullptr;
+    if (!holds.ok() || !*holds) return std::nullopt;
     *search_ms += params_.per_cache_probe_ms;
     Result<DomainCall> target_call = DomainCall::FromSpec(substituted);
-    if (!target_call.ok()) return nullptr;
-    const CacheEntry* entry = cache_.Peek(*target_call);
-    if (entry != nullptr && IsStale(*entry)) return nullptr;
+    if (!target_call.ok()) return std::nullopt;
+    std::optional<CacheEntry> entry = cache_.Peek(*target_call);
+    if (entry.has_value() && IsStale(*entry)) return std::nullopt;
     return entry;
   }
 
   // The target still has free variables (e.g. the V_1 of the paper's
   // select_< invariant): scan the cache for an entry that unifies with it
   // and satisfies the conditions.
-  const CacheEntry* found = nullptr;
+  std::optional<CacheEntry> found;
   cache_.ForEach([&](const CacheEntry& entry) {
     *search_ms += params_.per_cache_probe_ms;
     if (IsStale(entry)) return true;
@@ -68,8 +94,8 @@ const CacheEntry* CimDomain::ProbeForSpec(
     if (!MatchCallAgainstSpec(substituted, entry.call, &extended)) return true;
     Result<bool> holds = EvalConditions(conditions, extended);
     if (!holds.ok() || !*holds) return true;
-    found = &entry;
-    return false;  // stop scanning
+    found = entry;   // snapshot by value; `entry` dies with the shard lock
+    return false;    // stop scanning
   });
   return found;
 }
@@ -89,11 +115,11 @@ std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
         Substitution theta;
         if (!MatchCallAgainstSpec(*pattern, call, &theta)) continue;
         *search_ms += params_.per_invariant_ms;
-        const CacheEntry* entry =
+        std::optional<CacheEntry> entry =
             ProbeForSpec(*target, theta, inv.conditions, search_ms);
-        if (entry != nullptr && entry->complete) {
+        if (entry.has_value() && entry->complete) {
           InvariantHit hit;
-          hit.entry = entry;
+          hit.entry = std::move(*entry);
           hit.equality = true;
           hit.search_ms = *search_ms;
           hit.via = inv.ToString();
@@ -115,17 +141,17 @@ std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
     Substitution theta;
     if (!MatchCallAgainstSpec(pattern, call, &theta)) continue;
     *search_ms += params_.per_invariant_ms;
-    const CacheEntry* entry =
+    std::optional<CacheEntry> entry =
         ProbeForSpec(target, theta, inv.conditions, search_ms);
-    if (entry == nullptr) continue;
+    if (!entry.has_value()) continue;
     if (!best_partial.has_value() ||
-        entry->bytes > best_partial->entry->bytes) {
+        entry->bytes > best_partial->entry.bytes) {
       InvariantHit hit;
-      hit.entry = entry;
+      hit.entry = std::move(*entry);
       hit.equality = false;
       hit.search_ms = *search_ms;
       hit.via = inv.ToString();
-      best_partial = hit;
+      best_partial = std::move(hit);
     }
   }
   return best_partial;
@@ -137,25 +163,28 @@ Result<CallOutput> CimDomain::Run(const DomainCall& raw_call) {
 }
 
 Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
-                                      const ActualCallFn& actual) {
+                                      const ActualCallFn& actual,
+                                      CimOutcome* outcome) {
   // Normalize to the logical domain name used by rules/invariants/cache.
   DomainCall call = raw_call;
   call.domain = target_domain_;
 
-  ++tick_;
+  tick_.fetch_add(1, std::memory_order_relaxed);
+  if (outcome != nullptr) *outcome = CimOutcome::kMiss;
   double lead_ms = 0.0;
 
   // Step 1: exact cache hit.
   if (options_.use_cache) {
     lead_ms += params_.exact_lookup_ms;
-    const CacheEntry* entry = cache_.Get(call);
-    if (entry != nullptr && IsStale(*entry)) {
+    std::optional<CacheEntry> entry = cache_.Get(call);
+    if (entry.has_value() && IsStale(*entry)) {
       cache_.Remove(call);  // lazily age out
-      entry = nullptr;
+      entry.reset();
     }
-    if (entry != nullptr && entry->complete) {
-      ++stats_.exact_hits;
-      return ServeFromCache(*entry, lead_ms, /*complete=*/true);
+    if (entry.has_value() && entry->complete) {
+      stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+      if (outcome != nullptr) *outcome = CimOutcome::kExactHit;
+      return ServeFromCache(std::move(*entry), lead_ms, /*complete=*/true);
     }
   }
 
@@ -168,19 +197,23 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
   }
 
   if (hit.has_value() && hit->equality) {
-    ++stats_.equality_hits;
-    return ServeFromCache(*hit->entry, lead_ms, /*complete=*/true);
+    stats_.equality_hits.fetch_add(1, std::memory_order_relaxed);
+    if (outcome != nullptr) *outcome = CimOutcome::kEqualityHit;
+    return ServeFromCache(std::move(hit->entry), lead_ms, /*complete=*/true);
   }
 
   if (hit.has_value()) {
-    // Subset-invariant (partial) hit.
-    ++stats_.partial_hits;
-    const CacheEntry& partial = *hit->entry;
+    // Subset-invariant (partial) hit. `partial` is this call's own value
+    // snapshot, so downstream cache writes (our RunActual's Put, or any
+    // concurrent query's) cannot invalidate it.
+    stats_.partial_hits.fetch_add(1, std::memory_order_relaxed);
+    if (outcome != nullptr) *outcome = CimOutcome::kPartialHit;
+    CacheEntry& partial = hit->entry;
 
     if (!options_.complete_partial_hits) {
       // Interactive mode: hand back the fast partial set; the engine may
       // never need the rest.
-      return ServeFromCache(partial, lead_ms, /*complete=*/false);
+      return ServeFromCache(std::move(partial), lead_ms, /*complete=*/false);
     }
 
     // All-answers mode: issue the actual call "in parallel" with serving
@@ -188,8 +221,9 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
     Result<CallOutput> full = RunActual(call, actual);
     if (!full.ok()) {
       if (full.status().IsUnavailable() && options_.mask_unavailability) {
-        ++stats_.unavailable_masked;
-        return ServeFromCache(partial, lead_ms, /*complete=*/false);
+        stats_.unavailable_masked.fetch_add(1, std::memory_order_relaxed);
+        return ServeFromCache(std::move(partial), lead_ms,
+                              /*complete=*/false);
       }
       return full.status();
     }
@@ -217,10 +251,12 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
   }
 
   // Step 4: miss — the actual call must be made.
-  ++stats_.misses;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   Result<CallOutput> full = RunActual(call, actual);
   if (!full.ok()) {
-    if (full.status().IsUnavailable()) ++stats_.unavailable_failed;
+    if (full.status().IsUnavailable()) {
+      stats_.unavailable_failed.fetch_add(1, std::memory_order_relaxed);
+    }
     return full.status();
   }
   full->first_ms += lead_ms;

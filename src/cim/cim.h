@@ -1,6 +1,7 @@
 #ifndef HERMES_CIM_CIM_H_
 #define HERMES_CIM_CIM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,7 +53,8 @@ struct CimOptions {
   uint64_t max_entry_age = 0;
 };
 
-/// Outcome counters of the CIM module.
+/// Outcome counters of the CIM module (a plain snapshot; the live counters
+/// are lock-free atomics inside CimDomain).
 struct CimStats {
   uint64_t exact_hits = 0;
   uint64_t equality_hits = 0;
@@ -61,6 +63,16 @@ struct CimStats {
   uint64_t actual_calls = 0;
   uint64_t unavailable_masked = 0;
   uint64_t unavailable_failed = 0;
+};
+
+/// How one CIM lookup was resolved — reported per call so concurrent
+/// callers can attribute hit/miss outcomes to their own query without
+/// diffing the shared counters (which is racy under concurrency).
+enum class CimOutcome {
+  kExactHit,
+  kEqualityHit,
+  kPartialHit,
+  kMiss,
 };
 
 /// Section 4.1's Cache and Invariant Manager, packaged as a Domain.
@@ -76,6 +88,14 @@ struct CimStats {
 ///      of the requested call's) — served immediately as partial answers,
 ///      with the actual call executed in parallel to complete the set,
 ///   4. the actual domain call, whose result is then cached.
+///
+/// Concurrency: `RunWith`/`Run` are safe to call from many threads at once.
+/// The result cache is internally lock-striped, outcome counters and the
+/// staleness tick are relaxed atomics, and lookups operate on value
+/// snapshots of cache entries (never on pointers into the cache). The
+/// invariant list is the one piece of configuration state with no internal
+/// lock: AddInvariant(s) must happen before concurrent serving starts
+/// (Mediator enforces this by freezing wiring while a QueryPool serves).
 class CimDomain : public Domain {
  public:
   /// `target_domain` is the logical domain name the mediator's rules and
@@ -85,13 +105,13 @@ class CimDomain : public Domain {
   CimDomain(std::string name, std::string target_domain,
             std::shared_ptr<Domain> inner, CimOptions options = {},
             CimCostParams params = {}, size_t cache_max_entries = 0,
-            size_t cache_max_bytes = 0)
+            size_t cache_max_bytes = 0, size_t cache_shards = 0)
       : name_(std::move(name)),
         target_domain_(std::move(target_domain)),
         inner_(std::move(inner)),
         options_(options),
         params_(params),
-        cache_(cache_max_entries, cache_max_bytes) {}
+        cache_(cache_max_entries, cache_max_bytes, cache_shards) {}
 
   /// Registers an invariant. Invariants whose calls mention other domains
   /// are accepted and simply never match calls routed to this CIM.
@@ -117,20 +137,26 @@ class CimDomain : public Domain {
   /// Section 4.1's lookup algorithm with the actual-call path factored out:
   /// exact hit → equality invariant → subset invariant (partial) → actual
   /// call via `actual`, whose complete results are inserted into the cache.
+  /// When `outcome` is non-null it receives how the call was resolved.
   Result<CallOutput> RunWith(const DomainCall& raw_call,
-                             const ActualCallFn& actual);
+                             const ActualCallFn& actual,
+                             CimOutcome* outcome = nullptr);
 
   ResultCache& cache() { return cache_; }
-  const CimStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CimStats{}; }
+  /// A coherent-enough snapshot of the outcome counters (each counter is
+  /// individually exact; the set is not read atomically as a whole).
+  CimStats stats() const;
+  void ResetStats();
   CimOptions& options() { return options_; }
   Domain* inner() { return inner_.get(); }
   size_t num_invariants() const { return invariants_.size(); }
 
  private:
-  /// A usable cached entry found through the invariants.
+  /// A usable cached entry found through the invariants. Holds a value
+  /// snapshot of the entry: a pointer would dangle as soon as a concurrent
+  /// (or downstream RunActual) Put/eviction touched its shard.
   struct InvariantHit {
-    const CacheEntry* entry = nullptr;
+    CacheEntry entry;
     bool equality = false;   ///< True: answers identical; false: subset.
     double search_ms = 0.0;  ///< Simulated time spent finding it.
     std::string via;         ///< The invariant that justified the hit.
@@ -145,13 +171,12 @@ class CimDomain : public Domain {
   /// Attempts to find a cached entry matching `target` (which may still
   /// contain free variables) under `theta`, such that the invariant's
   /// conditions hold. Adds probe costs to `*search_ms`.
-  const CacheEntry* ProbeForSpec(const lang::DomainCallSpec& target,
-                                 const Substitution& theta,
-                                 const std::vector<lang::Atom>& conditions,
-                                 double* search_ms) const;
+  std::optional<CacheEntry> ProbeForSpec(
+      const lang::DomainCallSpec& target, const Substitution& theta,
+      const std::vector<lang::Atom>& conditions, double* search_ms) const;
 
-  /// Serves answers straight from a cache entry.
-  CallOutput ServeFromCache(const CacheEntry& entry, double lead_ms,
+  /// Serves answers straight from an owned entry snapshot (moves them out).
+  CallOutput ServeFromCache(CacheEntry entry, double lead_ms,
                             bool complete) const;
 
   /// Runs the actual call through `actual`, caching on success.
@@ -168,8 +193,18 @@ class CimDomain : public Domain {
 
   ResultCache cache_;
   std::vector<lang::Invariant> invariants_;
-  CimStats stats_;
-  uint64_t tick_ = 0;  ///< Logical call counter for staleness.
+
+  struct AtomicStats {
+    std::atomic<uint64_t> exact_hits{0};
+    std::atomic<uint64_t> equality_hits{0};
+    std::atomic<uint64_t> partial_hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> actual_calls{0};
+    std::atomic<uint64_t> unavailable_masked{0};
+    std::atomic<uint64_t> unavailable_failed{0};
+  };
+  AtomicStats stats_;
+  std::atomic<uint64_t> tick_{0};  ///< Logical call counter for staleness.
 };
 
 }  // namespace hermes::cim

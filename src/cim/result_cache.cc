@@ -2,70 +2,169 @@
 
 namespace hermes::cim {
 
+namespace {
+
+/// Splits `budget` across `shards` (rounded up so the aggregate budget is
+/// never smaller than requested). Zero stays zero (unbounded).
+size_t SplitBudget(size_t budget, size_t shards) {
+  if (budget == 0) return 0;
+  return (budget + shards - 1) / shards;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t max_entries, size_t max_bytes,
+                         size_t num_shards) {
+  if (num_shards == 0) {
+    // Bounded caches default to a single shard so eviction remains exact
+    // global LRU; unbounded caches only ever gain from striping.
+    num_shards = (max_entries > 0 || max_bytes > 0) ? 1 : kDefaultShards;
+  }
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_max_entries_ = SplitBudget(max_entries, num_shards);
+  shard_max_bytes_ = SplitBudget(max_bytes, num_shards);
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const DomainCall& call) {
+  return *shards_[call.Hash() % shards_.size()];
+}
+
+const ResultCache::Shard& ResultCache::ShardFor(const DomainCall& call) const {
+  return *shards_[call.Hash() % shards_.size()];
+}
+
 void ResultCache::Put(DomainCall call, AnswerSet answers, bool complete,
                       uint64_t now) {
-  Remove(call);
   CacheEntry entry;
   entry.bytes = AnswerSetByteSize(answers);
   entry.call = std::move(call);
   entry.answers = std::move(answers);
   entry.complete = complete;
   entry.inserted_at = now;
-  total_bytes_ += entry.bytes;
-  lru_.push_front(std::move(entry));
-  index_[lru_.front().call] = lru_.begin();
-  ++stats_.insertions;
-  EvictIfNeeded();
-}
 
-const CacheEntry* ResultCache::Get(const DomainCall& call) {
-  auto it = index_.find(call);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
+  Shard& shard = ShardFor(entry.call);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard_max_bytes_ > 0 && entry.bytes > shard_max_bytes_) {
+    // The entry alone busts the byte budget: inserting it would evict
+    // every resident entry and then the entry itself — reject instead.
+    RemoveLocked(shard, entry.call);
+    ++shard.stats.oversize_rejects;
+    return;
   }
-  ++stats_.hits;
-  // Bump to front.
-  lru_.splice(lru_.begin(), lru_, it->second);
-  it->second = lru_.begin();
-  return &*it->second;
+  RemoveLocked(shard, entry.call);
+  shard.total_bytes += entry.bytes;
+  shard.lru.push_front(std::move(entry));
+  shard.index[shard.lru.front().call] = shard.lru.begin();
+  ++shard.stats.insertions;
+  EvictIfNeededLocked(shard);
 }
 
-const CacheEntry* ResultCache::Peek(const DomainCall& call) const {
-  auto it = index_.find(call);
-  return it == index_.end() ? nullptr : &*it->second;
+std::optional<CacheEntry> ResultCache::Get(const DomainCall& call) {
+  Shard& shard = ShardFor(call);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(call);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  // Bump to front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  it->second = shard.lru.begin();
+  return *it->second;
+}
+
+std::optional<CacheEntry> ResultCache::Peek(const DomainCall& call) const {
+  const Shard& shard = ShardFor(call);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(call);
+  if (it == shard.index.end()) return std::nullopt;
+  return *it->second;
 }
 
 void ResultCache::Remove(const DomainCall& call) {
-  auto it = index_.find(call);
-  if (it == index_.end()) return;
-  total_bytes_ -= it->second->bytes;
-  lru_.erase(it->second);
-  index_.erase(it);
+  Shard& shard = ShardFor(call);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  RemoveLocked(shard, call);
+}
+
+void ResultCache::RemoveLocked(Shard& shard, const DomainCall& call) {
+  auto it = shard.index.find(call);
+  if (it == shard.index.end()) return;
+  shard.total_bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
 }
 
 void ResultCache::Clear() {
-  lru_.clear();
-  index_.clear();
-  total_bytes_ = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->total_bytes = 0;
+  }
 }
 
 void ResultCache::ForEach(
     const std::function<bool(const CacheEntry& entry)>& fn) const {
-  for (const CacheEntry& entry : lru_) {
-    if (!fn(entry)) return;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const CacheEntry& entry : shard->lru) {
+      if (!fn(entry)) return;
+    }
   }
 }
 
-void ResultCache::EvictIfNeeded() {
-  while ((max_entries_ > 0 && lru_.size() > max_entries_) ||
-         (max_bytes_ > 0 && total_bytes_ > max_bytes_)) {
-    if (lru_.empty()) return;
-    const CacheEntry& victim = lru_.back();
-    total_bytes_ -= victim.bytes;
-    index_.erase(victim.call);
-    lru_.pop_back();
-    ++stats_.evictions;
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t ResultCache::total_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->total_bytes;
+  }
+  return total;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    merged.hits += shard->stats.hits;
+    merged.misses += shard->stats.misses;
+    merged.insertions += shard->stats.insertions;
+    merged.evictions += shard->stats.evictions;
+    merged.oversize_rejects += shard->stats.oversize_rejects;
+  }
+  return merged;
+}
+
+void ResultCache::ResetStats() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = ResultCacheStats{};
+  }
+}
+
+void ResultCache::EvictIfNeededLocked(Shard& shard) {
+  while ((shard_max_entries_ > 0 && shard.lru.size() > shard_max_entries_) ||
+         (shard_max_bytes_ > 0 && shard.total_bytes > shard_max_bytes_)) {
+    if (shard.lru.empty()) return;
+    const CacheEntry& victim = shard.lru.back();
+    shard.total_bytes -= victim.bytes;
+    shard.index.erase(victim.call);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
 }
 

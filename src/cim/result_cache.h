@@ -4,8 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "domain/call.h"
@@ -27,62 +31,103 @@ struct ResultCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Inserts refused because one entry alone exceeded a shard's byte
+  /// budget (inserting it would have evicted the whole shard for nothing).
+  uint64_t oversize_rejects = 0;
 };
 
-/// LRU-bounded map from ground domain calls to their answer sets.
+/// Lock-striped, LRU-bounded map from ground domain calls to their answer
+/// sets.
 ///
-/// The cache is bounded both by entry count and by total answer bytes;
-/// exceeding either bound evicts least-recently-used entries. A zero bound
-/// means unbounded.
+/// The cache is split into independent shards selected by `DomainCall`
+/// hash; each shard has its own mutex, LRU list and slice of the entry/byte
+/// budgets, so concurrent lookups of distinct calls proceed in parallel —
+/// cache hits (the paper's headline win) scale with cores instead of
+/// serializing on one cache-wide lock.
+///
+/// Concurrency contract:
+///  - Every public method is safe to call from any thread.
+///  - `Get`/`Peek` return the entry BY VALUE (a snapshot taken under the
+///    shard lock). The previous pointer-returning API was only valid until
+///    the next `Put`/`Remove`/`Clear`, a lifetime rule that is unenforceable
+///    once writers run concurrently with readers.
+///  - `ForEach` locks one shard at a time (shard 0 upward, most- to
+///    least-recently-used within a shard). It observes no cross-shard
+///    atomic snapshot, and `fn` must not call back into the cache.
+///
+/// Bounds semantics: entry and byte budgets are divided evenly across
+/// shards (rounded up), and eviction is per-shard LRU. When bounds are
+/// requested without an explicit shard count the cache uses a single shard,
+/// which preserves exact global-LRU eviction order; unbounded caches
+/// default to `kDefaultShards`. A zero bound means unbounded.
 class ResultCache {
  public:
-  ResultCache(size_t max_entries = 0, size_t max_bytes = 0)
-      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+  static constexpr size_t kDefaultShards = 16;
+
+  /// `num_shards` = 0 picks the default: `kDefaultShards` when unbounded,
+  /// 1 (exact global LRU) when any bound is set.
+  ResultCache(size_t max_entries = 0, size_t max_bytes = 0,
+              size_t num_shards = 0);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// Inserts or replaces the entry for `call`. `now` is an optional
-  /// logical timestamp enabling staleness bounds (see CimOptions).
+  /// logical timestamp enabling staleness bounds (see CimOptions). An
+  /// entry whose answers alone exceed the shard byte budget is rejected
+  /// (counted in `oversize_rejects`) instead of evicting every resident
+  /// entry on its way to being evicted itself.
   void Put(DomainCall call, AnswerSet answers, bool complete = true,
            uint64_t now = 0);
 
-  /// Exact lookup; bumps recency. Returns nullptr on miss. The pointer is
-  /// valid until the next Put/Remove/Clear.
-  const CacheEntry* Get(const DomainCall& call);
+  /// Exact lookup; bumps recency. Returns a copy of the entry (taken under
+  /// the shard lock), or nullopt on miss.
+  std::optional<CacheEntry> Get(const DomainCall& call);
 
   /// Exact lookup without touching recency or stats (used by invariant
   /// scans so they don't distort exact-hit statistics).
-  const CacheEntry* Peek(const DomainCall& call) const;
+  std::optional<CacheEntry> Peek(const DomainCall& call) const;
 
   /// Removes the entry for `call` if present.
   void Remove(const DomainCall& call);
 
   void Clear();
 
-  /// Iterates entries in unspecified order; `fn` returning false stops the
-  /// scan. Does not affect recency.
+  /// Iterates entries shard by shard; `fn` returning false stops the scan.
+  /// Does not affect recency. `fn` runs under the shard's lock and must not
+  /// call back into the cache.
   void ForEach(
       const std::function<bool(const CacheEntry& entry)>& fn) const;
 
-  size_t size() const { return lru_.size(); }
-  size_t total_bytes() const { return total_bytes_; }
-  const ResultCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ResultCacheStats{}; }
+  size_t size() const;
+  size_t total_bytes() const;
+  size_t num_shards() const { return shards_.size(); }
+  /// Per-shard counters merged into one snapshot.
+  ResultCacheStats stats() const;
+  void ResetStats();
 
  private:
-  void EvictIfNeeded();
+  struct Shard {
+    mutable std::mutex mu;
+    size_t total_bytes = 0;
+    // LRU list: front = most recent. Map points into the list.
+    std::list<CacheEntry> lru;
+    std::unordered_map<DomainCall, std::list<CacheEntry>::iterator,
+                       DomainCallHash>
+        index;
+    ResultCacheStats stats;
+  };
 
-  size_t max_entries_;
-  size_t max_bytes_;
-  size_t total_bytes_ = 0;
+  Shard& ShardFor(const DomainCall& call);
+  const Shard& ShardFor(const DomainCall& call) const;
+  /// Unlinks `call` from `shard` if present; caller holds the shard lock.
+  void RemoveLocked(Shard& shard, const DomainCall& call);
+  /// Evicts LRU entries until `shard` fits its budgets; caller holds lock.
+  void EvictIfNeededLocked(Shard& shard);
 
-  // LRU list: front = most recent. Map points into the list.
-  std::list<CacheEntry> lru_;
-  std::unordered_map<DomainCall, std::list<CacheEntry>::iterator,
-                     DomainCallHash>
-      index_;
-  ResultCacheStats stats_;
+  size_t shard_max_entries_;  ///< Per-shard entry budget (0 = unbounded).
+  size_t shard_max_bytes_;    ///< Per-shard byte budget (0 = unbounded).
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace hermes::cim

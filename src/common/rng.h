@@ -45,6 +45,20 @@ class Rng {
     return sum - 6.0;
   }
 
+  /// Derives an independent stream seed from (base seed, stream id) — one
+  /// splitmix64 mixing round over their combination. Streams with distinct
+  /// ids are statistically independent, and a stream's draws depend only on
+  /// (base, stream_id), never on what other streams consumed. This is what
+  /// makes per-query simulated latencies replayable at any thread count:
+  /// query N's network jitter comes from StreamSeed(base, N) no matter how
+  /// queries interleave.
+  static uint64_t StreamSeed(uint64_t base, uint64_t stream_id) {
+    uint64_t z = base + stream_id * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
  private:
   uint64_t state_;
 };

@@ -14,6 +14,7 @@ enum class StatusCode {
   kNotFound,          ///< Lookup target does not exist.
   kAlreadyExists,     ///< Insert target already present.
   kUnavailable,       ///< Source temporarily unreachable (retryable).
+  kFailedPrecondition,  ///< Operation illegal in the object's current state.
   kParseError,        ///< Mediator-language text failed to parse.
   kTypeError,         ///< Value of an unexpected runtime type.
   kUnimplemented,     ///< Feature not supported by this domain/module.
@@ -52,6 +53,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
@@ -71,6 +75,9 @@ class Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
 
   /// "Ok" or "<CodeName>: <message>".

@@ -34,7 +34,7 @@ lang::DomainCallSpec RelaxTo(const lang::DomainCallSpec& pattern,
 
 }  // namespace
 
-void Dcsm::Record(CostRecord record) {
+void Dcsm::RecordUnlocked(CostRecord record) {
   if (options_.auto_update_summaries) {
     CallGroupKey key{record.call.domain, record.call.function,
                      record.call.args.size()};
@@ -46,6 +46,17 @@ void Dcsm::Record(CostRecord record) {
   db_.Record(std::move(record));
 }
 
+void Dcsm::Record(CostRecord record) {
+  std::unique_lock lock(mu_);
+  RecordUnlocked(std::move(record));
+}
+
+void Dcsm::RecordBatch(std::vector<CostRecord> records) {
+  if (records.empty()) return;
+  std::unique_lock lock(mu_);
+  for (CostRecord& record : records) RecordUnlocked(std::move(record));
+}
+
 void Dcsm::RecordExecution(const DomainCall& call, const CostVector& cost) {
   CostRecord record;
   record.call = call;
@@ -54,15 +65,22 @@ void Dcsm::RecordExecution(const DomainCall& call, const CostVector& cost) {
 }
 
 Status Dcsm::BuildLosslessSummaries() {
+  std::unique_lock lock(mu_);
   for (const CallGroupKey& key : db_.Groups()) {
     std::vector<size_t> dims(key.arity);
     for (size_t i = 0; i < key.arity; ++i) dims[i] = i;
-    HERMES_RETURN_IF_ERROR(BuildSummary(key, std::move(dims)));
+    HERMES_RETURN_IF_ERROR(BuildSummaryUnlocked(key, std::move(dims)));
   }
   return Status::OK();
 }
 
 Status Dcsm::BuildSummary(const CallGroupKey& key, std::vector<size_t> dims) {
+  std::unique_lock lock(mu_);
+  return BuildSummaryUnlocked(key, std::move(dims));
+}
+
+Status Dcsm::BuildSummaryUnlocked(const CallGroupKey& key,
+                                  std::vector<size_t> dims) {
   const std::vector<CostRecord>* records = db_.GetGroup(key);
   if (records == nullptr) {
     return Status::NotFound("no statistics for " + key.ToString());
@@ -86,8 +104,9 @@ Status Dcsm::BuildSummary(const CallGroupKey& key, std::vector<size_t> dims) {
 }
 
 Status Dcsm::BuildFullyLossySummaries() {
+  std::unique_lock lock(mu_);
   for (const CallGroupKey& key : db_.Groups()) {
-    HERMES_RETURN_IF_ERROR(BuildSummary(key, {}));
+    HERMES_RETURN_IF_ERROR(BuildSummaryUnlocked(key, {}));
   }
   return Status::OK();
 }
@@ -128,8 +147,10 @@ std::vector<size_t> Dcsm::InstantiableArgs(const lang::Program& program,
 }
 
 Status Dcsm::BuildSummariesForProgram(const lang::Program& program) {
+  std::unique_lock lock(mu_);
   for (const CallGroupKey& key : db_.Groups()) {
-    HERMES_RETURN_IF_ERROR(BuildSummary(key, InstantiableArgs(program, key)));
+    HERMES_RETURN_IF_ERROR(
+        BuildSummaryUnlocked(key, InstantiableArgs(program, key)));
   }
   return Status::OK();
 }
@@ -140,17 +161,20 @@ Status Dcsm::RegisterNativeModel(const std::string& name,
     return Status::InvalidArgument("domain '" + name +
                                    "' does not provide a cost model");
   }
+  std::unique_lock lock(mu_);
   native_models_[name] = std::move(domain);
   return Status::OK();
 }
 
 const std::vector<SummaryTable>* Dcsm::SummariesFor(
     const CallGroupKey& key) const {
+  std::shared_lock lock(mu_);
   auto it = summaries_.find(key);
   return it == summaries_.end() ? nullptr : &it->second;
 }
 
 size_t Dcsm::TotalSummaryBytes() const {
+  std::shared_lock lock(mu_);
   size_t total = 0;
   for (const auto& [key, tables] : summaries_) {
     for (const SummaryTable& table : tables) total += table.ApproxBytes();
@@ -159,6 +183,7 @@ size_t Dcsm::TotalSummaryBytes() const {
 }
 
 size_t Dcsm::TotalSummaryRows() const {
+  std::shared_lock lock(mu_);
   size_t total = 0;
   for (const auto& [key, tables] : summaries_) {
     for (const SummaryTable& table : tables) total += table.num_rows();
@@ -232,6 +257,7 @@ bool Dcsm::TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
 }
 
 Result<CostEstimate> Dcsm::Cost(const lang::DomainCallSpec& pattern) const {
+  std::shared_lock lock(mu_);
   for (const lang::Term& arg : pattern.args) {
     if (arg.is_variable()) {
       return Status::InvalidArgument(

@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +63,15 @@ struct CostEstimate {
 /// algorithm: try the most specific constant set first, preferring an
 /// exact summary-table lookup, then summary aggregation, then raw-database
 /// aggregation, and relax constants to `$b` until something matches.
+///
+/// Concurrency: guarded by one reader/writer lock — estimation (`Cost`,
+/// the optimizer's hot path) takes it shared, ingestion and summary
+/// management take it exclusive. Queries do not contend on it per call:
+/// the statistics layer buffers observations in the query's CallContext
+/// and flushes them in one `RecordBatch` when the query ends, so the lock
+/// is taken once per query, not once per domain call. The `database()`
+/// accessors are the exception: they expose unguarded internals for
+/// wiring- and report-time use only (no concurrent queries in flight).
 class Dcsm {
  public:
   explicit Dcsm(DcsmOptions options = {}, DcsmCostParams params = {})
@@ -75,6 +86,9 @@ class Dcsm {
   void RecordExecution(const DomainCall& call, const CostVector& cost);
   /// Records a partially-observed execution.
   void Record(CostRecord record);
+  /// Records a whole query's buffered observations under one lock
+  /// acquisition, in order (see the class comment's flush design).
+  void RecordBatch(std::vector<CostRecord> records);
 
   // ---- Summarization management -------------------------------------------
 
@@ -96,7 +110,10 @@ class Dcsm {
   /// dimension-dropping rule).
   Status BuildSummariesForProgram(const lang::Program& program);
 
-  void ClearSummaries() { summaries_.clear(); }
+  void ClearSummaries() {
+    std::unique_lock lock(mu_);
+    summaries_.clear();
+  }
 
   /// Argument positions of d:f/arity that some rule in `program` could
   /// instantiate to a constant (the position holds a constant, or a
@@ -119,24 +136,35 @@ class Dcsm {
 
   // ---- Introspection ---------------------------------------------------------
 
+  /// Unguarded access to the raw statistics database — wiring/report-time
+  /// only; must not race with concurrent Record*/Cost calls.
   const CostVectorDatabase& database() const { return db_; }
   CostVectorDatabase& database() { return db_; }
   DcsmOptions& options() { return options_; }
   const DcsmCostParams& cost_params() const { return params_; }
 
-  /// Summary tables of a group (empty when none built).
+  /// Summary tables of a group (empty when none built). The pointer is
+  /// only stable while no writer (Record*/Build*/Clear) runs.
   const std::vector<SummaryTable>* SummariesFor(const CallGroupKey& key) const;
 
   size_t TotalSummaryBytes() const;
   size_t TotalSummaryRows() const;
 
  private:
+  /// Record/BuildSummary bodies without locking; callers hold `mu_`
+  /// exclusively (public methods call each other, so the lock cannot be
+  /// recursive).
+  void RecordUnlocked(CostRecord record);
+  Status BuildSummaryUnlocked(const CallGroupKey& key,
+                              std::vector<size_t> dims);
+
   /// Tries to answer `relaxed` (whose constants are exactly the retained
   /// set) without further relaxation. Returns true and fills `*out` on
   /// success; accumulates lookup cost either way.
   bool TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
                    double* lookup_ms, size_t* rows_scanned) const;
 
+  mutable std::shared_mutex mu_;
   DcsmOptions options_;
   DcsmCostParams params_;
   CostVectorDatabase db_;

@@ -23,13 +23,37 @@ Result<CallOutput> StatsInterceptor::Intercept(CallContext& ctx,
 void StatsInterceptor::RecordSample(CallContext& ctx, const DomainCall& call,
                                     const CostVector& cost, bool complete) {
   if (dcsm_ == nullptr) return;
-  CostRecord record;
-  record.call = call;
-  record.cost = cost;
-  record.has_t_all = complete;
-  record.has_cardinality = complete;
-  dcsm_->Record(std::move(record));
+  if (ctx.buffer_stats) {
+    ctx.pending_stats.push_back({call, cost, complete});
+  } else {
+    CostRecord record;
+    record.call = call;
+    record.cost = cost;
+    record.has_t_all = complete;
+    record.has_cardinality = complete;
+    dcsm_->Record(std::move(record));
+  }
   ++ctx.metrics.stats_records;
+}
+
+void StatsInterceptor::Flush(CallContext& ctx) {
+  if (ctx.pending_stats.empty()) return;
+  if (dcsm_ == nullptr) {
+    ctx.pending_stats.clear();
+    return;
+  }
+  std::vector<CostRecord> batch;
+  batch.reserve(ctx.pending_stats.size());
+  for (PendingCostSample& sample : ctx.pending_stats) {
+    CostRecord record;
+    record.call = std::move(sample.call);
+    record.cost = sample.cost;
+    record.has_t_all = sample.complete;
+    record.has_cardinality = sample.complete;
+    batch.push_back(std::move(record));
+  }
+  ctx.pending_stats.clear();
+  dcsm_->RecordBatch(std::move(batch));
 }
 
 }  // namespace hermes::dcsm

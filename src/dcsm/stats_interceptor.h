@@ -25,13 +25,22 @@ class StatsInterceptor : public CallInterceptor {
   Result<CallOutput> Intercept(CallContext& ctx, const DomainCall& call,
                                const Next& next) override;
 
-  /// Records one measured cost sample into the DCSM. The interceptor path
-  /// uses it for executed domain calls; the executor feeds predicate
-  /// invocations (under the pseudo domain "idb") through it as well, so
-  /// all DCSM capture flows through the stats layer. When `complete` is
-  /// false the Ta/cardinality metrics are marked partially observed.
+  /// Records one measured cost sample. The interceptor path uses it for
+  /// executed domain calls; the executor feeds predicate invocations
+  /// (under the pseudo domain "idb") through it as well, so all DCSM
+  /// capture flows through the stats layer. When `complete` is false the
+  /// Ta/cardinality metrics are marked partially observed.
+  ///
+  /// With `ctx.buffer_stats` set the sample lands in the context's
+  /// per-query buffer (lock-free; the context is query-private) and
+  /// reaches the DCSM when `Flush` runs; otherwise it is recorded
+  /// directly.
   void RecordSample(CallContext& ctx, const DomainCall& call,
                     const CostVector& cost, bool complete);
+
+  /// Merges the context's buffered samples into the shared DCSM under one
+  /// lock acquisition and clears the buffer.
+  void Flush(CallContext& ctx);
 
  private:
   Dcsm* dcsm_;

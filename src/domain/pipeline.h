@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "domain/cost.h"
 #include "domain/domain.h"
 #include "lang/ast.h"
@@ -55,6 +56,16 @@ struct CallTrace {
   std::string ToString() const;
 };
 
+/// One cost observation buffered in the query's context instead of being
+/// written straight into the shared DCSM. The statistics layer appends to
+/// the buffer lock-free (it is per-query state); the executor flushes the
+/// whole batch into the DCSM under one short lock when the query ends.
+struct PendingCostSample {
+  DomainCall call;
+  CostVector cost;
+  bool complete = true;
+};
+
 /// Per-query state threaded from the executor through the registry down to
 /// the leaf domain. Every layer reads the simulated clock from it and
 /// accumulates its metrics into it; the caller that created the context
@@ -70,6 +81,20 @@ struct CallContext {
   CallMetrics metrics;
   /// Trace sink; the trace layer records into it when non-null.
   std::vector<CallTrace>* trace = nullptr;
+  /// When true the statistics layer appends observations to
+  /// `pending_stats` instead of writing the shared DCSM per call; whoever
+  /// set the flag owns flushing the buffer (Executor::Execute does both).
+  /// Off by default so standalone pipeline calls with scratch contexts
+  /// keep recording directly — a scratch buffer would be silently dropped.
+  bool buffer_stats = false;
+  /// Cost observations buffered by the statistics layer, flushed into the
+  /// shared DCSM in one batch when the query ends (see StatsInterceptor).
+  std::vector<PendingCostSample> pending_stats;
+  /// Per-query network RNG stream. When non-null the network simulator
+  /// draws this query's jitter/availability from it (seeded from the base
+  /// seed and query id), so simulated latencies replay identically at any
+  /// thread count. Null selects the simulator's shared legacy stream.
+  Rng* net_rng = nullptr;
 
   /// Charges one domain call against the budget; fails once exhausted.
   Status ChargeCall();

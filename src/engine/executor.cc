@@ -314,6 +314,22 @@ Result<QueryExecution> Executor::Execute(const lang::Program& program,
   } trace_guard{ctx, ctx->trace};
   if (options_.collect_trace) ctx->trace = &exec.trace;
 
+  // Buffer DCSM samples in the (query-private) context and merge them in
+  // one batch when evaluation ends — the shared statistics lock is taken
+  // once per query instead of once per domain call. The guard flushes on
+  // error exits too, so failed queries still contribute the statistics of
+  // the calls they did execute (matching the old per-call behaviour).
+  struct StatsFlushGuard {
+    dcsm::StatsInterceptor* layer;
+    CallContext* ctx;
+    bool previous;
+    ~StatsFlushGuard() {
+      if (layer != nullptr) layer->Flush(*ctx);
+      ctx->buffer_stats = previous;
+    }
+  } stats_guard{stats_layer_.get(), ctx, ctx->buffer_stats};
+  if (stats_layer_ != nullptr) ctx->buffer_stats = true;
+
   EvalState state;
   state.program = &program;
   state.ctx = ctx;

@@ -1,7 +1,11 @@
 #include "engine/mediator.h"
 
+#include <chrono>
+#include <thread>
+
 #include "cim/cache_interceptor.h"
 #include "common/io.h"
+#include "common/rng.h"
 #include "lang/parser.h"
 
 namespace hermes {
@@ -11,14 +15,28 @@ Mediator::Mediator() : Mediator(/*network_seed=*/1996) {}
 Mediator::Mediator(uint64_t network_seed)
     : network_(std::make_shared<net::NetworkSimulator>(network_seed)) {}
 
+Status Mediator::CheckNotServing(const char* operation) const {
+  if (serving()) {
+    return Status::FailedPrecondition(
+        std::string(operation) +
+        " is not allowed while a QueryPool is serving; wire the mediator "
+        "before calling Serve()");
+  }
+  return Status::OK();
+}
+
 Status Mediator::RegisterDomain(const std::string& name,
                                 std::shared_ptr<Domain> domain) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("RegisterDomain"));
   return registry_.Register(name, std::move(domain));
 }
 
 Status Mediator::RegisterRemoteDomain(const std::string& name,
                                       std::shared_ptr<Domain> inner,
                                       net::SiteParams site) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("RegisterRemoteDomain"));
   // Declarative stack: [network] over the source domain.
   auto link =
       std::make_shared<net::NetworkInterceptor>(std::move(site), network_);
@@ -34,12 +52,14 @@ Status Mediator::EnableCaching(const std::string& name,
                                cim::CimOptions options,
                                cim::CimCostParams params,
                                size_t cache_max_entries,
-                               size_t cache_max_bytes) {
+                               size_t cache_max_bytes, size_t cache_shards) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("EnableCaching"));
   HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> inner, registry_.Get(name));
   std::string cim_name = "cim_" + name;
   auto cim_domain = std::make_shared<cim::CimDomain>(
       cim_name, name, inner, options, params, cache_max_entries,
-      cache_max_bytes);
+      cache_max_bytes, cache_shards);
 
   // Declarative stack: [cache] prepended to the wrapped entry's own stack
   // (so e.g. "cim_video" = cache → network → avis). The shared CIM state
@@ -59,6 +79,8 @@ Status Mediator::EnableCaching(const std::string& name,
 }
 
 Status Mediator::AddInvariants(const std::string& text) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("AddInvariants"));
   HERMES_ASSIGN_OR_RETURN(std::vector<lang::Invariant> invariants,
                           lang::Parser::ParseInvariants(text));
   for (lang::Invariant& inv : invariants) {
@@ -74,11 +96,15 @@ Status Mediator::AddInvariants(const std::string& text) {
 }
 
 Status Mediator::UseNativeCostModel(const std::string& name) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("UseNativeCostModel"));
   HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> domain, registry_.Get(name));
   return dcsm_.RegisterNativeModel(name, std::move(domain));
 }
 
 Status Mediator::LoadProgram(const std::string& text) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("LoadProgram"));
   HERMES_ASSIGN_OR_RETURN(lang::Program parsed,
                           lang::Parser::ParseProgram(text));
   for (lang::Rule& rule : parsed.rules) {
@@ -90,6 +116,13 @@ Status Mediator::LoadProgram(const std::string& text) {
 Status Mediator::LoadProgramFile(const std::string& path) {
   HERMES_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
   return LoadProgram(text);
+}
+
+Status Mediator::ClearProgram() {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("ClearProgram"));
+  program_.rules.clear();
+  return Status::OK();
 }
 
 cim::CimDomain* Mediator::cim(const std::string& name) {
@@ -137,6 +170,7 @@ optimizer::RuleRewriter::Options Mediator::EffectiveRewriterOptions(
 
 Result<optimizer::OptimizerResult> Mediator::Plan(
     const std::string& query_text, const QueryOptions& options) {
+  std::shared_lock lock(wiring_mu_);
   HERMES_ASSIGN_OR_RETURN(lang::Query query,
                           lang::Parser::ParseQuery(query_text));
   optimizer::QueryOptimizer opt(&dcsm_, EffectiveRewriterOptions(options),
@@ -146,6 +180,9 @@ Result<optimizer::OptimizerResult> Mediator::Plan(
 
 Result<QueryResult> Mediator::Query(const std::string& query_text,
                                     const QueryOptions& options) {
+  // Shared hold for the whole query: wiring mutations (exclusive holders)
+  // can never observe — or create — a half-wired registry mid-query.
+  std::shared_lock lock(wiring_mu_);
   HERMES_ASSIGN_OR_RETURN(lang::Query query,
                           lang::Parser::ParseQuery(query_text));
 
@@ -190,7 +227,18 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
       executor_options_.record_predicate_statistics;
   engine::Executor executor(&registry_, &dcsm_, exec_options);
   CallContext ctx;
-  ctx.query_id = ++next_query_id_;
+  ctx.query_id = options.query_id != 0 ? options.query_id : ReserveQueryId();
+  result.query_id = ctx.query_id;
+
+  // Per-query network randomness: the stream is a function of (base seed,
+  // query id) only, so this query's simulated latencies replay identically
+  // whatever other queries run concurrently.
+  Rng net_stream(0);
+  if (per_query_net_rng_) {
+    net_stream = Rng(Rng::StreamSeed(network_->seed(), ctx.query_id));
+    ctx.net_rng = &net_stream;
+  }
+
   HERMES_ASSIGN_OR_RETURN(result.execution,
                           executor.Execute(plan_program, plan_query, &ctx));
   result.metrics = ctx.metrics;
@@ -198,6 +246,14 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
   result.traffic.failures = ctx.metrics.remote_failures;
   result.traffic.bytes = ctx.metrics.bytes_transferred;
   result.traffic.charge = ctx.metrics.network_charge;
+
+  if (pacing_scale_ > 0.0) {
+    // Realize the simulated service time as wall-clock wait (scaled), so
+    // concurrent callers overlap their waits like clients of a real
+    // mediator blocked on remote sources would.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        result.execution.t_all_ms * pacing_scale_));
+  }
   return result;
 }
 

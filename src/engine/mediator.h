@@ -1,8 +1,10 @@
 #ifndef HERMES_ENGINE_MEDIATOR_H_
 #define HERMES_ENGINE_MEDIATOR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,16 @@
 #include "optimizer/optimizer.h"
 
 namespace hermes {
+
+class QueryPool;
+
+/// Sizing of the Mediator::Serve worker pool.
+struct QueryPoolOptions {
+  size_t num_threads = 4;
+  /// Bounded submission-queue capacity; 0 sizes it to 2 × num_threads.
+  /// When full, Submit blocks and TrySubmit fails fast.
+  size_t queue_capacity = 0;
+};
 
 /// Per-query options of Mediator::Query().
 struct QueryOptions {
@@ -35,6 +47,10 @@ struct QueryOptions {
   bool cim_only = false;
   bool record_statistics = true;  ///< Feed executed calls into the DCSM.
   bool collect_trace = false;     ///< Fill QueryExecution::trace.
+  /// Externally assigned query id; 0 lets the mediator assign the next one.
+  /// QueryPool assigns ids at submission time so a query's id — and with
+  /// it, its per-query RNG stream — is independent of worker scheduling.
+  uint64_t query_id = 0;
 };
 
 /// Network traffic attributable to one query. Derived from the query's
@@ -61,6 +77,7 @@ struct QueryResult {
   /// Per-layer counters of this query's call path (trace/stats/cache/
   /// network), accumulated through its CallContext.
   CallMetrics metrics;
+  uint64_t query_id = 0;            ///< Id the query executed under.
 };
 
 /// Top-level facade of the mediator system — the public API a downstream
@@ -73,6 +90,16 @@ struct QueryResult {
 /// prepends its trace and stats layers and threads a per-query CallContext
 /// through the whole stack, which is where QueryResult::traffic/metrics
 /// come from.
+///
+/// Concurrency model (see DESIGN.md): `Query`/`Plan` are safe to call from
+/// many threads at once — every query runs on a private CallContext, and
+/// the shared hot structures (result cache, DCSM, network statistics) are
+/// internally synchronized. Wiring methods (Register*, EnableCaching,
+/// AddInvariants, UseNativeCostModel, LoadProgram*, ClearProgram) are
+/// writers on the same lock and additionally REJECTED with
+/// FailedPrecondition while a QueryPool from `Serve` is live: wire first,
+/// serve after. The wiring-phase mutators and accessors themselves are not
+/// mutually thread-safe; configure from one thread.
 ///
 /// Typical use:
 ///   Mediator med;
@@ -103,10 +130,12 @@ class Mediator {
 
   /// Wraps the domain registered as `name` with a CIM (cache + invariant
   /// manager), registered as "cim_<name>". Idempotent per name.
+  /// `cache_shards` > 0 forces that many lock stripes in the result cache
+  /// (0 = automatic: striped when unbounded, single-shard when bounded).
   Status EnableCaching(const std::string& name, cim::CimOptions options = {},
                        cim::CimCostParams params = {},
                        size_t cache_max_entries = 0,
-                       size_t cache_max_bytes = 0);
+                       size_t cache_max_bytes = 0, size_t cache_shards = 0);
 
   /// Parses invariants and installs each into the CIM of its lhs domain
   /// (EnableCaching must have been called for that domain).
@@ -122,7 +151,7 @@ class Mediator {
   Status LoadProgram(const std::string& text);
   /// Reads a rule file and appends its rules.
   Status LoadProgramFile(const std::string& path);
-  void ClearProgram() { program_.rules.clear(); }
+  Status ClearProgram();
   const lang::Program& program() const { return program_; }
 
   // ---- Querying ---------------------------------------------------------------
@@ -133,6 +162,44 @@ class Mediator {
   /// Optimizes without executing (returns the ranked candidates).
   Result<optimizer::OptimizerResult> Plan(const std::string& query_text,
                                           const QueryOptions& options = {});
+
+  // ---- Concurrent serving -----------------------------------------------------
+
+  /// Starts a worker pool serving this mediator: N clients submit query
+  /// text and receive futures of QueryResult. While any pool is live the
+  /// mediator's wiring is frozen (see class comment). The pool must not
+  /// outlive the mediator.
+  std::unique_ptr<QueryPool> Serve(QueryPoolOptions options = {});
+
+  /// Reserves the next query id (used by QueryPool at submission time).
+  uint64_t ReserveQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Per-query deterministic network randomness: each query draws its
+  /// simulated jitter/availability from a stream seeded by (network seed,
+  /// query id) instead of the simulator's shared sequential stream, making
+  /// simulated latencies independent of thread interleaving. Off by
+  /// default — the shared stream reproduces the historical experiment
+  /// tables byte-for-byte. Set at wiring time.
+  void set_per_query_network_rng(bool on) { per_query_net_rng_ = on; }
+  bool per_query_network_rng() const { return per_query_net_rng_; }
+
+  /// Wall-clock pacing: after computing a query, sleep `scale` real
+  /// milliseconds per simulated millisecond of the query's latency —
+  /// turning the simulated service time into actual wait, so a worker
+  /// pool's threads overlap waits exactly as a real mediator's would while
+  /// blocked on remote sources. 0 (default) never sleeps. Set at wiring
+  /// time; used by the concurrent-throughput benchmarks.
+  void set_service_pacing(double scale) { pacing_scale_ = scale; }
+  double service_pacing() const { return pacing_scale_; }
+
+  /// QueryPool lifecycle hooks (public for QueryPool; not a user API).
+  void BeginServing() { serving_.fetch_add(1, std::memory_order_acq_rel); }
+  void EndServing() { serving_.fetch_sub(1, std::memory_order_acq_rel); }
+  bool serving() const {
+    return serving_.load(std::memory_order_acquire) > 0;
+  }
 
   // ---- Introspection ------------------------------------------------------------
 
@@ -156,15 +223,26 @@ class Mediator {
   engine::ExecutorOptions& executor_options() { return executor_options_; }
 
  private:
-  Result<lang::Query> ParseAndPrepare(const std::string& query_text);
+  /// FailedPrecondition while a QueryPool is live; called with wiring_mu_
+  /// held exclusively, so acceptance means no query is in flight either.
+  Status CheckNotServing(const char* operation) const;
+
   optimizer::RuleRewriter::Options EffectiveRewriterOptions(
       const QueryOptions& options) const;
+
+  /// Wiring lock: queries hold it shared for their whole run, wiring
+  /// mutations hold it exclusively — so a (rejected-path) mutation can
+  /// never interleave with in-flight queries.
+  mutable std::shared_mutex wiring_mu_;
+  std::atomic<int> serving_{0};  ///< Live QueryPool count.
 
   DomainRegistry registry_;
   std::shared_ptr<net::NetworkSimulator> network_;
   dcsm::Dcsm dcsm_;
   lang::Program program_;
-  uint64_t next_query_id_ = 0;
+  std::atomic<uint64_t> next_query_id_{0};
+  bool per_query_net_rng_ = false;
+  double pacing_scale_ = 0.0;
   std::map<std::string, std::shared_ptr<cim::CimDomain>> cims_;
   optimizer::RuleRewriter::Options rewriter_options_;
   optimizer::EstimatorParams estimator_params_;

@@ -1,0 +1,115 @@
+#include "engine/query_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hermes {
+
+std::unique_ptr<QueryPool> Mediator::Serve(QueryPoolOptions options) {
+  return std::make_unique<QueryPool>(this, options);
+}
+
+QueryPool::QueryPool(Mediator* mediator, QueryPoolOptions options)
+    : mediator_(mediator),
+      queue_capacity_(options.queue_capacity > 0
+                          ? options.queue_capacity
+                          : 2 * std::max<size_t>(options.num_threads, 1)) {
+  mediator_->BeginServing();
+  size_t threads = std::max<size_t>(options.num_threads, 1);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryPool::~QueryPool() { Shutdown(); }
+
+std::future<Result<QueryResult>> QueryPool::Enqueue(Task task) {
+  std::future<Result<QueryResult>> future = task.promise.get_future();
+  // Fix the query id now, in submission order, so it does not depend on
+  // which worker picks the task up when.
+  if (task.options.query_id == 0) {
+    task.options.query_id = mediator_->ReserveQueryId();
+  }
+  queue_.push_back(std::move(task));
+  ++stats_.submitted;
+  queue_ready_.notify_one();
+  return future;
+}
+
+std::future<Result<QueryResult>> QueryPool::Submit(std::string query_text,
+                                                   QueryOptions options) {
+  Task task;
+  task.text = std::move(query_text);
+  task.options = options;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_space_.wait(
+      lock, [this] { return stopping_ || queue_.size() < queue_capacity_; });
+  if (stopping_) {
+    task.promise.set_value(Status::FailedPrecondition(
+        "QueryPool is shut down; no further submissions accepted"));
+    return task.promise.get_future();
+  }
+  return Enqueue(std::move(task));
+}
+
+bool QueryPool::TrySubmit(std::string query_text, QueryOptions options,
+                          std::future<Result<QueryResult>>* out) {
+  Task task;
+  task.text = std::move(query_text);
+  task.options = options;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_ || queue_.size() >= queue_capacity_) {
+    ++stats_.rejected;
+    return false;
+  }
+  *out = Enqueue(std::move(task));
+  return true;
+}
+
+void QueryPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_space_.notify_one();
+    }
+    Result<QueryResult> result = mediator_->Query(task.text, task.options);
+    task.promise.set_value(std::move(result));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+    }
+  }
+}
+
+void QueryPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  queue_space_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (!workers_.empty()) {
+    workers_.clear();
+    mediator_->EndServing();
+  }
+}
+
+QueryPoolStats QueryPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hermes

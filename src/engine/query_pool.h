@@ -1,0 +1,93 @@
+#ifndef HERMES_ENGINE_QUERY_POOL_H_
+#define HERMES_ENGINE_QUERY_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/mediator.h"
+
+namespace hermes {
+
+/// Counters of one QueryPool's lifetime.
+struct QueryPoolStats {
+  uint64_t submitted = 0;  ///< Queries accepted into the queue.
+  uint64_t completed = 0;  ///< Queries whose future was fulfilled.
+  uint64_t rejected = 0;   ///< TrySubmit calls refused (queue full/shutdown).
+};
+
+/// The mediator's concurrent frontend: a fixed pool of worker threads
+/// draining a bounded submission queue of queries, results delivered
+/// through futures — how N clients share one mediator.
+///
+/// Created via Mediator::Serve(). While any pool is live the mediator's
+/// wiring is frozen (wiring calls return FailedPrecondition), so workers
+/// race only on structures designed for it: the lock-striped result cache,
+/// the batch-flushed DCSM and the atomic network statistics.
+///
+/// Query ids are reserved at Submit time, in submission order — a query's
+/// id (and therefore its per-query RNG stream, when enabled) is fixed
+/// before any worker touches it, independent of scheduling.
+///
+/// Submit/TrySubmit are safe from any thread. Destruction (or Shutdown)
+/// stops intake, drains queued work, joins the workers and unfreezes the
+/// mediator.
+class QueryPool {
+ public:
+  /// Prefer Mediator::Serve() over constructing directly. `mediator` must
+  /// outlive the pool.
+  QueryPool(Mediator* mediator, QueryPoolOptions options);
+  ~QueryPool();
+
+  QueryPool(const QueryPool&) = delete;
+  QueryPool& operator=(const QueryPool&) = delete;
+
+  /// Enqueues a query; blocks while the queue is full. The future carries
+  /// the query's Result exactly as Mediator::Query would have returned it.
+  std::future<Result<QueryResult>> Submit(std::string query_text,
+                                          QueryOptions options = {});
+
+  /// Non-blocking Submit: false when the queue is full (or the pool is
+  /// shutting down), leaving `*out` untouched.
+  bool TrySubmit(std::string query_text, QueryOptions options,
+                 std::future<Result<QueryResult>>* out);
+
+  /// Stops intake, drains already-queued queries, joins workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+  QueryPoolStats stats() const;
+
+ private:
+  struct Task {
+    std::string text;
+    QueryOptions options;
+    std::promise<Result<QueryResult>> promise;
+  };
+
+  void WorkerLoop();
+  std::future<Result<QueryResult>> Enqueue(Task task);
+
+  Mediator* mediator_;
+  size_t queue_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_ready_;   ///< Signals workers: work/stop.
+  std::condition_variable queue_space_;   ///< Signals submitters: capacity.
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  QueryPoolStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_ENGINE_QUERY_POOL_H_

@@ -4,12 +4,23 @@
 
 namespace hermes::net {
 
-NetworkSimulator::Transfer NetworkSimulator::PlanCall(const SiteParams& site,
-                                                      size_t call_hash) {
-  Rng rng(seed_ ^ call_hash ^ std::hash<std::string>()(site.name) ^
-          (++sequence_ * 0x2545F4914F6CDD1DULL));
+namespace {
+
+/// Adds `delta` to an atomic double (no fetch_add for doubles pre-C++20
+/// on all toolchains; a CAS loop is portable and uncontended in practice).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+NetworkSimulator::Transfer NetworkSimulator::PlanWith(const SiteParams& site,
+                                                      Rng& rng) {
   Transfer t;
-  ++stats_.calls;
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
 
   if (site.availability < 1.0 && rng.NextDouble() >= site.availability) {
     t.available = false;
@@ -27,16 +38,61 @@ NetworkSimulator::Transfer NetworkSimulator::PlanCall(const SiteParams& site,
   return t;
 }
 
+NetworkSimulator::Transfer NetworkSimulator::PlanCall(const SiteParams& site,
+                                                      size_t call_hash) {
+  // fetch_add(1) + 1 reproduces the historical pre-increment values, so
+  // single-threaded draw sequences stay bit-identical to the old code.
+  uint64_t seq = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Rng rng(seed_ ^ call_hash ^ std::hash<std::string>()(site.name) ^
+          (seq * 0x2545F4914F6CDD1DULL));
+  return PlanWith(site, rng);
+}
+
+NetworkSimulator::Transfer NetworkSimulator::PlanCall(const SiteParams& site,
+                                                      size_t call_hash,
+                                                      Rng& stream) {
+  // Per-query stream: fold the call hash and site into the draw via a
+  // sub-stream so distinct calls within the query jitter independently,
+  // while the sequence within one (call, site) pair follows the caller's
+  // stream — untouched by other queries.
+  Rng rng(Rng::StreamSeed(
+      stream.NextU64(),
+      call_hash ^ std::hash<std::string>()(site.name)));
+  return PlanWith(site, rng);
+}
+
 double NetworkSimulator::RecordTransfer(const SiteParams& site, size_t bytes,
                                         double network_ms) {
-  stats_.bytes_transferred += bytes;
-  stats_.total_network_ms += network_ms;
+  stats_.bytes_transferred.fetch_add(bytes, std::memory_order_relaxed);
+  AtomicAdd(stats_.total_network_ms, network_ms);
   double charge = site.charge_per_call +
                   site.charge_per_kb * (static_cast<double>(bytes) / 1024.0);
-  stats_.total_charge += charge;
+  AtomicAdd(stats_.total_charge, charge);
   return charge;
 }
 
-void NetworkSimulator::RecordFailure() { ++stats_.failures; }
+void NetworkSimulator::RecordFailure() {
+  stats_.failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+NetworkStats NetworkSimulator::stats() const {
+  NetworkStats snapshot;
+  snapshot.calls = stats_.calls.load(std::memory_order_relaxed);
+  snapshot.failures = stats_.failures.load(std::memory_order_relaxed);
+  snapshot.bytes_transferred =
+      stats_.bytes_transferred.load(std::memory_order_relaxed);
+  snapshot.total_charge = stats_.total_charge.load(std::memory_order_relaxed);
+  snapshot.total_network_ms =
+      stats_.total_network_ms.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void NetworkSimulator::ResetStats() {
+  stats_.calls.store(0, std::memory_order_relaxed);
+  stats_.failures.store(0, std::memory_order_relaxed);
+  stats_.bytes_transferred.store(0, std::memory_order_relaxed);
+  stats_.total_charge.store(0.0, std::memory_order_relaxed);
+  stats_.total_network_ms.store(0.0, std::memory_order_relaxed);
+}
 
 }  // namespace hermes::net

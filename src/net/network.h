@@ -1,6 +1,7 @@
 #ifndef HERMES_NET_NETWORK_H_
 #define HERMES_NET_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -9,7 +10,8 @@
 
 namespace hermes::net {
 
-/// Aggregate traffic statistics kept by the network simulator.
+/// Aggregate traffic statistics kept by the network simulator (a plain
+/// snapshot; the live counters are lock-free atomics inside the simulator).
 struct NetworkStats {
   uint64_t calls = 0;           ///< Remote calls attempted.
   uint64_t failures = 0;        ///< Calls lost to site unavailability.
@@ -25,6 +27,18 @@ struct NetworkStats {
 /// availability) and the caller folds those times into the simulated
 /// CallOutput latencies. All randomness is derived from the constructor
 /// seed plus the call hash, so a given experiment replays identically.
+///
+/// Concurrency: all methods are thread-safe. Statistics are relaxed
+/// atomics merged into a snapshot by `stats()`. Randomness comes in two
+/// flavours:
+///  - the legacy shared stream (two-argument `PlanCall`), which folds a
+///    global sequence counter into each draw — bit-identical to the
+///    historical single-threaded behaviour, but draw values depend on the
+///    global interleaving of calls;
+///  - caller-owned streams (three-argument `PlanCall`), where the caller
+///    passes an `Rng` it seeded per query via `Rng::StreamSeed(seed(),
+///    query_id)` — draws then depend only on that stream's own history,
+///    so per-query latencies replay identically at any thread count.
 class NetworkSimulator {
  public:
   explicit NetworkSimulator(uint64_t seed = 1996) : seed_(seed) {}
@@ -41,10 +55,15 @@ class NetworkSimulator {
     double penalty_ms = 0.0;       ///< Retry timeout when unavailable.
   };
 
-  /// Plans a call. `call_hash` individualizes jitter per distinct call;
-  /// an internal sequence counter makes *repetitions* of the same call
-  /// jitter independently.
+  /// Plans a call using the legacy shared stream. `call_hash`
+  /// individualizes jitter per distinct call; an internal sequence counter
+  /// makes *repetitions* of the same call jitter independently.
   Transfer PlanCall(const SiteParams& site, size_t call_hash);
+
+  /// Plans a call drawing jitter/availability from the caller's own
+  /// `stream` (per-query determinism; see class comment). The shared
+  /// sequence counter is not consulted or advanced.
+  Transfer PlanCall(const SiteParams& site, size_t call_hash, Rng& stream);
 
   /// Records a completed transfer of `bytes` answer bytes to `site`,
   /// accumulating byte counts and financial charges.
@@ -55,13 +74,29 @@ class NetworkSimulator {
   /// Records a failed (unavailable) call.
   void RecordFailure();
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  /// A coherent-enough snapshot of the counters (each counter is
+  /// individually exact; the set is not read atomically as a whole).
+  NetworkStats stats() const;
+  void ResetStats();
+
+  /// The base seed, for deriving per-query streams via Rng::StreamSeed.
+  uint64_t seed() const { return seed_; }
 
  private:
+  /// Draws one transfer plan for `site` from `rng` (seeded by the caller).
+  Transfer PlanWith(const SiteParams& site, Rng& rng);
+
   uint64_t seed_;
-  uint64_t sequence_ = 0;
-  NetworkStats stats_;
+  std::atomic<uint64_t> sequence_{0};
+
+  struct AtomicStats {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> bytes_transferred{0};
+    std::atomic<double> total_charge{0.0};
+    std::atomic<double> total_network_ms{0.0};
+  };
+  AtomicStats stats_;
 };
 
 }  // namespace hermes::net

@@ -28,17 +28,22 @@ const std::string& NetworkInterceptor::name() const {
 Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
                                                  const DomainCall& call,
                                                  const Next& next) {
-  NetworkSimulator::Transfer transfer = network_->PlanCall(site_, call.Hash());
+  // A context carrying its own RNG stream gets per-query-deterministic
+  // jitter; otherwise fall back to the simulator's shared legacy stream.
+  NetworkSimulator::Transfer transfer =
+      ctx.net_rng != nullptr
+          ? network_->PlanCall(site_, call.Hash(), *ctx.net_rng)
+          : network_->PlanCall(site_, call.Hash());
   ++ctx.metrics.remote_calls;
   if (!transfer.available) {
-    last_penalty_ms_ = transfer.penalty_ms;
+    last_penalty_ms_.store(transfer.penalty_ms, std::memory_order_relaxed);
     network_->RecordFailure();
     ++ctx.metrics.remote_failures;
     return Status::Unavailable("site '" + site_.name +
                                "' is temporarily unavailable for " +
                                call.ToString());
   }
-  last_penalty_ms_ = 0.0;
+  last_penalty_ms_.store(0.0, std::memory_order_relaxed);
 
   HERMES_ASSIGN_OR_RETURN(CallOutput inner_out, next(ctx, call));
 

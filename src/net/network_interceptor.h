@@ -1,6 +1,7 @@
 #ifndef HERMES_NET_NETWORK_INTERCEPTOR_H_
 #define HERMES_NET_NETWORK_INTERCEPTOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -50,14 +51,16 @@ class NetworkInterceptor : public CallInterceptor {
   /// a site down (set availability to 0) or degrade it mid-run.
   SiteParams& mutable_site() { return site_; }
 
-  /// Simulated time the last call lost to an unavailable site (0 when the
-  /// last call succeeded).
-  double last_unavailable_penalty_ms() const { return last_penalty_ms_; }
+  /// Simulated time the last call (by any thread) lost to an unavailable
+  /// site (0 when the last call succeeded).
+  double last_unavailable_penalty_ms() const {
+    return last_penalty_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
   SiteParams site_;
   std::shared_ptr<NetworkSimulator> network_;
-  double last_penalty_ms_ = 0.0;
+  std::atomic<double> last_penalty_ms_{0.0};
 };
 
 /// Expected (jitter-free) network cost decoration shared by the interceptor

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+#include <vector>
+
 namespace hermes::cim {
 namespace {
 
@@ -18,16 +22,16 @@ AnswerSet Answers(int n) {
 TEST(ResultCacheTest, PutAndGet) {
   ResultCache cache;
   cache.Put(Call(1), Answers(3));
-  const CacheEntry* e = cache.Get(Call(1));
-  ASSERT_NE(e, nullptr);
+  std::optional<CacheEntry> e = cache.Get(Call(1));
+  ASSERT_TRUE(e.has_value());
   EXPECT_EQ(e->answers.size(), 3u);
   EXPECT_TRUE(e->complete);
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
-TEST(ResultCacheTest, MissCountsAndReturnsNull) {
+TEST(ResultCacheTest, MissCountsAndReturnsNullopt) {
   ResultCache cache;
-  EXPECT_EQ(cache.Get(Call(9)), nullptr);
+  EXPECT_FALSE(cache.Get(Call(9)).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
 }
 
@@ -42,8 +46,8 @@ TEST(ResultCacheTest, PutReplacesExisting) {
 TEST(ResultCacheTest, PeekDoesNotTouchStats) {
   ResultCache cache;
   cache.Put(Call(1), Answers(1));
-  EXPECT_NE(cache.Peek(Call(1)), nullptr);
-  EXPECT_EQ(cache.Peek(Call(2)), nullptr);
+  EXPECT_TRUE(cache.Peek(Call(1)).has_value());
+  EXPECT_FALSE(cache.Peek(Call(2)).has_value());
   EXPECT_EQ(cache.stats().hits, 0u);
   EXPECT_EQ(cache.stats().misses, 0u);
 }
@@ -54,8 +58,8 @@ TEST(ResultCacheTest, EntryCountEviction) {
   cache.Put(Call(2), Answers(1));
   cache.Put(Call(3), Answers(1));
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.Peek(Call(1)), nullptr);  // LRU victim
-  EXPECT_NE(cache.Peek(Call(3)), nullptr);
+  EXPECT_FALSE(cache.Peek(Call(1)).has_value());  // LRU victim
+  EXPECT_TRUE(cache.Peek(Call(3)).has_value());
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
@@ -65,8 +69,8 @@ TEST(ResultCacheTest, GetRefreshesRecency) {
   cache.Put(Call(2), Answers(1));
   (void)cache.Get(Call(1));  // bump 1 to the front
   cache.Put(Call(3), Answers(1));
-  EXPECT_NE(cache.Peek(Call(1)), nullptr);
-  EXPECT_EQ(cache.Peek(Call(2)), nullptr);  // 2 became the victim
+  EXPECT_TRUE(cache.Peek(Call(1)).has_value());
+  EXPECT_FALSE(cache.Peek(Call(2)).has_value());  // 2 became the victim
 }
 
 TEST(ResultCacheTest, ByteBoundEviction) {
@@ -76,7 +80,7 @@ TEST(ResultCacheTest, ByteBoundEviction) {
   cache.Put(Call(2), Answers(5));   // ~80 total
   cache.Put(Call(3), Answers(5));   // would exceed 100 → evict LRU
   EXPECT_LE(cache.total_bytes(), 100u);
-  EXPECT_EQ(cache.Peek(Call(1)), nullptr);
+  EXPECT_FALSE(cache.Peek(Call(1)).has_value());
 }
 
 TEST(ResultCacheTest, RemoveAndClear) {
@@ -123,6 +127,111 @@ TEST(ResultCacheTest, TotalBytesTracksContent) {
   EXPECT_GT(bytes, 0u);
   cache.Put(Call(2), Answers(10));
   EXPECT_EQ(cache.total_bytes(), 2 * bytes);
+}
+
+// --- Sharding ------------------------------------------------------------
+
+TEST(ResultCacheTest, ShardDefaults) {
+  // Unbounded caches stripe for concurrency; bounded ones default to one
+  // shard so eviction stays exact global LRU.
+  EXPECT_EQ(ResultCache().num_shards(), ResultCache::kDefaultShards);
+  EXPECT_EQ(ResultCache(/*max_entries=*/4).num_shards(), 1u);
+  EXPECT_EQ(ResultCache(0, /*max_bytes=*/100).num_shards(), 1u);
+  EXPECT_EQ(ResultCache(4, 0, /*num_shards=*/8).num_shards(), 8u);
+}
+
+TEST(ResultCacheTest, ShardedCacheServesAllEntries) {
+  ResultCache cache(0, 0, /*num_shards=*/4);
+  for (int i = 0; i < 64; ++i) cache.Put(Call(i), Answers(i % 5 + 1));
+  EXPECT_EQ(cache.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    std::optional<CacheEntry> e = cache.Get(Call(i));
+    ASSERT_TRUE(e.has_value()) << "entry " << i;
+    EXPECT_EQ(e->answers.size(), static_cast<size_t>(i % 5 + 1));
+  }
+  EXPECT_EQ(cache.stats().hits, 64u);
+}
+
+TEST(ResultCacheTest, ShardedEntryBudgetIsSplitRoundedUp) {
+  // 4 entries over 4 shards = 1 per shard; aggregate capacity is at least
+  // the requested bound and never more than bound rounded up per shard.
+  ResultCache cache(/*max_entries=*/4, 0, /*num_shards=*/4);
+  for (int i = 0; i < 100; ++i) cache.Put(Call(i), Answers(1));
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// --- Edge cases the sharding work surfaced (regression tests) ------------
+
+TEST(ResultCacheTest, OversizedInsertIsRejectedNotLoopEvicted) {
+  ResultCache cache(0, /*max_bytes=*/50);
+  cache.Put(Call(1), Answers(3));  // ~24 bytes, fits
+  size_t resident = cache.size();
+  cache.Put(Call(2), Answers(100));  // ~800 bytes: can never fit
+  // The oversized entry is refused outright instead of evicting every
+  // resident entry on its way to being evicted itself.
+  EXPECT_FALSE(cache.Peek(Call(2)).has_value());
+  EXPECT_EQ(cache.size(), resident);
+  EXPECT_TRUE(cache.Peek(Call(1)).has_value());
+  EXPECT_EQ(cache.stats().oversize_rejects, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCacheTest, OversizedReplacementDropsTheStaleEntry) {
+  ResultCache cache(0, /*max_bytes=*/50);
+  cache.Put(Call(1), Answers(3));
+  cache.Put(Call(1), Answers(100));  // replacement too big to admit
+  // Keeping the old answers would silently serve stale data for a call the
+  // caller just re-ran; the entry is dropped instead.
+  EXPECT_FALSE(cache.Peek(Call(1)).has_value());
+  EXPECT_EQ(cache.stats().oversize_rejects, 1u);
+}
+
+TEST(ResultCacheTest, GetReturnsSnapshotUnaffectedByLaterMutation) {
+  // The old pointer-returning API was invalidated by the next Put/Remove;
+  // the value snapshot must survive arbitrary later mutations.
+  ResultCache cache;
+  cache.Put(Call(1), Answers(4));
+  std::optional<CacheEntry> snapshot = cache.Get(Call(1));
+  ASSERT_TRUE(snapshot.has_value());
+  cache.Put(Call(1), Answers(9));  // replace
+  cache.Remove(Call(1));           // and remove entirely
+  cache.Clear();
+  EXPECT_EQ(snapshot->answers.size(), 4u);
+  EXPECT_EQ(snapshot->call, Call(1));
+}
+
+TEST(ResultCacheTest, ConcurrentMixedOperationsKeepExactCounters) {
+  ResultCache cache(0, 0, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int key = (t * kOpsPerThread + i) % 97;
+        cache.Put(Call(key), Answers(2));
+        std::optional<CacheEntry> e = cache.Get(Call(key + 1000));
+        EXPECT_FALSE(e.has_value());  // distinct key space: always a miss
+        e = cache.Get(Call(key));
+        if (e.has_value()) {
+          EXPECT_EQ(e->answers.size(), 2u);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ResultCacheStats stats = cache.stats();
+  // Every op is counted exactly once despite the concurrency.
+  EXPECT_EQ(stats.insertions,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread * 2);
+  // The 1000+ key space was never inserted: at least half the lookups miss.
+  EXPECT_GE(stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(cache.size(), 97u);
 }
 
 }  // namespace

@@ -68,6 +68,35 @@ TEST(RngTest, NextInRangeIsInclusive) {
   EXPECT_TRUE(saw_hi);
 }
 
+TEST(RngTest, StreamSeedIsAPureFunctionOfBaseAndId) {
+  EXPECT_EQ(Rng::StreamSeed(1996, 7), Rng::StreamSeed(1996, 7));
+  EXPECT_NE(Rng::StreamSeed(1996, 7), Rng::StreamSeed(1996, 8));
+  EXPECT_NE(Rng::StreamSeed(1996, 7), Rng::StreamSeed(1997, 7));
+}
+
+TEST(RngTest, StreamsAreIndependentOfConsumptionOrder) {
+  // Stream 2's draws must not depend on how much stream 1 consumed — the
+  // property the per-query network RNG relies on for thread-count-invariant
+  // replay.
+  Rng interleaved(Rng::StreamSeed(42, 2));
+  Rng hungry(Rng::StreamSeed(42, 1));
+  for (int i = 0; i < 1000; ++i) (void)hungry.NextU64();
+  Rng fresh(Rng::StreamSeed(42, 2));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(interleaved.NextU64(), fresh.NextU64());
+  }
+}
+
+TEST(RngTest, AdjacentStreamIdsDecorrelate) {
+  // splitmix64 mixing: consecutive ids must not produce near-identical
+  // first draws.
+  Rng a(Rng::StreamSeed(0, 1));
+  Rng b(Rng::StreamSeed(0, 2));
+  uint64_t xa = a.NextU64(), xb = b.NextU64();
+  EXPECT_NE(xa, xb);
+  EXPECT_NE(xa ^ xb, 0x9e3779b97f4a7c15ULL);
+}
+
 TEST(RngTest, GaussianHasReasonableMoments) {
   Rng rng(11);
   double sum = 0, sum_sq = 0;
