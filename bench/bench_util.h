@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 namespace hermes::bench {
@@ -14,10 +16,47 @@ inline void PrintTable(const std::string& title, const std::string& body) {
   std::fflush(stdout);
 }
 
-/// Shared custom main: print the reproduction first (side effect of the
-/// binary's PrintReproduction()), then run the registered benchmarks.
+/// Destination of `--trace-out=FILE`; empty when the flag was not given.
+/// Benchmarks that support tracing check this in their reproduction hook
+/// and write a Chrome trace_event JSON document there.
+inline std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+
+/// Consumes a leading `--trace-out=FILE` flag before google-benchmark sees
+/// the argument list (it would reject the unknown flag otherwise).
+inline void ExtractTraceOut(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      TraceOutPath() = argv[i] + 12;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+/// Writes `contents` to `path`; returns false (with a note on stderr) on
+/// failure so CI surfaces the problem instead of validating a stale file.
+inline bool WriteTraceFile(const std::string& path,
+                           const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "trace-out: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return out.good();
+}
+
+/// Shared custom main: strip harness flags, print the reproduction (side
+/// effect of the binary's PrintReproduction(), which may also honor
+/// --trace-out), then run the registered benchmarks.
 #define HERMES_BENCH_MAIN(print_fn)                       \
   int main(int argc, char** argv) {                       \
+    ::hermes::bench::ExtractTraceOut(&argc, argv);        \
     print_fn();                                           \
     ::benchmark::Initialize(&argc, argv);                 \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

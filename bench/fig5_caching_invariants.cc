@@ -12,10 +12,38 @@
 #include "bench/bench_util.h"
 #include "engine/mediator.h"
 #include "experiments/fig5.h"
+#include "obs/trace.h"
 #include "testbed/scenario.h"
 
 namespace hermes {
 namespace {
+
+// With --trace-out=FILE, additionally runs the appendix query cold and
+// warm on a fresh rope scenario with per-query tracers and writes the two
+// span trees as one Chrome trace_event document.
+void MaybeWriteTrace() {
+  const std::string& path = bench::TraceOutPath();
+  if (path.empty()) return;
+  Mediator med;
+  Status setup = testbed::SetupRopeScenario(&med, {});
+  if (!setup.ok()) {
+    std::fprintf(stderr, "trace-out: scenario setup failed: %s\n",
+                 setup.ToString().c_str());
+    return;
+  }
+  QueryOptions options;
+  options.use_optimizer = false;
+  std::string query = testbed::AppendixQuery(3, false, 4, 47);
+  obs::Tracer cold, warm;
+  options.tracer = &cold;
+  (void)med.Query(query, options);
+  options.tracer = &warm;
+  (void)med.Query(query, options);
+  if (bench::WriteTraceFile(path, obs::ChromeTraceJson({&cold, &warm}))) {
+    std::fprintf(stderr, "trace-out: wrote cold+warm query trace to %s\n",
+                 path.c_str());
+  }
+}
 
 void PrintReproduction() {
   Result<std::vector<experiments::Fig5Row>> rows = experiments::RunFig5();
@@ -28,6 +56,7 @@ void PrintReproduction() {
       "Figure 5 — Executing Remote Calls with Caching and/or Invariants "
       "(simulated ms)",
       experiments::RenderFig5(*rows));
+  MaybeWriteTrace();
 }
 
 /// Benchmark fixture: the rope scenario with a warmed video cache.

@@ -1,6 +1,22 @@
 #include "cim/cache_interceptor.h"
 
+#include "obs/trace.h"
+
 namespace hermes::cim {
+
+namespace {
+
+const char* OutcomeName(CimOutcome outcome) {
+  switch (outcome) {
+    case CimOutcome::kExactHit: return "exact-hit";
+    case CimOutcome::kEqualityHit: return "equality-hit";
+    case CimOutcome::kPartialHit: return "partial-hit";
+    case CimOutcome::kMiss: return "miss";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 const std::string& CacheInterceptor::name() const {
   static const std::string kName = "cache";
@@ -14,6 +30,7 @@ Result<CallOutput> CacheInterceptor::Intercept(CallContext& ctx,
   // CIM's shared counters, which would misattribute concurrent queries'
   // hits and misses to each other.
   CimOutcome outcome = CimOutcome::kMiss;
+  obs::SpanScope lookup(ctx.tracer, "cache-lookup", "cache", ctx.now_ms);
   Result<CallOutput> out = cim_->RunWith(
       call,
       [&ctx, &next](const DomainCall& actual) { return next(ctx, actual); },
@@ -23,6 +40,11 @@ Result<CallOutput> CacheInterceptor::Intercept(CallContext& ctx,
     ++ctx.metrics.cache_misses;
   } else {
     ++ctx.metrics.cache_hits;
+  }
+  if (lookup.active()) {
+    lookup.AddArg("outcome", OutcomeName(outcome));
+    if (out.ok()) lookup.set_sim_end(ctx.now_ms + out->all_ms);
+    if (!out.ok()) lookup.MarkFailed(out.status().ToString());
   }
   return out;
 }

@@ -16,26 +16,50 @@ Status CimDomain::AddInvariants(const std::string& text) {
 
 CimStats CimDomain::stats() const {
   CimStats snapshot;
-  snapshot.exact_hits = stats_.exact_hits.load(std::memory_order_relaxed);
-  snapshot.equality_hits = stats_.equality_hits.load(std::memory_order_relaxed);
-  snapshot.partial_hits = stats_.partial_hits.load(std::memory_order_relaxed);
-  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
-  snapshot.actual_calls = stats_.actual_calls.load(std::memory_order_relaxed);
-  snapshot.unavailable_masked =
-      stats_.unavailable_masked.load(std::memory_order_relaxed);
-  snapshot.unavailable_failed =
-      stats_.unavailable_failed.load(std::memory_order_relaxed);
+  snapshot.exact_hits = stats_.exact_hits->Value();
+  snapshot.equality_hits = stats_.equality_hits->Value();
+  snapshot.partial_hits = stats_.partial_hits->Value();
+  snapshot.misses = stats_.misses->Value();
+  snapshot.actual_calls = stats_.actual_calls->Value();
+  snapshot.unavailable_masked = stats_.unavailable_masked->Value();
+  snapshot.unavailable_failed = stats_.unavailable_failed->Value();
   return snapshot;
 }
 
 void CimDomain::ResetStats() {
-  stats_.exact_hits.store(0, std::memory_order_relaxed);
-  stats_.equality_hits.store(0, std::memory_order_relaxed);
-  stats_.partial_hits.store(0, std::memory_order_relaxed);
-  stats_.misses.store(0, std::memory_order_relaxed);
-  stats_.actual_calls.store(0, std::memory_order_relaxed);
-  stats_.unavailable_masked.store(0, std::memory_order_relaxed);
-  stats_.unavailable_failed.store(0, std::memory_order_relaxed);
+  stats_.exact_hits->Reset();
+  stats_.equality_hits->Reset();
+  stats_.partial_hits->Reset();
+  stats_.misses->Reset();
+  stats_.actual_calls->Reset();
+  stats_.unavailable_masked->Reset();
+  stats_.unavailable_failed->Reset();
+}
+
+void CimDomain::BindMetrics(obs::MetricsRegistry& registry) {
+  obs::Labels labels = {{"domain", target_domain_}};
+  registry.Register("hermes_cim_exact_hits_total",
+                    "Calls answered by an exact cache hit", labels,
+                    stats_.exact_hits);
+  registry.Register("hermes_cim_equality_hits_total",
+                    "Calls answered via an equality invariant", labels,
+                    stats_.equality_hits);
+  registry.Register("hermes_cim_partial_hits_total",
+                    "Calls served a cached subset via a containment invariant",
+                    labels, stats_.partial_hits);
+  registry.Register("hermes_cim_misses_total",
+                    "Calls the cache and invariants could not answer", labels,
+                    stats_.misses);
+  registry.Register("hermes_cim_actual_calls_total",
+                    "Calls forwarded to the actual source", labels,
+                    stats_.actual_calls);
+  registry.Register("hermes_cim_unavailable_masked_total",
+                    "Source outages masked by serving stale cached answers",
+                    labels, stats_.unavailable_masked);
+  registry.Register("hermes_cim_unavailable_failed_total",
+                    "Source outages the cache could not mask", labels,
+                    stats_.unavailable_failed);
+  cache_.BindMetrics(registry, target_domain_);
 }
 
 CallOutput CimDomain::ServeFromCache(CacheEntry entry, double lead_ms,
@@ -52,7 +76,7 @@ CallOutput CimDomain::ServeFromCache(CacheEntry entry, double lead_ms,
 
 Result<CallOutput> CimDomain::RunActual(const DomainCall& call,
                                         const ActualCallFn& actual) {
-  stats_.actual_calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.actual_calls->Add(1);
   HERMES_ASSIGN_OR_RETURN(CallOutput out, actual(call));
   if (options_.cache_results && out.complete) {
     cache_.Put(call, out.answers, /*complete=*/true,
@@ -182,7 +206,7 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
       entry.reset();
     }
     if (entry.has_value() && entry->complete) {
-      stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.exact_hits->Add(1);
       if (outcome != nullptr) *outcome = CimOutcome::kExactHit;
       return ServeFromCache(std::move(*entry), lead_ms, /*complete=*/true);
     }
@@ -197,7 +221,7 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
   }
 
   if (hit.has_value() && hit->equality) {
-    stats_.equality_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.equality_hits->Add(1);
     if (outcome != nullptr) *outcome = CimOutcome::kEqualityHit;
     return ServeFromCache(std::move(hit->entry), lead_ms, /*complete=*/true);
   }
@@ -206,7 +230,7 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
     // Subset-invariant (partial) hit. `partial` is this call's own value
     // snapshot, so downstream cache writes (our RunActual's Put, or any
     // concurrent query's) cannot invalidate it.
-    stats_.partial_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.partial_hits->Add(1);
     if (outcome != nullptr) *outcome = CimOutcome::kPartialHit;
     CacheEntry& partial = hit->entry;
 
@@ -221,7 +245,7 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
     Result<CallOutput> full = RunActual(call, actual);
     if (!full.ok()) {
       if (full.status().IsUnavailable() && options_.mask_unavailability) {
-        stats_.unavailable_masked.fetch_add(1, std::memory_order_relaxed);
+        stats_.unavailable_masked->Add(1);
         return ServeFromCache(std::move(partial), lead_ms,
                               /*complete=*/false);
       }
@@ -251,11 +275,11 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
   }
 
   // Step 4: miss — the actual call must be made.
-  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  stats_.misses->Add(1);
   Result<CallOutput> full = RunActual(call, actual);
   if (!full.ok()) {
     if (full.status().IsUnavailable()) {
-      stats_.unavailable_failed.fetch_add(1, std::memory_order_relaxed);
+      stats_.unavailable_failed->Add(1);
     }
     return full.status();
   }

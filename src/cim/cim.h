@@ -53,8 +53,9 @@ struct CimOptions {
   uint64_t max_entry_age = 0;
 };
 
-/// Outcome counters of the CIM module (a plain snapshot; the live counters
-/// are lock-free atomics inside CimDomain).
+/// Outcome counters of the CIM module — a snapshot view over CimDomain's
+/// live obs counters (the one source of truth, also exposable through a
+/// MetricsRegistry via BindMetrics).
 struct CimStats {
   uint64_t exact_hits = 0;
   uint64_t equality_hits = 0;
@@ -147,6 +148,10 @@ class CimDomain : public Domain {
   /// individually exact; the set is not read atomically as a whole).
   CimStats stats() const;
   void ResetStats();
+
+  /// Registers the outcome counters (and the inner cache's series) with
+  /// `registry`, labeled {domain=<target domain>}.
+  void BindMetrics(obs::MetricsRegistry& registry);
   CimOptions& options() { return options_; }
   Domain* inner() { return inner_.get(); }
   size_t num_invariants() const { return invariants_.size(); }
@@ -194,16 +199,23 @@ class CimDomain : public Domain {
   ResultCache cache_;
   std::vector<lang::Invariant> invariants_;
 
-  struct AtomicStats {
-    std::atomic<uint64_t> exact_hits{0};
-    std::atomic<uint64_t> equality_hits{0};
-    std::atomic<uint64_t> partial_hits{0};
-    std::atomic<uint64_t> misses{0};
-    std::atomic<uint64_t> actual_calls{0};
-    std::atomic<uint64_t> unavailable_masked{0};
-    std::atomic<uint64_t> unavailable_failed{0};
+  // Live outcome counters (lock-light obs instruments; stats() snapshots
+  // them, BindMetrics exposes them by reference).
+  struct LiveStats {
+    std::shared_ptr<obs::Counter> exact_hits = std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> equality_hits =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> partial_hits =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> misses = std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> actual_calls =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> unavailable_masked =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> unavailable_failed =
+        std::make_shared<obs::Counter>();
   };
-  AtomicStats stats_;
+  LiveStats stats_;
   std::atomic<uint64_t> tick_{0};  ///< Logical call counter for staleness.
 };
 

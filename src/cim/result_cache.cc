@@ -51,14 +51,14 @@ void ResultCache::Put(DomainCall call, AnswerSet answers, bool complete,
     // The entry alone busts the byte budget: inserting it would evict
     // every resident entry and then the entry itself — reject instead.
     RemoveLocked(shard, entry.call);
-    ++shard.stats.oversize_rejects;
+    oversize_rejects_->Add(1);
     return;
   }
   RemoveLocked(shard, entry.call);
   shard.total_bytes += entry.bytes;
   shard.lru.push_front(std::move(entry));
   shard.index[shard.lru.front().call] = shard.lru.begin();
-  ++shard.stats.insertions;
+  insertions_->Add(1);
   EvictIfNeededLocked(shard);
 }
 
@@ -67,10 +67,10 @@ std::optional<CacheEntry> ResultCache::Get(const DomainCall& call) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(call);
   if (it == shard.index.end()) {
-    ++shard.stats.misses;
+    misses_->Add(1);
     return std::nullopt;
   }
-  ++shard.stats.hits;
+  hits_->Add(1);
   // Bump to front.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   it->second = shard.lru.begin();
@@ -138,22 +138,46 @@ size_t ResultCache::total_bytes() const {
 
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats merged;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    merged.hits += shard->stats.hits;
-    merged.misses += shard->stats.misses;
-    merged.insertions += shard->stats.insertions;
-    merged.evictions += shard->stats.evictions;
-    merged.oversize_rejects += shard->stats.oversize_rejects;
-  }
+  merged.hits = hits_->Value();
+  merged.misses = misses_->Value();
+  merged.insertions = insertions_->Value();
+  merged.evictions = evictions_->Value();
+  merged.oversize_rejects = oversize_rejects_->Value();
   return merged;
 }
 
 void ResultCache::ResetStats() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->stats = ResultCacheStats{};
-  }
+  hits_->Reset();
+  misses_->Reset();
+  insertions_->Reset();
+  evictions_->Reset();
+  oversize_rejects_->Reset();
+}
+
+void ResultCache::BindMetrics(obs::MetricsRegistry& registry,
+                              const std::string& domain) {
+  obs::Labels labels = {{"domain", domain}};
+  registry.Register("hermes_cache_hits_total", "Exact result-cache hits",
+                    labels, hits_);
+  registry.Register("hermes_cache_misses_total", "Exact result-cache misses",
+                    labels, misses_);
+  registry.Register("hermes_cache_insertions_total",
+                    "Answer sets admitted into the result cache", labels,
+                    insertions_);
+  registry.Register("hermes_cache_evictions_total",
+                    "Entries evicted by the LRU byte/entry budgets", labels,
+                    evictions_);
+  registry.Register("hermes_cache_oversize_rejects_total",
+                    "Inserts refused for exceeding a shard's byte budget",
+                    labels, oversize_rejects_);
+  registry.RegisterCallbackGauge("hermes_cache_entries",
+                                 "Entries currently resident in the cache",
+                                 labels, [this] {
+                                   return static_cast<double>(size());
+                                 });
+  registry.RegisterCallbackGauge(
+      "hermes_cache_bytes", "Approximate bytes currently resident", labels,
+      [this] { return static_cast<double>(total_bytes()); });
 }
 
 void ResultCache::EvictIfNeededLocked(Shard& shard) {
@@ -164,7 +188,7 @@ void ResultCache::EvictIfNeededLocked(Shard& shard) {
     shard.total_bytes -= victim.bytes;
     shard.index.erase(victim.call);
     shard.lru.pop_back();
-    ++shard.stats.evictions;
+    evictions_->Add(1);
   }
 }
 

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "domain/call.h"
+#include "obs/metrics.h"
 
 namespace hermes::cim {
 
@@ -25,7 +26,9 @@ struct CacheEntry {
   uint64_t inserted_at = 0;  ///< Logical tick when cached (staleness).
 };
 
-/// Counters exported by the result cache.
+/// Counters exported by the result cache — a snapshot view over the
+/// cache's live obs counters (the one source of truth, also exposable
+/// through a MetricsRegistry via BindMetrics).
 struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -102,9 +105,15 @@ class ResultCache {
   size_t size() const;
   size_t total_bytes() const;
   size_t num_shards() const { return shards_.size(); }
-  /// Per-shard counters merged into one snapshot.
+  /// The live counters merged into one snapshot.
   ResultCacheStats stats() const;
   void ResetStats();
+
+  /// Registers the hit/miss/insertion/eviction counters plus live
+  /// entry-count and byte-occupancy callback gauges with `registry`,
+  /// labeled {domain=<domain>}. The gauges capture `this`, so the cache
+  /// must outlive any Expose() call on the registry.
+  void BindMetrics(obs::MetricsRegistry& registry, const std::string& domain);
 
  private:
   struct Shard {
@@ -115,7 +124,6 @@ class ResultCache {
     std::unordered_map<DomainCall, std::list<CacheEntry>::iterator,
                        DomainCallHash>
         index;
-    ResultCacheStats stats;
   };
 
   Shard& ShardFor(const DomainCall& call);
@@ -128,6 +136,14 @@ class ResultCache {
   size_t shard_max_entries_;  ///< Per-shard entry budget (0 = unbounded).
   size_t shard_max_bytes_;    ///< Per-shard byte budget (0 = unbounded).
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Live statistics (cache-wide; the obs counters stripe internally).
+  std::shared_ptr<obs::Counter> hits_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> misses_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> insertions_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> evictions_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> oversize_rejects_ =
+      std::make_shared<obs::Counter>();
 };
 
 }  // namespace hermes::cim

@@ -47,12 +47,14 @@ void Dcsm::RecordUnlocked(CostRecord record) {
 }
 
 void Dcsm::Record(CostRecord record) {
+  records_total_->Add(1);
   std::unique_lock lock(mu_);
   RecordUnlocked(std::move(record));
 }
 
 void Dcsm::RecordBatch(std::vector<CostRecord> records) {
   if (records.empty()) return;
+  records_total_->Add(records.size());
   std::unique_lock lock(mu_);
   for (CostRecord& record : records) RecordUnlocked(std::move(record));
 }
@@ -191,6 +193,22 @@ size_t Dcsm::TotalSummaryRows() const {
   return total;
 }
 
+void Dcsm::BindMetrics(obs::MetricsRegistry& registry) {
+  registry.Register("hermes_dcsm_records_total",
+                    "Cost records ingested into the statistics database", {},
+                    records_total_);
+  registry.Register("hermes_dcsm_estimates_total",
+                    "Cost estimates answered for the optimizer", {},
+                    estimates_total_);
+  registry.RegisterCallbackGauge(
+      "hermes_dcsm_summary_rows", "Rows held across all summary tables", {},
+      [this] { return static_cast<double>(TotalSummaryRows()); });
+  registry.RegisterCallbackGauge(
+      "hermes_dcsm_summary_bytes",
+      "Approximate bytes held across all summary tables", {},
+      [this] { return static_cast<double>(TotalSummaryBytes()); });
+}
+
 bool Dcsm::TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
                        double* lookup_ms, size_t* rows_scanned) const {
   CallGroupKey key{relaxed.domain, relaxed.function, relaxed.args.size()};
@@ -257,6 +275,7 @@ bool Dcsm::TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
 }
 
 Result<CostEstimate> Dcsm::Cost(const lang::DomainCallSpec& pattern) const {
+  estimates_total_->Add(1);
   std::shared_lock lock(mu_);
   for (const lang::Term& arg : pattern.args) {
     if (arg.is_variable()) {

@@ -12,6 +12,7 @@
 #include "dcsm/summary_table.h"
 #include "domain/domain.h"
 #include "lang/ast.h"
+#include "obs/metrics.h"
 
 namespace hermes::dcsm {
 
@@ -150,6 +151,11 @@ class Dcsm {
   size_t TotalSummaryBytes() const;
   size_t TotalSummaryRows() const;
 
+  /// Registers ingestion/estimation counters and live summary-footprint
+  /// callback gauges with `registry`. The gauges capture `this`, so the
+  /// DCSM must outlive any Expose() call on the registry.
+  void BindMetrics(obs::MetricsRegistry& registry);
+
  private:
   /// Record/BuildSummary bodies without locking; callers hold `mu_`
   /// exclusively (public methods call each other, so the lock cannot be
@@ -170,6 +176,12 @@ class Dcsm {
   CostVectorDatabase db_;
   std::map<CallGroupKey, std::vector<SummaryTable>> summaries_;
   std::map<std::string, std::shared_ptr<Domain>> native_models_;
+
+  // Live ingestion/estimation counters (outside mu_; obs counters are
+  // internally lock-light, so Record*/Cost bump them without extra locking).
+  std::shared_ptr<obs::Counter> records_total_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> estimates_total_ =
+      std::make_shared<obs::Counter>();
 };
 
 }  // namespace hermes::dcsm

@@ -4,17 +4,49 @@
 
 namespace hermes {
 
+namespace {
+
+// A new CallMetrics field that is missing from the field-list macros makes
+// this mirror struct smaller than the real one — failing to compile here
+// instead of being silently dropped by Merge and the registry fold.
+struct CallMetricsMirror {
+#define HERMES_FIELD(f) uint64_t f;
+  HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+#define HERMES_FIELD(f) double f;
+  HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+};
+static_assert(sizeof(CallMetricsMirror) == sizeof(CallMetrics),
+              "CallMetrics has a field that is not listed in "
+              "HERMES_CALL_METRICS_UINT64_FIELDS / _DOUBLE_FIELDS; add it "
+              "there so Merge and the metrics fold cover it");
+
+/// One physical line per trace entry: embedded newlines in multi-line
+/// error messages are escaped so a trace stays line-sortable by its
+/// leading t= timestamp.
+std::string FlattenError(const std::string& error) {
+  std::string out;
+  out.reserve(error.size());
+  for (char c : error) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 void CallMetrics::Merge(const CallMetrics& other) {
-  domain_calls += other.domain_calls;
-  traced_calls += other.traced_calls;
-  stats_records += other.stats_records;
-  cache_hits += other.cache_hits;
-  cache_misses += other.cache_misses;
-  remote_calls += other.remote_calls;
-  remote_failures += other.remote_failures;
-  bytes_transferred += other.bytes_transferred;
-  network_charge += other.network_charge;
-  network_ms += other.network_ms;
+#define HERMES_FIELD(f) f += other.f;
+  HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
+  HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
 }
 
 std::string CallTrace::ToString() const {
@@ -22,7 +54,7 @@ std::string CallTrace::ToString() const {
   if (failed) {
     std::snprintf(buf, sizeof(buf), "t=%9.1fms  %-44s FAILED: ", t_start_ms,
                   call.ToString().c_str());
-    return std::string(buf) + error;
+    return std::string(buf) + FlattenError(error);
   }
   std::snprintf(buf, sizeof(buf),
                 "t=%9.1fms  %-44s %4zu answer(s) first=%.1fms all=%.1fms",

@@ -13,8 +13,29 @@
 #include "domain/cost.h"
 #include "domain/domain.h"
 #include "lang/ast.h"
+#include "obs/trace.h"
 
 namespace hermes {
+
+/// The authoritative field lists of CallMetrics, split by type. Everything
+/// that iterates the struct's fields — Merge, the registry fold in the
+/// mediator, the coverage tests — expands these macros, so adding a field
+/// here is the ONLY step needed to keep them all in sync (and adding a
+/// field to the struct without adding it here trips the mirror
+/// static_assert in pipeline.cc).
+#define HERMES_CALL_METRICS_UINT64_FIELDS(X) \
+  X(domain_calls)                            \
+  X(traced_calls)                            \
+  X(stats_records)                           \
+  X(cache_hits)                              \
+  X(cache_misses)                            \
+  X(remote_calls)                            \
+  X(remote_failures)                         \
+  X(bytes_transferred)
+
+#define HERMES_CALL_METRICS_DOUBLE_FIELDS(X) \
+  X(network_charge)                          \
+  X(network_ms)
 
 /// Per-layer counters accumulated along one query's call path. Each
 /// interceptor owns a slice: the trace layer counts traced calls, the cache
@@ -22,6 +43,8 @@ namespace hermes {
 /// engine counts dispatched calls. Metrics are additive, so a caller can
 /// attribute exactly what one query consumed without diffing any global
 /// statistics (the old QueryTraffic-by-NetworkStats-delta bug).
+///
+/// Every field must be listed in HERMES_CALL_METRICS_*_FIELDS above.
 struct CallMetrics {
   // Dispatch layer (the executor charging calls against the budget).
   uint64_t domain_calls = 0;
@@ -95,6 +118,11 @@ struct CallContext {
   /// seed and query id), so simulated latencies replay identically at any
   /// thread count. Null selects the simulator's shared legacy stream.
   Rng* net_rng = nullptr;
+  /// Per-query span recorder. When non-null, each layer the call path
+  /// crosses opens a span (domain-call, cache-lookup, network-hop), giving
+  /// the query an exportable execution timeline. The tracer belongs to
+  /// this query alone and is not thread-safe.
+  obs::Tracer* tracer = nullptr;
 
   /// Charges one domain call against the budget; fails once exhausted.
   Status ChargeCall();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace hermes::engine {
 
 Executor::Executor(const DomainRegistry* registry, dcsm::Dcsm* dcsm,
@@ -72,8 +74,28 @@ Result<double> Executor::EvalGoals(const std::vector<lang::Atom>& goals,
       // domain's own interceptor stack (cache, network).
       HERMES_RETURN_IF_ERROR(state->ctx->ChargeCall());
       state->ctx->now_ms = t_now;
-      HERMES_ASSIGN_OR_RETURN(CallOutput output,
-                              state->pipeline->Run(*state->ctx, call));
+      // The call span is closed before recursing into later goals, so
+      // sibling goals do not nest under it (only the layers the pipeline
+      // itself traverses — cache lookup, network hop — become children).
+      obs::Tracer* tracer = state->ctx->tracer;
+      uint64_t span_id = 0;
+      if (tracer != nullptr) {
+        span_id = tracer->BeginSpan("call:" + call.domain + ":" + call.function,
+                                    "domain-call", t_now);
+      }
+      Result<CallOutput> run = state->pipeline->Run(*state->ctx, call);
+      if (tracer != nullptr) {
+        if (run.ok()) {
+          tracer->AddArg(span_id, "answers",
+                         std::to_string(run->answers.size()));
+          tracer->EndSpan(span_id, t_now + run->all_ms);
+        } else {
+          tracer->MarkFailed(span_id, run.status().ToString());
+          tracer->EndSpan(span_id, t_now);  // clamps up to child penalties
+        }
+      }
+      if (!run.ok()) return run.status();
+      CallOutput output = std::move(run).value();
 
       if (TermIsResolvable(goal.output, *bindings)) {
         // Membership check: in(X, d:f(...)) with X already ground.
@@ -164,6 +186,12 @@ Result<double> Executor::EvalPredicate(const lang::Atom& atom,
   double t_cursor = t_now;
   bool any_rule = false;
 
+  // Downstream goals evaluated from a rule body's solutions (the emit
+  // continuation) intentionally nest under this span: the envelope is the
+  // paper's per-predicate Tf/Ta measurement window.
+  obs::SpanScope rule_span(state->ctx->tracer, "rule:" + atom.predicate,
+                           "rule", t_now);
+
   // Per-invocation statistics (the predicate-Tf caching extension).
   double first_solution_t = -1.0;
   size_t solutions = 0;
@@ -246,6 +274,7 @@ Result<double> Executor::EvalPredicate(const lang::Atom& atom,
         EvalGoals(rule.body, 0, &local, t_cursor, depth + 1, state,
                   rule_emit));
     t_cursor = t_done;
+    rule_span.set_sim_end(t_cursor);
     if (state->stop) return t_cursor;
   }
 

@@ -1,6 +1,8 @@
 #include "engine/mediator.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "cim/cache_interceptor.h"
@@ -13,7 +15,30 @@ namespace hermes {
 Mediator::Mediator() : Mediator(/*network_seed=*/1996) {}
 
 Mediator::Mediator(uint64_t network_seed)
-    : network_(std::make_shared<net::NetworkSimulator>(network_seed)) {}
+    : network_(std::make_shared<net::NetworkSimulator>(network_seed)) {
+  network_->BindMetrics(*metrics_);
+  dcsm_.BindMetrics(*metrics_);
+  metrics_->Register("hermes_queries_total", "Queries executed to completion",
+                     {}, queries_total_);
+  metrics_->Register("hermes_query_failures_total",
+                     "Queries that returned an error", {},
+                     query_failures_total_);
+  metrics_->Register("hermes_query_sim_ms",
+                     "Simulated end-to-end latency (Ta) per query", {},
+                     query_sim_ms_);
+  metrics_->Register(
+      "hermes_dcsm_estimate_rel_error",
+      "Relative error |predicted - actual| / actual of the executed plan's "
+      "DCSM cost prediction",
+      {}, estimate_rel_error_);
+#define HERMES_FIELD(f)                                                \
+  metrics_->Register("hermes_query_" #f "_total",                      \
+                     "CallMetrics field '" #f "' folded across queries", {}, \
+                     fold_.f);
+  HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
+  HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+}
 
 Status Mediator::CheckNotServing(const char* operation) const {
   if (serving()) {
@@ -40,6 +65,7 @@ Status Mediator::RegisterRemoteDomain(const std::string& name,
   // Declarative stack: [network] over the source domain.
   auto link =
       std::make_shared<net::NetworkInterceptor>(std::move(site), network_);
+  link->BindMetrics(*metrics_, name);
   std::string pipeline_name = inner->name() + "@" + link->site().name;
   return registry_.Register(
       name, std::make_shared<PipelineDomain>(
@@ -60,6 +86,7 @@ Status Mediator::EnableCaching(const std::string& name,
   auto cim_domain = std::make_shared<cim::CimDomain>(
       cim_name, name, inner, options, params, cache_max_entries,
       cache_max_bytes, cache_shards);
+  cim_domain->BindMetrics(*metrics_);
 
   // Declarative stack: [cache] prepended to the wrapped entry's own stack
   // (so e.g. "cim_video" = cache → network → avis). The shared CIM state
@@ -190,12 +217,29 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
   lang::Program plan_program = program_;
   lang::Query plan_query = query;
 
+  // Root span of the query's trace; optimizer time and execution both
+  // start at simulated time 0 (Ta excludes optimization throughout the
+  // experiment tables, so the trace keeps them as sibling envelopes).
+  obs::Tracer* tracer = options.tracer;
+  uint64_t root_span = 0;
+  if (tracer != nullptr) {
+    root_span = tracer->BeginSpan("query", "query", 0.0);
+    tracer->AddArg(root_span, "text", query_text);
+  }
+
   if (options.use_optimizer) {
     optimizer::QueryOptimizer opt(&dcsm_, EffectiveRewriterOptions(options),
                                   estimator_params_);
     HERMES_ASSIGN_OR_RETURN(
         optimizer::OptimizerResult optimized,
         opt.Optimize(program_, query, options.goal));
+    if (tracer != nullptr) {
+      uint64_t opt_span = tracer->BeginSpan("optimize", "optimizer", 0.0);
+      tracer->AddArg(opt_span, "plan", optimized.best.description);
+      tracer->AddArg(opt_span, "candidates",
+                     std::to_string(optimized.candidates.size()));
+      tracer->EndSpan(opt_span, optimized.total_estimation_ms);
+    }
     plan_program = optimized.best.program;
     plan_query = optimized.best.query;
     result.plan_description = optimized.best.description;
@@ -229,6 +273,11 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
   CallContext ctx;
   ctx.query_id = options.query_id != 0 ? options.query_id : ReserveQueryId();
   result.query_id = ctx.query_id;
+  ctx.tracer = tracer;
+  if (tracer != nullptr) {
+    tracer->set_query_id(ctx.query_id);
+    tracer->AddArg(root_span, "query_id", std::to_string(ctx.query_id));
+  }
 
   // Per-query network randomness: the stream is a function of (base seed,
   // query id) only, so this query's simulated latencies replay identically
@@ -239,13 +288,44 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     ctx.net_rng = &net_stream;
   }
 
-  HERMES_ASSIGN_OR_RETURN(result.execution,
-                          executor.Execute(plan_program, plan_query, &ctx));
+  Result<engine::QueryExecution> executed =
+      executor.Execute(plan_program, plan_query, &ctx);
+  if (!executed.ok()) {
+    query_failures_total_->Add(1);
+    if (tracer != nullptr) {
+      tracer->MarkFailed(root_span, executed.status().ToString());
+      tracer->EndSpan(root_span, 0.0);  // clamps up to the children's ends
+    }
+    return executed.status();
+  }
+  result.execution = std::move(executed).value();
   result.metrics = ctx.metrics;
   result.traffic.remote_calls = ctx.metrics.remote_calls;
   result.traffic.failures = ctx.metrics.remote_failures;
   result.traffic.bytes = ctx.metrics.bytes_transferred;
   result.traffic.charge = ctx.metrics.network_charge;
+
+  if (tracer != nullptr) {
+    tracer->AddArg(root_span, "plan", result.plan_description);
+    tracer->AddArg(root_span, "answers",
+                   std::to_string(result.execution.answers.size()));
+    tracer->EndSpan(root_span,
+                    std::max(result.execution.t_all_ms, result.optimize_ms));
+  }
+
+  // Fold this query's per-layer counters into the process-level registry
+  // series (the macro covers every CallMetrics field by construction).
+  queries_total_->Add(1);
+  query_sim_ms_->Observe(result.execution.t_all_ms);
+#define HERMES_FIELD(f) fold_.f->Add(ctx.metrics.f);
+  HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
+  HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+  if (result.predicted_valid && result.execution.t_all_ms > 0.0) {
+    estimate_rel_error_->Observe(
+        std::abs(result.predicted.t_all_ms - result.execution.t_all_ms) /
+        result.execution.t_all_ms);
+  }
 
   if (pacing_scale_ > 0.0) {
     // Realize the simulated service time as wall-clock wait (scaled), so

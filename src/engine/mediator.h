@@ -17,6 +17,8 @@
 #include "lang/ast.h"
 #include "net/network.h"
 #include "net/network_interceptor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 
 namespace hermes {
@@ -51,6 +53,11 @@ struct QueryOptions {
   /// QueryPool assigns ids at submission time so a query's id — and with
   /// it, its per-query RNG stream — is independent of worker scheduling.
   uint64_t query_id = 0;
+  /// When non-null, the query records its span tree (query → optimize /
+  /// rule → domain-call → cache-lookup → network-hop) into this tracer.
+  /// The tracer must stay alive for the duration of the query and must not
+  /// be shared between concurrent queries (it is not thread-safe).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Network traffic attributable to one query. Derived from the query's
@@ -204,6 +211,10 @@ class Mediator {
   // ---- Introspection ------------------------------------------------------------
 
   dcsm::Dcsm& dcsm() { return dcsm_; }
+  /// This mediator's metrics registry: every layer's instruments are
+  /// registered here at wiring time; expose with metrics().Expose(...).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  std::shared_ptr<obs::MetricsRegistry> metrics_ptr() { return metrics_; }
   net::NetworkSimulator& network() { return *network_; }
   std::shared_ptr<net::NetworkSimulator> network_ptr() { return network_; }
   DomainRegistry& registry() { return registry_; }
@@ -230,6 +241,21 @@ class Mediator {
   optimizer::RuleRewriter::Options EffectiveRewriterOptions(
       const QueryOptions& options) const;
 
+  /// Per-query CallMetrics folded into process-level registry counters.
+  /// Generated from the CallMetrics field-list macros, so a field added
+  /// there is folded here automatically (and a field missing from the
+  /// macros fails pipeline.cc's mirror static_assert).
+  struct MetricsFold {
+#define HERMES_FIELD(f) \
+  std::shared_ptr<obs::Counter> f = std::make_shared<obs::Counter>();
+    HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+#define HERMES_FIELD(f) \
+  std::shared_ptr<obs::FloatCounter> f = std::make_shared<obs::FloatCounter>();
+    HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+  };
+
   /// Wiring lock: queries hold it shared for their whole run, wiring
   /// mutations hold it exclusively — so a (rejected-path) mutation can
   /// never interleave with in-flight queries.
@@ -247,6 +273,23 @@ class Mediator {
   optimizer::RuleRewriter::Options rewriter_options_;
   optimizer::EstimatorParams estimator_params_;
   engine::ExecutorOptions executor_options_;
+
+  // Observability: the per-mediator registry plus the query-level
+  // instruments the Query() path maintains itself (layer-owned instruments
+  // register here via the components' BindMetrics at wiring time).
+  std::shared_ptr<obs::MetricsRegistry> metrics_ =
+      std::make_shared<obs::MetricsRegistry>();
+  MetricsFold fold_;
+  std::shared_ptr<obs::Counter> queries_total_ =
+      std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> query_failures_total_ =
+      std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Histogram> query_sim_ms_ =
+      std::make_shared<obs::Histogram>(
+          obs::Histogram::ExponentialBounds(1.0, 2.0, 20));
+  std::shared_ptr<obs::Histogram> estimate_rel_error_ =
+      std::make_shared<obs::Histogram>(
+          obs::Histogram::ExponentialBounds(0.01, 2.0, 12));
 };
 
 }  // namespace hermes

@@ -13,7 +13,25 @@ QueryPool::QueryPool(Mediator* mediator, QueryPoolOptions options)
     : mediator_(mediator),
       queue_capacity_(options.queue_capacity > 0
                           ? options.queue_capacity
-                          : 2 * std::max<size_t>(options.num_threads, 1)) {
+                          : 2 * std::max<size_t>(options.num_threads, 1)),
+      queue_wait_ms_(std::make_shared<obs::Histogram>(
+          obs::Histogram::ExponentialBounds(0.01, 4.0, 12))),
+      service_ms_(std::make_shared<obs::Histogram>(
+          obs::Histogram::ExponentialBounds(0.01, 4.0, 12))) {
+  obs::MetricsRegistry& registry = mediator_->metrics();
+  registry.Register("hermes_pool_submitted_total",
+                    "Queries accepted into the pool's queue", {}, submitted_);
+  registry.Register("hermes_pool_completed_total",
+                    "Queries whose future was fulfilled", {}, completed_);
+  registry.Register("hermes_pool_rejected_total",
+                    "TrySubmit calls refused (queue full or shutdown)", {},
+                    rejected_);
+  registry.Register("hermes_pool_queue_wait_ms",
+                    "Wall-clock milliseconds a query waited in the queue", {},
+                    queue_wait_ms_);
+  registry.Register("hermes_pool_service_ms",
+                    "Wall-clock milliseconds a worker spent serving a query",
+                    {}, service_ms_);
   mediator_->BeginServing();
   size_t threads = std::max<size_t>(options.num_threads, 1);
   workers_.reserve(threads);
@@ -31,8 +49,9 @@ std::future<Result<QueryResult>> QueryPool::Enqueue(Task task) {
   if (task.options.query_id == 0) {
     task.options.query_id = mediator_->ReserveQueryId();
   }
+  task.enqueued_at = std::chrono::steady_clock::now();
   queue_.push_back(std::move(task));
-  ++stats_.submitted;
+  submitted_->Add(1);
   queue_ready_.notify_one();
   return future;
 }
@@ -62,7 +81,7 @@ bool QueryPool::TrySubmit(std::string query_text, QueryOptions options,
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_ || queue_.size() >= queue_capacity_) {
-    ++stats_.rejected;
+    rejected_->Add(1);
     return false;
   }
   *out = Enqueue(std::move(task));
@@ -70,6 +89,10 @@ bool QueryPool::TrySubmit(std::string query_text, QueryOptions options,
 }
 
 void QueryPool::WorkerLoop() {
+  using Clock = std::chrono::steady_clock;
+  auto ms_between = [](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+  };
   for (;;) {
     Task task;
     {
@@ -81,12 +104,12 @@ void QueryPool::WorkerLoop() {
       queue_.pop_front();
       queue_space_.notify_one();
     }
+    Clock::time_point started = Clock::now();
+    queue_wait_ms_->Observe(ms_between(task.enqueued_at, started));
     Result<QueryResult> result = mediator_->Query(task.text, task.options);
+    service_ms_->Observe(ms_between(started, Clock::now()));
     task.promise.set_value(std::move(result));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.completed;
-    }
+    completed_->Add(1);
   }
 }
 
@@ -108,8 +131,11 @@ void QueryPool::Shutdown() {
 }
 
 QueryPoolStats QueryPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  QueryPoolStats snapshot;
+  snapshot.submitted = submitted_->Value();
+  snapshot.completed = completed_->Value();
+  snapshot.rejected = rejected_->Value();
+  return snapshot;
 }
 
 }  // namespace hermes

@@ -1,20 +1,25 @@
 #ifndef HERMES_ENGINE_QUERY_POOL_H_
 #define HERMES_ENGINE_QUERY_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/mediator.h"
+#include "obs/metrics.h"
 
 namespace hermes {
 
-/// Counters of one QueryPool's lifetime.
+/// Counters of one QueryPool's lifetime — a snapshot view over the pool's
+/// live obs counters (registered with the mediator's MetricsRegistry under
+/// hermes_pool_*; a newer pool's series replace an older pool's there).
 struct QueryPoolStats {
   uint64_t submitted = 0;  ///< Queries accepted into the queue.
   uint64_t completed = 0;  ///< Queries whose future was fulfilled.
@@ -70,6 +75,9 @@ class QueryPool {
     std::string text;
     QueryOptions options;
     std::promise<Result<QueryResult>> promise;
+    /// Wall-clock enqueue instant; the dequeueing worker observes the
+    /// difference as queue wait.
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   void WorkerLoop();
@@ -83,7 +91,16 @@ class QueryPool {
   std::condition_variable queue_space_;   ///< Signals submitters: capacity.
   std::deque<Task> queue_;
   bool stopping_ = false;
-  QueryPoolStats stats_;
+
+  // Live statistics (per-pool; registered with the mediator's registry at
+  // construction). The histograms measure HOST wall-clock milliseconds —
+  // queue wait and service time are real implementation costs, not part of
+  // the simulated-latency model.
+  std::shared_ptr<obs::Counter> submitted_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> completed_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> rejected_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Histogram> queue_wait_ms_;
+  std::shared_ptr<obs::Histogram> service_ms_;
 
   std::vector<std::thread> workers_;
 };

@@ -4,23 +4,10 @@
 
 namespace hermes::net {
 
-namespace {
-
-/// Adds `delta` to an atomic double (no fetch_add for doubles pre-C++20
-/// on all toolchains; a CAS loop is portable and uncontended in practice).
-void AtomicAdd(std::atomic<double>& target, double delta) {
-  double current = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(current, current + delta,
-                                       std::memory_order_relaxed)) {
-  }
-}
-
-}  // namespace
-
 NetworkSimulator::Transfer NetworkSimulator::PlanWith(const SiteParams& site,
                                                       Rng& rng) {
   Transfer t;
-  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  calls_->Add(1);
 
   if (site.availability < 1.0 && rng.NextDouble() >= site.availability) {
     t.available = false;
@@ -63,36 +50,46 @@ NetworkSimulator::Transfer NetworkSimulator::PlanCall(const SiteParams& site,
 
 double NetworkSimulator::RecordTransfer(const SiteParams& site, size_t bytes,
                                         double network_ms) {
-  stats_.bytes_transferred.fetch_add(bytes, std::memory_order_relaxed);
-  AtomicAdd(stats_.total_network_ms, network_ms);
+  bytes_->Add(bytes);
+  network_ms_->Add(network_ms);
   double charge = site.charge_per_call +
                   site.charge_per_kb * (static_cast<double>(bytes) / 1024.0);
-  AtomicAdd(stats_.total_charge, charge);
+  charge_->Add(charge);
   return charge;
 }
 
-void NetworkSimulator::RecordFailure() {
-  stats_.failures.fetch_add(1, std::memory_order_relaxed);
-}
+void NetworkSimulator::RecordFailure() { failures_->Add(1); }
 
 NetworkStats NetworkSimulator::stats() const {
   NetworkStats snapshot;
-  snapshot.calls = stats_.calls.load(std::memory_order_relaxed);
-  snapshot.failures = stats_.failures.load(std::memory_order_relaxed);
-  snapshot.bytes_transferred =
-      stats_.bytes_transferred.load(std::memory_order_relaxed);
-  snapshot.total_charge = stats_.total_charge.load(std::memory_order_relaxed);
-  snapshot.total_network_ms =
-      stats_.total_network_ms.load(std::memory_order_relaxed);
+  snapshot.calls = calls_->Value();
+  snapshot.failures = failures_->Value();
+  snapshot.bytes_transferred = bytes_->Value();
+  snapshot.total_charge = charge_->Value();
+  snapshot.total_network_ms = network_ms_->Value();
   return snapshot;
 }
 
 void NetworkSimulator::ResetStats() {
-  stats_.calls.store(0, std::memory_order_relaxed);
-  stats_.failures.store(0, std::memory_order_relaxed);
-  stats_.bytes_transferred.store(0, std::memory_order_relaxed);
-  stats_.total_charge.store(0.0, std::memory_order_relaxed);
-  stats_.total_network_ms.store(0.0, std::memory_order_relaxed);
+  calls_->Reset();
+  failures_->Reset();
+  bytes_->Reset();
+  charge_->Reset();
+  network_ms_->Reset();
+}
+
+void NetworkSimulator::BindMetrics(obs::MetricsRegistry& registry) {
+  registry.Register("hermes_net_calls_total",
+                    "Remote calls attempted across all sites",
+                    {}, calls_);
+  registry.Register("hermes_net_failures_total",
+                    "Remote calls lost to site unavailability", {}, failures_);
+  registry.Register("hermes_net_bytes_total",
+                    "Answer bytes shipped over simulated links", {}, bytes_);
+  registry.Register("hermes_net_charge_total",
+                    "Financial access fees accrued (simulated)", {}, charge_);
+  registry.Register("hermes_net_sim_ms_total",
+                    "Simulated network milliseconds consumed", {}, network_ms_);
 }
 
 }  // namespace hermes::net

@@ -3,15 +3,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/rng.h"
 #include "net/site.h"
+#include "obs/metrics.h"
 
 namespace hermes::net {
 
-/// Aggregate traffic statistics kept by the network simulator (a plain
-/// snapshot; the live counters are lock-free atomics inside the simulator).
+/// Aggregate traffic statistics of the network simulator — a plain
+/// snapshot view over the simulator's live obs counters (the one source of
+/// truth, also exposable through a MetricsRegistry).
 struct NetworkStats {
   uint64_t calls = 0;           ///< Remote calls attempted.
   uint64_t failures = 0;        ///< Calls lost to site unavailability.
@@ -79,6 +82,10 @@ class NetworkSimulator {
   NetworkStats stats() const;
   void ResetStats();
 
+  /// Registers the live counters with `registry` under hermes_net_* names.
+  /// The counters exist (and count) whether or not this is ever called.
+  void BindMetrics(obs::MetricsRegistry& registry);
+
   /// The base seed, for deriving per-query streams via Rng::StreamSeed.
   uint64_t seed() const { return seed_; }
 
@@ -89,14 +96,15 @@ class NetworkSimulator {
   uint64_t seed_;
   std::atomic<uint64_t> sequence_{0};
 
-  struct AtomicStats {
-    std::atomic<uint64_t> calls{0};
-    std::atomic<uint64_t> failures{0};
-    std::atomic<uint64_t> bytes_transferred{0};
-    std::atomic<double> total_charge{0.0};
-    std::atomic<double> total_network_ms{0.0};
-  };
-  AtomicStats stats_;
+  // Live statistics: sharded lock-light counters; stats() merges them into
+  // a NetworkStats snapshot, BindMetrics exposes them by reference.
+  std::shared_ptr<obs::Counter> calls_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> failures_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> bytes_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::FloatCounter> charge_ =
+      std::make_shared<obs::FloatCounter>();
+  std::shared_ptr<obs::FloatCounter> network_ms_ =
+      std::make_shared<obs::FloatCounter>();
 };
 
 }  // namespace hermes::net

@@ -1,5 +1,7 @@
 #include "net/network_interceptor.h"
 
+#include "obs/trace.h"
+
 namespace hermes::net {
 
 CallOutput ComposeRemoteLatency(const NetworkSimulator::Transfer& transfer,
@@ -35,10 +37,16 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
           ? network_->PlanCall(site_, call.Hash(), *ctx.net_rng)
           : network_->PlanCall(site_, call.Hash());
   ++ctx.metrics.remote_calls;
+  site_calls_->Add(1);
+  obs::SpanScope hop(ctx.tracer, "network-hop", "net", ctx.now_ms);
+  hop.AddArg("site", site_.name);
   if (!transfer.available) {
     last_penalty_ms_.store(transfer.penalty_ms, std::memory_order_relaxed);
     network_->RecordFailure();
     ++ctx.metrics.remote_failures;
+    site_failures_->Add(1);
+    hop.set_sim_end(ctx.now_ms + transfer.penalty_ms);
+    hop.MarkFailed("unavailable");
     return Status::Unavailable("site '" + site_.name +
                                "' is temporarily unavailable for " +
                                call.ToString());
@@ -55,7 +63,32 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
   ctx.metrics.bytes_transferred += total_bytes;
   ctx.metrics.network_charge += charge;
   ctx.metrics.network_ms += network_ms;
+  site_bytes_->Add(total_bytes);
+  site_charge_->Add(charge);
+  hop_sim_ms_->Observe(network_ms);
+  hop.set_sim_end(ctx.now_ms + network_ms);
+  hop.AddArg("bytes", std::to_string(total_bytes));
   return out;
+}
+
+void NetworkInterceptor::BindMetrics(obs::MetricsRegistry& registry,
+                                     const std::string& domain) {
+  obs::Labels labels = {{"site", site_.name}};
+  if (!domain.empty()) labels.push_back({"domain", domain});
+  registry.Register("hermes_site_calls_total",
+                    "Remote calls attempted against this site", labels,
+                    site_calls_);
+  registry.Register("hermes_site_failures_total",
+                    "Calls lost to this site's unavailability", labels,
+                    site_failures_);
+  registry.Register("hermes_site_bytes_total",
+                    "Answer bytes shipped from this site", labels, site_bytes_);
+  registry.Register("hermes_site_charge_total",
+                    "Access fees accrued at this site (simulated)", labels,
+                    site_charge_);
+  registry.Register("hermes_site_hop_sim_ms",
+                    "Per-call simulated network time for this site's hops",
+                    labels, hop_sim_ms_);
 }
 
 Result<CostVector> NetworkInterceptor::EstimateCost(

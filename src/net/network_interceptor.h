@@ -8,6 +8,7 @@
 #include "domain/pipeline.h"
 #include "net/network.h"
 #include "net/site.h"
+#include "obs/metrics.h"
 
 namespace hermes::net {
 
@@ -57,10 +58,27 @@ class NetworkInterceptor : public CallInterceptor {
     return last_penalty_ms_.load(std::memory_order_relaxed);
   }
 
+  /// Registers this link's per-site counters and hop-latency histogram
+  /// with `registry`, labeled {site=<site name>, domain=<domain>} (the
+  /// domain label keeps two domains on one site distinct; empty omits it).
+  /// Counting happens whether or not this is ever called.
+  void BindMetrics(obs::MetricsRegistry& registry,
+                   const std::string& domain = "");
+
  private:
   SiteParams site_;
   std::shared_ptr<NetworkSimulator> network_;
   std::atomic<double> last_penalty_ms_{0.0};
+
+  // Per-site slice of the traffic, mirrored into the registry on bind.
+  std::shared_ptr<obs::Counter> site_calls_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> site_failures_ =
+      std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> site_bytes_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::FloatCounter> site_charge_ =
+      std::make_shared<obs::FloatCounter>();
+  std::shared_ptr<obs::Histogram> hop_sim_ms_ = std::make_shared<obs::Histogram>(
+      obs::Histogram::ExponentialBounds(1.0, 2.0, 16));
 };
 
 /// Expected (jitter-free) network cost decoration shared by the interceptor

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hermes::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// One complete ("ph":"X") trace event. Timestamps use the simulated clock
+/// (deterministic, and the one the paper's figures are drawn in); the wall
+/// clock rides along in args.
+void AppendSpanEvent(const Span& span, uint64_t tid, std::string* out) {
+  *out += "{\"name\":\"" + JsonEscape(span.name) + "\",\"cat\":\"" +
+          JsonEscape(span.category) + "\",\"ph\":\"X\",\"ts\":" +
+          FormatNumber(span.sim_begin_ms * 1000.0) + ",\"dur\":" +
+          FormatNumber(
+              std::max(span.sim_end_ms - span.sim_begin_ms, 0.0) * 1000.0) +
+          ",\"pid\":1,\"tid\":" + std::to_string(tid) + ",\"args\":{";
+  *out += "\"wall_begin_us\":" + FormatNumber(span.wall_begin_us) +
+          ",\"wall_dur_us\":" +
+          FormatNumber(std::max(span.wall_end_us - span.wall_begin_us, 0.0));
+  if (span.failed) *out += ",\"failed\":true";
+  for (const auto& [k, v] : span.args) {
+    *out += ",\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+double Tracer::WallNowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint64_t Tracer::BeginSpan(std::string name, std::string category,
+                           double sim_begin_ms) {
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = open_.empty() ? 0 : spans_[open_.back()].id;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.sim_begin_ms = sim_begin_ms;
+  span.sim_end_ms = sim_begin_ms;
+  span.wall_begin_us = WallNowUs();
+  span.wall_end_us = span.wall_begin_us;
+  open_.push_back(spans_.size());
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id, double sim_end_ms) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  // A parent must cover its children: failure paths report a shorter
+  // envelope than the penalties charged below them.
+  span.sim_end_ms = std::max({span.sim_end_ms, sim_end_ms, span.sim_begin_ms});
+  span.wall_end_us = WallNowUs();
+  if (!span.closed) {
+    span.closed = true;
+    auto it = std::find(open_.begin(), open_.end(), static_cast<size_t>(id - 1));
+    if (it != open_.end()) open_.erase(it);
+    if (span.parent != 0 && span.parent <= spans_.size()) {
+      Span& parent = spans_[span.parent - 1];
+      parent.sim_end_ms = std::max(parent.sim_end_ms, span.sim_end_ms);
+    }
+  }
+}
+
+void Tracer::MarkFailed(uint64_t id, const std::string& error) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  span.failed = true;
+  if (!error.empty()) span.args.emplace_back("error", error);
+}
+
+void Tracer::AddArg(uint64_t id, std::string key, std::string value) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].args.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Tracer::ToChromeJson() const { return ChromeTraceJson({this}); }
+
+std::string ChromeTraceJson(const std::vector<const Tracer*>& tracers) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto append = [&out, &first](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += event;
+  };
+
+  append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"hermes mediator\"}}");
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    uint64_t tid = tracer->query_id();
+    append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"query " +
+           std::to_string(tid) + "\"}}");
+    for (const Span& span : tracer->spans()) {
+      std::string event;
+      AppendSpanEvent(span, tid, &event);
+      append(event);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace hermes::obs

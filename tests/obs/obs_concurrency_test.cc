@@ -1,0 +1,206 @@
+// Concurrency contract of the observability layer — also part of the CI
+// thread-sanitizer workload. The core invariant: the registry's process-
+// level fold counters equal the sum of the per-query CallMetrics that the
+// same queries reported, at any thread count (nothing double-counted,
+// nothing dropped, no data races).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/mediator.h"
+#include "engine/query_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+const char* kObjectsRule =
+    "objects(F, L, O) :- in(O, video:frames_to_objects('rope', F, L)).";
+
+TEST(ObsConcurrency, CounterTotalsAreExactAcrossThreads) {
+  obs::Counter counter;
+  obs::FloatCounter fcounter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &fcounter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+        fcounter.Add(0.5);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(fcounter.Value(), kThreads * kPerThread * 0.5);
+}
+
+TEST(ObsConcurrency, HistogramCountsAreExactAcrossThreads) {
+  obs::Histogram h(obs::Histogram::ExponentialBounds(1.0, 2.0, 10));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t * kPerThread + i) % 700));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ObsConcurrency, HistogramMergeIsAssociative) {
+  auto make = [](double base) {
+    obs::Histogram h({1.0, 10.0, 100.0});
+    h.Observe(base);
+    h.Observe(base * 3.0);
+    h.Observe(base * 30.0);
+    return h.Snapshot();
+  };
+  obs::HistogramSnapshot a = make(0.5), b = make(2.0), c = make(4.0);
+
+  obs::HistogramSnapshot left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  obs::HistogramSnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  obs::HistogramSnapshot right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.counts, right.counts);
+  EXPECT_DOUBLE_EQ(left.sum, right.sum);
+  EXPECT_EQ(left.count, right.count);
+}
+
+// The tentpole invariant: after 8 worker threads serve a mixed workload,
+// every hermes_query_* fold counter in the mediator's registry equals the
+// sum of that field over the per-query CallMetrics the futures returned.
+TEST(ObsConcurrency, RegistryFoldEqualsSumOfPerQueryMetrics) {
+  Mediator med;
+  ASSERT_TRUE(testbed::SetupRopeScenario(&med, {}).ok());
+  ASSERT_TRUE(med.LoadProgram(kObjectsRule).ok());
+
+  QueryOptions as_written;
+  as_written.use_optimizer = false;
+
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = 8;
+  std::unique_ptr<QueryPool> pool = med.Serve(pool_options);
+  std::vector<std::future<Result<QueryResult>>> futures;
+  constexpr int kQueries = 48;
+  for (int i = 0; i < kQueries; ++i) {
+    // Mix of repeated (cache-hitting) and fresh (source-calling) ranges.
+    int last = i % 3 == 0 ? 47 : 40 + i;
+    futures.push_back(pool->Submit(
+        "?- objects(4, " + std::to_string(last) + ", O).", as_written));
+  }
+
+  CallMetrics summed;
+  for (std::future<Result<QueryResult>>& f : futures) {
+    Result<QueryResult> res = f.get();
+    ASSERT_TRUE(res.ok()) << res.status();
+    summed.Merge(res->metrics);
+  }
+  pool->Shutdown();
+
+  obs::MetricsRegistry& registry = med.metrics();
+  EXPECT_EQ(registry.GetOrAddCounter("hermes_queries_total", "")->Value(),
+            uint64_t{kQueries});
+#define HERMES_FIELD(f)                                                     \
+  EXPECT_EQ(                                                                \
+      registry.GetOrAddCounter("hermes_query_" #f "_total", "")->Value(),   \
+      summed.f)                                                             \
+      << #f;
+  HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+#define HERMES_FIELD(f)                                                      \
+  EXPECT_NEAR(                                                               \
+      registry.GetOrAddFloatCounter("hermes_query_" #f "_total", "")->Value(), \
+      summed.f, 1e-6)                                                        \
+      << #f;
+  HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
+
+  // The layer-owned series agree with the layers' own snapshot structs.
+  EXPECT_EQ(registry.GetOrAddCounter("hermes_net_calls_total", "")->Value(),
+            med.network().stats().calls);
+  EXPECT_EQ(
+      registry
+          .GetOrAddCounter("hermes_cim_exact_hits_total", "",
+                           {{"domain", "video"}})
+          ->Value(),
+      med.cim("video")->stats().exact_hits);
+
+  // Pool counters landed in the same registry.
+  EXPECT_EQ(registry.GetOrAddCounter("hermes_pool_submitted_total", "")->Value(),
+            uint64_t{kQueries});
+  EXPECT_EQ(registry.GetOrAddCounter("hermes_pool_completed_total", "")->Value(),
+            uint64_t{kQueries});
+
+  // And one exposition renders the whole catalogue without blowing up.
+  std::string prom = registry.ExposePrometheus();
+  EXPECT_NE(prom.find("hermes_query_domain_calls_total"), std::string::npos);
+  EXPECT_NE(prom.find("hermes_pool_queue_wait_ms_bucket"), std::string::npos);
+}
+
+// Tracing under concurrency: each query carries its own tracer; span trees
+// stay per-query (no cross-talk) and merge into one valid Chrome document.
+TEST(ObsConcurrency, PerQueryTracersStayIsolated) {
+  Mediator med;
+  ASSERT_TRUE(testbed::SetupRopeScenario(&med, {}).ok());
+  ASSERT_TRUE(med.LoadProgram(kObjectsRule).ok());
+
+  QueryOptions as_written;
+  as_written.use_optimizer = false;
+
+  constexpr int kQueries = 16;
+  std::vector<obs::Tracer> tracers(kQueries);
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = 8;
+  std::unique_ptr<QueryPool> pool = med.Serve(pool_options);
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < kQueries; ++i) {
+    QueryOptions options = as_written;
+    options.tracer = &tracers[i];
+    futures.push_back(pool->Submit(
+        "?- objects(4, " + std::to_string(40 + i) + ", O).", options));
+  }
+  for (std::future<Result<QueryResult>>& f : futures) {
+    ASSERT_TRUE(f.get().ok());
+  }
+  pool->Shutdown();
+
+  std::vector<const obs::Tracer*> all;
+  for (const obs::Tracer& t : tracers) {
+    ASSERT_FALSE(t.empty());
+    // Exactly one root span, and it is the "query" envelope.
+    size_t roots = 0;
+    for (const obs::Span& s : t.spans()) {
+      if (s.parent == 0) {
+        ++roots;
+        EXPECT_EQ(s.name, "query");
+      }
+      EXPECT_TRUE(s.closed) << s.name;
+    }
+    EXPECT_EQ(roots, 1u);
+    all.push_back(&t);
+  }
+  std::string merged = obs::ChromeTraceJson(all);
+  EXPECT_NE(merged.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hermes::obs {
+namespace {
+
+TEST(Tracer, SpansNestUnderInnermostOpenSpan) {
+  Tracer tracer(/*query_id=*/7);
+  uint64_t root = tracer.BeginSpan("query", "query", 0.0);
+  uint64_t call = tracer.BeginSpan("call:video:fto", "domain-call", 10.0);
+  uint64_t hop = tracer.BeginSpan("network-hop", "net", 10.0);
+  tracer.EndSpan(hop, 40.0);
+  tracer.EndSpan(call, 50.0);
+  uint64_t sibling = tracer.BeginSpan("call:text:search", "domain-call", 50.0);
+  tracer.EndSpan(sibling, 60.0);
+  tracer.EndSpan(root, 60.0);
+
+  ASSERT_EQ(tracer.spans().size(), 4u);
+  EXPECT_EQ(tracer.spans()[0].parent, 0u);
+  EXPECT_EQ(tracer.spans()[1].parent, root);
+  EXPECT_EQ(tracer.spans()[2].parent, call);
+  // A span begun after `call` closed is a child of the root, not of `call`.
+  EXPECT_EQ(tracer.spans()[3].parent, root);
+}
+
+TEST(Tracer, ParentEndCoversChildren) {
+  Tracer tracer;
+  uint64_t parent = tracer.BeginSpan("call", "domain-call", 0.0);
+  uint64_t child = tracer.BeginSpan("network-hop", "net", 0.0);
+  tracer.EndSpan(child, 120.0);  // e.g. an unavailability penalty
+  tracer.EndSpan(parent, 5.0);   // failure path reports a short envelope
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].sim_end_ms, 120.0);
+}
+
+TEST(Tracer, EndSpanIsIdempotentAndOnlyExtends) {
+  Tracer tracer;
+  uint64_t id = tracer.BeginSpan("s", "query", 10.0);
+  tracer.EndSpan(id, 30.0);
+  tracer.EndSpan(id, 20.0);  // earlier end does not shrink the span
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].sim_end_ms, 30.0);
+  tracer.EndSpan(id, 45.0);  // later end still extends
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].sim_end_ms, 45.0);
+}
+
+TEST(Tracer, MarkFailedRecordsError) {
+  Tracer tracer;
+  uint64_t id = tracer.BeginSpan("s", "net", 0.0);
+  tracer.MarkFailed(id, "site down");
+  tracer.EndSpan(id, 1.0);
+  EXPECT_TRUE(tracer.spans()[0].failed);
+  ASSERT_EQ(tracer.spans()[0].args.size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].args[0].first, "error");
+  EXPECT_EQ(tracer.spans()[0].args[0].second, "site down");
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  Tracer tracer(/*query_id=*/3);
+  uint64_t root = tracer.BeginSpan("query", "query", 0.0);
+  tracer.AddArg(root, "text", "?- actors(A).");
+  uint64_t call = tracer.BeginSpan("call:video:fto", "domain-call", 5.0);
+  tracer.EndSpan(call, 25.0);
+  tracer.EndSpan(root, 25.0);
+
+  std::string json = tracer.ToChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Metadata events name the process and the query track.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query 3\""), std::string::npos);
+  // Complete events: sim ms rendered as trace µs, per-query tid.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":20000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"text\":\"?- actors(A).\""), std::string::npos);
+}
+
+TEST(Tracer, MergedExportRendersEachQueryAsOwnTrack) {
+  Tracer cold(1), warm(2);
+  cold.EndSpan(cold.BeginSpan("query", "query", 0.0), 100.0);
+  warm.EndSpan(warm.BeginSpan("query", "query", 0.0), 10.0);
+  std::string json = ChromeTraceJson({&cold, &warm, nullptr});
+  EXPECT_NE(json.find("\"name\":\"query 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(SpanScope, ClosesOnScopeExitAndToleratesNullTracer) {
+  Tracer tracer;
+  {
+    SpanScope scope(&tracer, "call", "domain-call", 10.0);
+    EXPECT_TRUE(scope.active());
+    scope.set_sim_end(42.0);
+    scope.AddArg("answers", "9");
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_TRUE(tracer.spans()[0].closed);
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].sim_end_ms, 42.0);
+  EXPECT_EQ(tracer.spans()[0].args[0].second, "9");
+
+  // A null tracer disables everything without branching at call sites.
+  SpanScope noop(nullptr, "x", "y", 0.0);
+  EXPECT_FALSE(noop.active());
+  noop.set_sim_end(1.0);
+  noop.AddArg("k", "v");
+  noop.MarkFailed("err");
+}
+
+}  // namespace
+}  // namespace hermes::obs
