@@ -1,0 +1,22 @@
+#ifndef HERMES_COMMON_SIM_COSTS_H_
+#define HERMES_COMMON_SIM_COSTS_H_
+
+namespace hermes {
+
+/// Simulated CPU cost constants shared by the execution engine and the
+/// optimizer's cost estimator. Single-sourced here so the two sides of the
+/// cost model — what the executor charges and what the estimator predicts —
+/// can never drift apart (they used to be duplicated literals in
+/// engine/executor.h and optimizer/estimator.h).
+
+/// Simulated per-comparison CPU time (evaluating one constraint atom, and
+/// the estimator's per-tuple comparison charge).
+inline constexpr double kDefaultComparisonCostMs = 0.001;
+
+/// Simulated per-tuple plumbing cost of moving one rule-body solution
+/// through a head unification.
+inline constexpr double kDefaultUnificationCostMs = 0.0005;
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_SIM_COSTS_H_

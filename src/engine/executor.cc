@@ -1,8 +1,8 @@
 #include "engine/executor.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "obs/trace.h"
+#include "engine/op/sink_ops.h"
 
 namespace hermes::engine {
 
@@ -23,290 +23,6 @@ std::string QueryExecution::ToString() const {
   return out;
 }
 
-std::vector<std::string> QueryVariables(const lang::Query& query) {
-  std::vector<std::string> out;
-  auto add = [&out](const lang::Term& t) {
-    if (!t.is_variable()) return;
-    for (const std::string& existing : out) {
-      if (existing == t.var_name) return;
-    }
-    out.push_back(t.var_name);
-  };
-  for (const lang::Atom& goal : query.goals) {
-    switch (goal.kind) {
-      case lang::Atom::Kind::kPredicate:
-        for (const lang::Term& t : goal.args) add(t);
-        break;
-      case lang::Atom::Kind::kDomainCall:
-        add(goal.output);
-        for (const lang::Term& t : goal.call.args) add(t);
-        break;
-      case lang::Atom::Kind::kComparison:
-        add(goal.lhs);
-        add(goal.rhs);
-        break;
-    }
-  }
-  return out;
-}
-
-Result<double> Executor::EvalGoals(const std::vector<lang::Atom>& goals,
-                                   size_t index, Bindings* bindings,
-                                   double t_now, size_t depth,
-                                   EvalState* state, const EmitFn& emit) {
-  if (state->stop) return t_now;
-  if (index == goals.size()) return emit(*bindings, t_now);
-
-  const lang::Atom& goal = goals[index];
-  switch (goal.kind) {
-    case lang::Atom::Kind::kDomainCall: {
-      // Ground the call.
-      DomainCall call;
-      call.domain = goal.call.domain;
-      call.function = goal.call.function;
-      call.args.reserve(goal.call.args.size());
-      for (const lang::Term& arg : goal.call.args) {
-        HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(arg, *bindings));
-        call.args.push_back(std::move(v));
-      }
-      // Dispatch through the call pipeline: the trace and stats layers
-      // observe the call, then the registry routes it through the target
-      // domain's own interceptor stack (cache, network).
-      HERMES_RETURN_IF_ERROR(state->ctx->ChargeCall());
-      state->ctx->now_ms = t_now;
-      // The call span is closed before recursing into later goals, so
-      // sibling goals do not nest under it (only the layers the pipeline
-      // itself traverses — cache lookup, network hop — become children).
-      obs::Tracer* tracer = state->ctx->tracer;
-      uint64_t span_id = 0;
-      if (tracer != nullptr) {
-        span_id = tracer->BeginSpan("call:" + call.domain + ":" + call.function,
-                                    "domain-call", t_now);
-      }
-      Result<CallOutput> run = state->pipeline->Run(*state->ctx, call);
-      if (tracer != nullptr) {
-        if (run.ok()) {
-          tracer->AddArg(span_id, "answers",
-                         std::to_string(run->answers.size()));
-          tracer->EndSpan(span_id, t_now + run->all_ms);
-        } else {
-          tracer->MarkFailed(span_id, run.status().ToString());
-          tracer->EndSpan(span_id, t_now);  // clamps up to child penalties
-        }
-      }
-      if (!run.ok()) return run.status();
-      CallOutput output = std::move(run).value();
-
-      if (TermIsResolvable(goal.output, *bindings)) {
-        // Membership check: in(X, d:f(...)) with X already ground.
-        HERMES_ASSIGN_OR_RETURN(Value expected,
-                                ResolveTerm(goal.output, *bindings));
-        for (size_t i = 0; i < output.answers.size(); ++i) {
-          if (output.answers[i] == expected) {
-            double t_arrive = t_now + ArrivalOffsetMs(output, i);
-            HERMES_ASSIGN_OR_RETURN(
-                double t_done,
-                EvalGoals(goals, index + 1, bindings, t_arrive, depth, state,
-                          emit));
-            if (state->stop) return t_done;
-            return std::max(t_done, t_now + output.all_ms);
-          }
-        }
-        // No match: the full set had to arrive to know.
-        return t_now + output.all_ms;
-      }
-
-      // Enumeration: bind the output variable to each answer in turn.
-      double t_cursor = t_now;
-      for (size_t i = 0; i < output.answers.size(); ++i) {
-        double t_arrive = t_now + ArrivalOffsetMs(output, i);
-        double t_start = std::max(t_arrive, t_cursor);
-        BindingFrame frame(bindings);
-        if (!frame.Bind(goal.output.var_name, output.answers[i])) {
-          continue;  // repeated variable with a different value
-        }
-        HERMES_ASSIGN_OR_RETURN(
-            double t_done,
-            EvalGoals(goals, index + 1, bindings, t_start, depth, state,
-                      emit));
-        t_cursor = t_done;
-        if (state->stop) return t_cursor;
-      }
-      return std::max(t_cursor, t_now + output.all_ms);
-    }
-
-    case lang::Atom::Kind::kComparison: {
-      double t_next = t_now + options_.comparison_cost_ms;
-      bool lhs_ok = TermIsResolvable(goal.lhs, *bindings);
-      bool rhs_ok = TermIsResolvable(goal.rhs, *bindings);
-      if (lhs_ok && rhs_ok) {
-        HERMES_ASSIGN_OR_RETURN(Value lhs, ResolveTerm(goal.lhs, *bindings));
-        HERMES_ASSIGN_OR_RETURN(Value rhs, ResolveTerm(goal.rhs, *bindings));
-        if (!lang::EvalRelOp(goal.op, lhs, rhs)) return t_next;
-        return EvalGoals(goals, index + 1, bindings, t_next, depth, state,
-                         emit);
-      }
-      if (goal.op == lang::RelOp::kEq && (lhs_ok || rhs_ok)) {
-        const lang::Term& known = lhs_ok ? goal.lhs : goal.rhs;
-        const lang::Term& free = lhs_ok ? goal.rhs : goal.lhs;
-        if (!free.is_variable() || !free.path.empty()) {
-          return Status::InvalidArgument("cannot bind through '" +
-                                         free.ToString() + "' in " +
-                                         goal.ToString());
-        }
-        HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(known, *bindings));
-        BindingFrame frame(bindings);
-        frame.Bind(free.var_name, v);
-        return EvalGoals(goals, index + 1, bindings, t_next, depth, state,
-                         emit);
-      }
-      return Status::InvalidArgument(
-          "comparison over unbound variables at execution time: " +
-          goal.ToString());
-    }
-
-    case lang::Atom::Kind::kPredicate:
-      return EvalPredicate(goal, goals, index, bindings, t_now, depth, state,
-                           emit);
-  }
-  return Status::Internal("unreachable atom kind");
-}
-
-Result<double> Executor::EvalPredicate(const lang::Atom& atom,
-                                       const std::vector<lang::Atom>& goals,
-                                       size_t index, Bindings* bindings,
-                                       double t_now, size_t depth,
-                                       EvalState* state, const EmitFn& emit) {
-  if (depth >= options_.max_recursion_depth) {
-    return Status::Unimplemented(
-        "recursion depth limit reached evaluating '" + atom.predicate +
-        "' (recursive mediators are outside this engine's scope)");
-  }
-
-  double t_cursor = t_now;
-  bool any_rule = false;
-
-  // Downstream goals evaluated from a rule body's solutions (the emit
-  // continuation) intentionally nest under this span: the envelope is the
-  // paper's per-predicate Tf/Ta measurement window.
-  obs::SpanScope rule_span(state->ctx->tracer, "rule:" + atom.predicate,
-                           "rule", t_now);
-
-  // Per-invocation statistics (the predicate-Tf caching extension).
-  double first_solution_t = -1.0;
-  size_t solutions = 0;
-
-  for (const lang::Rule& rule : state->program->rules) {
-    if (rule.head.predicate != atom.predicate ||
-        rule.head.args.size() != atom.args.size()) {
-      continue;
-    }
-    any_rule = true;
-
-    // Unify the head with the caller's arguments.
-    Bindings local;
-    BindingFrame local_frame(&local);
-    bool applicable = true;
-    struct BackBinding {
-      std::string caller_var;       // free caller variable to bind
-      const lang::Term* head_term;  // resolved against the rule's bindings
-    };
-    std::vector<BackBinding> back;
-
-    for (size_t i = 0; i < atom.args.size() && applicable; ++i) {
-      const lang::Term& caller_term = atom.args[i];
-      const lang::Term& head_term = rule.head.args[i];
-      if (TermIsResolvable(caller_term, *bindings)) {
-        HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(caller_term, *bindings));
-        if (head_term.is_constant()) {
-          if (head_term.constant != v) applicable = false;
-        } else if (head_term.is_variable()) {
-          if (!head_term.path.empty()) {
-            return Status::InvalidArgument(
-                "attribute path in rule head: " + head_term.ToString());
-          }
-          if (!local_frame.Bind(head_term.var_name, v)) applicable = false;
-        } else {
-          return Status::InvalidArgument("'$b' in rule head");
-        }
-      } else {
-        if (!caller_term.is_variable() || !caller_term.path.empty()) {
-          return Status::InvalidArgument(
-              "cannot pass unresolvable term '" + caller_term.ToString() +
-              "' to predicate '" + atom.predicate + "'");
-        }
-        back.push_back({caller_term.var_name, &head_term});
-      }
-    }
-    if (!applicable) continue;
-
-    // One body solution → bind outputs back → continue the outer goals.
-    EmitFn rule_emit = [&](const Bindings& local_bindings,
-                           double t) -> Result<double> {
-      BindingFrame caller_frame(bindings);
-      for (const BackBinding& bb : back) {
-        Value v;
-        if (bb.head_term->is_constant()) {
-          v = bb.head_term->constant;
-        } else {
-          Result<Value> resolved = ResolveTerm(*bb.head_term, local_bindings);
-          if (!resolved.ok()) {
-            return Status::InvalidArgument(
-                "head variable '" + bb.head_term->ToString() +
-                "' of '" + atom.predicate +
-                "' is unbound after evaluating the rule body");
-          }
-          v = std::move(resolved).value();
-        }
-        if (!caller_frame.Bind(bb.caller_var, v)) {
-          // Same caller variable bound to conflicting outputs: no solution.
-          return t;
-        }
-      }
-      if (first_solution_t < 0) first_solution_t = t;
-      ++solutions;
-      return EvalGoals(goals, index + 1, bindings,
-                       t + options_.unification_cost_ms, depth, state, emit);
-    };
-
-    HERMES_ASSIGN_OR_RETURN(
-        double t_done,
-        EvalGoals(rule.body, 0, &local, t_cursor, depth + 1, state,
-                  rule_emit));
-    t_cursor = t_done;
-    rule_span.set_sim_end(t_cursor);
-    if (state->stop) return t_cursor;
-  }
-
-  if (!any_rule) {
-    return Status::NotFound("no rule defines predicate '" + atom.predicate +
-                            "/" + std::to_string(atom.args.size()) + "'");
-  }
-
-  if (stats_layer_ != nullptr && options_.record_predicate_statistics &&
-      !state->stop) {
-    // Report the measured invocation to the stats layer under the pseudo
-    // domain "idb"; unresolvable (output) arguments become null wildcards.
-    DomainCall invocation;
-    invocation.domain = "idb";
-    invocation.function = atom.predicate;
-    invocation.args.reserve(atom.args.size());
-    for (const lang::Term& arg : atom.args) {
-      Result<Value> v = TermIsResolvable(arg, *bindings)
-                            ? ResolveTerm(arg, *bindings)
-                            : Result<Value>(Value::Null());
-      invocation.args.push_back(v.ok() ? *v : Value::Null());
-    }
-    stats_layer_->RecordSample(
-        *state->ctx, invocation,
-        CostVector((first_solution_t < 0 ? t_cursor : first_solution_t) -
-                       t_now,
-                   t_cursor - t_now, static_cast<double>(solutions)),
-        /*complete=*/true);
-  }
-  return t_cursor;
-}
-
 Result<QueryExecution> Executor::Execute(const lang::Program& program,
                                          const lang::Query& query) {
   CallContext ctx;
@@ -316,8 +32,15 @@ Result<QueryExecution> Executor::Execute(const lang::Program& program,
 Result<QueryExecution> Executor::Execute(const lang::Program& program,
                                          const lang::Query& query,
                                          CallContext* ctx) {
+  op::CompiledQuery compiled = op::Compile(program, query);
+  return ExecuteCompiled(program, compiled, ctx);
+}
+
+Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
+                                                 op::CompiledQuery& compiled,
+                                                 CallContext* ctx) {
   QueryExecution exec;
-  exec.var_names = QueryVariables(query);
+  exec.var_names = compiled.var_names;
 
   // Executor-level layers of the call pipeline; the registry continues
   // into the target domain's own stack (cache, network).
@@ -359,35 +82,49 @@ Result<QueryExecution> Executor::Execute(const lang::Program& program,
   } stats_guard{stats_layer_.get(), ctx, ctx->buffer_stats};
   if (stats_layer_ != nullptr) ctx->buffer_stats = true;
 
-  EvalState state;
-  state.program = &program;
-  state.ctx = ctx;
-  state.pipeline = &pipeline;
+  op::ExecParams params;
+  params.mode = options_.mode;
+  params.interactive_batch = options_.interactive_batch;
+  params.comparison_cost_ms = options_.comparison_cost_ms;
+  params.unification_cost_ms = options_.unification_cost_ms;
+  params.max_recursion_depth = options_.max_recursion_depth;
+  params.record_predicate_statistics = options_.record_predicate_statistics;
+  params.trace_operators = options_.trace_operators;
 
   Bindings bindings;
-  EmitFn emit = [&](const Bindings& b, double t) -> Result<double> {
-    ValueList row;
-    row.reserve(exec.var_names.size());
-    for (const std::string& var : exec.var_names) {
-      auto it = b.find(var);
-      row.push_back(it == b.end() ? Value::Null() : it->second);
-    }
-    if (exec.answers.empty()) exec.t_first_ms = t;
-    exec.answers.push_back(std::move(row));
-    ++state.emitted;
-    if (options_.mode == ExecutionMode::kInteractive &&
-        state.emitted >= options_.interactive_batch) {
-      state.stop = true;
-      exec.complete = false;
-    }
-    return t;
-  };
+  op::ExecContext cx;
+  cx.program = &program;
+  cx.ctx = ctx;
+  cx.pipeline = &pipeline;
+  cx.stats = stats_layer_.get();
+  cx.params = &params;
+  cx.bindings = &bindings;
+  cx.op_metrics = options_.op_metrics.get();
 
-  HERMES_ASSIGN_OR_RETURN(
-      double t_done, EvalGoals(query.goals, 0, &bindings, 0.0, 0, &state,
-                               emit));
+  // Pull the tree dry on the virtual clock. Any error closes the tree
+  // first so operator spans and state unwind cleanly.
+  double t_done = 0.0;
+  Status status = compiled.root->Open(cx, 0.0);
+  if (status.ok()) {
+    double cursor = 0.0;
+    while (true) {
+      Result<bool> more = compiled.root->Next(cx, cursor, &t_done);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!*more) break;
+      cursor = t_done;
+    }
+  }
+  compiled.root->Close(cx);
+  if (!status.ok()) return status;
+
+  exec.answers = compiled.sink->TakeAnswers();
   exec.t_all_ms = t_done;
-  if (exec.answers.empty()) exec.t_first_ms = t_done;
+  exec.t_first_ms = compiled.sink->has_first() ? compiled.sink->t_first()
+                                               : t_done;
+  exec.complete = compiled.sink->complete();
   exec.domain_calls = ctx->metrics.domain_calls - calls_before;
   return exec;
 }

@@ -2,24 +2,26 @@
 #define HERMES_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sim_costs.h"
 #include "dcsm/stats_interceptor.h"
 #include "domain/pipeline.h"
 #include "domain/registry.h"
 #include "engine/bindings.h"
+#include "engine/op/compile.h"
+#include "engine/op/op.h"
+#include "engine/op/op_metrics.h"
 #include "lang/ast.h"
 
 namespace hermes::engine {
 
-/// The paper's two modes of operation (Section 3).
-enum class ExecutionMode {
-  kAllAnswers,   ///< Compute every answer.
-  kInteractive,  ///< Stop after the first batch of answers.
-};
+/// The paper's two modes of operation (Section 3). The enum lives with the
+/// operator layer (engine/op/op.h); this is the historical name.
+using ExecutionMode = op::ExecutionMode;
 
 /// Tuning knobs of the executor.
 struct ExecutorOptions {
@@ -27,8 +29,10 @@ struct ExecutorOptions {
   /// Answers per batch in interactive mode; evaluation stops after the
   /// first batch (callers re-query for more, as the paper's UI does).
   size_t interactive_batch = 1;
-  double comparison_cost_ms = 0.001;  ///< Simulated per-comparison CPU.
-  double unification_cost_ms = 0.0005;  ///< Simulated per-tuple plumbing.
+  /// Simulated per-comparison CPU.
+  double comparison_cost_ms = kDefaultComparisonCostMs;
+  /// Simulated per-tuple plumbing.
+  double unification_cost_ms = kDefaultUnificationCostMs;
   size_t max_recursion_depth = 64;
   uint64_t max_domain_calls = 1000000;  ///< Runaway-query guard.
   bool record_statistics = true;  ///< Feed executed-call cost vectors to DCSM.
@@ -42,6 +46,12 @@ struct ExecutorOptions {
   /// Record every domain call (with timing and outcome) into
   /// QueryExecution::trace — the execution explain/debug facility.
   bool collect_trace = false;
+  /// Emit an obs::Tracer span per physical operator (category "operator").
+  /// Off by default: the walker-era trace shape stays unchanged.
+  bool trace_operators = false;
+  /// Per-operator-kind hermes_exec_op_* instruments, shared by every query
+  /// of one mediator (see op::ExecOpMetrics::Bind). May be null.
+  std::shared_ptr<op::ExecOpMetrics> op_metrics;
 };
 
 /// One domain call as the trace layer saw it — the execution trace element
@@ -64,15 +74,15 @@ struct QueryExecution {
   std::string ToString() const;
 };
 
-/// Pipelined nested-loop evaluator with backtracking (Section 7's
-/// execution model: left-to-right joins, no duplicate elimination).
+/// The execution driver over the physical operator layer (engine/op/).
 ///
-/// Every domain call returns its answers together with a simulated latency
-/// profile; the executor threads virtual timestamps through the pipeline —
-/// answer i of a call opened at time t becomes consumable at
+/// Execute() compiles the query into an operator tree — AnswerSink ←
+/// Project ← left-deep NestedLoopJoin chain (Section 7's left-to-right
+/// pipelined nested loops) — and pulls it to exhaustion on the simulated
+/// clock: answer i of a call opened at time t becomes consumable at
 /// t + ArrivalOffsetMs(i), and processing an answer cannot start before
 /// the previous sibling's subtree finished. T_f and T_a are read off these
-/// timestamps, reproducing the paper's measurements (including the
+/// virtual timestamps, reproducing the paper's measurements (including the
 /// backtracking effects Section 8 discusses) without ever sleeping.
 class Executor {
  public:
@@ -94,33 +104,15 @@ class Executor {
   Result<QueryExecution> Execute(const lang::Program& program,
                                  const lang::Query& query, CallContext* ctx);
 
+  /// Runs a pre-compiled operator tree (see op::Compile /
+  /// optimizer::PlanCompiler). `program` must be the program the tree was
+  /// compiled against. The tree is reset by Open, so a compiled plan can
+  /// be executed repeatedly; per-operator OpStats accumulate across runs.
+  Result<QueryExecution> ExecuteCompiled(const lang::Program& program,
+                                         op::CompiledQuery& compiled,
+                                         CallContext* ctx);
+
  private:
-  struct EvalState {
-    const lang::Program* program = nullptr;
-    CallContext* ctx = nullptr;            // per-query call context
-    const CallPipeline* pipeline = nullptr;  // executor-level call path
-    size_t emitted = 0;
-    bool stop = false;  // interactive-mode early termination
-  };
-
-  /// Called for each solution of a body with the emission timestamp;
-  /// returns the simulated time at which the consumer finished processing
-  /// the solution (the producer stalls until then).
-  using EmitFn =
-      std::function<Result<double>(const Bindings& bindings, double t)>;
-
-  /// Evaluates goals[index..] and returns the simulated completion time.
-  Result<double> EvalGoals(const std::vector<lang::Atom>& goals, size_t index,
-                           Bindings* bindings, double t_now, size_t depth,
-                           EvalState* state, const EmitFn& emit);
-
-  /// Evaluates a predicate atom by trying its rules in program order.
-  Result<double> EvalPredicate(const lang::Atom& atom,
-                               const std::vector<lang::Atom>& goals,
-                               size_t index, Bindings* bindings, double t_now,
-                               size_t depth, EvalState* state,
-                               const EmitFn& emit);
-
   const DomainRegistry* registry_;
   ExecutorOptions options_;
   /// The stats layer; also receives predicate-invocation samples (the
@@ -129,8 +121,9 @@ class Executor {
 };
 
 /// Query variables in order of first occurrence (plain variables only;
-/// `$b` and paths do not introduce result columns).
-std::vector<std::string> QueryVariables(const lang::Query& query);
+/// `$b` and paths do not introduce result columns). Lives with the
+/// operator compiler; re-exported under the historical name.
+using op::QueryVariables;
 
 }  // namespace hermes::engine
 

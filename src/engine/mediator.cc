@@ -9,6 +9,7 @@
 #include "common/io.h"
 #include "common/rng.h"
 #include "lang/parser.h"
+#include "optimizer/plan_compiler.h"
 
 namespace hermes {
 
@@ -18,6 +19,9 @@ Mediator::Mediator(uint64_t network_seed)
     : network_(std::make_shared<net::NetworkSimulator>(network_seed)) {
   network_->BindMetrics(*metrics_);
   dcsm_.BindMetrics(*metrics_);
+  // Per-operator-kind execution instruments (hermes_exec_op_*), shared by
+  // every query this mediator runs.
+  executor_options_.op_metrics = engine::op::ExecOpMetrics::Bind(*metrics_);
   metrics_->Register("hermes_queries_total", "Queries executed to completion",
                      {}, queries_total_);
   metrics_->Register("hermes_query_failures_total",
@@ -205,28 +209,10 @@ Result<optimizer::OptimizerResult> Mediator::Plan(
   return opt.Optimize(program_, query, options.goal);
 }
 
-Result<QueryResult> Mediator::Query(const std::string& query_text,
-                                    const QueryOptions& options) {
-  // Shared hold for the whole query: wiring mutations (exclusive holders)
-  // can never observe — or create — a half-wired registry mid-query.
-  std::shared_lock lock(wiring_mu_);
-  HERMES_ASSIGN_OR_RETURN(lang::Query query,
-                          lang::Parser::ParseQuery(query_text));
-
-  QueryResult result;
-  lang::Program plan_program = program_;
-  lang::Query plan_query = query;
-
-  // Root span of the query's trace; optimizer time and execution both
-  // start at simulated time 0 (Ta excludes optimization throughout the
-  // experiment tables, so the trace keeps them as sibling envelopes).
-  obs::Tracer* tracer = options.tracer;
-  uint64_t root_span = 0;
-  if (tracer != nullptr) {
-    root_span = tracer->BeginSpan("query", "query", 0.0);
-    tracer->AddArg(root_span, "text", query_text);
-  }
-
+Result<optimizer::CandidatePlan> Mediator::PickPlan(const lang::Query& query,
+                                                    const QueryOptions& options,
+                                                    obs::Tracer* tracer,
+                                                    QueryResult* result) {
   if (options.use_optimizer) {
     optimizer::QueryOptimizer opt(&dcsm_, EffectiveRewriterOptions(options),
                                   estimator_params_);
@@ -240,24 +226,72 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
                      std::to_string(optimized.candidates.size()));
       tracer->EndSpan(opt_span, optimized.total_estimation_ms);
     }
-    plan_program = optimized.best.program;
-    plan_query = optimized.best.query;
-    result.plan_description = optimized.best.description;
-    result.predicted = optimized.best.estimated;
-    result.predicted_valid = optimized.best.estimatable;
-    result.optimize_ms = optimized.total_estimation_ms;
-    result.candidates = std::move(optimized.candidates);
-  } else {
-    result.plan_description = "as-written";
-    if (options.use_cim && !cims_.empty()) {
-      std::vector<std::string> cached = CachedDomains();
-      optimizer::RuleRewriter::RedirectToCim(&plan_query.goals, cached);
-      for (lang::Rule& rule : plan_program.rules) {
-        optimizer::RuleRewriter::RedirectToCim(&rule.body, cached);
-      }
-      result.plan_description = "as-written+cim";
+    if (result != nullptr) {
+      result->plan_description = optimized.best.description;
+      result->predicted = optimized.best.estimated;
+      result->predicted_valid = optimized.best.estimatable;
+      result->optimize_ms = optimized.total_estimation_ms;
+      result->candidates = std::move(optimized.candidates);
     }
+    return std::move(optimized.best);
   }
+
+  optimizer::CandidatePlan plan;
+  plan.program = program_;
+  plan.query = query;
+  plan.description = "as-written";
+  if (options.use_cim && !cims_.empty()) {
+    std::vector<std::string> cached = CachedDomains();
+    optimizer::RuleRewriter::RedirectToCim(&plan.query.goals, cached);
+    for (lang::Rule& rule : plan.program.rules) {
+      optimizer::RuleRewriter::RedirectToCim(&rule.body, cached);
+    }
+    plan.description = "as-written+cim";
+  }
+  if (result != nullptr) result->plan_description = plan.description;
+  return plan;
+}
+
+Result<std::string> Mediator::Explain(const std::string& query_text,
+                                      const QueryOptions& options) {
+  std::shared_lock lock(wiring_mu_);
+  HERMES_ASSIGN_OR_RETURN(lang::Query query,
+                          lang::Parser::ParseQuery(query_text));
+  HERMES_ASSIGN_OR_RETURN(
+      optimizer::CandidatePlan plan,
+      PickPlan(query, options, /*tracer=*/nullptr, /*result=*/nullptr));
+  optimizer::PlanCompiler compiler(&dcsm_);
+  optimizer::CompiledPlan compiled = compiler.Compile(std::move(plan));
+  return compiled.Explain(/*actuals=*/false);
+}
+
+Result<QueryResult> Mediator::Query(const std::string& query_text,
+                                    const QueryOptions& options) {
+  // Shared hold for the whole query: wiring mutations (exclusive holders)
+  // can never observe — or create — a half-wired registry mid-query.
+  std::shared_lock lock(wiring_mu_);
+  HERMES_ASSIGN_OR_RETURN(lang::Query query,
+                          lang::Parser::ParseQuery(query_text));
+
+  QueryResult result;
+
+  // Root span of the query's trace; optimizer time and execution both
+  // start at simulated time 0 (Ta excludes optimization throughout the
+  // experiment tables, so the trace keeps them as sibling envelopes).
+  obs::Tracer* tracer = options.tracer;
+  uint64_t root_span = 0;
+  if (tracer != nullptr) {
+    root_span = tracer->BeginSpan("query", "query", 0.0);
+    tracer->AddArg(root_span, "text", query_text);
+  }
+
+  HERMES_ASSIGN_OR_RETURN(optimizer::CandidatePlan plan,
+                          PickPlan(query, options, tracer, &result));
+
+  // Lower the chosen plan to its physical operator tree; execution drives
+  // the tree, and the same compiled artifact renders EXPLAIN afterwards.
+  optimizer::PlanCompiler compiler(&dcsm_);
+  optimizer::CompiledPlan compiled = compiler.Compile(std::move(plan));
 
   engine::ExecutorOptions exec_options = executor_options_;
   exec_options.mode = options.mode;
@@ -288,8 +322,8 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     ctx.net_rng = &net_stream;
   }
 
-  Result<engine::QueryExecution> executed =
-      executor.Execute(plan_program, plan_query, &ctx);
+  Result<engine::QueryExecution> executed = executor.ExecuteCompiled(
+      compiled.plan().program, compiled.tree(), &ctx);
   if (!executed.ok()) {
     query_failures_total_->Add(1);
     if (tracer != nullptr) {
@@ -299,6 +333,9 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     return executed.status();
   }
   result.execution = std::move(executed).value();
+  if (options.explain) {
+    result.explain_text = compiled.Explain(/*actuals=*/true);
+  }
   result.metrics = ctx.metrics;
   result.traffic.remote_calls = ctx.metrics.remote_calls;
   result.traffic.failures = ctx.metrics.remote_failures;

@@ -58,6 +58,10 @@ struct QueryOptions {
   /// The tracer must stay alive for the duration of the query and must not
   /// be shared between concurrent queries (it is not thread-safe).
   obs::Tracer* tracer = nullptr;
+  /// Render the executed plan's operator tree — with post-run per-operator
+  /// actuals — into QueryResult::explain_text. Use Mediator::Explain for
+  /// EXPLAIN without execution.
+  bool explain = false;
 };
 
 /// Network traffic attributable to one query. Derived from the query's
@@ -85,6 +89,8 @@ struct QueryResult {
   /// network), accumulated through its CallContext.
   CallMetrics metrics;
   uint64_t query_id = 0;            ///< Id the query executed under.
+  /// EXPLAIN of the executed operator tree (QueryOptions::explain).
+  std::string explain_text;
 };
 
 /// Top-level facade of the mediator system — the public API a downstream
@@ -170,6 +176,14 @@ class Mediator {
   Result<optimizer::OptimizerResult> Plan(const std::string& query_text,
                                           const QueryOptions& options = {});
 
+  /// EXPLAIN without execution: picks the plan exactly as Query() would
+  /// (optimizer/CIM redirection per `options`), compiles it to the
+  /// physical operator tree and renders it — operator structure, static
+  /// bound/free adornments and per-call DCSM estimates. Read-only: no
+  /// domain call is issued and no statistics are recorded.
+  Result<std::string> Explain(const std::string& query_text,
+                              const QueryOptions& options = {});
+
   // ---- Concurrent serving -----------------------------------------------------
 
   /// Starts a worker pool serving this mediator: N clients submit query
@@ -240,6 +254,17 @@ class Mediator {
 
   optimizer::RuleRewriter::Options EffectiveRewriterOptions(
       const QueryOptions& options) const;
+
+  /// Picks the plan Query() executes for `query` under `options`: the
+  /// optimizer's best plan, or the as-written program+query (CIM-redirected
+  /// when enabled). When `result` is non-null its optimizer diagnostics
+  /// (plan_description, predicted, candidates, optimize_ms) are filled; when
+  /// `tracer` is non-null an "optimize" span is recorded. Called with
+  /// wiring_mu_ held (at least shared).
+  Result<optimizer::CandidatePlan> PickPlan(const lang::Query& query,
+                                            const QueryOptions& options,
+                                            obs::Tracer* tracer,
+                                            QueryResult* result);
 
   /// Per-query CallMetrics folded into process-level registry counters.
   /// Generated from the CallMetrics field-list macros, so a field added

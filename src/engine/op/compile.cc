@@ -1,0 +1,76 @@
+#include "engine/op/compile.h"
+
+#include <utility>
+
+#include "engine/op/domain_call_op.h"
+#include "engine/op/filter_op.h"
+#include "engine/op/join_op.h"
+#include "engine/op/rule_predicate_op.h"
+
+namespace hermes::engine::op {
+
+std::vector<std::string> QueryVariables(const lang::Query& query) {
+  std::vector<std::string> out;
+  auto add = [&out](const lang::Term& t) {
+    if (!t.is_variable()) return;
+    for (const std::string& existing : out) {
+      if (existing == t.var_name) return;
+    }
+    out.push_back(t.var_name);
+  };
+  for (const lang::Atom& goal : query.goals) {
+    switch (goal.kind) {
+      case lang::Atom::Kind::kPredicate:
+        for (const lang::Term& t : goal.args) add(t);
+        break;
+      case lang::Atom::Kind::kDomainCall:
+        add(goal.output);
+        for (const lang::Term& t : goal.call.args) add(t);
+        break;
+      case lang::Atom::Kind::kComparison:
+        add(goal.lhs);
+        add(goal.rhs);
+        break;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<PhysicalOp> CompileGoal(const lang::Atom& goal,
+                                        const lang::Program& program,
+                                        size_t depth) {
+  switch (goal.kind) {
+    case lang::Atom::Kind::kDomainCall:
+      return std::make_unique<DomainCallOp>(&goal);
+    case lang::Atom::Kind::kComparison:
+      return std::make_unique<FilterOp>(&goal);
+    case lang::Atom::Kind::kPredicate:
+      return std::make_unique<RulePredicateOp>(&goal, &program, depth);
+  }
+  return std::make_unique<UnitOp>();  // unreachable
+}
+
+std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
+                                         const lang::Program& program,
+                                         size_t depth) {
+  if (goals.empty()) return std::make_unique<UnitOp>();
+  std::unique_ptr<PhysicalOp> chain = CompileGoal(goals[0], program, depth);
+  for (size_t i = 1; i < goals.size(); ++i) {
+    chain = std::make_unique<NestedLoopJoinOp>(
+        std::move(chain), CompileGoal(goals[i], program, depth));
+  }
+  return chain;
+}
+
+CompiledQuery Compile(const lang::Program& program, const lang::Query& query) {
+  CompiledQuery compiled;
+  compiled.var_names = QueryVariables(query);
+  auto project = std::make_unique<ProjectOp>(
+      CompileGoals(query.goals, program, 0), compiled.var_names);
+  auto sink = std::make_unique<AnswerSinkOp>(std::move(project));
+  compiled.sink = sink.get();
+  compiled.root = std::move(sink);
+  return compiled;
+}
+
+}  // namespace hermes::engine::op

@@ -1,0 +1,49 @@
+#ifndef HERMES_ENGINE_OP_COMPILE_H_
+#define HERMES_ENGINE_OP_COMPILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/op/op.h"
+#include "engine/op/sink_ops.h"
+
+namespace hermes::engine::op {
+
+/// One query lowered to a physical operator tree:
+///
+///   AnswerSink ← Project ← left-deep NestedLoopJoin chain over the goals
+///
+/// The goal operators borrow the Atoms of `program`/`query` passed to
+/// Compile — both must outlive the compiled tree (optimizer::CompiledPlan
+/// packages tree + owned plan for callers that need a self-contained
+/// artifact).
+struct CompiledQuery {
+  std::unique_ptr<PhysicalOp> root;
+  AnswerSinkOp* sink = nullptr;  ///< Borrowed from `root`.
+  std::vector<std::string> var_names;
+};
+
+/// Lowers one goal atom: kDomainCall → DomainCallOp, kComparison →
+/// FilterOp, kPredicate → RulePredicateOp. `depth` is the goal's
+/// rule-nesting depth (the recursion guard's measure).
+std::unique_ptr<PhysicalOp> CompileGoal(const lang::Atom& goal,
+                                        const lang::Program& program,
+                                        size_t depth);
+
+/// Lowers a goal conjunction into a left-deep NestedLoopJoin chain
+/// (a UnitOp when the conjunction is empty — facts, the empty query).
+std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
+                                         const lang::Program& program,
+                                         size_t depth);
+
+/// Lowers a whole query: goals → Project(var_names) → AnswerSink.
+CompiledQuery Compile(const lang::Program& program, const lang::Query& query);
+
+/// Query variables in order of first occurrence (plain variables only;
+/// `$b` and paths do not introduce result columns).
+std::vector<std::string> QueryVariables(const lang::Query& query);
+
+}  // namespace hermes::engine::op
+
+#endif  // HERMES_ENGINE_OP_COMPILE_H_

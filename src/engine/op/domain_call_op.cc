@@ -1,0 +1,173 @@
+#include "engine/op/domain_call_op.h"
+
+#include <algorithm>
+#include <string>
+
+#include "dcsm/dcsm.h"
+#include "engine/op/explain.h"
+#include "obs/trace.h"
+
+namespace hermes::engine::op {
+
+std::string DomainCallOp::label() const {
+  return "DomainCall " + goal_->ToString();
+}
+
+Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
+  frame_.reset();
+  delivered_ = false;
+  index_ = 0;
+  t_base_ = t_open;
+
+  const lang::Atom& goal = *goal_;
+
+  // Ground the call.
+  DomainCall call;
+  call.domain = goal.call.domain;
+  call.function = goal.call.function;
+  call.args.reserve(goal.call.args.size());
+  for (const lang::Term& arg : goal.call.args) {
+    HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(arg, *cx.bindings));
+    call.args.push_back(std::move(v));
+  }
+
+  // Dispatch through the call pipeline: the trace and stats layers observe
+  // the call, then the registry routes it through the target domain's own
+  // interceptor stack (cache, network).
+  HERMES_RETURN_IF_ERROR(cx.ctx->ChargeCall());
+  cx.ctx->now_ms = t_open;
+  // The call span is closed before any row is consumed downstream, so
+  // sibling goals do not nest under it (only the layers the pipeline
+  // itself traverses — cache lookup, network hop — become children).
+  obs::Tracer* tracer = cx.ctx->tracer;
+  uint64_t span_id = 0;
+  if (tracer != nullptr) {
+    span_id = tracer->BeginSpan("call:" + call.domain + ":" + call.function,
+                                "domain-call", t_open);
+  }
+  Result<CallOutput> run = cx.pipeline->Run(*cx.ctx, call);
+  if (tracer != nullptr) {
+    if (run.ok()) {
+      tracer->AddArg(span_id, "answers", std::to_string(run->answers.size()));
+      tracer->EndSpan(span_id, t_open + run->all_ms);
+    } else {
+      tracer->MarkFailed(span_id, run.status().ToString());
+      tracer->EndSpan(span_id, t_open);  // clamps up to child penalties
+    }
+  }
+  if (!run.ok()) return run.status();
+  output_ = std::move(run).value();
+
+  membership_ = TermIsResolvable(goal.output, *cx.bindings);
+  match_found_ = false;
+  if (membership_) {
+    // Membership check: in(X, d:f(...)) with X already ground.
+    HERMES_ASSIGN_OR_RETURN(Value expected,
+                            ResolveTerm(goal.output, *cx.bindings));
+    for (size_t i = 0; i < output_.answers.size(); ++i) {
+      if (output_.answers[i] == expected) {
+        match_found_ = true;
+        match_index_ = i;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> DomainCallOp::NextImpl(ExecContext& cx, double t_resume,
+                                    double* t_out) {
+  frame_.reset();  // backtrack past the previous row's binding
+
+  if (membership_) {
+    if (match_found_ && !delivered_) {
+      delivered_ = true;
+      *t_out = t_base_ + ArrivalOffsetMs(output_, match_index_);
+      return true;
+    }
+    if (!match_found_) {
+      // No match: the full set had to arrive to know.
+      *t_out = t_base_ + output_.all_ms;
+      return false;
+    }
+    *t_out = std::max(t_resume, t_base_ + output_.all_ms);
+    return false;
+  }
+
+  // Enumeration: bind the output variable to each answer in turn.
+  while (index_ < output_.answers.size()) {
+    size_t i = index_++;
+    double t_arrive = t_base_ + ArrivalOffsetMs(output_, i);
+    double t_start = std::max(t_arrive, t_resume);
+    frame_.emplace(cx.bindings);
+    if (!frame_->Bind(goal_->output.var_name, output_.answers[i])) {
+      frame_.reset();
+      continue;  // repeated variable with a different value
+    }
+    *t_out = t_start;
+    return true;
+  }
+  *t_out = std::max(t_resume, t_base_ + output_.all_ms);
+  return false;
+}
+
+void DomainCallOp::CloseImpl(ExecContext& cx) {
+  (void)cx;
+  frame_.reset();
+  output_ = CallOutput{};
+}
+
+void DomainCallOp::Explain(ExplainPrinter& printer) {
+  const lang::Atom& goal = *goal_;
+  std::set<std::string>& bound = printer.bound();
+
+  // Static adornment of the call arguments under the left-to-right plan
+  // walk; bound arguments become `$b` in the DCSM estimation pattern.
+  std::string adorn;
+  lang::DomainCallSpec pattern;
+  pattern.domain = goal.call.domain;
+  pattern.function = goal.call.function;
+  bool estimable = true;
+  for (const lang::Term& arg : goal.call.args) {
+    bool arg_bound = arg.is_constant() ||
+                     (arg.is_variable() && bound.count(arg.var_name) > 0);
+    adorn += arg_bound ? 'b' : 'f';
+    if (arg.is_constant()) {
+      pattern.args.push_back(arg);
+    } else if (arg_bound) {
+      pattern.args.push_back(lang::Term::Bound());
+    } else {
+      estimable = false;
+    }
+  }
+  bool check = goal.output.is_constant() ||
+               (goal.output.is_variable() &&
+                bound.count(goal.output.var_name) > 0);
+
+  std::string annotations = "[args=" + (adorn.empty() ? "-" : adorn) +
+                            (check ? ", check" : ", enumerate");
+  if (goal.call.domain.rfind("cim_", 0) == 0) annotations += ", cim";
+  annotations += "]";
+
+  const dcsm::Dcsm* dcsm = printer.options().dcsm;
+  if (dcsm != nullptr && estimable) {
+    Result<dcsm::CostEstimate> est = dcsm->Cost(pattern);
+    if (est.ok()) {
+      annotations += " est=[Tf=" + ExplainPrinter::FormatNum(est->cost.t_first_ms) +
+                     " Ta=" + ExplainPrinter::FormatNum(est->cost.t_all_ms) +
+                     " card=" + ExplainPrinter::FormatNum(est->cost.cardinality) +
+                     " src=" + est->source + "]";
+    } else {
+      annotations += " est=[unavailable]";
+    }
+  } else if (dcsm != nullptr) {
+    annotations += " est=[free args]";
+  }
+
+  printer.NodeFor(*this, annotations, {});
+
+  // Enumeration binds the output variable for everything to its right.
+  if (!check && goal.output.is_variable()) bound.insert(goal.output.var_name);
+}
+
+}  // namespace hermes::engine::op

@@ -1,0 +1,61 @@
+#ifndef HERMES_ENGINE_OP_DOMAIN_CALL_OP_H_
+#define HERMES_ENGINE_OP_DOMAIN_CALL_OP_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "engine/op/op.h"
+
+namespace hermes::engine::op {
+
+/// Executes one `in(Output, domain:function(args))` goal through the call
+/// pipeline (executor layers → registry → per-domain cache/network stack).
+///
+/// The call itself runs at Open time — that is when the walker issued it —
+/// and the rows stream out of the already-materialized CallOutput with the
+/// paper's interpolated arrival offsets:
+///
+///  - enumeration (output variable free): answer i becomes available at
+///    max(t_open + ArrivalOffsetMs(i), t_resume); exhaustion completes at
+///    max(t_resume, t_open + all_ms).
+///  - membership (output already ground): at most one row, at the matching
+///    answer's arrival time; a miss completes at t_open + all_ms (the full
+///    set had to arrive to know).
+///
+/// A cache-redirected plan simply points the goal at the CIM's wrapper
+/// domain ("cim_<site>") — the operator is oblivious; EXPLAIN annotates it.
+class DomainCallOp final : public PhysicalOp {
+ public:
+  /// `goal` (kind kDomainCall) is borrowed; it must outlive the operator
+  /// (the compiled tree's plan owns the program/query the goals live in).
+  explicit DomainCallOp(const lang::Atom* goal) : goal_(goal) {}
+
+  OpKind kind() const override { return OpKind::kDomainCall; }
+  std::string label() const override;
+  void Explain(ExplainPrinter& printer) override;
+
+  const lang::Atom& goal() const { return *goal_; }
+
+ protected:
+  Status OpenImpl(ExecContext& cx, double t_open) override;
+  Result<bool> NextImpl(ExecContext& cx, double t_resume,
+                        double* t_out) override;
+  void CloseImpl(ExecContext& cx) override;
+
+ private:
+  const lang::Atom* goal_;
+
+  // Per-open state.
+  CallOutput output_;
+  double t_base_ = 0.0;
+  bool membership_ = false;
+  bool match_found_ = false;
+  size_t match_index_ = 0;
+  bool delivered_ = false;  ///< Membership: the single row was produced.
+  size_t index_ = 0;        ///< Enumeration cursor.
+  std::optional<BindingFrame> frame_;
+};
+
+}  // namespace hermes::engine::op
+
+#endif  // HERMES_ENGINE_OP_DOMAIN_CALL_OP_H_

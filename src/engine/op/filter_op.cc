@@ -1,0 +1,87 @@
+#include "engine/op/filter_op.h"
+
+#include "engine/op/explain.h"
+
+namespace hermes::engine::op {
+
+std::string FilterOp::label() const { return "Filter " + goal_->ToString(); }
+
+Status FilterOp::OpenImpl(ExecContext& cx, double t_open) {
+  frame_.reset();
+  has_row_ = false;
+  delivered_ = false;
+
+  const lang::Atom& goal = *goal_;
+  t_emit_ = t_open + cx.params->comparison_cost_ms;
+  bool lhs_ok = TermIsResolvable(goal.lhs, *cx.bindings);
+  bool rhs_ok = TermIsResolvable(goal.rhs, *cx.bindings);
+  if (lhs_ok && rhs_ok) {
+    HERMES_ASSIGN_OR_RETURN(Value lhs, ResolveTerm(goal.lhs, *cx.bindings));
+    HERMES_ASSIGN_OR_RETURN(Value rhs, ResolveTerm(goal.rhs, *cx.bindings));
+    has_row_ = lang::EvalRelOp(goal.op, lhs, rhs);
+    return Status::OK();
+  }
+  if (goal.op == lang::RelOp::kEq && (lhs_ok || rhs_ok)) {
+    const lang::Term& known = lhs_ok ? goal.lhs : goal.rhs;
+    const lang::Term& free = lhs_ok ? goal.rhs : goal.lhs;
+    if (!free.is_variable() || !free.path.empty()) {
+      return Status::InvalidArgument("cannot bind through '" +
+                                     free.ToString() + "' in " +
+                                     goal.ToString());
+    }
+    HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(known, *cx.bindings));
+    frame_.emplace(cx.bindings);
+    frame_->Bind(free.var_name, v);
+    has_row_ = true;
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "comparison over unbound variables at execution time: " +
+      goal.ToString());
+}
+
+Result<bool> FilterOp::NextImpl(ExecContext& cx, double t_resume,
+                                double* t_out) {
+  (void)cx;
+  if (has_row_ && !delivered_) {
+    delivered_ = true;
+    *t_out = t_emit_;
+    return true;
+  }
+  if (has_row_) {
+    *t_out = t_resume;  // the consumed row's subtree sets the completion
+    return false;
+  }
+  *t_out = t_emit_;  // failed comparison: charged, no row
+  return false;
+}
+
+void FilterOp::CloseImpl(ExecContext& cx) {
+  (void)cx;
+  frame_.reset();
+}
+
+void FilterOp::Explain(ExplainPrinter& printer) {
+  const lang::Atom& goal = *goal_;
+  std::set<std::string>& bound = printer.bound();
+  auto statically_bound = [&bound](const lang::Term& t) {
+    return t.is_constant() ||
+           (t.is_variable() && bound.count(t.var_name) > 0);
+  };
+  bool lhs_ok = statically_bound(goal.lhs);
+  bool rhs_ok = statically_bound(goal.rhs);
+  std::string annotations;
+  if (goal.op == lang::RelOp::kEq && lhs_ok != rhs_ok) {
+    const lang::Term& free = lhs_ok ? goal.rhs : goal.lhs;
+    if (free.is_variable() && free.path.empty()) {
+      annotations = "[binds " + free.var_name + "]";
+      printer.NodeFor(*this, annotations, {});
+      bound.insert(free.var_name);
+      return;
+    }
+  }
+  annotations = lhs_ok && rhs_ok ? "[check]" : "[unbound at plan time]";
+  printer.NodeFor(*this, annotations, {});
+}
+
+}  // namespace hermes::engine::op

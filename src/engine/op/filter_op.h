@@ -1,0 +1,46 @@
+#ifndef HERMES_ENGINE_OP_FILTER_OP_H_
+#define HERMES_ENGINE_OP_FILTER_OP_H_
+
+#include <optional>
+
+#include "engine/op/op.h"
+
+namespace hermes::engine::op {
+
+/// Evaluates one comparison goal `lhs OP rhs` over the current bindings.
+///
+/// A source operator producing zero or one rows: the comparison is decided
+/// at Open time (charging the simulated comparison_cost_ms), and the row —
+/// when the comparison holds — is available at t_open + comparison_cost_ms.
+/// The `X = expr` form with exactly one resolvable side binds the free
+/// variable instead of testing (the walker's eq-binding path); a failing
+/// comparison exhausts at t_open + comparison_cost_ms, a consumed row
+/// exhausts at the consumer's resume time.
+class FilterOp final : public PhysicalOp {
+ public:
+  /// `goal` (kind kComparison) is borrowed; it must outlive the operator.
+  explicit FilterOp(const lang::Atom* goal) : goal_(goal) {}
+
+  OpKind kind() const override { return OpKind::kFilter; }
+  std::string label() const override;
+  void Explain(ExplainPrinter& printer) override;
+
+ protected:
+  Status OpenImpl(ExecContext& cx, double t_open) override;
+  Result<bool> NextImpl(ExecContext& cx, double t_resume,
+                        double* t_out) override;
+  void CloseImpl(ExecContext& cx) override;
+
+ private:
+  const lang::Atom* goal_;
+
+  // Per-open state.
+  bool has_row_ = false;
+  bool delivered_ = false;
+  double t_emit_ = 0.0;
+  std::optional<BindingFrame> frame_;  ///< The eq-binding, when taken.
+};
+
+}  // namespace hermes::engine::op
+
+#endif  // HERMES_ENGINE_OP_FILTER_OP_H_

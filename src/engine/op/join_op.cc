@@ -1,0 +1,48 @@
+#include "engine/op/join_op.h"
+
+namespace hermes::engine::op {
+
+Status NestedLoopJoinOp::OpenImpl(ExecContext& cx, double t_open) {
+  right_open_ = false;
+  return left_->Open(cx, t_open);
+}
+
+Result<bool> NestedLoopJoinOp::NextImpl(ExecContext& cx, double t_resume,
+                                        double* t_out) {
+  for (;;) {
+    if (right_open_) {
+      double t = 0.0;
+      Result<bool> row = right_->Next(cx, t_resume, &t);
+      if (!row.ok()) return row.status();
+      if (*row) {
+        *t_out = t;
+        return true;
+      }
+      right_->Close(cx);
+      right_open_ = false;
+      t_resume = t;  // the right stream's completion resumes the left
+    }
+    double t_left = 0.0;
+    Result<bool> row = left_->Next(cx, t_resume, &t_left);
+    if (!row.ok()) return row.status();
+    if (!*row) {
+      *t_out = t_left;
+      return false;
+    }
+    // A left row at t_left: the right subtree opens (issuing its calls)
+    // there and its first pull resumes there too.
+    right_open_ = true;  // before Open: Close must reach a partial open
+    HERMES_RETURN_IF_ERROR(right_->Open(cx, t_left));
+    t_resume = t_left;
+  }
+}
+
+void NestedLoopJoinOp::CloseImpl(ExecContext& cx) {
+  if (right_open_) {
+    right_->Close(cx);
+    right_open_ = false;
+  }
+  left_->Close(cx);
+}
+
+}  // namespace hermes::engine::op

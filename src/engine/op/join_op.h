@@ -1,0 +1,43 @@
+#ifndef HERMES_ENGINE_OP_JOIN_OP_H_
+#define HERMES_ENGINE_OP_JOIN_OP_H_
+
+#include <memory>
+#include <utility>
+
+#include "engine/op/op.h"
+
+namespace hermes::engine::op {
+
+/// The paper's Section 7 join: left-to-right pipelined nested loops with
+/// no duplicate elimination. For every left row (available at time t) the
+/// right subtree is re-opened at t — re-issuing its domain calls, exactly
+/// as the walker re-entered the next goal per binding. The right stream's
+/// completion time becomes the left producer's resume time, and the left
+/// stream's completion is the join's completion.
+class NestedLoopJoinOp final : public PhysicalOp {
+ public:
+  NestedLoopJoinOp(std::unique_ptr<PhysicalOp> left,
+                   std::unique_ptr<PhysicalOp> right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  OpKind kind() const override { return OpKind::kNestedLoopJoin; }
+  std::string label() const override { return "NestedLoopJoin"; }
+
+ protected:
+  Status OpenImpl(ExecContext& cx, double t_open) override;
+  Result<bool> NextImpl(ExecContext& cx, double t_resume,
+                        double* t_out) override;
+  void CloseImpl(ExecContext& cx) override;
+  std::vector<PhysicalOp*> children() override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  std::unique_ptr<PhysicalOp> left_;
+  std::unique_ptr<PhysicalOp> right_;
+  bool right_open_ = false;
+};
+
+}  // namespace hermes::engine::op
+
+#endif  // HERMES_ENGINE_OP_JOIN_OP_H_

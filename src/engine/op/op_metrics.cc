@@ -1,0 +1,57 @@
+#include "engine/op/op_metrics.h"
+
+namespace hermes::engine::op {
+namespace {
+
+constexpr OpKind kAllKinds[] = {
+    OpKind::kDomainCall, OpKind::kRulePredicate,  OpKind::kFilter,
+    OpKind::kNestedLoopJoin, OpKind::kProject,    OpKind::kAnswerSink,
+    OpKind::kUnit,
+};
+
+}  // namespace
+
+std::shared_ptr<ExecOpMetrics> ExecOpMetrics::Bind(
+    obs::MetricsRegistry& registry) {
+  auto m = std::make_shared<ExecOpMetrics>();
+  for (OpKind kind : kAllKinds) {
+    obs::Labels labels = {{"op", OpKindName(kind)}};
+    PerKind& pk = m->ForKind(kind);
+    pk.opens = registry.GetOrAddCounter(
+        "hermes_exec_op_opens_total",
+        "Physical operator Open() calls by operator kind", labels);
+    pk.rows = registry.GetOrAddCounter(
+        "hermes_exec_op_rows_total",
+        "Rows produced by physical operators by operator kind", labels);
+    pk.errors = registry.GetOrAddCounter(
+        "hermes_exec_op_errors_total",
+        "Physical operator Open()/Next() failures by operator kind", labels);
+    pk.sim_ms = registry.GetOrAddHistogram(
+        "hermes_exec_op_sim_ms",
+        "Virtual open-to-close envelope of physical operators (simulated ms)",
+        obs::Histogram::ExponentialBounds(0.01, 4.0, 12), labels);
+  }
+  return m;
+}
+
+ExecOpMetrics::PerKind& ExecOpMetrics::ForKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDomainCall:
+      return domain_call;
+    case OpKind::kRulePredicate:
+      return rule_predicate;
+    case OpKind::kFilter:
+      return filter;
+    case OpKind::kNestedLoopJoin:
+      return nested_loop_join;
+    case OpKind::kProject:
+      return project;
+    case OpKind::kAnswerSink:
+      return answer_sink;
+    case OpKind::kUnit:
+      return unit;
+  }
+  return unit;  // unreachable
+}
+
+}  // namespace hermes::engine::op

@@ -1,0 +1,45 @@
+#ifndef HERMES_ENGINE_OP_OP_METRICS_H_
+#define HERMES_ENGINE_OP_OP_METRICS_H_
+
+#include <memory>
+
+#include "engine/op/op.h"
+#include "obs/metrics.h"
+
+namespace hermes::engine::op {
+
+/// Per-operator-kind instruments, one label set per OpKind:
+///
+///   hermes_exec_op_opens_total{op="domain_call"}   operator Opens
+///   hermes_exec_op_rows_total{op=...}              rows produced
+///   hermes_exec_op_errors_total{op=...}            Open/Next failures
+///   hermes_exec_op_sim_ms{op=...}                  virtual open→close envelope
+///
+/// Bound once per registry (Mediator owns one instance shared by every
+/// per-query Executor); the PhysicalOp wrappers update it on the hot path
+/// through ExecContext::op_metrics, which may be null (raw Executor use).
+struct ExecOpMetrics {
+  struct PerKind {
+    std::shared_ptr<obs::Counter> opens;
+    std::shared_ptr<obs::Counter> rows;
+    std::shared_ptr<obs::Counter> errors;
+    std::shared_ptr<obs::Histogram> sim_ms;
+  };
+
+  /// Registers the series for every operator kind in `registry`.
+  static std::shared_ptr<ExecOpMetrics> Bind(obs::MetricsRegistry& registry);
+
+  PerKind& ForKind(OpKind kind);
+
+  PerKind domain_call;
+  PerKind rule_predicate;
+  PerKind filter;
+  PerKind nested_loop_join;
+  PerKind project;
+  PerKind answer_sink;
+  PerKind unit;
+};
+
+}  // namespace hermes::engine::op
+
+#endif  // HERMES_ENGINE_OP_OP_METRICS_H_

@@ -1,0 +1,74 @@
+#include "engine/op/sink_ops.h"
+
+namespace hermes::engine::op {
+
+std::string ProjectOp::label() const {
+  std::string vars;
+  for (const std::string& v : var_names_) {
+    if (!vars.empty()) vars += ", ";
+    vars += v;
+  }
+  return "Project [" + vars + "]";
+}
+
+Status ProjectOp::OpenImpl(ExecContext& cx, double t_open) {
+  return child_->Open(cx, t_open);
+}
+
+Result<bool> ProjectOp::NextImpl(ExecContext& cx, double t_resume,
+                                 double* t_out) {
+  double t = 0.0;
+  Result<bool> row = child_->Next(cx, t_resume, &t);
+  if (!row.ok()) return row.status();
+  *t_out = t;
+  if (!*row) return false;
+  cx.staged_row.clear();
+  cx.staged_row.reserve(var_names_.size());
+  for (const std::string& var : var_names_) {
+    auto it = cx.bindings->find(var);
+    cx.staged_row.push_back(it == cx.bindings->end() ? Value::Null()
+                                                     : it->second);
+  }
+  return true;
+}
+
+void ProjectOp::CloseImpl(ExecContext& cx) { child_->Close(cx); }
+
+Status AnswerSinkOp::OpenImpl(ExecContext& cx, double t_open) {
+  answers_.clear();
+  has_first_ = false;
+  t_first_ = 0.0;
+  stopped_ = false;
+  complete_ = true;
+  return child_->Open(cx, t_open);
+}
+
+Result<bool> AnswerSinkOp::NextImpl(ExecContext& cx, double t_resume,
+                                    double* t_out) {
+  if (stopped_) {
+    // Interactive cut: the batch is full; evaluation ends at the time the
+    // last answer was consumed, without pulling the child again.
+    *t_out = t_resume;
+    return false;
+  }
+  double t = 0.0;
+  Result<bool> row = child_->Next(cx, t_resume, &t);
+  if (!row.ok()) return row.status();
+  *t_out = t;
+  if (!*row) return false;
+  if (!has_first_) {
+    has_first_ = true;
+    t_first_ = t;
+  }
+  answers_.push_back(std::move(cx.staged_row));
+  if (cx.params->mode == ExecutionMode::kInteractive &&
+      answers_.size() >= cx.params->interactive_batch) {
+    stopped_ = true;
+    complete_ = false;
+  }
+  return true;
+}
+
+void AnswerSinkOp::CloseImpl(ExecContext& cx) { child_->Close(cx); }
+
+}  // namespace hermes::engine::op

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sim_costs.h"
 #include "dcsm/dcsm.h"
 #include "lang/ast.h"
 #include "optimizer/binding_env.h"
@@ -19,7 +20,9 @@ struct EstimatorParams {
   double range_selectivity = 0.33;  ///< Fraction surviving a range filter.
   double neq_selectivity = 0.90;    ///< Fraction surviving `X != const`.
   double membership_selectivity = 0.5;  ///< in(X, ...) with X already bound.
-  double comparison_cost_ms = 0.001;    ///< Per-tuple comparison CPU time.
+  /// Per-tuple comparison CPU time; single-sourced with the executor so
+  /// estimates and execution charge the same simulated cost.
+  double comparison_cost_ms = kDefaultComparisonCostMs;
   size_t max_recursion_depth = 16;
   /// Use cached per-predicate first-answer statistics (pseudo domain
   /// "idb", recorded by the executor) to override the formula-derived T_f

@@ -1,0 +1,33 @@
+#include "optimizer/plan_compiler.h"
+
+#include "engine/op/explain.h"
+
+namespace hermes::optimizer {
+
+CompiledPlan PlanCompiler::Compile(CandidatePlan plan) const {
+  CompiledPlan compiled;
+  compiled.plan_ = std::make_unique<CandidatePlan>(std::move(plan));
+  compiled.tree_ =
+      engine::op::Compile(compiled.plan_->program, compiled.plan_->query);
+  compiled.dcsm_ = dcsm_;
+  return compiled;
+}
+
+std::string CompiledPlan::Explain(bool actuals) {
+  using engine::op::ExplainPrinter;
+  std::string out = "plan: " + plan_->description + "\n";
+  out += "query: " + plan_->query.ToString() + "\n";
+  if (plan_->estimatable) {
+    out += "estimated: Tf=" + ExplainPrinter::FormatNum(plan_->estimated.t_first_ms) +
+           "ms Ta=" + ExplainPrinter::FormatNum(plan_->estimated.t_all_ms) +
+           "ms card=" + ExplainPrinter::FormatNum(plan_->estimated.cardinality) +
+           "\n";
+  }
+  engine::op::ExplainOptions options;
+  options.dcsm = dcsm_;
+  options.actuals = actuals;
+  out += engine::op::ExplainTree(*tree_.root, options);
+  return out;
+}
+
+}  // namespace hermes::optimizer

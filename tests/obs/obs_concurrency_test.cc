@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <string>
 #include <thread>
@@ -154,6 +155,90 @@ TEST(ObsConcurrency, RegistryFoldEqualsSumOfPerQueryMetrics) {
   std::string prom = registry.ExposePrometheus();
   EXPECT_NE(prom.find("hermes_query_domain_calls_total"), std::string::npos);
   EXPECT_NE(prom.find("hermes_pool_queue_wait_ms_bucket"), std::string::npos);
+}
+
+// Operator-layer metrics under concurrency: 8 worker threads execute
+// queries while other threads render EXPLAIN against the same mediator.
+// EXPLAIN is read-only (no domain call, no operator Open), so the
+// hermes_exec_op_* folds must equal the executing queries' own metrics:
+// opens{op=domain_call} is exactly the summed per-query domain-call count.
+TEST(ObsConcurrency, ExecOpMetricsFoldUnderMixedExplainAndExecute) {
+  Mediator med;
+  ASSERT_TRUE(testbed::SetupRopeScenario(&med, {}).ok());
+  ASSERT_TRUE(med.LoadProgram(kObjectsRule).ok());
+
+  QueryOptions as_written;
+  as_written.use_optimizer = false;
+
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = 8;
+  std::unique_ptr<QueryPool> pool = med.Serve(pool_options);
+
+  // Concurrent EXPLAIN traffic: plan compilation + DCSM cost reads racing
+  // the executing queries (TSan exercises Dcsm::Cost vs. RecordSample).
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> explainers;
+  for (int t = 0; t < 2; ++t) {
+    explainers.emplace_back([&med, &as_written, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<std::string> text =
+            med.Explain("?- objects(4, 47, O).", as_written);
+        ASSERT_TRUE(text.ok()) << text.status();
+        ASSERT_NE(text->find("DomainCall"), std::string::npos);
+      }
+    });
+  }
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  constexpr int kQueries = 32;
+  for (int i = 0; i < kQueries; ++i) {
+    int last = i % 3 == 0 ? 47 : 40 + i;
+    futures.push_back(pool->Submit(
+        "?- objects(4, " + std::to_string(last) + ", O).", as_written));
+  }
+
+  uint64_t summed_domain_calls = 0;
+  uint64_t summed_answers = 0;
+  for (std::future<Result<QueryResult>>& f : futures) {
+    Result<QueryResult> res = f.get();
+    ASSERT_TRUE(res.ok()) << res.status();
+    summed_domain_calls += res->execution.domain_calls;
+    summed_answers += res->execution.answers.size();
+  }
+  pool->Shutdown();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : explainers) t.join();
+
+  obs::MetricsRegistry& registry = med.metrics();
+  EXPECT_EQ(registry
+                .GetOrAddCounter("hermes_exec_op_opens_total", "",
+                                 {{"op", "domain_call"}})
+                ->Value(),
+            summed_domain_calls);
+  // Every answer passed through sink and project exactly once.
+  EXPECT_EQ(registry
+                .GetOrAddCounter("hermes_exec_op_rows_total", "",
+                                 {{"op", "answer_sink"}})
+                ->Value(),
+            summed_answers);
+  EXPECT_EQ(registry
+                .GetOrAddCounter("hermes_exec_op_rows_total", "",
+                                 {{"op", "project"}})
+                ->Value(),
+            summed_answers);
+  // One sink open per query; no error was recorded on any operator.
+  EXPECT_EQ(registry
+                .GetOrAddCounter("hermes_exec_op_opens_total", "",
+                                 {{"op", "answer_sink"}})
+                ->Value(),
+            uint64_t{kQueries});
+  EXPECT_EQ(registry
+                .GetOrAddCounter("hermes_exec_op_errors_total", "",
+                                 {{"op", "domain_call"}})
+                ->Value(),
+            0u);
+  std::string prom = registry.ExposePrometheus();
+  EXPECT_NE(prom.find("hermes_exec_op_sim_ms_bucket"), std::string::npos);
 }
 
 // Tracing under concurrency: each query carries its own tracer; span trees

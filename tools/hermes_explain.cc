@@ -1,0 +1,104 @@
+// hermes_explain — render the physical operator tree (EXPLAIN) of a query
+// against the paper's Section 8 "rope" testbed.
+//
+//   hermes_explain [--query=TEXT | --appendix=N] [--primed]
+//                  [--first=F] [--last=L]
+//                  [--no-optimize] [--no-cim] [--execute]
+//
+// By default the optimizer picks the plan and the tree is printed with
+// static adornments and DCSM cost estimates, without executing anything.
+// --execute runs the query first and appends per-operator actuals
+// (opens/rows/virtual time) to every node.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/mediator.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string query_text;
+  int appendix = 3;
+  bool primed = false;
+  long long first = 4, last = 47;
+  bool optimize = true, use_cim = true, execute = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--query=", 0) == 0) {
+      query_text = value("--query=");
+    } else if (arg.rfind("--appendix=", 0) == 0) {
+      appendix = std::atoi(value("--appendix=").c_str());
+    } else if (arg == "--primed") {
+      primed = true;
+    } else if (arg.rfind("--first=", 0) == 0) {
+      first = std::atoll(value("--first=").c_str());
+    } else if (arg.rfind("--last=", 0) == 0) {
+      last = std::atoll(value("--last=").c_str());
+    } else if (arg == "--no-optimize") {
+      optimize = false;
+    } else if (arg == "--no-cim") {
+      use_cim = false;
+    } else if (arg == "--execute") {
+      execute = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--query=TEXT | --appendix=N] [--primed] [--first=F] "
+          "[--last=L] [--no-optimize] [--no-cim] [--execute]\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (query_text.empty()) {
+    query_text = testbed::AppendixQuery(appendix, primed, first, last);
+  }
+
+  Mediator med;
+  Status setup = testbed::SetupRopeScenario(&med, {});
+  if (!setup.ok()) {
+    std::fprintf(stderr, "scenario setup failed: %s\n",
+                 setup.ToString().c_str());
+    return 1;
+  }
+
+  QueryOptions options;
+  options.use_optimizer = optimize;
+  options.use_cim = use_cim;
+
+  if (execute) {
+    options.explain = true;
+    Result<QueryResult> run = med.Query(query_text, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(run->explain_text.c_str(), stdout);
+    std::fprintf(stderr, "%s\n", run->execution.ToString().c_str());
+    return 0;
+  }
+
+  Result<std::string> explained = med.Explain(query_text, options);
+  if (!explained.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 explained.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(explained->c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hermes
+
+int main(int argc, char** argv) { return hermes::Run(argc, argv); }
