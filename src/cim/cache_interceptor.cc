@@ -41,9 +41,41 @@ Result<CallOutput> CacheInterceptor::Intercept(CallContext& ctx,
   } else {
     ++ctx.metrics.cache_hits;
   }
+  if (out.ok() && out->degraded) {
+    // Cached answers stood in for an unreachable source: the query still
+    // succeeds, but its completeness is reported as degraded. Flip the
+    // underlying failure's source error to masked (or record one if no
+    // resilience layer ran below us).
+    ++ctx.metrics.degraded_calls;
+    bool masked = false;
+    for (auto it = ctx.source_errors.rbegin(); it != ctx.source_errors.rend();
+         ++it) {
+      if (it->function == call.function && !it->masked) {
+        it->masked = true;
+        masked = true;
+        break;
+      }
+    }
+    if (!masked) {
+      SourceError err;
+      err.site = ctx.last_failure_site;
+      err.domain = cim_->inner() != nullptr ? cim_->inner()->name()
+                                            : call.domain;
+      err.function = call.function;
+      err.cause = ctx.last_failure_cause.empty() ? "unavailable"
+                                                 : ctx.last_failure_cause;
+      err.message = "served degraded answers from cache";
+      err.t_ms = ctx.now_ms;
+      err.masked = true;
+      ctx.source_errors.push_back(std::move(err));
+    }
+  }
   if (lookup.active()) {
     lookup.AddArg("outcome", OutcomeName(outcome));
-    if (out.ok()) lookup.set_sim_end(ctx.now_ms + out->all_ms);
+    if (out.ok()) {
+      lookup.set_sim_end(ctx.now_ms + out->all_ms);
+      if (out->degraded) lookup.AddArg("degraded", "true");
+    }
     if (!out.ok()) lookup.MarkFailed(out.status().ToString());
   }
   return out;

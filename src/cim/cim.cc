@@ -23,6 +23,7 @@ CimStats CimDomain::stats() const {
   snapshot.actual_calls = stats_.actual_calls->Value();
   snapshot.unavailable_masked = stats_.unavailable_masked->Value();
   snapshot.unavailable_failed = stats_.unavailable_failed->Value();
+  snapshot.stale_serves = stats_.stale_serves->Value();
   return snapshot;
 }
 
@@ -34,6 +35,7 @@ void CimDomain::ResetStats() {
   stats_.actual_calls->Reset();
   stats_.unavailable_masked->Reset();
   stats_.unavailable_failed->Reset();
+  stats_.stale_serves->Reset();
 }
 
 void CimDomain::BindMetrics(obs::MetricsRegistry& registry) {
@@ -59,6 +61,11 @@ void CimDomain::BindMetrics(obs::MetricsRegistry& registry) {
   registry.Register("hermes_cim_unavailable_failed_total",
                     "Source outages the cache could not mask", labels,
                     stats_.unavailable_failed);
+  // Registered under the resilience family: the stale-fallback serve is a
+  // rung of the degradation ladder, observed alongside retries/breakers.
+  registry.Register("hermes_resilience_stale_serves_total",
+                    "Miss-path outages masked by stale/incomplete entries",
+                    labels, stats_.stale_serves);
   cache_.BindMetrics(registry, target_domain_);
 }
 
@@ -93,7 +100,8 @@ bool CimDomain::IsStale(const CacheEntry& entry) const {
 
 std::optional<CacheEntry> CimDomain::ProbeForSpec(
     const lang::DomainCallSpec& target, const Substitution& theta,
-    const std::vector<lang::Atom>& conditions, double* search_ms) const {
+    const std::vector<lang::Atom>& conditions, double* search_ms,
+    bool allow_stale) const {
   lang::DomainCallSpec substituted = ApplySubstitution(target, theta);
 
   if (substituted.is_ground()) {
@@ -103,7 +111,9 @@ std::optional<CacheEntry> CimDomain::ProbeForSpec(
     Result<DomainCall> target_call = DomainCall::FromSpec(substituted);
     if (!target_call.ok()) return std::nullopt;
     std::optional<CacheEntry> entry = cache_.Peek(*target_call);
-    if (entry.has_value() && IsStale(*entry)) return std::nullopt;
+    if (entry.has_value() && !allow_stale && IsStale(*entry)) {
+      return std::nullopt;
+    }
     return entry;
   }
 
@@ -113,7 +123,7 @@ std::optional<CacheEntry> CimDomain::ProbeForSpec(
   std::optional<CacheEntry> found;
   cache_.ForEach([&](const CacheEntry& entry) {
     *search_ms += params_.per_cache_probe_ms;
-    if (IsStale(entry)) return true;
+    if (!allow_stale && IsStale(entry)) return true;
     Substitution extended = theta;
     if (!MatchCallAgainstSpec(substituted, entry.call, &extended)) return true;
     Result<bool> holds = EvalConditions(conditions, extended);
@@ -125,7 +135,7 @@ std::optional<CacheEntry> CimDomain::ProbeForSpec(
 }
 
 std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
-    const DomainCall& call, double* search_ms) {
+    const DomainCall& call, double* search_ms, bool allow_stale) {
   std::optional<InvariantHit> best_partial;
 
   for (const lang::Invariant& inv : invariants_) {
@@ -140,7 +150,8 @@ std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
         if (!MatchCallAgainstSpec(*pattern, call, &theta)) continue;
         *search_ms += params_.per_invariant_ms;
         std::optional<CacheEntry> entry =
-            ProbeForSpec(*target, theta, inv.conditions, search_ms);
+            ProbeForSpec(*target, theta, inv.conditions, search_ms,
+                         allow_stale);
         if (entry.has_value() && entry->complete) {
           InvariantHit hit;
           hit.entry = std::move(*entry);
@@ -166,7 +177,7 @@ std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
     if (!MatchCallAgainstSpec(pattern, call, &theta)) continue;
     *search_ms += params_.per_invariant_ms;
     std::optional<CacheEntry> entry =
-        ProbeForSpec(target, theta, inv.conditions, search_ms);
+        ProbeForSpec(target, theta, inv.conditions, search_ms, allow_stale);
     if (!entry.has_value()) continue;
     if (!best_partial.has_value() ||
         entry->bytes > best_partial->entry.bytes) {
@@ -179,6 +190,20 @@ std::optional<CimDomain::InvariantHit> CimDomain::FindViaInvariants(
     }
   }
   return best_partial;
+}
+
+std::optional<CacheEntry> CimDomain::FindStaleFallback(const DomainCall& call,
+                                                       double* search_ms) {
+  // Exact key first — even a stale or incomplete entry names the right
+  // answer set, which beats no answers at all when the source is down.
+  *search_ms += params_.exact_lookup_ms;
+  std::optional<CacheEntry> entry = cache_.Peek(call);
+  if (entry.has_value()) return entry;
+  if (!options_.use_invariants) return std::nullopt;
+  std::optional<InvariantHit> hit =
+      FindViaInvariants(call, search_ms, /*allow_stale=*/true);
+  if (!hit.has_value()) return std::nullopt;
+  return std::move(hit->entry);
 }
 
 Result<CallOutput> CimDomain::Run(const DomainCall& raw_call) {
@@ -202,7 +227,10 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
     lead_ms += params_.exact_lookup_ms;
     std::optional<CacheEntry> entry = cache_.Get(call);
     if (entry.has_value() && IsStale(*entry)) {
-      cache_.Remove(call);  // lazily age out
+      // Lazily age out — except when stale entries double as the outage
+      // fallback's salvage material (a successful refresh overwrites them
+      // anyway).
+      if (!options_.serve_stale_on_unavailable) cache_.Remove(call);
       entry.reset();
     }
     if (entry.has_value() && entry->complete) {
@@ -246,8 +274,10 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
     if (!full.ok()) {
       if (full.status().IsUnavailable() && options_.mask_unavailability) {
         stats_.unavailable_masked->Add(1);
-        return ServeFromCache(std::move(partial), lead_ms,
-                              /*complete=*/false);
+        CallOutput masked = ServeFromCache(std::move(partial), lead_ms,
+                                           /*complete=*/false);
+        masked.degraded = true;  // the subset stood in for a live source
+        return masked;
       }
       return full.status();
     }
@@ -279,6 +309,21 @@ Result<CallOutput> CimDomain::RunWith(const DomainCall& raw_call,
   Result<CallOutput> full = RunActual(call, actual);
   if (!full.ok()) {
     if (full.status().IsUnavailable()) {
+      if (options_.serve_stale_on_unavailable) {
+        // Last rung of the degradation ladder: any subsuming entry — stale
+        // or incomplete — beats failing the query outright.
+        double salvage_ms = 0.0;
+        std::optional<CacheEntry> fallback =
+            FindStaleFallback(call, &salvage_ms);
+        if (fallback.has_value()) {
+          stats_.stale_serves->Add(1);
+          CallOutput out = ServeFromCache(std::move(*fallback),
+                                          lead_ms + salvage_ms,
+                                          /*complete=*/true);
+          out.degraded = true;
+          return out;
+        }
+      }
       stats_.unavailable_failed->Add(1);
     }
     return full.status();

@@ -46,6 +46,12 @@ struct CimOptions {
   /// Serve stale cached partial/equality results when the source is
   /// temporarily unavailable instead of failing.
   bool mask_unavailability = true;
+  /// Degradation-ladder fallback (see DESIGN.md "Failure model &
+  /// resilience"): when the actual call fails Unavailable on a cache MISS,
+  /// serve any cache entry that subsumes the call — stale and incomplete
+  /// entries included — marked CallOutput::degraded instead of failing.
+  /// Off by default: the historical miss-path behaviour is to fail.
+  bool serve_stale_on_unavailable = false;
   /// Staleness bound: entries older than this many CIM calls are treated
   /// as absent (and dropped lazily). 0 disables aging. Result caches over
   /// *changing* sources need this — the paper's caches assume static
@@ -64,6 +70,7 @@ struct CimStats {
   uint64_t actual_calls = 0;
   uint64_t unavailable_masked = 0;
   uint64_t unavailable_failed = 0;
+  uint64_t stale_serves = 0;  ///< Miss-path outages masked by stale entries.
 };
 
 /// How one CIM lookup was resolved — reported per call so concurrent
@@ -170,15 +177,24 @@ class CimDomain : public Domain {
   /// Scans the invariants (and, where needed, the cache) for an entry the
   /// invariants prove equal to — or a subset of — `call`'s answer set.
   /// Accumulates simulated search time in `*search_ms` even on failure.
+  /// `allow_stale` admits aged-out entries (the stale-fallback ladder).
   std::optional<InvariantHit> FindViaInvariants(const DomainCall& call,
-                                                double* search_ms);
+                                                double* search_ms,
+                                                bool allow_stale = false);
 
   /// Attempts to find a cached entry matching `target` (which may still
   /// contain free variables) under `theta`, such that the invariant's
   /// conditions hold. Adds probe costs to `*search_ms`.
   std::optional<CacheEntry> ProbeForSpec(
       const lang::DomainCallSpec& target, const Substitution& theta,
-      const std::vector<lang::Atom>& conditions, double* search_ms) const;
+      const std::vector<lang::Atom>& conditions, double* search_ms,
+      bool allow_stale = false) const;
+
+  /// Stale-fallback probe of the degradation ladder: any entry — stale or
+  /// incomplete — that subsumes `call`, by exact key first, then through
+  /// the invariants.
+  std::optional<CacheEntry> FindStaleFallback(const DomainCall& call,
+                                              double* search_ms);
 
   /// Serves answers straight from an owned entry snapshot (moves them out).
   CallOutput ServeFromCache(CacheEntry entry, double lead_ms,
@@ -213,6 +229,8 @@ class CimDomain : public Domain {
     std::shared_ptr<obs::Counter> unavailable_masked =
         std::make_shared<obs::Counter>();
     std::shared_ptr<obs::Counter> unavailable_failed =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> stale_serves =
         std::make_shared<obs::Counter>();
   };
   LiveStats stats_;

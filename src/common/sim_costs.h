@@ -17,6 +17,20 @@ inline constexpr double kDefaultComparisonCostMs = 0.001;
 /// through a head unification.
 inline constexpr double kDefaultUnificationCostMs = 0.0005;
 
+/// Simulated time one remote call loses discovering that its site is
+/// unavailable (the paper's LinkParams.penalty_ms "retry timeout"). The
+/// default of SiteParams::retry_timeout_ms, and the per-attempt penalty
+/// both the resilience layer's retry loop and the estimator's expected
+/// retry costing charge.
+inline constexpr double kDefaultRetryTimeoutMs = 2000.0;
+
+/// Defaults of the resilience layer's exponential backoff between retry
+/// attempts: wait = base * multiplier^attempt, +/- the jitter fraction,
+/// charged on the simulated clock (never slept).
+inline constexpr double kDefaultRetryBackoffBaseMs = 100.0;
+inline constexpr double kDefaultRetryBackoffMultiplier = 2.0;
+inline constexpr double kDefaultRetryBackoffJitter = 0.10;
+
 }  // namespace hermes
 
 #endif  // HERMES_COMMON_SIM_COSTS_H_

@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
     case StatusCode::kParseError:

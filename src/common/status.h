@@ -14,6 +14,7 @@ enum class StatusCode {
   kNotFound,          ///< Lookup target does not exist.
   kAlreadyExists,     ///< Insert target already present.
   kUnavailable,       ///< Source temporarily unreachable (retryable).
+  kDeadlineExceeded,  ///< Per-call or per-query deadline expired.
   kFailedPrecondition,  ///< Operation illegal in the object's current state.
   kParseError,        ///< Mediator-language text failed to parse.
   kTypeError,         ///< Value of an unexpected runtime type.
@@ -53,6 +54,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
@@ -75,6 +79,9 @@ class Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }

@@ -35,6 +35,10 @@ struct CallOutput {
   /// False when `answers` is only a partial answer set (e.g. a CIM
   /// subset-invariant hit served in interactive mode before the real call).
   bool complete = true;
+  /// True when the answers were served from degraded material — a stale or
+  /// partial cache entry stood in for an unreachable source. The engine
+  /// folds this into QueryResult::completeness.
+  bool degraded = false;
 };
 
 /// Simulated arrival offset (ms after call start) of answer `index` out of

@@ -52,15 +52,29 @@ void CallMetrics::Merge(const CallMetrics& other) {
 std::string CallTrace::ToString() const {
   char buf[160];
   if (failed) {
-    std::snprintf(buf, sizeof(buf), "t=%9.1fms  %-44s FAILED: ", t_start_ms,
+    std::snprintf(buf, sizeof(buf), "t=%9.1fms  %-44s FAILED", t_start_ms,
                   call.ToString().c_str());
-    return std::string(buf) + FlattenError(error);
+    std::string out = buf;
+    if (!site.empty()) out += " site=" + site;
+    if (!cause.empty()) out += " cause=" + cause;
+    return out + ": " + FlattenError(error);
   }
   std::snprintf(buf, sizeof(buf),
                 "t=%9.1fms  %-44s %4zu answer(s) first=%.1fms all=%.1fms",
                 t_start_ms, call.ToString().c_str(), answers, first_ms,
                 all_ms);
   return buf;
+}
+
+std::string SourceError::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%9.1fms  ", t_ms);
+  std::string out = std::string(buf) + domain + ":" + function +
+                    (masked ? " DEGRADED" : " LOST");
+  if (!site.empty()) out += " site=" + site;
+  if (!cause.empty()) out += " cause=" + cause;
+  if (!message.empty()) out += ": " + FlattenError(message);
+  return out;
 }
 
 Status CallContext::ChargeCall() {
@@ -152,6 +166,10 @@ const std::string& TraceInterceptor::name() const {
 Result<CallOutput> TraceInterceptor::Intercept(CallContext& ctx,
                                                const DomainCall& call,
                                                const Next& next) {
+  // The trace layer sits on top of the stack, so clearing the failure
+  // attribution here scopes whatever the layers below write to this call.
+  ctx.last_failure_site.clear();
+  ctx.last_failure_cause.clear();
   Result<CallOutput> run = next(ctx, call);
   if (ctx.trace != nullptr) {
     CallTrace entry;
@@ -164,6 +182,8 @@ Result<CallOutput> TraceInterceptor::Intercept(CallContext& ctx,
       entry.answers = run->answers.size();
     } else {
       entry.error = run.status().ToString();
+      entry.site = ctx.last_failure_site;
+      entry.cause = ctx.last_failure_cause;
     }
     ctx.trace->push_back(std::move(entry));
     ++ctx.metrics.traced_calls;

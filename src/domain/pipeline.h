@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,11 +32,17 @@ namespace hermes {
   X(cache_misses)                            \
   X(remote_calls)                            \
   X(remote_failures)                         \
-  X(bytes_transferred)
+  X(bytes_transferred)                       \
+  X(retries)                                 \
+  X(breaker_shed)                            \
+  X(deadline_aborts)                         \
+  X(degraded_calls)                          \
+  X(failovers)
 
 #define HERMES_CALL_METRICS_DOUBLE_FIELDS(X) \
   X(network_charge)                          \
-  X(network_ms)
+  X(network_ms)                              \
+  X(retry_backoff_ms)
 
 /// Per-layer counters accumulated along one query's call path. Each
 /// interceptor owns a slice: the trace layer counts traced calls, the cache
@@ -59,8 +66,15 @@ struct CallMetrics {
   uint64_t remote_calls = 0;     ///< Remote calls attempted (incl. failures).
   uint64_t remote_failures = 0;  ///< Calls lost to site unavailability.
   uint64_t bytes_transferred = 0;
+  // Resilience layer.
+  uint64_t retries = 0;          ///< Retry attempts after a failed call.
+  uint64_t breaker_shed = 0;     ///< Calls short-circuited by an open breaker.
+  uint64_t deadline_aborts = 0;  ///< Calls abandoned at a deadline.
+  uint64_t degraded_calls = 0;   ///< Calls served from stale/partial material.
+  uint64_t failovers = 0;        ///< Calls completed via an alternate site.
   double network_charge = 0.0;   ///< Financial access fees accrued.
   double network_ms = 0.0;       ///< Simulated network time consumed.
+  double retry_backoff_ms = 0.0; ///< Simulated backoff wait between retries.
 
   /// Adds `other`'s counters into this one.
   void Merge(const CallMetrics& other);
@@ -75,6 +89,29 @@ struct CallTrace {
   size_t answers = 0;
   bool failed = false;
   std::string error;
+  /// Failure attribution (empty on success or when the failing layer did
+  /// not identify itself): the site the call was lost at and the proximate
+  /// cause ("outage", "flaky", "breaker-open", "deadline", ...).
+  std::string site;
+  std::string cause;
+
+  std::string ToString() const;
+};
+
+/// Structured record of one source the query lost — who failed, why, and
+/// whether degraded material (stale/partial cache answers) stood in.
+/// Accumulated on the CallContext by whichever layer gives up on a call;
+/// the mediator folds the list into QueryResult::completeness.
+struct SourceError {
+  std::string site;      ///< Site name; empty for local/unknown sources.
+  std::string domain;    ///< Registry name the call targeted.
+  std::string function;  ///< Function of the lost call.
+  std::string cause;     ///< "outage", "flaky", "breaker-open", "deadline"...
+  std::string message;   ///< Full Status message of the final failure.
+  double t_ms = 0.0;     ///< Simulated time the call was given up at.
+  /// True when the answers were substituted from cache (degraded) rather
+  /// than lost outright (partial).
+  bool masked = false;
 
   std::string ToString() const;
 };
@@ -123,6 +160,40 @@ struct CallContext {
   /// the query an exportable execution timeline. The tracer belongs to
   /// this query alone and is not thread-safe.
   obs::Tracer* tracer = nullptr;
+
+  // ---- Resilience state (per-query, so replay is thread-count-invariant).
+
+  /// Absolute simulated-time deadline of the whole query; +inf = none.
+  /// DomainCallOp observes it between Next() calls, the resilience layer
+  /// before each (re)attempt.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  /// Attempt number of the call currently running (0 = first attempt).
+  /// Set by the resilience layer's retry loop; the fault injector keys its
+  /// per-attempt draws on it so a retry redraws its fate.
+  uint64_t call_attempt = 0;
+  /// Attribution of the most recent call failure, written by the failing
+  /// layer (network: site + cause) and read by whoever gives up on the
+  /// call (resilience giveup, cache-mask, engine tolerance) to name the
+  /// lost source.
+  std::string last_failure_site;
+  std::string last_failure_cause;
+  /// Simulated time the most recent failed attempt cost (the retry
+  /// timeout); the resilience layer charges it into the retry schedule.
+  double last_call_penalty_ms = 0.0;
+  /// Sources this query lost (or served degraded), in failure order.
+  std::vector<SourceError> source_errors;
+
+  /// Per-site circuit-breaker state, scoped to this query: breaker
+  /// decisions are then a pure function of this query's own call sequence,
+  /// which is what makes transitions replay bit-identically at any
+  /// QueryPool thread count (see DESIGN.md "Failure model & resilience").
+  struct BreakerState {
+    enum State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+    State state = kClosed;
+    uint64_t consecutive_failures = 0;  ///< Failures since last success.
+    uint64_t shed_since_probe = 0;      ///< Calls shed while open.
+  };
+  std::map<std::string, BreakerState> breaker_states;  ///< Keyed by site.
 
   /// Charges one domain call against the budget; fails once exhausted.
   Status ChargeCall();

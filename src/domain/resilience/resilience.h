@@ -1,0 +1,155 @@
+#ifndef HERMES_DOMAIN_RESILIENCE_RESILIENCE_H_
+#define HERMES_DOMAIN_RESILIENCE_RESILIENCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/sim_costs.h"
+#include "domain/pipeline.h"
+#include "net/network_interceptor.h"
+#include "obs/metrics.h"
+
+namespace hermes::resilience {
+
+/// Bounded-retry policy: a failed (Unavailable) call is reattempted up to
+/// `max_retries` times, waiting base * multiplier^attempt (+/- jitter) of
+/// simulated time between attempts. Waits are charged on the simulated
+/// clock — never slept — and the wait advances the call's view of the
+/// query clock, so a retry scheduled past the end of an outage window
+/// succeeds.
+struct RetryPolicy {
+  int max_retries = 0;  ///< Extra attempts after the first (0 = no retry).
+  double backoff_base_ms = kDefaultRetryBackoffBaseMs;
+  double backoff_multiplier = kDefaultRetryBackoffMultiplier;
+  /// Relative jitter on each wait, drawn from a per-(query, call, attempt)
+  /// stream — the schedule replays bit-identically at any thread count.
+  double backoff_jitter = kDefaultRetryBackoffJitter;
+};
+
+/// Per-site circuit breaker (closed → open → half-open). State is scoped
+/// to the query's CallContext, so breaker transitions are a pure function
+/// of the query's own call sequence (thread-count-invariant replay).
+struct BreakerPolicy {
+  bool enabled = false;
+  /// Consecutive final failures (retries included) that trip the breaker.
+  uint64_t failure_threshold = 3;
+  /// While open, every `probe_interval`-th call becomes a half-open probe
+  /// that actually goes out; the rest are shed without any attempt.
+  uint64_t probe_interval = 8;
+};
+
+/// Everything the resilience layer enforces for one site's calls.
+struct ResiliencePolicy {
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  /// Per-call deadline on the simulated clock: a call (retries, backoff
+  /// and response time included) that would complete later is abandoned
+  /// with DeadlineExceeded. +inf = none.
+  double call_deadline_ms = std::numeric_limits<double>::infinity();
+  /// Allow failover to a wired alternate source on final failure.
+  bool enable_failover = true;
+};
+
+/// The resilience layer of the call pipeline. Sits between the cache layer
+/// and the network layer ([cache →] resilience → network → domain) and
+/// implements the degradation ladder's active steps:
+///
+///   1. circuit breaker: under sustained failure, shed calls without
+///      attempting them (half-open probes excepted);
+///   2. bounded retries with exponential backoff + jitter, charged on the
+///      simulated clock;
+///   3. per-call and per-query deadlines (slow responses are abandoned);
+///   4. failover to an alternate source exporting the same function;
+///   5. structured SourceError recording — the cache layer above may still
+///      mask the failure from stale material (marked degraded), and the
+///      engine folds unmasked errors into QueryResult::completeness.
+///
+/// With the default policy the layer is pass-through: one attempt, no
+/// breaker, no deadline, identical latencies and statuses — which is what
+/// keeps the historical experiment tables byte-identical.
+class ResilienceInterceptor : public CallInterceptor {
+ public:
+  using FailoverFn =
+      std::function<Result<CallOutput>(CallContext&, const DomainCall&)>;
+
+  /// `link` is the network layer below (for the site's availability and
+  /// retry timeout); may be null for local domains, in which case
+  /// estimates pass through and penalties use the defaults. `seed` salts
+  /// the backoff-jitter streams (the mediator passes the network seed).
+  ResilienceInterceptor(std::string site_name, uint64_t seed,
+                        std::shared_ptr<net::NetworkInterceptor> link,
+                        ResiliencePolicy policy = {})
+      : site_name_(std::move(site_name)),
+        seed_(seed),
+        link_(std::move(link)),
+        policy_(policy) {}
+
+  const std::string& name() const override;
+
+  Result<CallOutput> Intercept(CallContext& ctx, const DomainCall& call,
+                               const Next& next) override;
+
+  /// Adds the expected retry penalty — (1-availability)-weighted retry
+  /// timeouts plus expected backoff waits — onto the inner estimate. A
+  /// fully available site passes through unchanged.
+  Result<CostVector> EstimateCost(const lang::DomainCallSpec& pattern,
+                                  const EstimateNext& next) const override;
+
+  const ResiliencePolicy& policy() const { return policy_; }
+  /// Wiring-time only: policies must not change while queries run.
+  void set_policy(const ResiliencePolicy& policy) { policy_ = policy; }
+
+  /// Wiring-time only: where to send a call whose site was given up on.
+  /// Mediator::AddFailover installs a function that reroutes the call to
+  /// an alternate registered domain exporting the same function.
+  void set_failover(FailoverFn failover) { failover_ = std::move(failover); }
+  bool has_failover() const { return failover_ != nullptr; }
+
+  /// Registers the hermes_resilience_* counters with `registry`, labeled
+  /// {site=<site name>, domain=<domain>}.
+  void BindMetrics(obs::MetricsRegistry& registry,
+                   const std::string& domain = "");
+
+ private:
+  /// The retry loop: runs `next` up to 1 + max_retries times, charging
+  /// failed-attempt penalties and backoff waits into `*waited_ms` and
+  /// advancing the call's clock view between attempts.
+  Result<CallOutput> AttemptWithRetries(CallContext& ctx,
+                                        const DomainCall& call,
+                                        const Next& next, bool single_attempt,
+                                        double* waited_ms);
+
+  /// Final-failure path: failover if wired, else record a SourceError and
+  /// propagate `failure` annotated with site and cause.
+  Result<CallOutput> GiveUp(CallContext& ctx, const DomainCall& call,
+                            Status failure, const std::string& cause,
+                            double lost_ms);
+
+  std::string site_name_;
+  uint64_t seed_;
+  std::shared_ptr<net::NetworkInterceptor> link_;
+  ResiliencePolicy policy_;
+  FailoverFn failover_;
+
+  // hermes_resilience_* instruments (count whether or not bound).
+  std::shared_ptr<obs::Counter> retries_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> giveups_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> shed_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> to_open_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> to_half_open_ =
+      std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> to_closed_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> deadline_aborts_ =
+      std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> failovers_ = std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::FloatCounter> backoff_ms_ =
+      std::make_shared<obs::FloatCounter>();
+};
+
+}  // namespace hermes::resilience
+
+#endif  // HERMES_DOMAIN_RESILIENCE_RESILIENCE_H_

@@ -1,5 +1,6 @@
 #include "engine/executor.h"
 
+#include <cmath>
 #include <utility>
 
 #include "engine/op/sink_ops.h"
@@ -90,6 +91,7 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
   params.max_recursion_depth = options_.max_recursion_depth;
   params.record_predicate_statistics = options_.record_predicate_statistics;
   params.trace_operators = options_.trace_operators;
+  params.tolerate_source_failures = options_.tolerate_source_failures;
 
   Bindings bindings;
   op::ExecContext cx;
@@ -118,13 +120,27 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
     }
   }
   compiled.root->Close(cx);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    if (!options_.tolerate_source_failures || !status.IsDeadlineExceeded()) {
+      return status;
+    }
+    // The query deadline cut evaluation short: hand back whatever the sink
+    // collected, marked partial, with the clock pinned at the deadline.
+    exec.answers = compiled.sink->TakeAnswers();
+    exec.t_all_ms =
+        std::isfinite(ctx->deadline_ms) ? ctx->deadline_ms : t_done;
+    exec.t_first_ms = compiled.sink->has_first() ? compiled.sink->t_first()
+                                                 : exec.t_all_ms;
+    exec.complete = false;
+    exec.domain_calls = ctx->metrics.domain_calls - calls_before;
+    return exec;
+  }
 
   exec.answers = compiled.sink->TakeAnswers();
   exec.t_all_ms = t_done;
   exec.t_first_ms = compiled.sink->has_first() ? compiled.sink->t_first()
                                                : t_done;
-  exec.complete = compiled.sink->complete();
+  exec.complete = compiled.sink->complete() && !cx.source_incomplete;
   exec.domain_calls = ctx->metrics.domain_calls - calls_before;
   return exec;
 }

@@ -49,6 +49,10 @@ struct ExecutorOptions {
   /// Emit an obs::Tracer span per physical operator (category "operator").
   /// Off by default: the walker-era trace shape stays unchanged.
   bool trace_operators = false;
+  /// Graceful degradation: lost sources yield zero rows (query reported
+  /// partial) and a query-deadline abort returns the answers gathered so
+  /// far instead of an error. Off by default.
+  bool tolerate_source_failures = false;
   /// Per-operator-kind hermes_exec_op_* instruments, shared by every query
   /// of one mediator (see op::ExecOpMetrics::Bind). May be null.
   std::shared_ptr<op::ExecOpMetrics> op_metrics;

@@ -13,6 +13,15 @@
 
 namespace hermes {
 
+const char* QueryCompletenessName(QueryCompleteness c) {
+  switch (c) {
+    case QueryCompleteness::kComplete: return "complete";
+    case QueryCompleteness::kDegraded: return "degraded";
+    case QueryCompleteness::kPartial: return "partial";
+  }
+  return "unknown";
+}
+
 Mediator::Mediator() : Mediator(/*network_seed=*/1996) {}
 
 Mediator::Mediator(uint64_t network_seed)
@@ -66,16 +75,100 @@ Status Mediator::RegisterRemoteDomain(const std::string& name,
                                       net::SiteParams site) {
   std::unique_lock lock(wiring_mu_);
   HERMES_RETURN_IF_ERROR(CheckNotServing("RegisterRemoteDomain"));
-  // Declarative stack: [network] over the source domain.
+  // Declarative stack: [resilience → network] over the source domain. The
+  // resilience layer is always present (so its metric families exist and
+  // policies can be changed later); its default policy is pass-through.
   auto link =
       std::make_shared<net::NetworkInterceptor>(std::move(site), network_);
   link->BindMetrics(*metrics_, name);
+  link->set_fault_injector(fault_injector_);
+  auto shield = std::make_shared<resilience::ResilienceInterceptor>(
+      link->site().name, network_->seed(), link, default_resilience_policy_);
+  shield->BindMetrics(*metrics_, name);
   std::string pipeline_name = inner->name() + "@" + link->site().name;
-  return registry_.Register(
-      name, std::make_shared<PipelineDomain>(
-                std::move(pipeline_name),
-                std::vector<std::shared_ptr<CallInterceptor>>{std::move(link)},
-                std::move(inner)));
+  HERMES_RETURN_IF_ERROR(registry_.Register(
+      name,
+      std::make_shared<PipelineDomain>(
+          std::move(pipeline_name),
+          std::vector<std::shared_ptr<CallInterceptor>>{shield, link},
+          std::move(inner))));
+  links_[name] = std::move(link);
+  resilience_layers_[name] = std::move(shield);
+  return Status::OK();
+}
+
+Status Mediator::SetResiliencePolicy(
+    const std::string& name, const resilience::ResiliencePolicy& policy) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("SetResiliencePolicy"));
+  auto it = resilience_layers_.find(name);
+  if (it == resilience_layers_.end()) {
+    return Status::NotFound("no remote domain '" + name +
+                            "' with a resilience layer");
+  }
+  it->second->set_policy(policy);
+  return Status::OK();
+}
+
+resilience::ResilienceInterceptor* Mediator::resilience_layer(
+    const std::string& name) {
+  auto it = resilience_layers_.find(name);
+  return it == resilience_layers_.end() ? nullptr : it->second.get();
+}
+
+Status Mediator::AddFailover(const std::string& name,
+                             const std::string& alternate) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("AddFailover"));
+  auto it = resilience_layers_.find(name);
+  if (it == resilience_layers_.end()) {
+    return Status::NotFound("no remote domain '" + name +
+                            "' with a resilience layer");
+  }
+  HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> primary,
+                          registry_.Get(name));
+  HERMES_ASSIGN_OR_RETURN(std::shared_ptr<Domain> backup,
+                          registry_.Get(alternate));
+  // The alternate must export every function the primary does — checked
+  // at wiring time so a failover never dangles at query time.
+  std::vector<FunctionInfo> exported = backup->Functions();
+  for (const FunctionInfo& fn : primary->Functions()) {
+    bool found = false;
+    for (const FunctionInfo& alt : exported) {
+      if (alt.name == fn.name && alt.arity == fn.arity) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "failover target '" + alternate + "' does not export " + fn.name +
+          "/" + std::to_string(fn.arity) + " required by '" + name + "'");
+    }
+  }
+  DomainRegistry* registry = &registry_;
+  it->second->set_failover(
+      [registry, alternate](CallContext& ctx, const DomainCall& call) {
+        DomainCall rerouted = call;
+        rerouted.domain = alternate;
+        return registry->Run(ctx, rerouted);
+      });
+  return Status::OK();
+}
+
+Status Mediator::SetFaultPlan(net::FaultPlan plan) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("SetFaultPlan"));
+  fault_injector_ =
+      plan.empty() ? nullptr
+                   : std::make_shared<const net::FaultInjector>(std::move(plan));
+  for (auto& [name, link] : links_) link->set_fault_injector(fault_injector_);
+  return Status::OK();
+}
+
+Status Mediator::LoadFaultPlan(const std::string& path) {
+  HERMES_ASSIGN_OR_RETURN(net::FaultPlan plan, net::FaultPlan::Load(path));
+  return SetFaultPlan(std::move(plan));
 }
 
 Status Mediator::EnableCaching(const std::string& name,
@@ -303,8 +396,11 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
   exec_options.record_predicate_statistics =
       options.record_statistics &&
       executor_options_.record_predicate_statistics;
+  exec_options.tolerate_source_failures =
+      options.partial_results || executor_options_.tolerate_source_failures;
   engine::Executor executor(&registry_, &dcsm_, exec_options);
   CallContext ctx;
+  if (options.deadline_ms > 0.0) ctx.deadline_ms = options.deadline_ms;
   ctx.query_id = options.query_id != 0 ? options.query_id : ReserveQueryId();
   result.query_id = ctx.query_id;
   ctx.tracer = tracer;
@@ -326,6 +422,14 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
       compiled.plan().program, compiled.tree(), &ctx);
   if (!executed.ok()) {
     query_failures_total_->Add(1);
+    // Failed queries still fold their per-layer counters into the registry
+    // series: the calls they executed (and the failures that killed them)
+    // happened, and e.g. remote_failures must keep matching the network
+    // simulator's global failure count.
+#define HERMES_FIELD(f) fold_.f->Add(ctx.metrics.f);
+    HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
+    HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)
+#undef HERMES_FIELD
     if (tracer != nullptr) {
       tracer->MarkFailed(root_span, executed.status().ToString());
       tracer->EndSpan(root_span, 0.0);  // clamps up to the children's ends
@@ -333,6 +437,23 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     return executed.status();
   }
   result.execution = std::move(executed).value();
+  result.lost_sources = std::move(ctx.source_errors);
+  bool any_lost = false;
+  for (const SourceError& e : result.lost_sources) {
+    if (!e.masked) {
+      any_lost = true;
+      break;
+    }
+  }
+  if (any_lost) {
+    result.completeness = QueryCompleteness::kPartial;
+  } else if (!result.lost_sources.empty()) {
+    result.completeness = QueryCompleteness::kDegraded;
+  } else if (options.partial_results && !result.execution.complete &&
+             ctx.metrics.deadline_aborts > 0) {
+    // The deadline cut evaluation short without losing a specific source.
+    result.completeness = QueryCompleteness::kPartial;
+  }
   if (options.explain) {
     result.explain_text = compiled.Explain(/*actuals=*/true);
   }
@@ -346,6 +467,10 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     tracer->AddArg(root_span, "plan", result.plan_description);
     tracer->AddArg(root_span, "answers",
                    std::to_string(result.execution.answers.size()));
+    if (result.completeness != QueryCompleteness::kComplete) {
+      tracer->AddArg(root_span, "completeness",
+                     QueryCompletenessName(result.completeness));
+    }
     tracer->EndSpan(root_span,
                     std::max(result.execution.t_all_ms, result.optimize_ms));
   }

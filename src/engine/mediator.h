@@ -13,8 +13,10 @@
 #include "dcsm/dcsm.h"
 #include "domain/pipeline.h"
 #include "domain/registry.h"
+#include "domain/resilience/resilience.h"
 #include "engine/executor.h"
 #include "lang/ast.h"
+#include "net/faults/fault_plan.h"
 #include "net/network.h"
 #include "net/network_interceptor.h"
 #include "obs/metrics.h"
@@ -62,7 +64,27 @@ struct QueryOptions {
   /// actuals — into QueryResult::explain_text. Use Mediator::Explain for
   /// EXPLAIN without execution.
   bool explain = false;
+  /// Per-query deadline on the simulated clock: past it the operator tree
+  /// stops issuing source calls and streaming rows. 0 (default) = none.
+  /// With partial_results the answers gathered before the deadline come
+  /// back marked partial; without it the query fails DeadlineExceeded.
+  double deadline_ms = 0.0;
+  /// Graceful degradation: a lost source contributes zero rows and the
+  /// query completes with completeness=partial naming it, instead of
+  /// failing. Off by default (the historical contract: lost source →
+  /// failed query).
+  bool partial_results = false;
 };
+
+/// How much of the full answer set a QueryResult represents.
+enum class QueryCompleteness {
+  kComplete,  ///< Every source answered.
+  kDegraded,  ///< Outages masked by (possibly stale) cached answers.
+  kPartial,   ///< Sources lost outright; answers are missing.
+};
+
+/// Stable lowercase name ("complete", "degraded", "partial").
+const char* QueryCompletenessName(QueryCompleteness c);
 
 /// Network traffic attributable to one query. Derived from the query's
 /// CallContext metrics (the network layer attributes per-query), never by
@@ -91,6 +113,10 @@ struct QueryResult {
   uint64_t query_id = 0;            ///< Id the query executed under.
   /// EXPLAIN of the executed operator tree (QueryOptions::explain).
   std::string explain_text;
+  /// Complete unless sources were lost (partial) or their outages were
+  /// masked with cached answers (degraded); lost_sources names them.
+  QueryCompleteness completeness = QueryCompleteness::kComplete;
+  std::vector<SourceError> lost_sources;
 };
 
 /// Top-level facade of the mediator system — the public API a downstream
@@ -98,8 +124,9 @@ struct QueryResult {
 /// the DCSM, per-domain CIM state, the optimizer and the executor.
 ///
 /// Domains are registered as declarative interceptor stacks (PipelineDomain):
-/// RegisterRemoteDomain installs [network → domain], EnableCaching installs
-/// [cache → network → domain] under "cim_<name>". At query time the executor
+/// RegisterRemoteDomain installs [resilience → network → domain],
+/// EnableCaching installs [cache → resilience → network → domain] under
+/// "cim_<name>". At query time the executor
 /// prepends its trace and stats layers and threads a per-query CallContext
 /// through the whole stack, which is where QueryResult::traffic/metrics
 /// come from.
@@ -157,6 +184,45 @@ class Mediator {
   /// Registers the domain's native cost model with the DCSM (the domain
   /// must return true from HasCostModel()).
   Status UseNativeCostModel(const std::string& name);
+
+  // ---- Resilience & fault injection ---------------------------------------
+
+  /// Policy applied to the resilience layer of every *subsequently*
+  /// registered remote domain (RegisterRemoteDomain always installs one;
+  /// the default policy is exact pass-through). Wiring time.
+  void set_default_resilience_policy(
+      const resilience::ResiliencePolicy& policy) {
+    default_resilience_policy_ = policy;
+  }
+  const resilience::ResiliencePolicy& default_resilience_policy() const {
+    return default_resilience_policy_;
+  }
+
+  /// Replaces the resilience policy of the already-registered remote
+  /// domain `name`. The layer is shared with the "cim_<name>" wrapper
+  /// (EnableCaching copies layer pointers), so both paths see the policy.
+  Status SetResiliencePolicy(const std::string& name,
+                             const resilience::ResiliencePolicy& policy);
+
+  /// The resilience layer of the domain registered under `name`, or
+  /// nullptr when the domain is local.
+  resilience::ResilienceInterceptor* resilience_layer(const std::string& name);
+
+  /// Failover rung of the degradation ladder: calls that give up on `name`
+  /// (retries exhausted, breaker open) are rerouted to `alternate`, which
+  /// must export every function `name` does. `alternate` must not fail
+  /// over back to `name` (the ladder does not detect cycles).
+  Status AddFailover(const std::string& name, const std::string& alternate);
+
+  /// Installs a deterministic fault-injection plan (outage windows,
+  /// flakiness, latency spikes, slow responses — see net/faults/) on every
+  /// registered and future remote link. An empty plan clears injection.
+  Status SetFaultPlan(net::FaultPlan plan);
+  /// Parses the --faults= text format (net::FaultPlan::Parse grammar).
+  Status LoadFaultPlan(const std::string& path);
+  const std::shared_ptr<const net::FaultInjector>& fault_injector() const {
+    return fault_injector_;
+  }
 
   // ---- Program management -----------------------------------------------------
 
@@ -295,6 +361,13 @@ class Mediator {
   bool per_query_net_rng_ = false;
   double pacing_scale_ = 0.0;
   std::map<std::string, std::shared_ptr<cim::CimDomain>> cims_;
+  resilience::ResiliencePolicy default_resilience_policy_;
+  std::shared_ptr<const net::FaultInjector> fault_injector_;
+  /// Remote links and resilience layers by registration name, for policy
+  /// updates and fault-plan fan-out (the registry only exposes Domains).
+  std::map<std::string, std::shared_ptr<net::NetworkInterceptor>> links_;
+  std::map<std::string, std::shared_ptr<resilience::ResilienceInterceptor>>
+      resilience_layers_;
   optimizer::RuleRewriter::Options rewriter_options_;
   optimizer::EstimatorParams estimator_params_;
   engine::ExecutorOptions executor_options_;

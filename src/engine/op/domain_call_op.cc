@@ -31,6 +31,16 @@ Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
     call.args.push_back(std::move(v));
   }
 
+  // Query-deadline cancellation: a plan past its deadline issues no
+  // further source calls (the executor decides whether the partial answer
+  // set is acceptable).
+  if (t_open >= cx.ctx->deadline_ms) {
+    ++cx.ctx->metrics.deadline_aborts;
+    return Status::DeadlineExceeded(
+        "query deadline reached at t=" + std::to_string(t_open) +
+        "ms before " + goal.call.domain + ":" + goal.call.function);
+  }
+
   // Dispatch through the call pipeline: the trace and stats layers observe
   // the call, then the registry routes it through the target domain's own
   // interceptor stack (cache, network).
@@ -45,7 +55,12 @@ Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
     span_id = tracer->BeginSpan("call:" + call.domain + ":" + call.function,
                                 "domain-call", t_open);
   }
+  const uint64_t retries_before = cx.ctx->metrics.retries;
+  const uint64_t degraded_before = cx.ctx->metrics.degraded_calls;
+  const size_t errors_before = cx.ctx->source_errors.size();
   Result<CallOutput> run = cx.pipeline->Run(*cx.ctx, call);
+  retries_seen_ += cx.ctx->metrics.retries - retries_before;
+  degraded_seen_ += cx.ctx->metrics.degraded_calls - degraded_before;
   if (tracer != nullptr) {
     if (run.ok()) {
       tracer->AddArg(span_id, "answers", std::to_string(run->answers.size()));
@@ -55,8 +70,44 @@ Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
       tracer->EndSpan(span_id, t_open);  // clamps up to child penalties
     }
   }
-  if (!run.ok()) return run.status();
-  output_ = std::move(run).value();
+  if (!run.ok()) {
+    const Status& failure = run.status();
+    const bool lost_source =
+        failure.IsUnavailable() || failure.IsDeadlineExceeded();
+    if (!lost_source || cx.params == nullptr ||
+        !cx.params->tolerate_source_failures) {
+      return failure;
+    }
+    // Graceful degradation: this source is lost; the goal contributes zero
+    // rows and the query is reported partial with the source named.
+    ++lost_seen_;
+    if (cx.ctx->source_errors.size() == errors_before) {
+      // No resilience layer below recorded the loss (plain domain stack):
+      // attribute it here from the pipeline's failure breadcrumbs.
+      SourceError err;
+      err.site = cx.ctx->last_failure_site;
+      err.domain = call.domain;
+      err.function = call.function;
+      err.cause = !cx.ctx->last_failure_cause.empty()
+                      ? cx.ctx->last_failure_cause
+                      : std::string(failure.IsDeadlineExceeded()
+                                        ? "deadline"
+                                        : "unavailable");
+      err.message = failure.ToString();
+      err.t_ms = t_open;
+      err.masked = false;
+      cx.ctx->source_errors.push_back(std::move(err));
+    }
+    output_ = CallOutput{};
+    output_.complete = false;
+    // The time burnt discovering the loss (timeouts, backoff) still
+    // elapses on the simulated clock before the empty stream completes.
+    output_.first_ms = cx.ctx->last_call_penalty_ms;
+    output_.all_ms = cx.ctx->last_call_penalty_ms;
+  } else {
+    output_ = std::move(run).value();
+  }
+  if (!output_.complete) cx.source_incomplete = true;
 
   membership_ = TermIsResolvable(goal.output, *cx.bindings);
   match_found_ = false;
@@ -78,6 +129,16 @@ Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
 Result<bool> DomainCallOp::NextImpl(ExecContext& cx, double t_resume,
                                     double* t_out) {
   frame_.reset();  // backtrack past the previous row's binding
+
+  // Cancellation between rows: once the consumer's clock passes the query
+  // deadline, stop streaming instead of feeding more work downstream.
+  if (t_resume >= cx.ctx->deadline_ms) {
+    ++cx.ctx->metrics.deadline_aborts;
+    return Status::DeadlineExceeded(
+        "query deadline reached at t=" + std::to_string(t_resume) +
+        "ms while streaming " + goal_->call.domain + ":" +
+        goal_->call.function);
+  }
 
   if (membership_) {
     if (match_found_ && !delivered_) {
@@ -115,6 +176,14 @@ void DomainCallOp::CloseImpl(ExecContext& cx) {
   (void)cx;
   frame_.reset();
   output_ = CallOutput{};
+}
+
+std::string DomainCallOp::ActualExtras() const {
+  std::string extras;
+  if (retries_seen_ > 0) extras += " retries=" + std::to_string(retries_seen_);
+  if (degraded_seen_ > 0) extras += " degraded";
+  if (lost_seen_ > 0) extras += " lost=" + std::to_string(lost_seen_);
+  return extras;
 }
 
 void DomainCallOp::Explain(ExplainPrinter& printer) {

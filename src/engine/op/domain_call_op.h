@@ -33,6 +33,7 @@ class DomainCallOp final : public PhysicalOp {
   OpKind kind() const override { return OpKind::kDomainCall; }
   std::string label() const override;
   void Explain(ExplainPrinter& printer) override;
+  std::string ActualExtras() const override;
 
   const lang::Atom& goal() const { return *goal_; }
 
@@ -54,6 +55,11 @@ class DomainCallOp final : public PhysicalOp {
   bool delivered_ = false;  ///< Membership: the single row was produced.
   size_t index_ = 0;        ///< Enumeration cursor.
   std::optional<BindingFrame> frame_;
+
+  // Resilience events accumulated across opens, surfaced by ActualExtras().
+  uint64_t retries_seen_ = 0;   ///< Retry attempts below this call.
+  uint64_t degraded_seen_ = 0;  ///< Calls served degraded from cache.
+  uint64_t lost_seen_ = 0;      ///< Failures tolerated as zero rows.
 };
 
 }  // namespace hermes::engine::op

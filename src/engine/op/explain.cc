@@ -26,7 +26,8 @@ void ExplainPrinter::NodeFor(PhysicalOp& oper, const std::string& annotations,
     const OpStats& s = oper.stats();
     text += " (actual: opens=" + std::to_string(s.opens) +
             " rows=" + std::to_string(s.rows) +
-            " sim=" + FormatNum(s.sim_total_ms) + "ms)";
+            " sim=" + FormatNum(s.sim_total_ms) + "ms" + oper.ActualExtras() +
+            ")";
   }
   Node(text, std::move(children));
 }

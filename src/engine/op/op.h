@@ -62,6 +62,12 @@ struct ExecParams {
   /// "operator"). Off by default so the trace shape of the walker era —
   /// query/rule/domain-call spans only — is preserved exactly.
   bool trace_operators = false;
+  /// Graceful degradation: a domain call that fails Unavailable (or at its
+  /// call deadline) produces zero rows instead of failing the query; the
+  /// lost source is recorded in CallContext::source_errors and the query
+  /// result is reported partial. Off by default — the historical contract
+  /// is that a lost source fails the query.
+  bool tolerate_source_failures = false;
 };
 
 /// Everything one query's operators share while the tree runs: the plan's
@@ -83,6 +89,10 @@ struct ExecContext {
   /// Row staged by ProjectOp for AnswerSinkOp — the one-slot handoff
   /// between the top of the tree and the sink.
   ValueList staged_row;
+  /// Set by DomainCallOp when a source's answers were incomplete (a lost
+  /// source tolerated as zero rows, or a degraded/partial cache serve);
+  /// the executor folds it into QueryExecution::complete.
+  bool source_incomplete = false;
 };
 
 /// Per-instance execution counters, folded into EXPLAIN "actual" output.
@@ -137,6 +147,12 @@ class PhysicalOp {
   /// prints label() and recurses into children(); operators with richer
   /// structure (rules, adornments, estimates) override it.
   virtual void Explain(ExplainPrinter& printer);
+
+  /// Extra tokens appended inside the EXPLAIN "(actual: ...)" suffix.
+  /// Empty by default (and when nothing noteworthy happened) so existing
+  /// EXPLAIN output is byte-identical; DomainCallOp reports resilience
+  /// events (" retries=N", " degraded", " lost").
+  virtual std::string ActualExtras() const { return {}; }
 
  protected:
   PhysicalOp() = default;

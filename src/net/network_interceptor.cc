@@ -36,6 +36,26 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
       ctx.net_rng != nullptr
           ? network_->PlanCall(site_, call.Hash(), *ctx.net_rng)
           : network_->PlanCall(site_, call.Hash());
+  // The fault plan overlays the simulator's own availability draw. Its
+  // decisions come from streams keyed on (plan seed, query, call, attempt)
+  // — never from ctx.net_rng — so an empty/absent plan leaves the legacy
+  // jitter sequence untouched byte for byte.
+  const char* cause = transfer.available ? "" : "unavailable";
+  if (faults_ != nullptr) {
+    FaultDecision fate = faults_->Decide(site_.name, ctx.query_id,
+                                         call.Hash(), ctx.call_attempt,
+                                         ctx.now_ms);
+    if (fate.unavailable && transfer.available) {
+      transfer.available = false;
+      transfer.penalty_ms = site_.retry_timeout_ms;
+      cause = fate.cause;
+    }
+    transfer.request_ms *= fate.latency_factor;
+    transfer.per_byte_ms *= fate.latency_factor;
+    transfer.response_lag_ms =
+        transfer.response_lag_ms * fate.latency_factor +
+        fate.extra_response_ms;
+  }
   ++ctx.metrics.remote_calls;
   site_calls_->Add(1);
   obs::SpanScope hop(ctx.tracer, "network-hop", "net", ctx.now_ms);
@@ -45,11 +65,20 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
     network_->RecordFailure();
     ++ctx.metrics.remote_failures;
     site_failures_->Add(1);
+    ctx.last_failure_site = site_.name;
+    ctx.last_failure_cause = cause;
+    ctx.last_call_penalty_ms = transfer.penalty_ms;
     hop.set_sim_end(ctx.now_ms + transfer.penalty_ms);
-    hop.MarkFailed("unavailable");
-    return Status::Unavailable("site '" + site_.name +
-                               "' is temporarily unavailable for " +
-                               call.ToString());
+    hop.MarkFailed(cause);
+    // The plain availability draw keeps the legacy wrapper's exact message
+    // (NetworkDeterminismTest pins the two paths byte-identical); only
+    // fault-plan causes annotate it.
+    std::string msg = "site '" + site_.name + "' is temporarily unavailable";
+    if (std::string(cause) != "unavailable") {
+      msg += " (" + std::string(cause) + ")";
+    }
+    msg += " for " + call.ToString();
+    return Status::Unavailable(std::move(msg));
   }
   last_penalty_ms_.store(0.0, std::memory_order_relaxed);
 

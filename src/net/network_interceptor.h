@@ -6,6 +6,7 @@
 #include <string>
 
 #include "domain/pipeline.h"
+#include "net/faults/fault_plan.h"
 #include "net/network.h"
 #include "net/site.h"
 #include "obs/metrics.h"
@@ -52,6 +53,18 @@ class NetworkInterceptor : public CallInterceptor {
   /// a site down (set availability to 0) or degrade it mid-run.
   SiteParams& mutable_site() { return site_; }
 
+  /// Installs (or clears) a deterministic fault-injection plan: each call
+  /// attempt first consults `faults` (outage windows, flakiness, latency
+  /// spikes, slow responses) before the simulator's own availability draw.
+  /// Wiring-time only; Mediator::LoadFaultPlan fans one injector out to
+  /// every registered link.
+  void set_fault_injector(std::shared_ptr<const FaultInjector> faults) {
+    faults_ = std::move(faults);
+  }
+  const std::shared_ptr<const FaultInjector>& fault_injector() const {
+    return faults_;
+  }
+
   /// Simulated time the last call (by any thread) lost to an unavailable
   /// site (0 when the last call succeeded).
   double last_unavailable_penalty_ms() const {
@@ -68,6 +81,7 @@ class NetworkInterceptor : public CallInterceptor {
  private:
   SiteParams site_;
   std::shared_ptr<NetworkSimulator> network_;
+  std::shared_ptr<const FaultInjector> faults_;
   std::atomic<double> last_penalty_ms_{0.0};
 
   // Per-site slice of the traffic, mirrored into the registry on bind.

@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "common/sim_costs.h"
+
 namespace hermes::net {
 
 /// Link characteristics of one remote site hosting a domain.
@@ -21,8 +23,11 @@ struct SiteParams {
   double charge_per_call = 0.0;  ///< Financial access fee per call.
   double charge_per_kb = 0.0;    ///< Financial fee per KB transferred.
 
-  double availability = 1.0;       ///< Per-call probability of reachability.
-  double retry_timeout_ms = 2000;  ///< Time lost discovering unavailability.
+  double availability = 1.0;  ///< Per-call probability of reachability.
+  /// Time lost discovering unavailability (single-sourced with the
+  /// simulation cost constants so executor, resilience layer and estimator
+  /// charge the same penalty).
+  double retry_timeout_ms = kDefaultRetryTimeoutMs;
 };
 
 /// Same-machine "site": negligible latency.

@@ -1,0 +1,197 @@
+// Chaos suite (ctest -L chaos): the rope testbed under the canned fault
+// plan in chaos.faults, served through a concurrent QueryPool. Two
+// properties are on trial:
+//
+//   1. Liveness — every query terminates with answers or a clean error,
+//      whatever the fault plan does to its sources.
+//   2. Determinism — per-query outcomes (answers, virtual times, retry and
+//      breaker counters, completeness) are bit-identical at 1 and 8 worker
+//      threads, because every random draw is keyed on the query's own
+//      identity rather than on scheduling order.
+//
+// CI also runs this binary under ThreadSanitizer as the chaos stress job.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/mediator.h"
+#include "engine/query_pool.h"
+#include "net/faults/fault_plan.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+std::string CannedPlanPath() {
+  return std::string(HERMES_TEST_SRCDIR) + "/chaos/chaos.faults";
+}
+
+/// One query's outcome, flattened for exact comparison across runs.
+struct Outcome {
+  bool ok = false;
+  std::string error;
+  size_t answers = 0;
+  double t_all_ms = 0.0;
+  uint64_t retries = 0;
+  uint64_t breaker_shed = 0;
+  uint64_t deadline_aborts = 0;
+  uint64_t degraded_calls = 0;
+  uint64_t remote_failures = 0;
+  double retry_backoff_ms = 0.0;
+  int completeness = 0;
+  size_t lost_sources = 0;
+
+  bool operator==(const Outcome& other) const {
+    return ok == other.ok && error == other.error &&
+           answers == other.answers && t_all_ms == other.t_all_ms &&
+           retries == other.retries && breaker_shed == other.breaker_shed &&
+           deadline_aborts == other.deadline_aborts &&
+           degraded_calls == other.degraded_calls &&
+           remote_failures == other.remote_failures &&
+           retry_backoff_ms == other.retry_backoff_ms &&
+           completeness == other.completeness &&
+           lost_sources == other.lost_sources;
+  }
+};
+
+std::string Describe(const Outcome& o) {
+  return "ok=" + std::to_string(o.ok) + " answers=" +
+         std::to_string(o.answers) + " t_all=" + std::to_string(o.t_all_ms) +
+         " retries=" + std::to_string(o.retries) + " shed=" +
+         std::to_string(o.breaker_shed) + " deadline_aborts=" +
+         std::to_string(o.deadline_aborts) + " degraded=" +
+         std::to_string(o.degraded_calls) + " completeness=" +
+         std::to_string(o.completeness) + " lost=" +
+         std::to_string(o.lost_sources) + " err=" + o.error;
+}
+
+/// The canned chaos workload: the appendix queries over shifting frame
+/// windows, so the pool mixes cold calls, cache hits and fault windows.
+std::vector<std::string> Workload(size_t n) {
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < n; ++i) {
+    int number = 1 + static_cast<int>(i % 4);
+    int64_t first = 4 + static_cast<int64_t>(3 * (i % 5));
+    int64_t last = first + 20 + static_cast<int64_t>(i % 7);
+    queries.push_back(testbed::AppendixQuery(number, false, first, last));
+  }
+  return queries;
+}
+
+std::unique_ptr<Mediator> ChaosMediator(bool caching) {
+  auto med = std::make_unique<Mediator>();
+  resilience::ResiliencePolicy policy;
+  policy.retry.max_retries = 2;
+  policy.breaker.enabled = true;
+  policy.breaker.failure_threshold = 3;
+  policy.call_deadline_ms = 25000.0;  // abandons the 30s slow injections
+  med->set_default_resilience_policy(policy);
+  testbed::RopeScenarioOptions scenario;
+  scenario.enable_caching = caching;
+  EXPECT_TRUE(testbed::SetupRopeScenario(med.get(), scenario).ok());
+  EXPECT_TRUE(med->LoadFaultPlan(CannedPlanPath()).ok());
+  // Per-query network streams: simulated jitter must not depend on which
+  // worker thread runs the query (the fault plan's own draws never do).
+  med->set_per_query_network_rng(true);
+  return med;
+}
+
+/// Runs the workload through a pool of `threads` workers. `caching` keeps
+/// the CIM in the stack; the bit-identity tests turn it off (and the
+/// workload uses distinct query texts), because what a *shared* cache holds
+/// when a query arrives legitimately depends on completion order.
+std::vector<Outcome> RunPool(size_t threads,
+                             const std::vector<std::string>& queries,
+                             bool caching) {
+  std::unique_ptr<Mediator> med = ChaosMediator(caching);
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = threads;
+  std::unique_ptr<QueryPool> pool = med->Serve(pool_options);
+  QueryOptions options;
+  options.use_optimizer = false;
+  options.use_cim = caching;
+  options.partial_results = true;
+  options.record_statistics = false;
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Pin the ids so both runs use the same per-query streams regardless
+    // of scheduling.
+    QueryOptions pinned = options;
+    pinned.query_id = 1000 + i;
+    futures.push_back(pool->Submit(queries[i], pinned));
+  }
+  std::vector<Outcome> outcomes;
+  for (auto& future : futures) {
+    Result<QueryResult> res = future.get();
+    Outcome o;
+    o.ok = res.ok();
+    if (!res.ok()) {
+      o.error = res.status().ToString();
+    } else {
+      o.answers = res->execution.answers.size();
+      o.t_all_ms = res->execution.t_all_ms;
+      o.retries = res->metrics.retries;
+      o.breaker_shed = res->metrics.breaker_shed;
+      o.deadline_aborts = res->metrics.deadline_aborts;
+      o.degraded_calls = res->metrics.degraded_calls;
+      o.remote_failures = res->metrics.remote_failures;
+      o.retry_backoff_ms = res->metrics.retry_backoff_ms;
+      o.completeness = static_cast<int>(res->completeness);
+      o.lost_sources = res->lost_sources.size();
+    }
+    outcomes.push_back(std::move(o));
+  }
+  pool->Shutdown();
+  return outcomes;
+}
+
+TEST(ChaosTest, EveryQueryTerminatesUnderTheCannedPlan) {
+  std::vector<std::string> queries = Workload(24);
+  std::vector<Outcome> outcomes = RunPool(8, queries, /*caching=*/true);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  size_t succeeded = 0, with_faults = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    // partial_results tolerates lost sources: the only clean failure class
+    // left is a parse/compile error, which this workload never produces.
+    EXPECT_TRUE(o.ok) << "query " << i << ": " << o.error;
+    succeeded += o.ok;
+    with_faults += (o.retries + o.deadline_aborts + o.breaker_shed +
+                    o.remote_failures) > 0;
+  }
+  EXPECT_EQ(succeeded, queries.size());
+  // The plan is aggressive enough that faults actually fired somewhere.
+  EXPECT_GT(with_faults, 0u);
+}
+
+TEST(ChaosTest, OutcomesAreBitIdenticalAcrossThreadCounts) {
+  std::vector<std::string> queries = Workload(16);
+  std::vector<Outcome> serial = RunPool(1, queries, /*caching=*/false);
+  std::vector<Outcome> concurrent = RunPool(8, queries, /*caching=*/false);
+  ASSERT_EQ(serial.size(), concurrent.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == concurrent[i])
+        << "query " << i << " diverged:\n  1 thread: " << Describe(serial[i])
+        << "\n  8 threads: " << Describe(concurrent[i]);
+  }
+}
+
+TEST(ChaosTest, RepeatRunsOfTheSamePoolConfigurationAgree) {
+  std::vector<std::string> queries = Workload(12);
+  std::vector<Outcome> first = RunPool(4, queries, /*caching=*/false);
+  std::vector<Outcome> second = RunPool(4, queries, /*caching=*/false);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i] == second[i])
+        << "query " << i << " diverged:\n  run 1: " << Describe(first[i])
+        << "\n  run 2: " << Describe(second[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hermes

@@ -78,5 +78,67 @@ TEST(CimStalenessTest, StaleEntriesInvisibleToInvariants) {
   EXPECT_EQ(cim.stats().equality_hits, 0u);
 }
 
+/// VersionedDomain that can be taken down: while `down`, Run fails
+/// Unavailable the way a dead site's network layer does.
+class OutageDomain : public VersionedDomain {
+ public:
+  using VersionedDomain::VersionedDomain;
+  void set_down(bool down) { down_ = down; }
+  Result<CallOutput> Run(const DomainCall& call) override {
+    if (down_) return Status::Unavailable("site is down");
+    return VersionedDomain::Run(call);
+  }
+
+ private:
+  bool down_ = false;
+};
+
+TEST(CimStalenessTest, StaleFallbackMasksAMissPathOutage) {
+  auto inner = std::make_shared<OutageDomain>("v");
+  CimOptions options;
+  options.max_entry_age = 1;
+  options.serve_stale_on_unavailable = true;
+  CimDomain cim("cim_v", "v", inner, options);
+
+  (void)cim.Run(TheCall());                                // tick 1: cached @1
+  (void)cim.Run(DomainCall{"v", "now", {Value::Int(2)}});  // tick 2: ages @1
+  inner->set_down(true);
+  // Tick 3: the @1 entry is 2 ticks old — an ordinary miss — and the
+  // actual call fails. The degradation ladder's last rung serves the stale
+  // entry anyway, marked degraded.
+  Result<CallOutput> degraded = cim.Run(TheCall());
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded->answers[0], Value::Int(1));  // the stale version
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(cim.stats().stale_serves, 1u);
+  // A call with no cached material at all still fails cleanly.
+  Result<CallOutput> lost = cim.Run(DomainCall{"v", "now", {Value::Int(9)}});
+  EXPECT_FALSE(lost.ok());
+  EXPECT_TRUE(lost.status().IsUnavailable());
+  EXPECT_EQ(cim.stats().unavailable_failed, 1u);
+  // Once the source recovers, the entry is refreshed and degradation ends.
+  inner->set_down(false);
+  Result<CallOutput> fresh = cim.Run(TheCall());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->degraded);
+  EXPECT_EQ(cim.stats().stale_serves, 1u);
+}
+
+TEST(CimStalenessTest, StaleFallbackIsOffByDefault) {
+  auto inner = std::make_shared<OutageDomain>("v");
+  CimOptions options;
+  options.max_entry_age = 1;
+  CimDomain cim("cim_v", "v", inner, options);
+  (void)cim.Run(TheCall());                                // tick 1: cached @1
+  (void)cim.Run(DomainCall{"v", "now", {Value::Int(2)}});  // tick 2: ages @1
+  inner->set_down(true);
+  // The historical miss-path behaviour: a miss over a dead source fails,
+  // stale material or not.
+  Result<CallOutput> lost = cim.Run(TheCall());
+  EXPECT_FALSE(lost.ok());
+  EXPECT_TRUE(lost.status().IsUnavailable());
+  EXPECT_EQ(cim.stats().stale_serves, 0u);
+}
+
 }  // namespace
 }  // namespace hermes::cim

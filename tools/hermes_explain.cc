@@ -3,12 +3,15 @@
 //
 //   hermes_explain [--query=TEXT | --appendix=N] [--primed]
 //                  [--first=F] [--last=L]
-//                  [--no-optimize] [--no-cim] [--execute]
+//                  [--no-optimize] [--no-cim] [--execute] [--faults=FILE]
 //
 // By default the optimizer picks the plan and the tree is printed with
 // static adornments and DCSM cost estimates, without executing anything.
 // --execute runs the query first and appends per-operator actuals
-// (opens/rows/virtual time) to every node.
+// (opens/rows/virtual time) to every node. --faults=FILE installs a
+// deterministic fault-injection plan (net/faults grammar) with retries and
+// graceful degradation enabled, so the actuals show retries=/lost=
+// annotations on the affected calls.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +26,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   std::string query_text;
+  std::string faults_file;
   int appendix = 3;
   bool primed = false;
   long long first = 4, last = 47;
@@ -48,10 +52,13 @@ int Run(int argc, char** argv) {
       use_cim = false;
     } else if (arg == "--execute") {
       execute = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_file = value("--faults=");
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--query=TEXT | --appendix=N] [--primed] [--first=F] "
-          "[--last=L] [--no-optimize] [--no-cim] [--execute]\n",
+          "[--last=L] [--no-optimize] [--no-cim] [--execute] "
+          "[--faults=FILE]\n",
           argv[0]);
       return 0;
     } else {
@@ -64,16 +71,30 @@ int Run(int argc, char** argv) {
   }
 
   Mediator med;
+  if (!faults_file.empty()) {
+    resilience::ResiliencePolicy policy;
+    policy.retry.max_retries = 2;
+    med.set_default_resilience_policy(policy);
+  }
   Status setup = testbed::SetupRopeScenario(&med, {});
   if (!setup.ok()) {
     std::fprintf(stderr, "scenario setup failed: %s\n",
                  setup.ToString().c_str());
     return 1;
   }
+  if (!faults_file.empty()) {
+    Status faults = med.LoadFaultPlan(faults_file);
+    if (!faults.ok()) {
+      std::fprintf(stderr, "fault plan rejected: %s\n",
+                   faults.ToString().c_str());
+      return 1;
+    }
+  }
 
   QueryOptions options;
   options.use_optimizer = optimize;
   options.use_cim = use_cim;
+  options.partial_results = !faults_file.empty();
 
   if (execute) {
     options.explain = true;
@@ -84,7 +105,12 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::fputs(run->explain_text.c_str(), stdout);
-    std::fprintf(stderr, "%s\n", run->execution.ToString().c_str());
+    std::fprintf(stderr, "%s completeness=%s\n",
+                 run->execution.ToString().c_str(),
+                 QueryCompletenessName(run->completeness));
+    for (const SourceError& lost : run->lost_sources) {
+      std::fprintf(stderr, "lost source: %s\n", lost.ToString().c_str());
+    }
     return 0;
   }
 

@@ -3,9 +3,14 @@
 // cold vs. warm run of the Figure 5 appendix query.
 //
 //   hermes_obs_dump [--prom-out=FILE] [--json-out=FILE] [--trace-out=FILE]
+//                   [--faults=FILE]
 //
 // With no flags the Prometheus exposition goes to stdout. The trace file
 // loads directly in chrome://tracing or https://ui.perfetto.dev.
+// --faults=FILE installs a deterministic fault-injection plan (see
+// net/faults/fault_plan.h for the grammar); queries then run with retries,
+// a circuit breaker, and graceful degradation enabled, so the
+// hermes_resilience_* series move.
 
 #include <cstdio>
 #include <cstring>
@@ -32,7 +37,7 @@ bool WriteFile(const std::string& path, const std::string& contents) {
 }
 
 int Run(int argc, char** argv) {
-  std::string prom_out, json_out, trace_out;
+  std::string prom_out, json_out, trace_out, faults_file;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&arg](const char* prefix) {
@@ -44,9 +49,12 @@ int Run(int argc, char** argv) {
       json_out = value("--json-out=");
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = value("--trace-out=");
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_file = value("--faults=");
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--prom-out=FILE] [--json-out=FILE] [--trace-out=FILE]\n",
+          "usage: %s [--prom-out=FILE] [--json-out=FILE] [--trace-out=FILE] "
+          "[--faults=FILE]\n",
           argv[0]);
       return 0;
     } else {
@@ -56,11 +64,27 @@ int Run(int argc, char** argv) {
   }
 
   Mediator med;
+  if (!faults_file.empty()) {
+    // Under fault injection, give every remote domain an active policy so
+    // the resilience machinery (retries, breaker, degradation) engages.
+    resilience::ResiliencePolicy policy;
+    policy.retry.max_retries = 2;
+    policy.breaker.enabled = true;
+    med.set_default_resilience_policy(policy);
+  }
   Status setup = testbed::SetupRopeScenario(&med, {});
   if (!setup.ok()) {
     std::fprintf(stderr, "scenario setup failed: %s\n",
                  setup.ToString().c_str());
     return 1;
+  }
+  if (!faults_file.empty()) {
+    Status faults = med.LoadFaultPlan(faults_file);
+    if (!faults.ok()) {
+      std::fprintf(stderr, "fault plan rejected: %s\n",
+                   faults.ToString().c_str());
+      return 1;
+    }
   }
 
   // Cold and warm runs of the appendix "objects in frames [4,47]" query:
@@ -68,6 +92,7 @@ int Run(int argc, char** argv) {
   // span trees land side by side on the trace timeline.
   QueryOptions options;
   options.use_optimizer = false;
+  options.partial_results = !faults_file.empty();
   std::string query = testbed::AppendixQuery(3, false, 4, 47);
   obs::Tracer cold, warm;
   options.tracer = &cold;
@@ -85,9 +110,12 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr,
-               "cold: %.1f simulated ms, warm: %.1f simulated ms, "
+               "cold: %.1f simulated ms (%s), warm: %.1f simulated ms (%s), "
                "%zu answers\n",
-               cold_run->execution.t_all_ms, warm_run->execution.t_all_ms,
+               cold_run->execution.t_all_ms,
+               QueryCompletenessName(cold_run->completeness),
+               warm_run->execution.t_all_ms,
+               QueryCompletenessName(warm_run->completeness),
                warm_run->execution.answers.size());
 
   std::string prom = med.metrics().ExposePrometheus();

@@ -29,6 +29,11 @@ DEFAULT_REQUIRED = [
     "hermes_cache_hits_total",
     "hermes_cim_exact_hits_total",
     "hermes_dcsm_records_total",
+    "hermes_resilience_retries_total",
+    "hermes_resilience_breaker_shed_total",
+    "hermes_resilience_breaker_transitions_total",
+    "hermes_resilience_deadline_aborts_total",
+    "hermes_resilience_stale_serves_total",
 ]
 
 
