@@ -13,6 +13,15 @@ size_t SplitBudget(size_t budget, size_t shards) {
 
 }  // namespace
 
+ResultCache::Shard::~Shard() {
+  // The LRU list threads through every resident node exactly once; the
+  // hash index shares the same nodes, so one sweep frees everything.
+  lru.ForEach([](Node& node) {
+    delete &node;
+    return true;
+  });
+}
+
 ResultCache::ResultCache(size_t max_entries, size_t max_bytes,
                          size_t num_shards) {
   if (num_shards == 0) {
@@ -28,83 +37,97 @@ ResultCache::ResultCache(size_t max_entries, size_t max_bytes,
   shard_max_bytes_ = SplitBudget(max_bytes, num_shards);
 }
 
-ResultCache::Shard& ResultCache::ShardFor(const DomainCall& call) {
-  return *shards_[call.Hash() % shards_.size()];
-}
-
-const ResultCache::Shard& ResultCache::ShardFor(const DomainCall& call) const {
-  return *shards_[call.Hash() % shards_.size()];
+ResultCache::Node* ResultCache::FindLocked(const Shard& shard,
+                                           const DomainCall& call,
+                                           size_t hash) {
+  return shard.index.Find(
+      hash, [&](const Node& node) { return node.entry.call == call; });
 }
 
 void ResultCache::Put(DomainCall call, AnswerSet answers, bool complete,
                       uint64_t now) {
-  CacheEntry entry;
-  entry.bytes = AnswerSetByteSize(answers);
-  entry.call = std::move(call);
-  entry.answers = std::move(answers);
-  entry.complete = complete;
-  entry.inserted_at = now;
+  const size_t hash = call.Hash();
+  const size_t bytes = AnswerSetByteSize(answers);
 
-  Shard& shard = ShardFor(entry.call);
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard_max_bytes_ > 0 && entry.bytes > shard_max_bytes_) {
+  if (shard_max_bytes_ > 0 && bytes > shard_max_bytes_) {
     // The entry alone busts the byte budget: inserting it would evict
     // every resident entry and then the entry itself — reject instead.
-    RemoveLocked(shard, entry.call);
+    if (Node* stale = FindLocked(shard, call, hash)) {
+      RemoveNodeLocked(shard, stale);
+    }
     oversize_rejects_->Add(1);
     return;
   }
-  RemoveLocked(shard, entry.call);
-  shard.total_bytes += entry.bytes;
-  shard.lru.push_front(std::move(entry));
-  shard.index[shard.lru.front().call] = shard.lru.begin();
+  if (Node* old = FindLocked(shard, call, hash)) {
+    RemoveNodeLocked(shard, old);
+  }
+  Node* node = new Node;
+  node->entry.call = std::move(call);
+  node->entry.answers = std::move(answers);
+  node->entry.complete = complete;
+  node->entry.bytes = bytes;
+  node->entry.inserted_at = now;
+  shard.total_bytes += bytes;
+  ++shard.count;
+  shard.index.Insert(node, hash);
+  shard.lru.PushFront(node);
   insertions_->Add(1);
   EvictIfNeededLocked(shard);
 }
 
 std::optional<CacheEntry> ResultCache::Get(const DomainCall& call) {
-  Shard& shard = ShardFor(call);
+  const size_t hash = call.Hash();
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(call);
-  if (it == shard.index.end()) {
+  Node* node = FindLocked(shard, call, hash);
+  if (node == nullptr) {
     misses_->Add(1);
     return std::nullopt;
   }
   hits_->Add(1);
-  // Bump to front.
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  it->second = shard.lru.begin();
-  return *it->second;
+  shard.lru.MoveToFront(node);
+  return node->entry;
 }
 
 std::optional<CacheEntry> ResultCache::Peek(const DomainCall& call) const {
-  const Shard& shard = ShardFor(call);
+  const size_t hash = call.Hash();
+  const Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(call);
-  if (it == shard.index.end()) return std::nullopt;
-  return *it->second;
+  const Node* node = FindLocked(shard, call, hash);
+  if (node == nullptr) return std::nullopt;
+  return node->entry;
 }
 
 void ResultCache::Remove(const DomainCall& call) {
-  Shard& shard = ShardFor(call);
+  const size_t hash = call.Hash();
+  Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  RemoveLocked(shard, call);
+  if (Node* node = FindLocked(shard, call, hash)) {
+    RemoveNodeLocked(shard, node);
+  }
 }
 
-void ResultCache::RemoveLocked(Shard& shard, const DomainCall& call) {
-  auto it = shard.index.find(call);
-  if (it == shard.index.end()) return;
-  shard.total_bytes -= it->second->bytes;
-  shard.lru.erase(it->second);
-  shard.index.erase(it);
+void ResultCache::RemoveNodeLocked(Shard& shard, Node* node) {
+  shard.total_bytes -= node->entry.bytes;
+  --shard.count;
+  shard.index.Remove(node);
+  IntrusiveList<Node, &Node::lru_node>::Remove(node);
+  delete node;
 }
 
 void ResultCache::Clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
-    shard->index.clear();
+    shard->lru.ForEach([](Node& node) {
+      delete &node;
+      return true;
+    });
+    shard->lru.Clear();
+    shard->index.Clear();
     shard->total_bytes = 0;
+    shard->count = 0;
   }
 }
 
@@ -112,9 +135,12 @@ void ResultCache::ForEach(
     const std::function<bool(const CacheEntry& entry)>& fn) const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (const CacheEntry& entry : shard->lru) {
-      if (!fn(entry)) return;
-    }
+    bool keep_going = true;
+    shard->lru.ForEach([&](const Node& node) {
+      keep_going = fn(node.entry);
+      return keep_going;
+    });
+    if (!keep_going) return;
   }
 }
 
@@ -122,7 +148,7 @@ size_t ResultCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->lru.size();
+    total += shard->count;
   }
   return total;
 }
@@ -181,13 +207,14 @@ void ResultCache::BindMetrics(obs::MetricsRegistry& registry,
 }
 
 void ResultCache::EvictIfNeededLocked(Shard& shard) {
-  while ((shard_max_entries_ > 0 && shard.lru.size() > shard_max_entries_) ||
+  while ((shard_max_entries_ > 0 && shard.count > shard_max_entries_) ||
          (shard_max_bytes_ > 0 && shard.total_bytes > shard_max_bytes_)) {
-    if (shard.lru.empty()) return;
-    const CacheEntry& victim = shard.lru.back();
-    shard.total_bytes -= victim.bytes;
-    shard.index.erase(victim.call);
-    shard.lru.pop_back();
+    Node* victim = shard.lru.PopBack();
+    if (victim == nullptr) return;
+    shard.total_bytes -= victim->entry.bytes;
+    --shard.count;
+    shard.index.Remove(victim);
+    delete victim;
     evictions_->Add(1);
   }
 }

@@ -3,14 +3,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/intrusive_map.h"
 #include "common/result.h"
 #include "domain/call.h"
 #include "obs/metrics.h"
@@ -116,20 +115,37 @@ class ResultCache {
   void BindMetrics(obs::MetricsRegistry& registry, const std::string& domain);
 
  private:
+  /// One resident entry, allocated exactly once: the payload plus both of
+  /// its index memberships (hash chain + LRU links) embedded in the same
+  /// block — the kernel hashtable/list_head idiom. The node-based
+  /// std::unordered_map + std::list layout this replaces cost two extra
+  /// allocations per entry and re-hashed the key on every touch; here the
+  /// hash is computed once per operation and cached in the hash node.
+  struct Node {
+    CacheEntry entry;
+    IntrusiveMapNode hash_node;
+    IntrusiveListNode lru_node;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     size_t total_bytes = 0;
-    // LRU list: front = most recent. Map points into the list.
-    std::list<CacheEntry> lru;
-    std::unordered_map<DomainCall, std::list<CacheEntry>::iterator,
-                       DomainCallHash>
-        index;
+    size_t count = 0;
+    IntrusiveList<Node, &Node::lru_node> lru;  ///< Front = most recent.
+    IntrusiveHashMap<Node, &Node::hash_node> index;
+    ~Shard();
   };
 
-  Shard& ShardFor(const DomainCall& call);
-  const Shard& ShardFor(const DomainCall& call) const;
-  /// Unlinks `call` from `shard` if present; caller holds the shard lock.
-  void RemoveLocked(Shard& shard, const DomainCall& call);
+  Shard& ShardFor(size_t hash) { return *shards_[hash % shards_.size()]; }
+  const Shard& ShardFor(size_t hash) const {
+    return *shards_[hash % shards_.size()];
+  }
+  /// Exact-match node for `call` (whose Hash() is `hash`), or nullptr.
+  /// Caller holds the shard lock.
+  static Node* FindLocked(const Shard& shard, const DomainCall& call,
+                          size_t hash);
+  /// Unlinks and frees `node`; caller holds the shard lock.
+  void RemoveNodeLocked(Shard& shard, Node* node);
   /// Evicts LRU entries until `shard` fits its budgets; caller holds lock.
   void EvictIfNeededLocked(Shard& shard);
 

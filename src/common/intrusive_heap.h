@@ -1,0 +1,125 @@
+#ifndef HERMES_COMMON_INTRUSIVE_HEAP_H_
+#define HERMES_COMMON_INTRUSIVE_HEAP_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hermes {
+
+/// Embedded heap bookkeeping: the element's current position in the heap
+/// array, maintained by IntrusiveMinHeap so Update/Remove are O(log n)
+/// without any auxiliary index (the kernel min_heap idiom).
+struct IntrusiveHeapNode {
+  static constexpr size_t kNotInHeap = static_cast<size_t>(-1);
+  size_t index = kNotInHeap;
+
+  bool in_heap() const { return index != kNotInHeap; }
+};
+
+/// Binary min-heap over elements embedding an IntrusiveHeapNode at member
+/// pointer `Node`, ordered by `Less` over the elements. The heap stores
+/// only pointers; elements are allocated and freed by the caller, so
+/// membership costs zero per-entry allocations (the backing pointer vector
+/// grows amortized and can be Reserve()d up front).
+///
+/// Because every element knows its own position, decrease-key is native:
+/// mutate the element's key, then call Update(item) — no duplicate entries
+/// and no lazy-deletion pass, unlike std::priority_queue.
+template <typename T, IntrusiveHeapNode T::*Node, typename Less>
+class IntrusiveMinHeap {
+ public:
+  explicit IntrusiveMinHeap(Less less = Less()) : less_(std::move(less)) {}
+
+  IntrusiveMinHeap(const IntrusiveMinHeap&) = delete;
+  IntrusiveMinHeap& operator=(const IntrusiveMinHeap&) = delete;
+
+  bool empty() const { return slots_.empty(); }
+  size_t size() const { return slots_.size(); }
+  void Reserve(size_t n) { slots_.reserve(n); }
+
+  static bool Contains(const T* item) { return (item->*Node).in_heap(); }
+
+  T* Top() const { return slots_.empty() ? nullptr : slots_[0]; }
+
+  void Push(T* item) {
+    (item->*Node).index = slots_.size();
+    slots_.push_back(item);
+    SiftUp(slots_.size() - 1);
+  }
+
+  T* Pop() {
+    if (slots_.empty()) return nullptr;
+    T* top = slots_[0];
+    RemoveAt(0);
+    (top->*Node).index = IntrusiveHeapNode::kNotInHeap;
+    return top;
+  }
+
+  /// Restores heap order after `item`'s key changed in either direction.
+  void Update(T* item) {
+    size_t i = (item->*Node).index;
+    if (!SiftUp(i)) SiftDown(i);
+  }
+
+  void Remove(T* item) {
+    size_t i = (item->*Node).index;
+    RemoveAt(i);
+    (item->*Node).index = IntrusiveHeapNode::kNotInHeap;
+  }
+
+  void Clear() {
+    for (T* item : slots_) (item->*Node).index = IntrusiveHeapNode::kNotInHeap;
+    slots_.clear();
+  }
+
+ private:
+  void Place(T* item, size_t i) {
+    slots_[i] = item;
+    (item->*Node).index = i;
+  }
+
+  bool SiftUp(size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!less_(*slots_[i], *slots_[parent])) break;
+      T* tmp = slots_[i];
+      Place(slots_[parent], i);
+      Place(tmp, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(size_t i) {
+    size_t n = slots_.size();
+    for (;;) {
+      size_t smallest = i;
+      size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && less_(*slots_[l], *slots_[smallest])) smallest = l;
+      if (r < n && less_(*slots_[r], *slots_[smallest])) smallest = r;
+      if (smallest == i) return;
+      T* tmp = slots_[i];
+      Place(slots_[smallest], i);
+      Place(tmp, smallest);
+      i = smallest;
+    }
+  }
+
+  void RemoveAt(size_t i) {
+    T* last = slots_.back();
+    slots_.pop_back();
+    if (i < slots_.size()) {
+      Place(last, i);
+      if (!SiftUp(i)) SiftDown(i);
+    }
+  }
+
+  std::vector<T*> slots_;
+  Less less_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_INTRUSIVE_HEAP_H_

@@ -1,0 +1,207 @@
+#include "common/row.h"
+
+#include <algorithm>
+#include <new>
+
+namespace hermes {
+
+namespace {
+
+/// Type rank mirroring Value::Compare's ordering of mixed-type slots.
+int SlotRank(const Row::Slot& s) {
+  switch (s.tag) {
+    case Row::Slot::Tag::kNull:
+      return 0;
+    case Row::Slot::Tag::kBool:
+      return 1;
+    case Row::Slot::Tag::kInt:
+    case Row::Slot::Tag::kDouble:
+      return 2;
+    case Row::Slot::Tag::kString:
+      return 3;
+    case Row::Slot::Tag::kRef:
+      return -1;  // resolved through the referenced Value
+  }
+  return 0;
+}
+
+int Sign3(int c) { return c == 0 ? 0 : (c < 0 ? -1 : 1); }
+
+}  // namespace
+
+const char* RowFieldTypeName(RowFieldType type) {
+  switch (type) {
+    case RowFieldType::kAny:
+      return "any";
+    case RowFieldType::kNull:
+      return "null";
+    case RowFieldType::kBool:
+      return "bool";
+    case RowFieldType::kInt:
+      return "int";
+    case RowFieldType::kDouble:
+      return "double";
+    case RowFieldType::kString:
+      return "string";
+    case RowFieldType::kList:
+      return "list";
+    case RowFieldType::kStruct:
+      return "struct";
+  }
+  return "any";
+}
+
+RowSchema RowSchema::ForVariables(const std::vector<std::string>& names) {
+  std::vector<RowField> fields;
+  fields.reserve(names.size());
+  for (const std::string& name : names) {
+    fields.push_back(RowField{name, RowFieldType::kAny});
+  }
+  return RowSchema(std::move(fields));
+}
+
+int RowSchema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RowSchema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += RowFieldTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Row Row::Make(const RowSchema* schema, Arena* arena) {
+  Row row;
+  row.schema_ = schema;
+  size_t n = schema->size();
+  row.slots_ = static_cast<Slot*>(
+      arena->Alloc(n * sizeof(Slot), alignof(Slot)));
+  for (size_t i = 0; i < n; ++i) new (&row.slots_[i]) Slot();
+  return row;
+}
+
+Row Row::FromValues(const RowSchema* schema, const ValueList& values,
+                    Arena* arena) {
+  Row row = Make(schema, arena);
+  size_t n = std::min(schema->size(), values.size());
+  for (size_t i = 0; i < n; ++i) row.Set(i, values[i], arena);
+  return row;
+}
+
+void Row::Set(size_t i, const Value& v, Arena* arena) {
+  Slot& slot = slots_[i];
+  switch (v.type()) {
+    case Value::Type::kNull:
+      slot = Slot();
+      return;
+    case Value::Type::kBool:
+      slot.tag = Slot::Tag::kBool;
+      slot.b = v.as_bool();
+      return;
+    case Value::Type::kInt:
+      slot.tag = Slot::Tag::kInt;
+      slot.i = v.as_int();
+      return;
+    case Value::Type::kDouble:
+      slot.tag = Slot::Tag::kDouble;
+      slot.d = v.as_double();
+      return;
+    case Value::Type::kString: {
+      const std::string& s = v.as_string();
+      slot.tag = Slot::Tag::kString;
+      slot.len = static_cast<uint32_t>(s.size());
+      slot.s = arena->CopyString(s);
+      return;
+    }
+    case Value::Type::kList:
+    case Value::Type::kStruct:
+      slot.tag = Slot::Tag::kRef;
+      slot.ref = arena->New<Value>(v);
+      return;
+  }
+}
+
+Value Row::ToValue(size_t i) const {
+  const Slot& slot = slots_[i];
+  switch (slot.tag) {
+    case Slot::Tag::kNull:
+      return Value::Null();
+    case Slot::Tag::kBool:
+      return Value::Bool(slot.b);
+    case Slot::Tag::kInt:
+      return Value::Int(slot.i);
+    case Slot::Tag::kDouble:
+      return Value::Double(slot.d);
+    case Slot::Tag::kString:
+      return Value::Str(std::string(slot.s, slot.len));
+    case Slot::Tag::kRef:
+      return *slot.ref;
+  }
+  return Value::Null();
+}
+
+ValueList Row::ToValues() const {
+  ValueList out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) out.push_back(ToValue(i));
+  return out;
+}
+
+int Row::CompareField(size_t i, const Row& other) const {
+  const Slot& a = slots_[i];
+  const Slot& b = other.slots_[i];
+
+  // Referenced payloads fall back to the legacy comparison (they hold
+  // legacy Values already); mixed slot/ref pairs rebuild the slot side.
+  if (a.tag == Slot::Tag::kRef || b.tag == Slot::Tag::kRef) {
+    if (a.tag == Slot::Tag::kRef && b.tag == Slot::Tag::kRef) {
+      return a.ref->Compare(*b.ref);
+    }
+    if (a.tag == Slot::Tag::kRef) return a.ref->Compare(other.ToValue(i));
+    return ToValue(i).Compare(*b.ref);
+  }
+
+  int ra = SlotRank(a), rb = SlotRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.tag) {
+    case Slot::Tag::kNull:
+      return 0;
+    case Slot::Tag::kBool:
+      return a.b == b.b ? 0 : (a.b < b.b ? -1 : 1);
+    case Slot::Tag::kInt:
+    case Slot::Tag::kDouble: {
+      if (a.tag == Slot::Tag::kInt && b.tag == Slot::Tag::kInt) {
+        return a.i == b.i ? 0 : (a.i < b.i ? -1 : 1);
+      }
+      double da = a.tag == Slot::Tag::kInt ? static_cast<double>(a.i) : a.d;
+      double db = b.tag == Slot::Tag::kInt ? static_cast<double>(b.i) : b.d;
+      return da == db ? 0 : (da < db ? -1 : 1);
+    }
+    case Slot::Tag::kString: {
+      std::string_view sa(a.s, a.len), sb(b.s, b.len);
+      return Sign3(static_cast<int>(sa.compare(sb)));
+    }
+    case Slot::Tag::kRef:
+      break;  // handled above
+  }
+  return 0;
+}
+
+int Row::Compare(const Row& other) const {
+  for (size_t i = 0; i < size(); ++i) {
+    int c = CompareField(i, other);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace hermes

@@ -1,0 +1,131 @@
+#ifndef HERMES_COMMON_ROW_H_
+#define HERMES_COMMON_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/value.h"
+
+namespace hermes {
+
+/// Field type of a row slot. `kAny` means the planner could not pin the
+/// type statically (the mediator's domains are dynamically typed); the slot
+/// then carries its runtime tag like a miniature variant.
+enum class RowFieldType : uint8_t {
+  kAny,
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kList,
+  kStruct,
+};
+
+const char* RowFieldTypeName(RowFieldType type);
+
+/// One result column: the variable name it carries and its statically
+/// inferred type (from adornments, rule heads and comparison constants at
+/// PlanCompiler time).
+struct RowField {
+  std::string name;
+  RowFieldType type = RowFieldType::kAny;
+};
+
+/// The shape of a query's result rows, resolved once at plan-compile time
+/// so per-row work never touches field names again: operators address
+/// slots by position.
+class RowSchema {
+ public:
+  RowSchema() = default;
+  explicit RowSchema(std::vector<RowField> fields)
+      : fields_(std::move(fields)) {}
+
+  /// Schema over plain variables, all typed kAny.
+  static RowSchema ForVariables(const std::vector<std::string>& names);
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+  const RowField& field(size_t i) const { return fields_[i]; }
+  std::vector<RowField>& fields() { return fields_; }
+
+  /// Position of `name`, or -1. Linear scan — schemas are a handful of
+  /// columns and this runs at compile time, not per row.
+  int FieldIndex(std::string_view name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RowField> fields_;
+};
+
+/// A flat, schema-described result row.
+///
+/// The payload is one contiguous arena-allocated slot array: ints, doubles
+/// and bools inline (8 bytes); strings as arena-copied (pointer, length)
+/// pairs; lists and structs as pointers to arena-owned legacy Values (the
+/// one escape hatch for deeply nested payloads, still a single pointer in
+/// the row itself). A Row is therefore a 2-word handle — copying it copies
+/// no data, and dropping it frees nothing: the arena reclaims everything
+/// wholesale at query end.
+///
+/// Rows convert to the heap-owned legacy representation only at the
+/// mediator boundary (ToValues/ToValue — answers, CIM keys, EXPLAIN);
+/// inside the operator tree they never touch the global heap.
+class Row {
+ public:
+  struct Slot {
+    enum class Tag : uint8_t { kNull, kBool, kInt, kDouble, kString, kRef };
+    Tag tag = Tag::kNull;
+    uint32_t len = 0;  ///< String length (kString only).
+    union {
+      bool b;
+      int64_t i;
+      double d;
+      const char* s;    ///< Arena-copied, NUL-terminated.
+      const Value* ref; ///< Arena-owned deep copy (kList/kStruct payloads).
+    };
+    Slot() : i(0) {}
+  };
+
+  Row() = default;
+
+  /// An all-null row of `schema`'s width, slots allocated from `arena`.
+  static Row Make(const RowSchema* schema, Arena* arena);
+
+  /// Packs `values` (padded with nulls / truncated to the schema width).
+  static Row FromValues(const RowSchema* schema, const ValueList& values,
+                        Arena* arena);
+
+  bool valid() const { return slots_ != nullptr; }
+  const RowSchema* schema() const { return schema_; }
+  size_t size() const { return schema_ == nullptr ? 0 : schema_->size(); }
+
+  /// Packs `v` into slot `i`. String payloads are copied into the arena;
+  /// list/struct payloads become arena-owned Value copies.
+  void Set(size_t i, const Value& v, Arena* arena);
+  void SetNull(size_t i) { slots_[i] = Slot(); }
+
+  /// Rebuilds the heap-owned legacy Value of slot `i`.
+  Value ToValue(size_t i) const;
+  /// Rebuilds the whole row as a legacy value list.
+  ValueList ToValues() const;
+
+  /// Three-way comparison of slot `i` against the same slot of `other`,
+  /// byte-identical in outcome to Value::Compare (numeric cross-type
+  /// comparison included).
+  int CompareField(size_t i, const Row& other) const;
+  /// Lexicographic whole-row comparison (schema widths must match).
+  int Compare(const Row& other) const;
+
+ private:
+  const RowSchema* schema_ = nullptr;
+  Slot* slots_ = nullptr;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_ROW_H_

@@ -47,18 +47,27 @@ std::string FormatDouble(double d) {
 
 }  // namespace
 
-Result<Value> Value::GetAttr(const std::string& name) const {
+Result<const Value*> Value::GetAttrPtr(const std::string& name,
+                                       size_t* memo) const {
   if (!is_struct()) {
     return Status::TypeError("attribute '" + name +
                              "' requested on non-struct value " + ToString());
   }
-  for (const auto& [field, value] : as_struct()) {
-    if (field == name) return value;
+  const StructFields& fields = as_struct();
+  if (memo != nullptr && *memo < fields.size() &&
+      fields[*memo].first == name) {
+    return &fields[*memo].second;
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].first == name) {
+      if (memo != nullptr) *memo = i;
+      return &fields[i].second;
+    }
   }
   return Status::NotFound("no attribute '" + name + "' in " + ToString());
 }
 
-Result<Value> Value::GetIndex(size_t index1) const {
+Result<const Value*> Value::GetIndexPtr(size_t index1) const {
   if (index1 == 0) {
     return Status::InvalidArgument("positional attribute indexes are 1-based");
   }
@@ -68,7 +77,7 @@ Result<Value> Value::GetIndex(size_t index1) const {
       return Status::NotFound("index " + std::to_string(index1) +
                               " out of range for " + ToString());
     }
-    return items[index1 - 1];
+    return &items[index1 - 1];
   }
   if (is_struct()) {
     const StructFields& fields = as_struct();
@@ -76,23 +85,39 @@ Result<Value> Value::GetIndex(size_t index1) const {
       return Status::NotFound("index " + std::to_string(index1) +
                               " out of range for " + ToString());
     }
-    return fields[index1 - 1].second;
+    return &fields[index1 - 1].second;
   }
-  if (index1 == 1) return *this;  // Elementary value acts as a 1-tuple.
+  if (index1 == 1) return this;  // Elementary value acts as a 1-tuple.
   return Status::TypeError("positional access on elementary value " +
                            ToString());
 }
 
-Result<Value> Value::GetPath(const std::vector<std::string>& path) const {
-  Value current = *this;
+Result<const Value*> Value::GetPathPtr(
+    const std::vector<std::string>& path) const {
+  const Value* current = this;
   for (const std::string& step : path) {
-    Result<Value> next = IsAllDigits(step)
-                             ? current.GetIndex(std::stoul(step))
-                             : current.GetAttr(step);
+    Result<const Value*> next = IsAllDigits(step)
+                                    ? current->GetIndexPtr(std::stoul(step))
+                                    : current->GetAttrPtr(step);
     if (!next.ok()) return next.status();
-    current = std::move(next).value();
+    current = next.value();
   }
   return current;
+}
+
+Result<Value> Value::GetAttr(const std::string& name) const {
+  HERMES_ASSIGN_OR_RETURN(const Value* found, GetAttrPtr(name));
+  return *found;
+}
+
+Result<Value> Value::GetIndex(size_t index1) const {
+  HERMES_ASSIGN_OR_RETURN(const Value* found, GetIndexPtr(index1));
+  return *found;
+}
+
+Result<Value> Value::GetPath(const std::vector<std::string>& path) const {
+  HERMES_ASSIGN_OR_RETURN(const Value* found, GetPathPtr(path));
+  return *found;
 }
 
 int Value::Compare(const Value& other) const {

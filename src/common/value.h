@@ -73,9 +73,19 @@ class Value {
   double as_number() const {
     return is_int() ? static_cast<double>(as_int()) : as_double();
   }
-  const std::string& as_string() const { return std::get<std::string>(repr_); }
-  const ValueList& as_list() const { return std::get<ValueList>(repr_); }
-  const StructFields& as_struct() const { return std::get<StructFields>(repr_); }
+  const std::string& as_string() const& { return std::get<std::string>(repr_); }
+  const ValueList& as_list() const& { return std::get<ValueList>(repr_); }
+  const StructFields& as_struct() const& {
+    return std::get<StructFields>(repr_);
+  }
+
+  /// Rvalue overloads move the payload out instead of forcing a copy at the
+  /// call site (`std::move(v).as_list()` steals the vector).
+  std::string as_string() && { return std::get<std::string>(std::move(repr_)); }
+  ValueList as_list() && { return std::get<ValueList>(std::move(repr_)); }
+  StructFields as_struct() && {
+    return std::get<StructFields>(std::move(repr_));
+  }
 
   /// Named attribute of a struct value.
   Result<Value> GetAttr(const std::string& name) const;
@@ -84,6 +94,20 @@ class Value {
   /// Resolves a dotted path: each element is an attribute name or a 1-based
   /// index written as decimal digits. An empty path yields *this.
   Result<Value> GetPath(const std::vector<std::string>& path) const;
+
+  /// View accessors: the returned pointer aliases this value's own storage
+  /// (or *this itself for the elementary 1-tuple case) and stays valid while
+  /// the value is alive and unmodified. These are the hot-path forms — no
+  /// payload is copied.
+  ///
+  /// `memo` optionally caches the field position across calls: pass the same
+  /// slot for repeated lookups of the same attribute and the linear scan is
+  /// skipped whenever the memoized index still names the right field (rows
+  /// from one domain share their struct layout, so it nearly always does).
+  Result<const Value*> GetAttrPtr(const std::string& name,
+                                  size_t* memo = nullptr) const;
+  Result<const Value*> GetIndexPtr(size_t index1) const;
+  Result<const Value*> GetPathPtr(const std::vector<std::string>& path) const;
 
   /// Three-way comparison; ints and doubles compare numerically, otherwise
   /// values of different types order by type id. Returns -1/0/+1.

@@ -1,14 +1,38 @@
 #include "dcsm/cost_vector_db.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hermes::dcsm {
+
+CostVectorDatabase::~CostVectorDatabase() { FreeGroups(); }
+
+void CostVectorDatabase::FreeGroups() {
+  groups_.ForEach([](Group& group) {
+    delete &group;
+    return true;
+  });
+  groups_.Clear();
+}
+
+CostVectorDatabase::Group* CostVectorDatabase::FindGroup(
+    const CallGroupKey& key, size_t hash) const {
+  return groups_.Find(hash,
+                      [&](const Group& group) { return group.key == key; });
+}
 
 void CostVectorDatabase::Record(CostRecord record) {
   record.record_time = clock_.Next();
   CallGroupKey key{record.call.domain, record.call.function,
                    record.call.args.size()};
-  groups_[key].push_back(std::move(record));
+  const size_t hash = key.Hash();
+  Group* group = FindGroup(key, hash);
+  if (group == nullptr) {
+    group = new Group;
+    group->key = std::move(key);
+    groups_.Insert(group, hash);
+  }
+  group->records.push_back(std::move(record));
   ++total_records_;
 }
 
@@ -22,8 +46,8 @@ void CostVectorDatabase::RecordExecution(const DomainCall& call,
 
 const std::vector<CostRecord>* CostVectorDatabase::GetGroup(
     const CallGroupKey& key) const {
-  auto it = groups_.find(key);
-  return it == groups_.end() ? nullptr : &it->second;
+  const Group* group = FindGroup(key, key.Hash());
+  return group == nullptr ? nullptr : &group->records;
 }
 
 Result<Aggregate> CostVectorDatabase::Estimate(
@@ -40,16 +64,23 @@ Result<Aggregate> CostVectorDatabase::Estimate(
   if (records == nullptr) {
     return Status::NotFound("no statistics for " + key.ToString());
   }
+  return EstimateGroup(*records, pattern, kAllArgs, recency_halflife);
+}
 
+Result<Aggregate> CostVectorDatabase::EstimateGroup(
+    const std::vector<CostRecord>& records,
+    const lang::DomainCallSpec& pattern, ArgMask const_mask,
+    double recency_halflife) const {
   Aggregate agg;
   double w_tf = 0, w_ta = 0, w_card = 0;
   double sum_tf = 0, sum_ta = 0, sum_card = 0;
   uint64_t current = clock_.last();
 
-  for (const CostRecord& record : *records) {
+  for (const CostRecord& record : records) {
     ++agg.rows_scanned;
     bool matches = true;
     for (size_t i = 0; i < pattern.args.size(); ++i) {
+      if (i < 64 && (const_mask & (ArgMask{1} << i)) == 0) continue;
       const lang::Term& t = pattern.args[i];
       if (t.is_constant() && t.constant != record.call.args[i]) {
         matches = false;
@@ -98,25 +129,30 @@ Result<Aggregate> CostVectorDatabase::Estimate(
 std::vector<CallGroupKey> CostVectorDatabase::Groups() const {
   std::vector<CallGroupKey> out;
   out.reserve(groups_.size());
-  for (const auto& [key, records] : groups_) out.push_back(key);
+  groups_.ForEach([&](const Group& group) {
+    out.push_back(group.key);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 size_t CostVectorDatabase::ApproxBytes() const {
   size_t total = 0;
-  for (const auto& [key, records] : groups_) {
-    total += key.domain.size() + key.function.size() + 16;
-    for (const CostRecord& record : records) {
+  groups_.ForEach([&](const Group& group) {
+    total += group.key.domain.size() + group.key.function.size() + 16;
+    for (const CostRecord& record : group.records) {
       // Cost vector (3 doubles) + flags + timestamp + argument payload.
       total += 3 * 8 + 4 + 8;
       for (const Value& v : record.call.args) total += v.ApproxByteSize();
     }
-  }
+    return true;
+  });
   return total;
 }
 
 void CostVectorDatabase::Clear() {
-  groups_.clear();
+  FreeGroups();
   total_records_ = 0;
 }
 

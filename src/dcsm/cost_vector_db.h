@@ -2,12 +2,12 @@
 #define HERMES_DCSM_COST_VECTOR_DB_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/intrusive_map.h"
 #include "common/result.h"
 #include "dcsm/cost_record.h"
 #include "lang/ast.h"
@@ -29,6 +29,14 @@ struct CallGroupKey {
     return domain == other.domain && function == other.function &&
            arity == other.arity;
   }
+  /// Hash over all three components, for hashed group indexes.
+  size_t Hash() const {
+    size_t h = std::hash<std::string>{}(domain);
+    h ^= std::hash<std::string>{}(function) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    h ^= arity + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
   std::string ToString() const {
     return domain + ":" + function + "/" + std::to_string(arity);
   }
@@ -44,11 +52,23 @@ struct Aggregate {
   bool has_cardinality = false;
 };
 
+/// In mask-based pattern matching, argument position `i` of a pattern is
+/// treated as a constant filter iff bit `i` is set AND the pattern holds a
+/// constant there; every other position acts as `$b`. This lets the
+/// Section 6.3 relaxation lattice walk subsets of the constant positions
+/// without materializing a relaxed copy of the call spec per subset.
+using ArgMask = uint64_t;
+constexpr ArgMask kAllArgs = ~ArgMask{0};
+
 /// Section 6.1's cost vector database: the full, per-execution statistics
-/// of every domain call the mediator has issued.
+/// of every domain call the mediator has issued. Groups are kept in an
+/// intrusive hash index keyed by (domain, function, arity), so the
+/// estimator's group probe is one hash + one chain walk instead of a
+/// red-black-tree descent with string comparisons per level.
 class CostVectorDatabase {
  public:
   CostVectorDatabase() = default;
+  ~CostVectorDatabase();
 
   CostVectorDatabase(const CostVectorDatabase&) = delete;
   CostVectorDatabase& operator=(const CostVectorDatabase&) = delete;
@@ -69,6 +89,15 @@ class CostVectorDatabase {
   Result<Aggregate> Estimate(const lang::DomainCallSpec& pattern,
                              double recency_halflife = 0.0) const;
 
+  /// Mask-based aggregation over an already-located group (see ArgMask).
+  /// `records` must be a vector previously returned by GetGroup for the
+  /// pattern's own group. Used by the estimator's relaxation loop: the
+  /// group is probed once and each lattice point is a mask, not a copy.
+  Result<Aggregate> EstimateGroup(const std::vector<CostRecord>& records,
+                                  const lang::DomainCallSpec& pattern,
+                                  ArgMask const_mask,
+                                  double recency_halflife = 0.0) const;
+
   /// All group keys, sorted.
   std::vector<CallGroupKey> Groups() const;
 
@@ -83,7 +112,18 @@ class CostVectorDatabase {
   void Clear();
 
  private:
-  std::map<CallGroupKey, std::vector<CostRecord>> groups_;
+  /// One call group: its key, records, and hash-chain membership in one
+  /// allocation.
+  struct Group {
+    CallGroupKey key;
+    std::vector<CostRecord> records;
+    IntrusiveMapNode hash_node;
+  };
+
+  Group* FindGroup(const CallGroupKey& key, size_t hash) const;
+  void FreeGroups();
+
+  IntrusiveHashMap<Group, &Group::hash_node> groups_;
   size_t total_records_ = 0;
   LogicalTime clock_;
 };

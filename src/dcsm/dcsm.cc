@@ -15,23 +15,6 @@ std::vector<size_t> ConstantPositions(const lang::DomainCallSpec& pattern) {
   return out;
 }
 
-/// Copy of `pattern` keeping constants only at positions in `keep`
-/// (a sorted subset of the constant positions); others become `$b`.
-lang::DomainCallSpec RelaxTo(const lang::DomainCallSpec& pattern,
-                             const std::vector<size_t>& keep) {
-  lang::DomainCallSpec out = pattern;
-  size_t k = 0;
-  for (size_t i = 0; i < out.args.size(); ++i) {
-    if (!out.args[i].is_constant()) continue;
-    if (k < keep.size() && keep[k] == i) {
-      ++k;
-    } else {
-      out.args[i] = lang::Term::Bound();
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 void Dcsm::RecordUnlocked(CostRecord record) {
@@ -209,53 +192,57 @@ void Dcsm::BindMetrics(obs::MetricsRegistry& registry) {
       [this] { return static_cast<double>(TotalSummaryBytes()); });
 }
 
-bool Dcsm::TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
-                       double* lookup_ms, size_t* rows_scanned) const {
-  CallGroupKey key{relaxed.domain, relaxed.function, relaxed.args.size()};
-  std::vector<size_t> constants = ConstantPositions(relaxed);
-
-  if (options_.use_summaries) {
-    auto it = summaries_.find(key);
-    if (it != summaries_.end()) {
-      // Pass 1: a table whose dims equal the constant set — single lookup.
-      for (const SummaryTable& table : it->second) {
-        if (table.dims() != constants) continue;
-        *lookup_ms += params_.summary_lookup_ms;
-        ValueList dim_values;
-        for (size_t d : table.dims()) {
-          dim_values.push_back(relaxed.args[d].constant);
-        }
-        const SummaryRow* row = table.Lookup(dim_values);
-        if (row != nullptr) {
-          out->cost = row->Mean();
-          out->source = "summary";
-          out->records_matched = row->l;
-          return true;
-        }
+bool Dcsm::TryEstimateMasked(const lang::DomainCallSpec& pattern,
+                             ArgMask const_mask,
+                             const std::vector<SummaryTable>* tables,
+                             const std::vector<CostRecord>* records,
+                             CostEstimate* out, double* lookup_ms,
+                             size_t* rows_scanned) const {
+  if (tables != nullptr) {
+    // Pass 1: a table whose dims equal the kept-constant set — one probe.
+    for (const SummaryTable& table : *tables) {
+      if (table.dims_mask() != const_mask) continue;
+      *lookup_ms += params_.summary_lookup_ms;
+      ValueList dim_values;
+      dim_values.reserve(table.dims().size());
+      for (size_t d : table.dims()) {
+        dim_values.push_back(pattern.args[d].constant);
       }
-      // Pass 2: the most specific table that can answer, via aggregation.
-      // Tables are sorted most-specific first.
-      for (const SummaryTable& table : it->second) {
-        if (table.dims() == constants || !table.CanAnswer(relaxed)) continue;
-        Result<Aggregate> agg = table.EstimateForPattern(relaxed);
-        if (agg.ok()) {
-          *lookup_ms += params_.per_summary_row_ms *
-                        static_cast<double>(agg->rows_scanned);
-          *rows_scanned += agg->rows_scanned;
-          out->cost = agg->cost;
-          out->source = "summary";
-          out->records_matched = agg->matched;
-          return true;
-        }
+      const SummaryRow* row = table.Lookup(dim_values);
+      if (row != nullptr) {
+        out->cost = row->Mean();
+        out->source = "summary";
+        out->records_matched = row->l;
+        return true;
+      }
+    }
+    // Pass 2: the most specific table that can answer (kept constants all
+    // retained dimensions), via aggregation. Tables are sorted
+    // most-specific first.
+    for (const SummaryTable& table : *tables) {
+      if (table.dims_mask() == const_mask ||
+          (const_mask & ~table.dims_mask()) != 0) {
+        continue;
+      }
+      Result<Aggregate> agg = table.EstimateMasked(pattern, const_mask);
+      if (agg.ok()) {
         *lookup_ms += params_.per_summary_row_ms *
-                      static_cast<double>(table.num_rows());
-        *rows_scanned += table.num_rows();
+                      static_cast<double>(agg->rows_scanned);
+        *rows_scanned += agg->rows_scanned;
+        out->cost = agg->cost;
+        out->source = "summary";
+        out->records_matched = agg->matched;
+        return true;
       }
+      *lookup_ms += params_.per_summary_row_ms *
+                    static_cast<double>(table.num_rows());
+      *rows_scanned += table.num_rows();
     }
   }
 
-  if (options_.use_raw_database) {
-    Result<Aggregate> agg = db_.Estimate(relaxed, options_.recency_halflife);
+  if (records != nullptr) {
+    Result<Aggregate> agg = db_.EstimateGroup(*records, pattern, const_mask,
+                                              options_.recency_halflife);
     if (agg.ok()) {
       *lookup_ms +=
           params_.per_record_ms * static_cast<double>(agg->rows_scanned);
@@ -265,10 +252,57 @@ bool Dcsm::TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
       out->records_matched = agg->matched;
       return true;
     }
-    const std::vector<CostRecord>* group = db_.GetGroup(key);
-    if (group != nullptr) {
-      *lookup_ms += params_.per_record_ms * static_cast<double>(group->size());
-      *rows_scanned += group->size();
+    *lookup_ms += params_.per_record_ms * static_cast<double>(records->size());
+    *rows_scanned += records->size();
+  }
+  return false;
+}
+
+bool Dcsm::RelaxAndEstimate(const lang::DomainCallSpec& pattern,
+                            CostEstimate* out, double* lookup_ms,
+                            size_t* rows_scanned) const {
+  // One probe each for the pattern's summary tables and raw record group;
+  // the key (and thus both probes) is invariant under relaxation.
+  CallGroupKey key{pattern.domain, pattern.function, pattern.args.size()};
+  const std::vector<SummaryTable>* tables = nullptr;
+  if (options_.use_summaries) {
+    auto it = summaries_.find(key);
+    if (it != summaries_.end()) tables = &it->second;
+  }
+  const std::vector<CostRecord>* records =
+      options_.use_raw_database ? db_.GetGroup(key) : nullptr;
+  if (tables == nullptr && records == nullptr) return false;
+
+  std::vector<size_t> constants = ConstantPositions(pattern);
+  ArgMask full_mask = 0;
+  for (size_t p : constants) {
+    if (p < 64) full_mask |= ArgMask{1} << p;
+  }
+
+  // Relaxation lattice: subsets of the constant positions, most specific
+  // first; within a size class, deterministic (mask) order. Calls with
+  // absurdly many constant arguments fall straight through to the
+  // fully-relaxed pattern rather than enumerating 2^n subsets.
+  const size_t n = constants.size();
+  if (n > 16) {
+    return TryEstimateMasked(pattern, full_mask, tables, records, out,
+                             lookup_ms, rows_scanned) ||
+           TryEstimateMasked(pattern, 0, tables, records, out, lookup_ms,
+                             rows_scanned);
+  }
+  for (size_t keep = n + 1; keep-- > 0;) {
+    for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      if (static_cast<size_t>(__builtin_popcountll(mask)) != keep) continue;
+      ArgMask const_mask = 0;
+      for (size_t b = 0; b < n; ++b) {
+        if ((mask & (1ULL << b)) && constants[b] < 64) {
+          const_mask |= ArgMask{1} << constants[b];
+        }
+      }
+      if (TryEstimateMasked(pattern, const_mask, tables, records, out,
+                            lookup_ms, rows_scanned)) {
+        return true;
+      }
     }
   }
   return false;
@@ -304,31 +338,7 @@ Result<CostEstimate> Dcsm::Cost(const lang::DomainCallSpec& pattern) const {
   CostEstimate est;
   double lookup_ms = 0.0;
   size_t rows_scanned = 0;
-  std::vector<size_t> constants = ConstantPositions(pattern);
-  size_t n = constants.size();
-
-  // Relaxation lattice: subsets of the constant positions, most specific
-  // first; within a size class, deterministic (mask) order. Calls with
-  // absurdly many constant arguments fall straight through to the
-  // fully-relaxed pattern rather than enumerating 2^n subsets.
-  bool found = false;
-  if (n > 16) {
-    found = TryEstimate(pattern, &est, &lookup_ms, &rows_scanned) ||
-            TryEstimate(RelaxTo(pattern, {}), &est, &lookup_ms,
-                        &rows_scanned);
-    n = 0;
-  }
-  for (size_t keep = n + 1; keep-- > 0 && !found;) {
-    for (uint64_t mask = 0; mask < (1ULL << n) && !found; ++mask) {
-      if (static_cast<size_t>(__builtin_popcountll(mask)) != keep) continue;
-      std::vector<size_t> subset;
-      for (size_t b = 0; b < n; ++b) {
-        if (mask & (1ULL << b)) subset.push_back(constants[b]);
-      }
-      lang::DomainCallSpec relaxed = RelaxTo(pattern, subset);
-      found = TryEstimate(relaxed, &est, &lookup_ms, &rows_scanned);
-    }
-  }
+  bool found = RelaxAndEstimate(pattern, &est, &lookup_ms, &rows_scanned);
 
   // A CIM wrapper with no statistics of its own behaves, in the worst case
   // (a cache miss), like the underlying domain plus negligible overhead —
@@ -336,19 +346,7 @@ Result<CostEstimate> Dcsm::Cost(const lang::DomainCallSpec& pattern) const {
   if (!found && pattern.domain.rfind("cim_", 0) == 0) {
     lang::DomainCallSpec underlying = pattern;
     underlying.domain = pattern.domain.substr(4);
-    std::vector<size_t> u_constants = ConstantPositions(underlying);
-    size_t un = u_constants.size() > 16 ? 0 : u_constants.size();
-    for (size_t keep = un + 1; keep-- > 0 && !found;) {
-      for (uint64_t mask = 0; mask < (1ULL << un) && !found; ++mask) {
-        if (static_cast<size_t>(__builtin_popcountll(mask)) != keep) continue;
-        std::vector<size_t> subset;
-        for (size_t b = 0; b < un; ++b) {
-          if (mask & (1ULL << b)) subset.push_back(u_constants[b]);
-        }
-        lang::DomainCallSpec relaxed = RelaxTo(underlying, subset);
-        found = TryEstimate(relaxed, &est, &lookup_ms, &rows_scanned);
-      }
-    }
+    found = RelaxAndEstimate(underlying, &est, &lookup_ms, &rows_scanned);
     if (found) est.source += "+cim-fallback";
   }
 

@@ -164,11 +164,25 @@ class Dcsm {
   Status BuildSummaryUnlocked(const CallGroupKey& key,
                               std::vector<size_t> dims);
 
-  /// Tries to answer `relaxed` (whose constants are exactly the retained
-  /// set) without further relaxation. Returns true and fills `*out` on
+  /// Walks the Section 6.3 relaxation lattice for `pattern`: probes the
+  /// pattern's summary tables and raw record group once, then tries
+  /// kept-constant subsets (most specific first, mask order within a size
+  /// class) as bitmasks — no relaxed spec copies. Returns true and fills
+  /// `*out` on success; accumulates lookup cost either way. Caller holds
+  /// `mu_` (shared).
+  bool RelaxAndEstimate(const lang::DomainCallSpec& pattern, CostEstimate* out,
+                        double* lookup_ms, size_t* rows_scanned) const;
+
+  /// Tries to answer `pattern` restricted to the kept-constant positions in
+  /// `const_mask` (see ArgMask), consulting the pre-located `tables` and
+  /// `records` (either may be null). Returns true and fills `*out` on
   /// success; accumulates lookup cost either way.
-  bool TryEstimate(const lang::DomainCallSpec& relaxed, CostEstimate* out,
-                   double* lookup_ms, size_t* rows_scanned) const;
+  bool TryEstimateMasked(const lang::DomainCallSpec& pattern,
+                         ArgMask const_mask,
+                         const std::vector<SummaryTable>* tables,
+                         const std::vector<CostRecord>* records,
+                         CostEstimate* out, double* lookup_ms,
+                         size_t* rows_scanned) const;
 
   mutable std::shared_mutex mu_;
   DcsmOptions options_;

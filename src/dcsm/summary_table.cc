@@ -72,13 +72,20 @@ Result<Aggregate> SummaryTable::EstimateForPattern(
     return Status::InvalidArgument("summary table " + key_.ToString() +
                                    " cannot answer " + pattern.ToString());
   }
+  return EstimateMasked(pattern, kAllArgs);
+}
+
+Result<Aggregate> SummaryTable::EstimateMasked(
+    const lang::DomainCallSpec& pattern, ArgMask const_mask) const {
   Aggregate agg;
   double sum_tf = 0, w_tf = 0, sum_ta = 0, w_ta = 0, sum_card = 0, w_card = 0;
   for (const auto& [row_key, row] : rows_) {
     ++agg.rows_scanned;
     bool matches = true;
     for (size_t k = 0; k < dims_.size(); ++k) {
-      const lang::Term& t = pattern.args[dims_[k]];
+      const size_t d = dims_[k];
+      if (d < 64 && (const_mask & (ArgMask{1} << d)) == 0) continue;
+      const lang::Term& t = pattern.args[d];
       if (t.is_constant() && t.constant != row.dims[k]) {
         matches = false;
         break;

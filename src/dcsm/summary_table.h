@@ -41,7 +41,11 @@ struct SummaryRow {
 class SummaryTable {
  public:
   SummaryTable(CallGroupKey key, std::vector<size_t> dims)
-      : key_(std::move(key)), dims_(std::move(dims)) {}
+      : key_(std::move(key)), dims_(std::move(dims)) {
+    for (size_t d : dims_) {
+      if (d < 64) dims_mask_ |= ArgMask{1} << d;
+    }
+  }
 
   /// Builds the summary of `records` retaining the `dims` positions.
   static Result<SummaryTable> Build(const CallGroupKey& key,
@@ -55,6 +59,10 @@ class SummaryTable {
 
   const CallGroupKey& key() const { return key_; }
   const std::vector<size_t>& dims() const { return dims_; }
+  /// Bitmask with bit `d` set for every retained dimension position `d`
+  /// (precomputed; the estimator's relaxation loop compares masks instead
+  /// of position vectors).
+  ArgMask dims_mask() const { return dims_mask_; }
   bool IsLossless() const { return dims_.size() == key_.arity; }
 
   /// Exact lookup of the row whose dimension values equal `dim_values`
@@ -67,6 +75,14 @@ class SummaryTable {
   /// returned). Aggregation weights rows by their per-metric weights.
   Result<Aggregate> EstimateForPattern(
       const lang::DomainCallSpec& pattern) const;
+
+  /// Mask-based aggregation (see ArgMask in cost_vector_db.h): positions
+  /// outside `const_mask` act as `$b` even when the pattern holds a
+  /// constant there. The caller guarantees the effective constant set is a
+  /// subset of `dims()` (compare masks) and that the pattern's group
+  /// matches `key()`. Avoids the per-relaxation-step spec copy.
+  Result<Aggregate> EstimateMasked(const lang::DomainCallSpec& pattern,
+                                   ArgMask const_mask) const;
 
   /// True when the table's dimensions include every constant position of
   /// `pattern`, i.e. the table can answer for it.
@@ -83,6 +99,7 @@ class SummaryTable {
  private:
   CallGroupKey key_;
   std::vector<size_t> dims_;  // sorted ascending
+  ArgMask dims_mask_ = 0;     // bit d set for every d in dims_
   // Keyed by Value::List(dim values) for hashing.
   std::unordered_map<Value, SummaryRow, ValueHash> rows_;
 };

@@ -1,24 +1,113 @@
 #include "engine/bindings.h"
 
+#include <utility>
+
 namespace hermes::engine {
 
+const Value* Bindings::Find(std::string_view name) const {
+  for (const Slot& slot : slots_) {
+    if (slot.live && slot.name == name) return slot.view;
+  }
+  return nullptr;
+}
+
+Bindings::BindOutcome Bindings::BindView(std::string_view name,
+                                         const Value* value,
+                                         size_t* slot_out) {
+  Slot* dead_same_name = nullptr;
+  Slot* dead_any = nullptr;
+  size_t index = 0, dead_same_index = 0, dead_any_index = 0;
+  for (Slot& slot : slots_) {
+    if (slot.live) {
+      if (slot.name == name) {
+        return *slot.view == *value ? BindOutcome::kMatched
+                                    : BindOutcome::kConflict;
+      }
+    } else if (dead_same_name == nullptr && slot.name == name) {
+      dead_same_name = &slot;
+      dead_same_index = index;
+    } else if (dead_any == nullptr) {
+      dead_any = &slot;
+      dead_any_index = index;
+    }
+    ++index;
+  }
+  Slot* slot;
+  size_t slot_index;
+  if (dead_same_name != nullptr) {
+    // Steady state: the variable was bound and rolled back before; its
+    // interned name is reused, so this path performs no allocation.
+    slot = dead_same_name;
+    slot_index = dead_same_index;
+  } else if (dead_any != nullptr) {
+    slot = dead_any;
+    slot_index = dead_any_index;
+    slot->name.assign(name.data(), name.size());
+  } else {
+    slots_.emplace_back();
+    slot = &slots_.back();
+    slot_index = slots_.size() - 1;
+    slot->name.assign(name.data(), name.size());
+  }
+  slot->view = value;
+  slot->live = true;
+  ++live_;
+  if (slot_out != nullptr) *slot_out = slot_index;
+  return BindOutcome::kInserted;
+}
+
+Bindings::BindOutcome Bindings::BindCopy(std::string_view name,
+                                         const Value& value,
+                                         size_t* slot_out) {
+  size_t slot_index = 0;
+  BindOutcome outcome = BindView(name, &value, &slot_index);
+  if (outcome != BindOutcome::kInserted) return outcome;
+  Slot& slot = slots_[slot_index];
+  slot.owned = value;
+  slot.view = &slot.owned;
+  if (slot_out != nullptr) *slot_out = slot_index;
+  return BindOutcome::kInserted;
+}
+
+void Bindings::Release(size_t slot) {
+  Slot& s = slots_[slot];
+  if (!s.live) return;
+  s.live = false;
+  s.view = nullptr;
+  --live_;
+}
+
+void Bindings::clear() {
+  for (Slot& slot : slots_) {
+    slot.live = false;
+    slot.view = nullptr;
+  }
+  live_ = 0;
+}
+
 Result<Value> ResolveTerm(const lang::Term& term, const Bindings& bindings) {
-  if (term.is_constant()) return term.constant;
+  HERMES_ASSIGN_OR_RETURN(const Value* found, ResolveTermPtr(term, bindings));
+  return *found;
+}
+
+Result<const Value*> ResolveTermPtr(const lang::Term& term,
+                                    const Bindings& bindings) {
+  if (term.is_constant()) return &term.constant;
   if (term.is_bound_pattern()) {
     return Status::InvalidArgument("'$b' cannot appear in executable rules");
   }
-  auto it = bindings.find(term.var_name);
-  if (it == bindings.end()) {
+  const Value* bound = bindings.Find(term.var_name);
+  if (bound == nullptr) {
     return Status::NotFound("variable '" + term.var_name + "' is unbound");
   }
-  if (term.path.empty()) return it->second;
-  return it->second.GetPath(term.path);
+  if (term.path.empty()) return bound;
+  return bound->GetPathPtr(term.path);
 }
 
 bool TermIsResolvable(const lang::Term& term, const Bindings& bindings) {
   if (term.is_constant()) return true;
   if (term.is_bound_pattern()) return false;
-  return bindings.find(term.var_name) != bindings.end();
+  return bindings.Contains(term.var_name);
 }
 
 }  // namespace hermes::engine

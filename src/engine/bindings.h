@@ -1,8 +1,10 @@
 #ifndef HERMES_ENGINE_BINDINGS_H_
 #define HERMES_ENGINE_BINDINGS_H_
 
-#include <map>
+#include <cstddef>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -12,10 +14,80 @@
 namespace hermes::engine {
 
 /// Runtime variable bindings of one evaluation branch.
-using Bindings = std::map<std::string, Value>;
+///
+/// A flat slot table replacing the historical `std::map<std::string,
+/// Value>`: each slot is (name, value-view[, owned copy]). The data-plane
+/// discipline is *views* — a binding normally points at a Value owned by
+/// whoever produced it (a domain call's answer buffer, a rule-local slot, a
+/// term constant in the AST), so binding a row costs zero heap allocations
+/// and zero Value copies. Owned binds (deep copies) remain available for
+/// the cold paths that need them.
+///
+/// Lifetime contract for views: the pointed-at Value must stay valid until
+/// the binding is released. The operator tree guarantees this by LIFO frame
+/// discipline — a frame's views always target storage bound (or opened)
+/// strictly earlier, and frames roll back in reverse order before that
+/// storage is touched. Slots live in a deque and are never erased (clear()
+/// just marks them dead), so slot indices and the address of an owned
+/// Value stay stable for the lifetime of the Bindings.
+class Bindings {
+ public:
+  enum class BindOutcome {
+    kInserted,  ///< The name was free; the binding was added.
+    kMatched,   ///< Already bound to an equal value; nothing changed.
+    kConflict,  ///< Already bound to a different value; nothing changed.
+  };
 
-/// Records bindings added to a Bindings map so they can be undone when the
-/// evaluator backtracks past the atom that introduced them.
+  Bindings() = default;
+  Bindings(const Bindings&) = delete;
+  Bindings& operator=(const Bindings&) = delete;
+
+  /// The value bound to `name`, or nullptr. The pointer is stable while
+  /// the binding is live.
+  const Value* Find(std::string_view name) const;
+
+  bool Contains(std::string_view name) const { return Find(name) != nullptr; }
+
+  /// Binds `name` to a borrowed `*value` (no copy). On kInserted,
+  /// `*slot_out` (when non-null) receives the slot index for Release().
+  BindOutcome BindView(std::string_view name, const Value* value,
+                       size_t* slot_out = nullptr);
+
+  /// Binds `name` to a deep copy owned by this scope.
+  BindOutcome BindCopy(std::string_view name, const Value& value,
+                       size_t* slot_out = nullptr);
+
+  /// Releases the binding in `slot` (from a kInserted outcome). The slot —
+  /// including its interned name — is recycled by later binds of the same
+  /// variable, which is what keeps steady-state re-binding allocation-free.
+  void Release(size_t slot);
+
+  /// Marks every binding dead. Slot storage and names are retained for
+  /// reuse; outstanding views into owned values become invalid.
+  void clear();
+
+  /// Number of live bindings.
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+ private:
+  struct Slot {
+    std::string name;
+    const Value* view = nullptr;  ///< Borrowed target, or &owned.
+    Value owned;                  ///< Storage for copy binds.
+    bool live = false;
+  };
+
+  // Deque: slot addresses (and therefore &slot.owned) must survive growth,
+  // because live views may target another slot's owned value.
+  std::deque<Slot> slots_;
+  size_t live_ = 0;
+};
+
+/// Records bindings added to a Bindings scope so they can be undone when
+/// the evaluator backtracks past the atom that introduced them. Holds the
+/// first few slot indices inline: taking a frame and binding one variable —
+/// the per-row pattern — touches no heap.
 class BindingFrame {
  public:
   explicit BindingFrame(Bindings* bindings) : bindings_(bindings) {}
@@ -24,31 +96,77 @@ class BindingFrame {
   BindingFrame(const BindingFrame&) = delete;
   BindingFrame& operator=(const BindingFrame&) = delete;
 
-  /// Binds `var` to `value`, returning false when `var` is already bound
-  /// to a different value (the binding then acts as an equality check).
+  /// Binds `var` to a copy of `value`, returning false when `var` is
+  /// already bound to a different value (the binding then acts as an
+  /// equality check).
   bool Bind(const std::string& var, const Value& value) {
-    auto [it, inserted] = bindings_->emplace(var, value);
-    if (inserted) {
-      added_.push_back(var);
-      return true;
+    size_t slot = 0;
+    switch (bindings_->BindCopy(var, value, &slot)) {
+      case Bindings::BindOutcome::kInserted:
+        Record(slot);
+        return true;
+      case Bindings::BindOutcome::kMatched:
+        return true;
+      case Bindings::BindOutcome::kConflict:
+        return false;
     }
-    return it->second == value;
+    return false;
+  }
+
+  /// View-binding flavor: binds `var` to borrowed `*value`. Same equality
+  /// semantics as Bind(); the caller guarantees `*value` outlives the
+  /// frame (LIFO rollback discipline).
+  bool BindView(std::string_view var, const Value* value) {
+    size_t slot = 0;
+    switch (bindings_->BindView(var, value, &slot)) {
+      case Bindings::BindOutcome::kInserted:
+        Record(slot);
+        return true;
+      case Bindings::BindOutcome::kMatched:
+        return true;
+      case Bindings::BindOutcome::kConflict:
+        return false;
+    }
+    return false;
   }
 
   /// Undoes every binding added through this frame.
   void Rollback() {
-    for (const std::string& var : added_) bindings_->erase(var);
-    added_.clear();
+    for (size_t i = 0; i < count_ && i < kInlineSlots; ++i) {
+      bindings_->Release(inline_[i]);
+    }
+    for (size_t slot : overflow_) bindings_->Release(slot);
+    count_ = 0;
+    overflow_.clear();
   }
 
  private:
+  static constexpr size_t kInlineSlots = 4;
+
+  void Record(size_t slot) {
+    if (count_ < kInlineSlots) {
+      inline_[count_] = slot;
+    } else {
+      overflow_.push_back(slot);
+    }
+    ++count_;
+  }
+
   Bindings* bindings_;
-  std::vector<std::string> added_;
+  size_t inline_[kInlineSlots] = {};
+  size_t count_ = 0;
+  std::vector<size_t> overflow_;
 };
 
 /// Resolves `term` to a ground value under `bindings`: constants pass
 /// through; variables must be bound, then the attribute path is applied.
 Result<Value> ResolveTerm(const lang::Term& term, const Bindings& bindings);
+
+/// View flavor of ResolveTerm: the returned pointer aliases the AST
+/// constant, the bound value, or a sub-value inside it — no copies. Valid
+/// while the binding (and the storage it views) is live.
+Result<const Value*> ResolveTermPtr(const lang::Term& term,
+                                    const Bindings& bindings);
 
 /// True when `term` can be resolved to a ground value under `bindings`.
 bool TermIsResolvable(const lang::Term& term, const Bindings& bindings);

@@ -93,7 +93,11 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
   params.trace_operators = options_.trace_operators;
   params.tolerate_source_failures = options_.tolerate_source_failures;
 
+  // Per-query data-plane storage: the binding scope and the bump arena all
+  // row payloads are carved from. Both die with this call — answers are
+  // materialized to heap Values (TakeAnswers) before that.
   Bindings bindings;
+  Arena arena;
   op::ExecContext cx;
   cx.program = &program;
   cx.ctx = ctx;
@@ -102,6 +106,16 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
   cx.params = &params;
   cx.bindings = &bindings;
   cx.op_metrics = options_.op_metrics.get();
+  cx.arena = &arena;
+  cx.schema = &compiled.schema;
+  auto publish_arena_usage = [&] {
+    exec.arena_bytes = arena.bytes_used();
+    if (options_.op_metrics != nullptr &&
+        options_.op_metrics->arena_bytes != nullptr) {
+      options_.op_metrics->arena_bytes->Set(
+          static_cast<double>(arena.bytes_used()));
+    }
+  };
 
   // Pull the tree dry on the virtual clock. Any error closes the tree
   // first so operator spans and state unwind cleanly.
@@ -133,6 +147,7 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
                                                  : exec.t_all_ms;
     exec.complete = false;
     exec.domain_calls = ctx->metrics.domain_calls - calls_before;
+    publish_arena_usage();
     return exec;
   }
 
@@ -142,6 +157,7 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
                                                : t_done;
   exec.complete = compiled.sink->complete() && !cx.source_incomplete;
   exec.domain_calls = ctx->metrics.domain_calls - calls_before;
+  publish_arena_usage();
   return exec;
 }
 

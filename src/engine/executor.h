@@ -71,6 +71,9 @@ struct QueryExecution {
   double t_first_ms = 0.0;  ///< Simulated time to the first answer.
   double t_all_ms = 0.0;    ///< Simulated time to evaluation completion.
   uint64_t domain_calls = 0;
+  /// Bytes the query drew from its execution arena (row slots, string
+  /// payloads); the arena itself is reclaimed before Execute returns.
+  size_t arena_bytes = 0;
   bool complete = true;  ///< False when interactive mode stopped early.
   /// Per-call trace, populated when ExecutorOptions::collect_trace is on.
   std::vector<CallTrace> trace;

@@ -467,6 +467,8 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     tracer->AddArg(root_span, "plan", result.plan_description);
     tracer->AddArg(root_span, "answers",
                    std::to_string(result.execution.answers.size()));
+    tracer->AddArg(root_span, "arena_bytes",
+                   std::to_string(result.execution.arena_bytes));
     if (result.completeness != QueryCompleteness::kComplete) {
       tracer->AddArg(root_span, "completeness",
                      QueryCompletenessName(result.completeness));

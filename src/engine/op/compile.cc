@@ -36,6 +36,89 @@ std::vector<std::string> QueryVariables(const lang::Query& query) {
   return out;
 }
 
+namespace {
+
+RowFieldType FieldTypeOf(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return RowFieldType::kNull;
+    case Value::Type::kBool:
+      return RowFieldType::kBool;
+    case Value::Type::kInt:
+      return RowFieldType::kInt;
+    case Value::Type::kDouble:
+      return RowFieldType::kDouble;
+    case Value::Type::kString:
+      return RowFieldType::kString;
+    case Value::Type::kList:
+      return RowFieldType::kList;
+    case Value::Type::kStruct:
+      return RowFieldType::kStruct;
+  }
+  return RowFieldType::kAny;
+}
+
+}  // namespace
+
+RowSchema InferSchema(const lang::Program& program, const lang::Query& query) {
+  RowSchema schema = RowSchema::ForVariables(QueryVariables(query));
+  auto pin = [&schema](const std::string& var, RowFieldType type) {
+    int idx = schema.FieldIndex(var);
+    if (idx >= 0 && schema.fields()[idx].type == RowFieldType::kAny) {
+      schema.fields()[idx].type = type;
+    }
+  };
+  for (const lang::Atom& goal : query.goals) {
+    switch (goal.kind) {
+      case lang::Atom::Kind::kComparison: {
+        // `=(V, const)` fixes V's type to the constant's.
+        if (goal.op != lang::RelOp::kEq) break;
+        if (goal.lhs.is_variable() && goal.lhs.path.empty() &&
+            goal.rhs.is_constant()) {
+          pin(goal.lhs.var_name, FieldTypeOf(goal.rhs.constant));
+        } else if (goal.rhs.is_variable() && goal.rhs.path.empty() &&
+                   goal.lhs.is_constant()) {
+          pin(goal.rhs.var_name, FieldTypeOf(goal.lhs.constant));
+        }
+        break;
+      }
+      case lang::Atom::Kind::kPredicate: {
+        // A variable argument inherits a type when every matching rule
+        // head carries a same-typed constant at that position.
+        for (size_t i = 0; i < goal.args.size(); ++i) {
+          const lang::Term& arg = goal.args[i];
+          if (!arg.is_variable() || !arg.path.empty()) continue;
+          bool seen = false, uniform = true;
+          RowFieldType type = RowFieldType::kAny;
+          for (const lang::Rule& rule : program.rules) {
+            if (rule.head.predicate != goal.predicate ||
+                rule.head.args.size() != goal.args.size()) {
+              continue;
+            }
+            if (!rule.head.args[i].is_constant()) {
+              uniform = false;
+              break;
+            }
+            RowFieldType t = FieldTypeOf(rule.head.args[i].constant);
+            if (!seen) {
+              type = t;
+              seen = true;
+            } else if (t != type) {
+              uniform = false;
+              break;
+            }
+          }
+          if (seen && uniform) pin(arg.var_name, type);
+        }
+        break;
+      }
+      case lang::Atom::Kind::kDomainCall:
+        break;  // dynamically typed source output
+    }
+  }
+  return schema;
+}
+
 std::unique_ptr<PhysicalOp> CompileGoal(const lang::Atom& goal,
                                         const lang::Program& program,
                                         size_t depth) {
@@ -65,6 +148,7 @@ std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
 CompiledQuery Compile(const lang::Program& program, const lang::Query& query) {
   CompiledQuery compiled;
   compiled.var_names = QueryVariables(query);
+  compiled.schema = InferSchema(program, query);
   auto project = std::make_unique<ProjectOp>(
       CompileGoals(query.goals, program, 0), compiled.var_names);
   auto sink = std::make_unique<AnswerSinkOp>(std::move(project));

@@ -22,6 +22,10 @@ struct CompiledQuery {
   std::unique_ptr<PhysicalOp> root;
   AnswerSinkOp* sink = nullptr;  ///< Borrowed from `root`.
   std::vector<std::string> var_names;
+  /// Result-row shape: one field per var_names entry, with types pinned at
+  /// compile time where the query text determines them (see InferSchema).
+  /// The executor points ExecContext::schema at this.
+  RowSchema schema;
 };
 
 /// Lowers one goal atom: kDomainCall → DomainCallOp, kComparison →
@@ -43,6 +47,13 @@ CompiledQuery Compile(const lang::Program& program, const lang::Query& query);
 /// Query variables in order of first occurrence (plain variables only;
 /// `$b` and paths do not introduce result columns).
 std::vector<std::string> QueryVariables(const lang::Query& query);
+
+/// Static result-row schema of `query`: one column per result variable,
+/// typed where the query pins the type — an `=(V, const)` comparison types
+/// V as the constant, and a variable passed to a predicate whose matching
+/// rule heads all carry same-typed constants at that position inherits that
+/// type. Everything else stays kAny (domains are dynamically typed).
+RowSchema InferSchema(const lang::Program& program, const lang::Query& query);
 
 }  // namespace hermes::engine::op
 

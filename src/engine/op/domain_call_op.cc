@@ -113,10 +113,10 @@ Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
   match_found_ = false;
   if (membership_) {
     // Membership check: in(X, d:f(...)) with X already ground.
-    HERMES_ASSIGN_OR_RETURN(Value expected,
-                            ResolveTerm(goal.output, *cx.bindings));
+    HERMES_ASSIGN_OR_RETURN(const Value* expected,
+                            ResolveTermPtr(goal.output, *cx.bindings));
     for (size_t i = 0; i < output_.answers.size(); ++i) {
-      if (output_.answers[i] == expected) {
+      if (output_.answers[i] == *expected) {
         match_found_ = true;
         match_index_ = i;
         break;
@@ -161,7 +161,10 @@ Result<bool> DomainCallOp::NextImpl(ExecContext& cx, double t_resume,
     double t_arrive = t_base_ + ArrivalOffsetMs(output_, i);
     double t_start = std::max(t_arrive, t_resume);
     frame_.emplace(cx.bindings);
-    if (!frame_->Bind(goal_->output.var_name, output_.answers[i])) {
+    // View bind: the binding aliases the answer in this op's own output
+    // buffer, which outlives the frame (it is reset before output_ is
+    // replaced or cleared). No copy, no allocation per row.
+    if (!frame_->BindView(goal_->output.var_name, &output_.answers[i])) {
       frame_.reset();
       continue;  // repeated variable with a different value
     }

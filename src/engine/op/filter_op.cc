@@ -16,9 +16,13 @@ Status FilterOp::OpenImpl(ExecContext& cx, double t_open) {
   bool lhs_ok = TermIsResolvable(goal.lhs, *cx.bindings);
   bool rhs_ok = TermIsResolvable(goal.rhs, *cx.bindings);
   if (lhs_ok && rhs_ok) {
-    HERMES_ASSIGN_OR_RETURN(Value lhs, ResolveTerm(goal.lhs, *cx.bindings));
-    HERMES_ASSIGN_OR_RETURN(Value rhs, ResolveTerm(goal.rhs, *cx.bindings));
-    has_row_ = lang::EvalRelOp(goal.op, lhs, rhs);
+    // View resolution: both sides are compared in place — per-row filter
+    // evaluation copies no Values.
+    HERMES_ASSIGN_OR_RETURN(const Value* lhs,
+                            ResolveTermPtr(goal.lhs, *cx.bindings));
+    HERMES_ASSIGN_OR_RETURN(const Value* rhs,
+                            ResolveTermPtr(goal.rhs, *cx.bindings));
+    has_row_ = lang::EvalRelOp(goal.op, *lhs, *rhs);
     return Status::OK();
   }
   if (goal.op == lang::RelOp::kEq && (lhs_ok || rhs_ok)) {
@@ -29,9 +33,12 @@ Status FilterOp::OpenImpl(ExecContext& cx, double t_open) {
                                      free.ToString() + "' in " +
                                      goal.ToString());
     }
-    HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(known, *cx.bindings));
+    // The view targets storage bound upstream of this operator (or the AST
+    // constant), both of which outlive this open — LIFO discipline.
+    HERMES_ASSIGN_OR_RETURN(const Value* v,
+                            ResolveTermPtr(known, *cx.bindings));
     frame_.emplace(cx.bindings);
-    frame_->Bind(free.var_name, v);
+    frame_->BindView(free.var_name, v);
     has_row_ = true;
     return Status::OK();
   }

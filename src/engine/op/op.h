@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
+#include "common/row.h"
 #include "common/sim_costs.h"
 #include "common/value.h"
 #include "domain/pipeline.h"
@@ -86,9 +88,17 @@ struct ExecContext {
   const ExecParams* params = nullptr;
   Bindings* bindings = nullptr;
   ExecOpMetrics* op_metrics = nullptr;     ///< May be null.
+  /// Per-query scratch arena: row slots, string payloads and any other
+  /// per-row storage come from here and are reclaimed wholesale when the
+  /// executor finishes the query. Owned by the executor driver.
+  Arena* arena = nullptr;
+  /// Result-row shape, resolved at plan-compile time (CompiledQuery owns
+  /// it); ProjectOp packs rows against this schema by position.
+  const RowSchema* schema = nullptr;
   /// Row staged by ProjectOp for AnswerSinkOp — the one-slot handoff
-  /// between the top of the tree and the sink.
-  ValueList staged_row;
+  /// between the top of the tree and the sink. A flat arena-backed row;
+  /// conversion to heap Values happens only at the mediator boundary.
+  Row staged_row;
   /// Set by DomainCallOp when a source's answers were incomplete (a lost
   /// source tolerated as zero rows, or a degraded/partial cache serve);
   /// the executor folds it into QueryExecution::complete.

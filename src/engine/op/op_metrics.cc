@@ -14,6 +14,10 @@ constexpr OpKind kAllKinds[] = {
 std::shared_ptr<ExecOpMetrics> ExecOpMetrics::Bind(
     obs::MetricsRegistry& registry) {
   auto m = std::make_shared<ExecOpMetrics>();
+  m->arena_bytes = registry.GetOrAddGauge(
+      "hermes_exec_arena_bytes",
+      "Bytes allocated from the per-query execution arena (last finished "
+      "query)");
   for (OpKind kind : kAllKinds) {
     obs::Labels labels = {{"op", OpKindName(kind)}};
     PerKind& pk = m->ForKind(kind);

@@ -31,6 +31,11 @@ struct ExecOpMetrics {
 
   PerKind& ForKind(OpKind kind);
 
+  /// hermes_exec_arena_bytes: bytes handed out by the per-query execution
+  /// arena, set by the executor when a query finishes (last query wins —
+  /// the usual gauge semantics).
+  std::shared_ptr<obs::Gauge> arena_bytes;
+
   PerKind domain_call;
   PerKind rule_predicate;
   PerKind filter;

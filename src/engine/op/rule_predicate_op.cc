@@ -77,16 +77,22 @@ Result<bool> RulePredicateOp::UnifyHead(ExecContext& cx,
     const lang::Term& caller_term = atom_->args[i];
     const lang::Term& head_term = rule.head.args[i];
     if (TermIsResolvable(caller_term, *cx.bindings)) {
-      HERMES_ASSIGN_OR_RETURN(Value v, ResolveTerm(caller_term, *cx.bindings));
+      // View resolution: the head variable aliases the caller's storage
+      // (stable while this rule runs — the caller cannot advance past an
+      // open predicate). No Value copies crossing the head.
+      HERMES_ASSIGN_OR_RETURN(const Value* v,
+                              ResolveTermPtr(caller_term, *cx.bindings));
       if (head_term.is_constant()) {
-        if (head_term.constant != v) applicable = false;
+        if (head_term.constant != *v) applicable = false;
       } else if (head_term.is_variable()) {
         if (!head_term.path.empty()) {
           return Status::InvalidArgument(
               "attribute path in rule head: " + head_term.ToString());
         }
-        auto [it, inserted] = local_.emplace(head_term.var_name, v);
-        if (!inserted && it->second != v) applicable = false;
+        if (local_.BindView(head_term.var_name, v) ==
+            Bindings::BindOutcome::kConflict) {
+          applicable = false;
+        }
       } else {
         return Status::InvalidArgument("'$b' in rule head");
       }
@@ -158,19 +164,22 @@ Result<bool> RulePredicateOp::NextImpl(ExecContext& cx, double t_resume,
     back_frame_.emplace(cx.bindings);
     bool conflict = false;
     for (const BackBinding& bb : back_) {
-      Value v;
+      // The view targets the AST constant or the rule-local storage, both
+      // stable until the frame rolls back (always before the body advances
+      // or closes).
+      const Value* v = nullptr;
       if (bb.head_term->is_constant()) {
-        v = bb.head_term->constant;
+        v = &bb.head_term->constant;
       } else {
-        Result<Value> resolved = ResolveTerm(*bb.head_term, local_);
+        Result<const Value*> resolved = ResolveTermPtr(*bb.head_term, local_);
         if (!resolved.ok()) {
           return Status::InvalidArgument(
               "head variable '" + bb.head_term->ToString() + "' of '" +
               atom_->predicate + "' is unbound after evaluating the rule body");
         }
-        v = std::move(resolved).value();
+        v = resolved.value();
       }
-      if (!back_frame_->Bind(bb.caller_var, v)) {
+      if (!back_frame_->BindView(bb.caller_var, v)) {
         // Same caller variable bound to conflicting outputs: no solution.
         conflict = true;
         break;

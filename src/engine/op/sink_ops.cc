@@ -22,20 +22,29 @@ Result<bool> ProjectOp::NextImpl(ExecContext& cx, double t_resume,
   if (!row.ok()) return row.status();
   *t_out = t;
   if (!*row) return false;
-  cx.staged_row.clear();
-  cx.staged_row.reserve(var_names_.size());
-  for (const std::string& var : var_names_) {
-    auto it = cx.bindings->find(var);
-    cx.staged_row.push_back(it == cx.bindings->end() ? Value::Null()
-                                                     : it->second);
+  // Pack the bindings into a fresh flat row. Slot storage and string
+  // payloads come from the query arena; list/struct payloads become
+  // arena-owned copies. Nothing here touches the global heap.
+  cx.staged_row = Row::Make(cx.schema, cx.arena);
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    const Value* v = cx.bindings->Find(var_names_[i]);
+    if (v != nullptr) cx.staged_row.Set(i, *v, cx.arena);
   }
   return true;
 }
 
 void ProjectOp::CloseImpl(ExecContext& cx) { child_->Close(cx); }
 
+std::vector<ValueList> AnswerSinkOp::TakeAnswers() {
+  std::vector<ValueList> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) out.push_back(row.ToValues());
+  rows_.clear();
+  return out;
+}
+
 Status AnswerSinkOp::OpenImpl(ExecContext& cx, double t_open) {
-  answers_.clear();
+  rows_.clear();
   has_first_ = false;
   t_first_ = 0.0;
   stopped_ = false;
@@ -60,9 +69,9 @@ Result<bool> AnswerSinkOp::NextImpl(ExecContext& cx, double t_resume,
     has_first_ = true;
     t_first_ = t;
   }
-  answers_.push_back(std::move(cx.staged_row));
+  rows_.push_back(cx.staged_row);  // 2-word handle; payload stays in arena
   if (cx.params->mode == ExecutionMode::kInteractive &&
-      answers_.size() >= cx.params->interactive_batch) {
+      rows_.size() >= cx.params->interactive_batch) {
     stopped_ = true;
     complete_ = false;
   }

@@ -11,7 +11,8 @@
 namespace hermes::engine::op {
 
 /// Builds the result row (`var_names` order, unbound variables → Null)
-/// from the current bindings into ExecContext::staged_row. Timing-neutral.
+/// from the current bindings into ExecContext::staged_row as a flat
+/// arena-backed Row against ExecContext::schema. Timing-neutral.
 class ProjectOp final : public PhysicalOp {
  public:
   ProjectOp(std::unique_ptr<PhysicalOp> child,
@@ -46,7 +47,10 @@ class AnswerSinkOp final : public PhysicalOp {
   OpKind kind() const override { return OpKind::kAnswerSink; }
   std::string label() const override { return "AnswerSink"; }
 
-  std::vector<ValueList> TakeAnswers() { return std::move(answers_); }
+  /// Materializes the accumulated flat rows as heap-owned value lists —
+  /// the mediator-boundary conversion. Must run before the query's arena
+  /// is reset (the rows alias arena storage).
+  std::vector<ValueList> TakeAnswers();
   bool has_first() const { return has_first_; }
   double t_first() const { return t_first_; }
   bool complete() const { return complete_; }
@@ -60,7 +64,7 @@ class AnswerSinkOp final : public PhysicalOp {
 
  private:
   std::unique_ptr<PhysicalOp> child_;
-  std::vector<ValueList> answers_;
+  std::vector<Row> rows_;  ///< Arena-backed; 2-word handles, no heap data.
   bool has_first_ = false;
   double t_first_ = 0.0;
   bool stopped_ = false;

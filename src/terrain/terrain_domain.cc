@@ -3,9 +3,32 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
+
+#include "common/intrusive_heap.h"
 
 namespace hermes::terrain {
+
+namespace {
+
+/// One grid cell's frontier state: tentative distance plus its embedded
+/// heap position, so the planner's decrease-key is native (Update) instead
+/// of pushing duplicate entries and lazily skipping stale ones.
+struct FrontierCell {
+  double dist = 0.0;
+  int cell = 0;
+  IntrusiveHeapNode heap;
+};
+
+/// Strict (dist, cell) order — ties broken by cell index, matching the
+/// std::pair ordering of the previous priority_queue frontier so the
+/// expansion sequence (and expanded counts) stay identical.
+struct FrontierLess {
+  bool operator()(const FrontierCell& a, const FrontierCell& b) const {
+    return a.dist < b.dist || (a.dist == b.dist && a.cell < b.cell);
+  }
+};
+
+}  // namespace
 
 void TerrainDomain::InitGrid(int width, int height) {
   width_ = width;
@@ -42,20 +65,22 @@ TerrainDomain::PlanResult TerrainDomain::Plan(int from_cell,
                                               int to_cell) const {
   PlanResult result;
   size_t n = cell_cost_.size();
-  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<FrontierCell> cells(n);
   std::vector<int> prev(n, -1);
-  using Entry = std::pair<double, int>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
-  dist[from_cell] = 0.0;
-  frontier.push({0.0, from_cell});
+  for (size_t i = 0; i < n; ++i) {
+    cells[i].dist = std::numeric_limits<double>::infinity();
+    cells[i].cell = static_cast<int>(i);
+  }
+  IntrusiveMinHeap<FrontierCell, &FrontierCell::heap, FrontierLess> frontier;
+  cells[from_cell].dist = 0.0;
+  frontier.Push(&cells[from_cell]);
 
   const int dx[] = {1, -1, 0, 0};
   const int dy[] = {0, 0, 1, -1};
 
-  while (!frontier.empty()) {
-    auto [d, cell] = frontier.top();
-    frontier.pop();
-    if (d > dist[cell]) continue;
+  while (FrontierCell* top = frontier.Pop()) {
+    const double d = top->dist;
+    const int cell = top->cell;
     ++result.expanded;
     if (cell == to_cell) break;
     int x = cell % width_;
@@ -68,17 +93,22 @@ TerrainDomain::PlanResult TerrainDomain::Plan(int from_cell,
       double step = cell_cost_[ncell];
       if (step <= 0.0) continue;  // impassable
       double nd = d + step;
-      if (nd < dist[ncell]) {
-        dist[ncell] = nd;
+      FrontierCell& neighbor = cells[ncell];
+      if (nd < neighbor.dist) {
+        neighbor.dist = nd;
         prev[ncell] = cell;
-        frontier.push({nd, ncell});
+        if (frontier.Contains(&neighbor)) {
+          frontier.Update(&neighbor);  // native decrease-key
+        } else {
+          frontier.Push(&neighbor);
+        }
       }
     }
   }
 
-  if (!std::isfinite(dist[to_cell])) return result;
+  if (!std::isfinite(cells[to_cell].dist)) return result;
   result.found = true;
-  result.cost = dist[to_cell];
+  result.cost = cells[to_cell].dist;
   for (int cell = to_cell; cell != -1; cell = prev[cell]) {
     result.cells.push_back(cell);
     if (cell == from_cell) break;

@@ -1,0 +1,104 @@
+#include "alloc_guard.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace hermes::testing {
+namespace {
+
+// Plain thread_local counters: operator new may run before any test code,
+// so these must be constant-initialized and allocation-free themselves.
+thread_local size_t tls_alloc_count = 0;
+thread_local size_t tls_alloc_bytes = 0;
+
+void* CountedAlloc(size_t size) {
+  ++tls_alloc_count;
+  tls_alloc_bytes += size;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(size_t size, size_t align) {
+  ++tls_alloc_count;
+  tls_alloc_bytes += size;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? align : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+size_t ThreadAllocCount() { return tls_alloc_count; }
+size_t ThreadAllocBytes() { return tls_alloc_bytes; }
+
+}  // namespace hermes::testing
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacements (C++17 set). All forms funnel into
+// malloc/free so mixed new/free pairs inside third-party code stay valid.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  void* p = hermes::testing::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = hermes::testing::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return hermes::testing::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return hermes::testing::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = hermes::testing::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = hermes::testing::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return hermes::testing::CountedAlignedAlloc(size,
+                                              static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return hermes::testing::CountedAlignedAlloc(size,
+                                              static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,56 @@
+#ifndef HERMES_TESTS_ALLOC_GUARD_ALLOC_GUARD_H_
+#define HERMES_TESTS_ALLOC_GUARD_ALLOC_GUARD_H_
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+/// Allocation-count regression harness.
+///
+/// Linking `hermes_alloc_guard` replaces the global operator new/delete with
+/// counting forwarders, so a test can pin the number of heap allocations a
+/// code path performs. Counters are per-thread: other threads' allocations
+/// never leak into a scope's tally.
+///
+/// The point is catching *regressions by construction*: data-plane hot loops
+/// (per-row operator work) must stay at zero allocations, and any future
+/// change that sneaks a std::string copy or node-based container back into
+/// the loop fails the `alloc`-labelled suite instead of silently eroding
+/// throughput.
+namespace hermes::testing {
+
+/// Allocations performed by this thread since it started (monotonic).
+size_t ThreadAllocCount();
+
+/// Bytes requested by this thread since it started (monotonic).
+size_t ThreadAllocBytes();
+
+/// Tallies this thread's allocations between construction and count().
+class AllocCounterScope {
+ public:
+  AllocCounterScope()
+      : start_count_(ThreadAllocCount()), start_bytes_(ThreadAllocBytes()) {}
+
+  size_t count() const { return ThreadAllocCount() - start_count_; }
+  size_t bytes() const { return ThreadAllocBytes() - start_bytes_; }
+
+ private:
+  size_t start_count_;
+  size_t start_bytes_;
+};
+
+}  // namespace hermes::testing
+
+/// Runs `body` and fails the test if it performed more than `max_allocs`
+/// heap allocations on the calling thread.
+#define HERMES_EXPECT_ALLOCS_LE(max_allocs, body)                           \
+  do {                                                                      \
+    ::hermes::testing::AllocCounterScope hermes_alloc_scope_;               \
+    { body; }                                                               \
+    const size_t hermes_alloc_n_ = hermes_alloc_scope_.count();             \
+    EXPECT_LE(hermes_alloc_n_, static_cast<size_t>(max_allocs))             \
+        << "code path performed " << hermes_alloc_n_                        \
+        << " heap allocations; budget is " << (max_allocs);                 \
+  } while (0)
+
+#endif  // HERMES_TESTS_ALLOC_GUARD_ALLOC_GUARD_H_

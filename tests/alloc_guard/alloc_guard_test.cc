@@ -1,0 +1,61 @@
+#include "alloc_guard.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hermes {
+namespace {
+
+TEST(AllocGuardTest, CountsHeapAllocations) {
+  testing::AllocCounterScope scope;
+  auto p = std::make_unique<int>(7);
+  EXPECT_GE(scope.count(), 1u);
+  EXPECT_GE(scope.bytes(), sizeof(int));
+  (void)p;
+}
+
+TEST(AllocGuardTest, StackOnlyCodeCountsZero) {
+  HERMES_EXPECT_ALLOCS_LE(0, {
+    int x = 41;
+    x += 1;
+    volatile int sink = x;
+    (void)sink;
+  });
+}
+
+TEST(AllocGuardTest, VectorGrowthIsCounted) {
+  testing::AllocCounterScope scope;
+  std::vector<int> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_GE(scope.count(), 1u);
+}
+
+TEST(AllocGuardTest, CountersArePerThread) {
+  testing::AllocCounterScope scope;
+  std::thread worker([] {
+    // These allocations land on the worker's counters, not ours.
+    std::vector<std::string> junk;
+    for (int i = 0; i < 50; ++i) junk.push_back(std::string(200, 'x'));
+  });
+  worker.join();
+  // Thread creation itself may allocate on this thread, but the worker's
+  // 50+ payload allocations must not be attributed here.
+  EXPECT_LT(scope.count(), 20u);
+}
+
+TEST(AllocGuardTest, AlignedAllocationsAreCountedAndUsable) {
+  testing::AllocCounterScope scope;
+  struct alignas(64) Wide {
+    double lanes[8];
+  };
+  auto w = std::make_unique<Wide>();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(w.get()) % 64, 0u);
+  EXPECT_GE(scope.count(), 1u);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc_guard.h"
+#include "engine/executor.h"
+#include "lang/parser.h"
+
+namespace hermes::engine {
+namespace {
+
+/// Domain whose single function enumerates `rows` integer answers. Run()
+/// performs exactly one allocation (the answer vector's buffer) regardless
+/// of the row count, so any per-row growth observed by the guard below
+/// comes from the executor's data plane, not the source.
+class RowsDomain : public Domain {
+ public:
+  explicit RowsDomain(size_t rows) : rows_(rows) {}
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return {{"rows", 0, "rows(): integer enumeration"}};
+  }
+  Result<CallOutput> Run(const DomainCall& call) override {
+    CallOutput out;
+    out.answers.reserve(rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+      out.answers.push_back(Value::Int(static_cast<int64_t>(i)));
+    }
+    out.first_ms = 1.0;
+    out.all_ms = 2.0;
+    return out;
+  }
+
+ private:
+  std::string name_ = "d";
+  size_t rows_;
+};
+
+/// Heap allocations of one steady-state (pre-warmed) execution of a
+/// join-shaped plan — a domain enumeration feeding a comparison filter that
+/// rejects every row, so the whole run is the per-row hot loop: resolve the
+/// bound variable, evaluate the comparison, roll the binding frame back.
+size_t AllocsForRows(size_t rows) {
+  DomainRegistry registry;
+  EXPECT_TRUE(registry.Register("d", std::make_shared<RowsDomain>(rows)).ok());
+  Result<lang::Program> program = lang::Parser::ParseProgram("");
+  EXPECT_TRUE(program.ok()) << program.status();
+  Result<lang::Query> query =
+      lang::Parser::ParseQuery("?- in(X, d:rows()) & X > 1000000000.");
+  EXPECT_TRUE(query.ok()) << query.status();
+  op::CompiledQuery compiled = op::Compile(*program, *query);
+  Executor executor(&registry, nullptr, {});
+
+  // Warm-up run: first-touch allocations (binding slots, operator state)
+  // happen here and are reused by the measured run.
+  CallContext ctx;
+  Result<QueryExecution> warm =
+      executor.ExecuteCompiled(*program, compiled, &ctx);
+  EXPECT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->answers.empty());
+
+  testing::AllocCounterScope scope;
+  Result<QueryExecution> exec =
+      executor.ExecuteCompiled(*program, compiled, &ctx);
+  const size_t allocs = scope.count();
+  EXPECT_TRUE(exec.ok()) << exec.status();
+  EXPECT_TRUE(exec->answers.empty());
+  return allocs;
+}
+
+TEST(JoinLoopAllocTest, SteadyStateLoopAllocationsIndependentOfRowCount) {
+  // Zero allocations *per row*: pushing 64x more rows through the loop must
+  // not change the execution's allocation count at all. (The absolute count
+  // covers per-query setup — pipeline, bindings, the one answer vector —
+  // and is pinned separately below.)
+  const size_t small = AllocsForRows(8);
+  const size_t large = AllocsForRows(512);
+  EXPECT_EQ(small, large)
+      << "join hot loop allocated per row: " << small << " allocs at 8 rows, "
+      << large << " at 512 rows";
+}
+
+TEST(JoinLoopAllocTest, SteadyStateExecutionStaysWithinFixedBudget) {
+  // The whole steady-state execution — 256 rows enumerated, filtered, and
+  // rolled back — must fit a small fixed allocation budget. The budget
+  // covers per-query setup only (call pipeline plumbing, the domain's
+  // answer buffer, result bookkeeping); per-row costs would blow past it
+  // immediately (256 rows * 1 alloc = 256 > 64).
+  DomainRegistry registry;
+  ASSERT_TRUE(registry.Register("d", std::make_shared<RowsDomain>(256)).ok());
+  Result<lang::Program> program = lang::Parser::ParseProgram("");
+  ASSERT_TRUE(program.ok()) << program.status();
+  Result<lang::Query> query =
+      lang::Parser::ParseQuery("?- in(X, d:rows()) & X > 1000000000.");
+  ASSERT_TRUE(query.ok()) << query.status();
+  op::CompiledQuery compiled = op::Compile(*program, *query);
+  Executor executor(&registry, nullptr, {});
+  CallContext ctx;
+  Result<QueryExecution> warm =
+      executor.ExecuteCompiled(*program, compiled, &ctx);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  HERMES_EXPECT_ALLOCS_LE(64, {
+    Result<QueryExecution> exec =
+        executor.ExecuteCompiled(*program, compiled, &ctx);
+    ASSERT_TRUE(exec.ok()) << exec.status();
+    EXPECT_TRUE(exec->answers.empty());
+  });
+}
+
+}  // namespace
+}  // namespace hermes::engine

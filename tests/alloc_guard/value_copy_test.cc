@@ -1,0 +1,142 @@
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc_guard.h"
+#include "common/value.h"
+
+namespace hermes {
+namespace {
+
+/// The probe: a Value whose every payload is heap-backed (strings long
+/// enough to defeat SSO), so each gratuitous deep copy shows up as at least
+/// one counted allocation. Pointer-identity checks then pin the view
+/// accessors to *zero* copies, not just "few".
+Value MakeProbeStruct() {
+  return Value::Struct({
+      {"id", Value::Int(7)},
+      {"label", Value::Str(std::string(128, 'L'))},
+      {"pos", Value::Struct({{"x", Value::Double(1.5)},
+                             {"y", Value::Double(-2.5)},
+                             {"tag", Value::Str(std::string(96, 'T'))}})},
+      {"frames", Value::List({Value::Str(std::string(64, 'a')),
+                              Value::Str(std::string(64, 'b'))})},
+  });
+}
+
+TEST(ValueCopyRegressionTest, GetAttrPtrAliasesStorageWithZeroAllocations) {
+  Value probe = MakeProbeStruct();
+  const Value* expect = &probe.as_struct()[1].second;
+  HERMES_EXPECT_ALLOCS_LE(0, {
+    Result<const Value*> label = probe.GetAttrPtr("label");
+    ASSERT_TRUE(label.ok());
+    EXPECT_EQ(label.value(), expect);
+  });
+}
+
+TEST(ValueCopyRegressionTest, GetAttrMemoSkipsRescans) {
+  Value probe = MakeProbeStruct();
+  size_t memo = 0;
+  Result<const Value*> first = probe.GetAttrPtr("frames", &memo);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(memo, 3u);  // position learned on the first lookup
+
+  // Repeated lookups with the hint must stay allocation-free and return the
+  // identical field, the shape of per-row attribute access in filters.
+  HERMES_EXPECT_ALLOCS_LE(0, {
+    for (int i = 0; i < 1000; ++i) {
+      Result<const Value*> again = probe.GetAttrPtr("frames", &memo);
+      ASSERT_TRUE(again.ok());
+      ASSERT_EQ(again.value(), first.value());
+    }
+  });
+
+  // A stale hint (different layout) must fall back to the scan, not trust
+  // the memo blindly.
+  Value other = Value::Struct({{"frames", Value::Int(1)}});
+  size_t stale = 3;
+  Result<const Value*> fallback = other.GetAttrPtr("frames", &stale);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(stale, 0u);
+  EXPECT_EQ(fallback.value(), &other.as_struct()[0].second);
+}
+
+TEST(ValueCopyRegressionTest, GetPathPtrWalksNestedPayloadWithoutCopying) {
+  Value probe = MakeProbeStruct();
+  const Value* expect =
+      &probe.as_struct()[2].second.as_struct()[2].second;  // pos.tag
+  const std::vector<std::string> path = {"pos", "tag"};
+  HERMES_EXPECT_ALLOCS_LE(0, {
+    Result<const Value*> tag = probe.GetPathPtr(path);
+    ASSERT_TRUE(tag.ok());
+    EXPECT_EQ(tag.value(), expect);
+  });
+
+  // Positional steps too: frames.2 is the second list element.
+  Result<const Value*> second = probe.GetPathPtr({"frames", "2"});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), &probe.as_struct()[3].second.as_list()[1]);
+}
+
+TEST(ValueCopyRegressionTest, ElementaryValueActsAsOneTupleByView) {
+  Value elementary = Value::Int(42);
+  Result<const Value*> self = elementary.GetIndexPtr(1);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(self.value(), &elementary);
+}
+
+TEST(ValueCopyRegressionTest, ViewAndLegacyAccessorsAgreeOnErrors) {
+  Value probe = MakeProbeStruct();
+  Value scalar = Value::Int(1);
+
+  EXPECT_EQ(probe.GetAttrPtr("missing").status().code(),
+            probe.GetAttr("missing").status().code());
+  EXPECT_EQ(scalar.GetAttrPtr("x").status().code(),
+            scalar.GetAttr("x").status().code());
+  EXPECT_EQ(probe.GetIndexPtr(99).status().code(),
+            probe.GetIndex(99).status().code());
+  EXPECT_EQ(scalar.GetIndexPtr(0).status().code(),
+            scalar.GetIndex(0).status().code());
+  EXPECT_EQ(probe.GetPathPtr({"pos", "zz"}).status().code(),
+            probe.GetPath({"pos", "zz"}).status().code());
+}
+
+TEST(ValueCopyRegressionTest, MoveOverloadsStealPayloadInsteadOfCopying) {
+  // String: the moved-out buffer must be the original heap block.
+  Value sv = Value::Str(std::string(256, 's'));
+  const char* buffer = sv.as_string().data();
+  std::string stolen;
+  HERMES_EXPECT_ALLOCS_LE(0, { stolen = std::move(sv).as_string(); });
+  EXPECT_EQ(stolen.data(), buffer);
+  EXPECT_EQ(stolen.size(), 256u);
+
+  // List: vector storage must transfer, element payloads untouched.
+  Value lv = Value::List({Value::Str(std::string(128, 'x')), Value::Int(1)});
+  const Value* elements = lv.as_list().data();
+  ValueList list;
+  HERMES_EXPECT_ALLOCS_LE(0, { list = std::move(lv).as_list(); });
+  EXPECT_EQ(list.data(), elements);
+  ASSERT_EQ(list.size(), 2u);
+
+  // Struct fields likewise.
+  Value stv = MakeProbeStruct();
+  const auto* fields = stv.as_struct().data();
+  StructFields moved;
+  HERMES_EXPECT_ALLOCS_LE(0, { moved = std::move(stv).as_struct(); });
+  EXPECT_EQ(moved.data(), fields);
+  ASSERT_EQ(moved.size(), 4u);
+}
+
+TEST(ValueCopyRegressionTest, ConstLvalueAccessorsStillReturnReferences) {
+  const Value probe = MakeProbeStruct();
+  HERMES_EXPECT_ALLOCS_LE(0, {
+    const StructFields& fields = probe.as_struct();
+    const std::string& label = fields[1].second.as_string();
+    EXPECT_EQ(label.size(), 128u);
+  });
+}
+
+}  // namespace
+}  // namespace hermes

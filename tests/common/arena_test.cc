@@ -1,0 +1,130 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hermes {
+namespace {
+
+TEST(ArenaTest, AllocReturnsAlignedDistinctStorage) {
+  Arena arena;
+  void* a = arena.Alloc(8, 8);
+  void* b = arena.Alloc(8, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+
+  void* c = arena.Alloc(1, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+}
+
+TEST(ArenaTest, BytesUsedTracksAllocations) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  arena.Alloc(100);
+  arena.Alloc(28);
+  EXPECT_EQ(arena.bytes_used(), 128u);
+  EXPECT_GE(arena.bytes_reserved(), 128u);
+}
+
+TEST(ArenaTest, GrowsAcrossChunks) {
+  Arena arena;
+  // Far more than one minimum chunk; every allocation must stay usable.
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 10000; ++i) {
+    int* p = static_cast<int*>(arena.Alloc(sizeof(int), alignof(int)));
+    *p = i;
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(*ptrs[i], i);
+  EXPECT_GE(arena.bytes_used(), 10000 * sizeof(int));
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedChunk) {
+  Arena arena;
+  const size_t big = Arena::kMaxChunkBytes * 2;
+  char* p = static_cast<char*>(arena.Alloc(big, 16));
+  std::memset(p, 0xab, big);  // must all be addressable
+  EXPECT_EQ(static_cast<unsigned char>(p[big - 1]), 0xabu);
+}
+
+TEST(ArenaTest, CopyStringIsNulTerminatedCopy) {
+  Arena arena;
+  std::string original = "mediator";
+  const char* copy = arena.CopyString(original);
+  original[0] = 'X';  // the copy must be independent
+  EXPECT_STREQ(copy, "mediator");
+  EXPECT_EQ(copy[8], '\0');
+
+  const char* empty = arena.CopyString("");
+  EXPECT_STREQ(empty, "");
+}
+
+struct DtorCounter {
+  explicit DtorCounter(int* counter) : counter(counter) {}
+  ~DtorCounter() { ++*counter; }
+  int* counter;
+  std::string payload = "needs a real destructor";
+};
+
+TEST(ArenaTest, NewRunsDestructorsOnReset) {
+  int destroyed = 0;
+  Arena arena;
+  arena.New<DtorCounter>(&destroyed);
+  arena.New<DtorCounter>(&destroyed);
+  EXPECT_EQ(destroyed, 0);
+  arena.Reset();
+  EXPECT_EQ(destroyed, 2);
+  // Reset must not double-run them on teardown.
+  arena.New<DtorCounter>(&destroyed);
+  EXPECT_EQ(destroyed, 2);
+}
+
+TEST(ArenaTest, DestructorRunsRegisteredDtors) {
+  int destroyed = 0;
+  {
+    Arena arena;
+    arena.New<DtorCounter>(&destroyed);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(ArenaTest, TriviallyDestructibleTypesSkipRegistration) {
+  Arena arena;
+  int* p = arena.New<int>(41);
+  EXPECT_EQ(*p, 41);
+  double* d = arena.New<double>(2.5);
+  EXPECT_EQ(*d, 2.5);
+  arena.Reset();  // must not crash touching unregistered objects
+}
+
+TEST(ArenaTest, ResetRewindsAndKeepsFirstChunkWarm) {
+  Arena arena;
+  arena.Alloc(512);
+  size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // The first chunk survives the reset, so a small allocation reuses it.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  arena.Alloc(512);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, ResetAfterGrowthDropsExtraChunks) {
+  Arena arena;
+  for (int i = 0; i < 200; ++i) arena.Alloc(1024);
+  size_t grown = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_LT(arena.bytes_reserved(), grown);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,325 @@
+#include "common/intrusive_heap.h"
+#include "common/intrusive_map.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hermes {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IntrusiveList
+// ---------------------------------------------------------------------------
+
+struct ListItem {
+  explicit ListItem(int v) : value(v) {}
+  int value;
+  IntrusiveListNode node;
+};
+
+using ItemList = IntrusiveList<ListItem, &ListItem::node>;
+
+std::vector<int> Collect(const ItemList& list) {
+  std::vector<int> out;
+  list.ForEach([&](ListItem& item) {
+    out.push_back(item.value);
+    return true;
+  });
+  return out;
+}
+
+TEST(IntrusiveListTest, PushFrontBackOrdering) {
+  ItemList list;
+  EXPECT_TRUE(list.empty());
+  ListItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushFront(&c);
+  EXPECT_EQ(Collect(list), (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(list.Front(), &c);
+  EXPECT_EQ(list.Back(), &b);
+}
+
+TEST(IntrusiveListTest, MoveToFrontIsLruDiscipline) {
+  ItemList list;
+  ListItem a(1), b(2), c(3);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  list.PushFront(&c);  // order: c b a
+  list.MoveToFront(&a);
+  EXPECT_EQ(Collect(list), (std::vector<int>{1, 3, 2}));
+  list.MoveToFront(&a);  // already front: no-op
+  EXPECT_EQ(Collect(list), (std::vector<int>{1, 3, 2}));
+}
+
+TEST(IntrusiveListTest, PopBackEvictsOldest) {
+  ItemList list;
+  ListItem a(1), b(2), c(3);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  list.PushFront(&c);
+  EXPECT_EQ(list.PopBack(), &a);
+  EXPECT_EQ(list.PopBack(), &b);
+  EXPECT_EQ(list.PopBack(), &c);
+  EXPECT_EQ(list.PopBack(), nullptr);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, RemoveMiddleAndLinkedFlag) {
+  ItemList list;
+  ListItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_TRUE(b.node.linked());
+  ItemList::Remove(&b);
+  EXPECT_FALSE(b.node.linked());
+  EXPECT_EQ(Collect(list), (std::vector<int>{1, 3}));
+}
+
+TEST(IntrusiveListTest, ForEachEarlyStop) {
+  ItemList list;
+  ListItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  int seen = 0;
+  list.ForEach([&](ListItem&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+// ---------------------------------------------------------------------------
+// IntrusiveHashMap
+// ---------------------------------------------------------------------------
+
+struct MapItem {
+  MapItem(std::string k, int v) : key(std::move(k)), value(v) {}
+  std::string key;
+  int value;
+  IntrusiveMapNode node;
+};
+
+using ItemMap = IntrusiveHashMap<MapItem, &MapItem::node>;
+
+size_t KeyHash(const std::string& key) { return std::hash<std::string>{}(key); }
+
+MapItem* Lookup(const ItemMap& map, const std::string& key) {
+  return map.Find(KeyHash(key),
+                  [&](const MapItem& item) { return item.key == key; });
+}
+
+TEST(IntrusiveHashMapTest, InsertFindRemove) {
+  ItemMap map;
+  MapItem a("alpha", 1), b("beta", 2);
+  EXPECT_EQ(Lookup(map, "alpha"), nullptr);
+  map.Insert(&a, KeyHash(a.key));
+  map.Insert(&b, KeyHash(b.key));
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(Lookup(map, "alpha"), &a);
+  EXPECT_EQ(Lookup(map, "beta"), &b);
+  EXPECT_EQ(Lookup(map, "gamma"), nullptr);
+
+  map.Remove(&a);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(Lookup(map, "alpha"), nullptr);
+  EXPECT_EQ(Lookup(map, "beta"), &b);
+}
+
+TEST(IntrusiveHashMapTest, SurvivesRehashUnderGrowth) {
+  ItemMap map;
+  std::vector<std::unique_ptr<MapItem>> items;
+  for (int i = 0; i < 500; ++i) {
+    items.push_back(std::make_unique<MapItem>("key" + std::to_string(i), i));
+    map.Insert(items.back().get(), KeyHash(items.back()->key));
+  }
+  EXPECT_EQ(map.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    MapItem* found = Lookup(map, "key" + std::to_string(i));
+    ASSERT_NE(found, nullptr) << "key" << i;
+    EXPECT_EQ(found->value, i);
+  }
+}
+
+TEST(IntrusiveHashMapTest, HashCollisionsResolvedByEquality) {
+  ItemMap map;
+  MapItem a("a", 1), b("b", 2);
+  // Force both into the same chain with an identical hash.
+  map.Insert(&a, 42);
+  map.Insert(&b, 42);
+  MapItem* fa = map.Find(42, [](const MapItem& i) { return i.key == "a"; });
+  MapItem* fb = map.Find(42, [](const MapItem& i) { return i.key == "b"; });
+  EXPECT_EQ(fa, &a);
+  EXPECT_EQ(fb, &b);
+  map.Remove(&a);
+  EXPECT_EQ(map.Find(42, [](const MapItem& i) { return i.key == "a"; }),
+            nullptr);
+  EXPECT_EQ(map.Find(42, [](const MapItem& i) { return i.key == "b"; }), &b);
+}
+
+TEST(IntrusiveHashMapTest, ClearAndForEach) {
+  ItemMap map;
+  MapItem a("a", 1), b("b", 2), c("c", 3);
+  map.Insert(&a, KeyHash(a.key));
+  map.Insert(&b, KeyHash(b.key));
+  map.Insert(&c, KeyHash(c.key));
+  int sum = 0;
+  map.ForEach([&](MapItem& item) {
+    sum += item.value;
+    return true;
+  });
+  EXPECT_EQ(sum, 6);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(Lookup(map, "a"), nullptr);
+}
+
+// An element threaded into a hash index AND an LRU list with no extra
+// allocation — the exact shape the result cache uses.
+struct CacheLikeEntry {
+  explicit CacheLikeEntry(int k) : key(k) {}
+  int key;
+  IntrusiveMapNode hash_node;
+  IntrusiveListNode lru_node;
+};
+
+TEST(IntrusiveHashMapTest, ElementInTwoContainersAtOnce) {
+  IntrusiveHashMap<CacheLikeEntry, &CacheLikeEntry::hash_node> index;
+  IntrusiveList<CacheLikeEntry, &CacheLikeEntry::lru_node> lru;
+  CacheLikeEntry a(1), b(2);
+  index.Insert(&a, 1u);
+  index.Insert(&b, 2u);
+  lru.PushFront(&a);
+  lru.PushFront(&b);
+
+  CacheLikeEntry* victim = lru.PopBack();
+  ASSERT_EQ(victim, &a);
+  index.Remove(victim);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.Find(2u, [](const CacheLikeEntry& e) { return e.key == 2; }),
+            &b);
+}
+
+// ---------------------------------------------------------------------------
+// IntrusiveMinHeap
+// ---------------------------------------------------------------------------
+
+struct HeapItem {
+  explicit HeapItem(double k) : key(k) {}
+  double key;
+  IntrusiveHeapNode node;
+};
+
+struct HeapLess {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    return a.key < b.key;
+  }
+};
+
+using ItemHeap = IntrusiveMinHeap<HeapItem, &HeapItem::node, HeapLess>;
+
+TEST(IntrusiveHeapTest, PopsInSortedOrder) {
+  std::mt19937 rng(7);
+  std::vector<std::unique_ptr<HeapItem>> items;
+  ItemHeap heap;
+  for (int i = 0; i < 300; ++i) {
+    items.push_back(std::make_unique<HeapItem>(
+        std::uniform_real_distribution<double>(0, 1000)(rng)));
+    heap.Push(items.back().get());
+  }
+  double prev = -1;
+  int popped = 0;
+  while (HeapItem* top = heap.Pop()) {
+    EXPECT_GE(top->key, prev);
+    EXPECT_FALSE(ItemHeap::Contains(top));
+    prev = top->key;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 300);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IntrusiveHeapTest, DecreaseKeyMovesItemUp) {
+  ItemHeap heap;
+  HeapItem a(10), b(20), c(30);
+  heap.Push(&a);
+  heap.Push(&b);
+  heap.Push(&c);
+  c.key = 5;
+  heap.Update(&c);
+  EXPECT_EQ(heap.Top(), &c);
+  EXPECT_EQ(heap.Pop(), &c);
+  EXPECT_EQ(heap.Pop(), &a);
+  EXPECT_EQ(heap.Pop(), &b);
+}
+
+TEST(IntrusiveHeapTest, IncreaseKeyMovesItemDown) {
+  ItemHeap heap;
+  HeapItem a(10), b(20), c(30);
+  heap.Push(&a);
+  heap.Push(&b);
+  heap.Push(&c);
+  a.key = 25;
+  heap.Update(&a);
+  EXPECT_EQ(heap.Pop(), &b);
+  EXPECT_EQ(heap.Pop(), &a);
+  EXPECT_EQ(heap.Pop(), &c);
+}
+
+TEST(IntrusiveHeapTest, RemoveMiddleKeepsOrder) {
+  ItemHeap heap;
+  HeapItem a(1), b(2), c(3), d(4);
+  heap.Push(&d);
+  heap.Push(&b);
+  heap.Push(&a);
+  heap.Push(&c);
+  heap.Remove(&b);
+  EXPECT_FALSE(ItemHeap::Contains(&b));
+  EXPECT_EQ(heap.Pop(), &a);
+  EXPECT_EQ(heap.Pop(), &c);
+  EXPECT_EQ(heap.Pop(), &d);
+  EXPECT_EQ(heap.Pop(), nullptr);
+}
+
+TEST(IntrusiveHeapTest, ContainsTracksMembership) {
+  ItemHeap heap;
+  HeapItem a(1);
+  EXPECT_FALSE(ItemHeap::Contains(&a));
+  heap.Push(&a);
+  EXPECT_TRUE(ItemHeap::Contains(&a));
+  heap.Clear();
+  EXPECT_FALSE(ItemHeap::Contains(&a));
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IntrusiveHeapTest, MatchesStdSortUnderRandomChurn) {
+  std::mt19937 rng(99);
+  std::vector<std::unique_ptr<HeapItem>> items;
+  ItemHeap heap;
+  for (int i = 0; i < 200; ++i) {
+    items.push_back(std::make_unique<HeapItem>(static_cast<double>(i)));
+    heap.Push(items.back().get());
+  }
+  // Random decrease-key churn.
+  for (int i = 0; i < 500; ++i) {
+    HeapItem* item = items[rng() % items.size()].get();
+    item->key = std::uniform_real_distribution<double>(-100, 300)(rng);
+    heap.Update(item);
+  }
+  std::vector<double> popped;
+  while (HeapItem* top = heap.Pop()) popped.push_back(top->key);
+  std::vector<double> sorted = popped;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(popped, sorted);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,237 @@
+#include "common/row.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "common/value.h"
+
+namespace hermes {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RowSchema
+// ---------------------------------------------------------------------------
+
+TEST(RowSchemaTest, ForVariablesAndFieldIndex) {
+  RowSchema schema = RowSchema::ForVariables({"A", "B", "Count"});
+  EXPECT_EQ(schema.size(), 3u);
+  EXPECT_EQ(schema.FieldIndex("A"), 0);
+  EXPECT_EQ(schema.FieldIndex("Count"), 2);
+  EXPECT_EQ(schema.FieldIndex("Missing"), -1);
+  EXPECT_EQ(schema.field(1).name, "B");
+  EXPECT_EQ(schema.field(1).type, RowFieldType::kAny);
+}
+
+TEST(RowSchemaTest, ToStringListsFieldsAndTypes) {
+  RowSchema schema(
+      {RowField{"Id", RowFieldType::kInt}, RowField{"Name", RowFieldType::kString}});
+  EXPECT_EQ(schema.ToString(), "(Id: int, Name: string)");
+  EXPECT_EQ(RowSchema().ToString(), "()");
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip: FromValues(ToValues(r)) is the identity across all types,
+// nulls and nested payloads.
+// ---------------------------------------------------------------------------
+
+void ExpectRoundTrip(const ValueList& values) {
+  Arena arena;
+  RowSchema schema = RowSchema::ForVariables([&] {
+    std::vector<std::string> names;
+    for (size_t i = 0; i < values.size(); ++i) {
+      names.push_back("V" + std::to_string(i));
+    }
+    return names;
+  }());
+  Row row = Row::FromValues(&schema, values, &arena);
+  ValueList back = row.ToValues();
+  ASSERT_EQ(back.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back[i], values[i]) << "slot " << i;
+    EXPECT_EQ(row.ToValue(i), values[i]) << "slot " << i;
+  }
+}
+
+TEST(RowRoundTripTest, ElementaryTypes) {
+  ExpectRoundTrip({Value::Null(), Value::Bool(true), Value::Bool(false),
+                   Value::Int(0), Value::Int(-42),
+                   Value::Int(9223372036854775807LL), Value::Double(0.0),
+                   Value::Double(-2.5), Value::Str(""), Value::Str("frames"),
+                   Value::Str(std::string(1000, 'x'))});
+}
+
+TEST(RowRoundTripTest, NestedListsAndStructs) {
+  Value inner_list = Value::List({Value::Int(1), Value::Str("two"),
+                                  Value::List({Value::Double(3.0)})});
+  Value inner_struct = Value::Struct(
+      {{"x", Value::Int(10)},
+       {"y", Value::Struct({{"z", Value::List({Value::Null()})}})}});
+  ExpectRoundTrip({inner_list, inner_struct, Value::List({}),
+                   Value::Struct({})});
+}
+
+TEST(RowRoundTripTest, AllNullRowAndSetNull) {
+  Arena arena;
+  RowSchema schema = RowSchema::ForVariables({"A", "B"});
+  Row row = Row::Make(&schema, &arena);
+  EXPECT_EQ(row.ToValue(0), Value::Null());
+  EXPECT_EQ(row.ToValue(1), Value::Null());
+
+  row.Set(0, Value::Int(5), &arena);
+  EXPECT_EQ(row.ToValue(0), Value::Int(5));
+  row.SetNull(0);
+  EXPECT_EQ(row.ToValue(0), Value::Null());
+}
+
+TEST(RowRoundTripTest, StringsAreArenaCopies) {
+  Arena arena;
+  RowSchema schema = RowSchema::ForVariables({"S"});
+  Row row = Row::Make(&schema, &arena);
+  {
+    std::string transient = "short lived source";
+    row.Set(0, Value::Str(transient), &arena);
+    transient.assign(transient.size(), '!');
+  }
+  EXPECT_EQ(row.ToValue(0), Value::Str("short lived source"));
+}
+
+TEST(RowRoundTripTest, FromValuesPadsAndTruncates) {
+  Arena arena;
+  RowSchema schema = RowSchema::ForVariables({"A", "B", "C"});
+  // Shorter input: trailing slots stay null.
+  Row padded = Row::FromValues(&schema, {Value::Int(1)}, &arena);
+  EXPECT_EQ(padded.ToValue(0), Value::Int(1));
+  EXPECT_EQ(padded.ToValue(1), Value::Null());
+  EXPECT_EQ(padded.ToValue(2), Value::Null());
+  // Longer input: extras ignored.
+  Row truncated = Row::FromValues(
+      &schema,
+      {Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)}, &arena);
+  EXPECT_EQ(truncated.ToValues(),
+            (ValueList{Value::Int(1), Value::Int(2), Value::Int(3)}));
+}
+
+TEST(RowRoundTripTest, RandomizedValuesSurviveRoundTrip) {
+  std::mt19937 rng(2026);
+  auto random_value = [&](auto&& self, int depth) -> Value {
+    int pick = static_cast<int>(rng() % (depth > 0 ? 7 : 5));
+    switch (pick) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value::Bool(rng() % 2 == 0);
+      case 2:
+        return Value::Int(static_cast<int64_t>(rng()) - (1u << 31));
+      case 3:
+        return Value::Double(std::uniform_real_distribution<double>(-1e6,
+                                                                    1e6)(rng));
+      case 4:
+        return Value::Str("s" + std::to_string(rng() % 1000));
+      case 5: {
+        ValueList items;
+        for (size_t i = 0; i < rng() % 4; ++i) {
+          items.push_back(self(self, depth - 1));
+        }
+        return Value::List(std::move(items));
+      }
+      default: {
+        StructFields fields;
+        for (size_t i = 0; i < rng() % 4; ++i) {
+          fields.emplace_back("f" + std::to_string(i), self(self, depth - 1));
+        }
+        return Value::Struct(std::move(fields));
+      }
+    }
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    ValueList values;
+    size_t width = 1 + rng() % 6;
+    for (size_t i = 0; i < width; ++i) {
+      values.push_back(random_value(random_value, 2));
+    }
+    ExpectRoundTrip(values);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison parity: Row::CompareField must reproduce Value::Compare
+// exactly, including int/double cross-type ordering.
+// ---------------------------------------------------------------------------
+
+int Sign(int c) { return c == 0 ? 0 : (c < 0 ? -1 : 1); }
+
+void ExpectComparisonParity(const Value& a, const Value& b) {
+  Arena arena;
+  RowSchema schema = RowSchema::ForVariables({"V"});
+  Row ra = Row::FromValues(&schema, {a}, &arena);
+  Row rb = Row::FromValues(&schema, {b}, &arena);
+  EXPECT_EQ(Sign(ra.CompareField(0, rb)), Sign(a.Compare(b)))
+      << a.ToString() << " vs " << b.ToString();
+  EXPECT_EQ(Sign(rb.CompareField(0, ra)), Sign(b.Compare(a)))
+      << b.ToString() << " vs " << a.ToString();
+}
+
+TEST(RowCompareTest, MixedIntDoubleMatchesValueOrdering) {
+  ExpectComparisonParity(Value::Int(2), Value::Double(2.0));
+  ExpectComparisonParity(Value::Int(2), Value::Double(2.5));
+  ExpectComparisonParity(Value::Int(3), Value::Double(2.5));
+  ExpectComparisonParity(Value::Int(-1), Value::Double(-0.5));
+  ExpectComparisonParity(Value::Double(1.5), Value::Double(1.5));
+  ExpectComparisonParity(Value::Int(7), Value::Int(7));
+  ExpectComparisonParity(Value::Int(-8), Value::Int(3));
+}
+
+TEST(RowCompareTest, CrossTypeRankMatchesValueOrdering) {
+  ValueList samples = {
+      Value::Null(),         Value::Bool(false),
+      Value::Bool(true),     Value::Int(1),
+      Value::Double(2.5),    Value::Str("a"),
+      Value::Str("b"),       Value::List({Value::Int(1)}),
+      Value::Struct({{"k", Value::Int(1)}}),
+  };
+  for (const Value& a : samples) {
+    for (const Value& b : samples) {
+      ExpectComparisonParity(a, b);
+    }
+  }
+}
+
+TEST(RowCompareTest, WholeRowLexicographic) {
+  Arena arena;
+  RowSchema schema = RowSchema::ForVariables({"A", "B"});
+  Row r1 = Row::FromValues(&schema, {Value::Int(1), Value::Str("z")}, &arena);
+  Row r2 = Row::FromValues(&schema, {Value::Int(1), Value::Str("a")}, &arena);
+  Row r3 = Row::FromValues(&schema, {Value::Int(0), Value::Str("z")}, &arena);
+  EXPECT_GT(r1.Compare(r2), 0);
+  EXPECT_LT(r2.Compare(r1), 0);
+  EXPECT_GT(r1.Compare(r3), 0);
+  EXPECT_EQ(r1.Compare(r1), 0);
+}
+
+TEST(RowCompareTest, RandomizedParityWithValueCompare) {
+  std::mt19937 rng(55);
+  auto random_scalar = [&]() -> Value {
+    switch (rng() % 5) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value::Bool(rng() % 2 == 0);
+      case 2:
+        return Value::Int(static_cast<int64_t>(rng() % 20) - 10);
+      case 3:
+        return Value::Double((static_cast<double>(rng() % 40) - 20) / 2.0);
+      default:
+        return Value::Str(std::string(1, static_cast<char>('a' + rng() % 4)));
+    }
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    ExpectComparisonParity(random_scalar(), random_scalar());
+  }
+}
+
+}  // namespace
+}  // namespace hermes

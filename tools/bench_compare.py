@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compares two google-benchmark JSON outputs (baseline vs contender).
+
+Prints a per-benchmark table of real time (or items/s for throughput
+benchmarks that report it) and the relative delta, and writes the same
+table to a file when --out is given. Optionally enforces a regression
+gate: --max-regression 0.10 fails (exit 1) if any compared benchmark got
+more than 10% slower.
+
+Matching is by full benchmark name (including /threads:N suffixes); names
+present in only one file are listed but not compared. Stdlib only.
+
+Usage: bench_compare.py BASELINE.json CONTENDER.json
+           [--out FILE] [--max-regression FRAC] [--filter REGEX]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def metric_of(bench):
+    """(value, unit, higher_is_better) for one benchmark entry."""
+    if "items_per_second" in bench:
+        return bench["items_per_second"], "items/s", True
+    return bench["real_time"], bench.get("time_unit", "ns"), False
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("contender")
+    ap.add_argument("--out", help="also write the table to this file")
+    ap.add_argument("--max-regression", type=float, default=None,
+                    help="fail if any benchmark regresses by more than "
+                         "this fraction (e.g. 0.10 = 10%%)")
+    ap.add_argument("--filter", default=None,
+                    help="only compare benchmarks whose name matches")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cont = load(args.contender)
+    name_filter = re.compile(args.filter) if args.filter else None
+
+    rows = []
+    regressions = []
+    for name in sorted(set(base) | set(cont)):
+        if name_filter and not name_filter.search(name):
+            continue
+        if name not in base:
+            rows.append((name, "-", "-", "new"))
+            continue
+        if name not in cont:
+            rows.append((name, "-", "-", "removed"))
+            continue
+        b_val, b_unit, higher_better = metric_of(base[name])
+        c_val, c_unit, _ = metric_of(cont[name])
+        if b_unit != c_unit or b_val == 0:
+            rows.append((name, "-", "-", "incomparable"))
+            continue
+        # delta > 0 always means "contender worse".
+        delta = (b_val - c_val) / b_val if higher_better \
+            else (c_val - b_val) / b_val
+        rows.append((name, f"{b_val:.4g} {b_unit}", f"{c_val:.4g} {c_unit}",
+                     f"{delta:+.1%}"))
+        if args.max_regression is not None and delta > args.max_regression:
+            regressions.append((name, delta))
+
+    widths = [max(len(r[i]) for r in rows + [("benchmark", "baseline",
+                                              "contender", "delta")])
+              for i in range(4)]
+    lines = []
+    header = ("benchmark", "baseline", "contender", "delta")
+    for row in [header] + rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    table = "\n".join(lines) + "\n"
+    sys.stdout.write(table)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(table)
+
+    if regressions:
+        for name, delta in regressions:
+            print(f"REGRESSION: {name} is {delta:.1%} worse than baseline",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
