@@ -39,6 +39,13 @@ Mediator::Mediator(uint64_t network_seed)
   metrics_->Register("hermes_query_sim_ms",
                      "Simulated end-to-end latency (Ta) per query", {},
                      query_sim_ms_);
+  metrics_->Register("hermes_query_tf_sim_ms",
+                     "Simulated time to the first answer (Tf) per query", {},
+                     query_tf_sim_ms_);
+  metrics_->Register("hermes_query_ta_sim_ms",
+                     "Simulated time to evaluation completion (Ta) per query",
+                     {}, query_ta_sim_ms_);
+  single_flight_->BindMetrics(*metrics_);
   metrics_->Register(
       "hermes_dcsm_estimate_rel_error",
       "Relative error |predicted - actual| / actual of the executed plan's "
@@ -82,6 +89,7 @@ Status Mediator::RegisterRemoteDomain(const std::string& name,
       std::make_shared<net::NetworkInterceptor>(std::move(site), network_);
   link->BindMetrics(*metrics_, name);
   link->set_fault_injector(fault_injector_);
+  link->set_single_flight(single_flight_);
   auto shield = std::make_shared<resilience::ResilienceInterceptor>(
       link->site().name, network_->seed(), link, default_resilience_policy_);
   shield->BindMetrics(*metrics_, name);
@@ -353,7 +361,10 @@ Result<std::string> Mediator::Explain(const std::string& query_text,
   HERMES_ASSIGN_OR_RETURN(
       optimizer::CandidatePlan plan,
       PickPlan(query, options, /*tracer=*/nullptr, /*result=*/nullptr));
-  optimizer::PlanCompiler compiler(&dcsm_);
+  engine::op::CompileOptions compile_options;
+  compile_options.async_scatter_gather =
+      options.async_scatter_gather || async_execution_;
+  optimizer::PlanCompiler compiler(&dcsm_, compile_options);
   optimizer::CompiledPlan compiled = compiler.Compile(std::move(plan));
   return compiled.Explain(/*actuals=*/false);
 }
@@ -383,7 +394,10 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
 
   // Lower the chosen plan to its physical operator tree; execution drives
   // the tree, and the same compiled artifact renders EXPLAIN afterwards.
-  optimizer::PlanCompiler compiler(&dcsm_);
+  engine::op::CompileOptions compile_options;
+  compile_options.async_scatter_gather =
+      options.async_scatter_gather || async_execution_;
+  optimizer::PlanCompiler compiler(&dcsm_, compile_options);
   optimizer::CompiledPlan compiled = compiler.Compile(std::move(plan));
 
   engine::ExecutorOptions exec_options = executor_options_;
@@ -458,6 +472,8 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     result.explain_text = compiled.Explain(/*actuals=*/true);
   }
   result.metrics = ctx.metrics;
+  result.tf_sim_ms = result.execution.t_first_ms;
+  result.ta_sim_ms = result.execution.t_all_ms;
   result.traffic.remote_calls = ctx.metrics.remote_calls;
   result.traffic.failures = ctx.metrics.remote_failures;
   result.traffic.bytes = ctx.metrics.bytes_transferred;
@@ -481,6 +497,8 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
   // series (the macro covers every CallMetrics field by construction).
   queries_total_->Add(1);
   query_sim_ms_->Observe(result.execution.t_all_ms);
+  query_tf_sim_ms_->Observe(result.execution.t_first_ms);
+  query_ta_sim_ms_->Observe(result.execution.t_all_ms);
 #define HERMES_FIELD(f) fold_.f->Add(ctx.metrics.f);
   HERMES_CALL_METRICS_UINT64_FIELDS(HERMES_FIELD)
   HERMES_CALL_METRICS_DOUBLE_FIELDS(HERMES_FIELD)

@@ -74,6 +74,12 @@ struct QueryOptions {
   /// failing. Off by default (the historical contract: lost source →
   /// failed query).
   bool partial_results = false;
+  /// Compile runs of independent domain calls (no shared bound variables)
+  /// into a ScatterGatherOp that issues them concurrently on the simulated
+  /// clock, so the group costs max-over-branches instead of sum. Off by
+  /// default — the historical sequential tree; Mediator::set_async_execution
+  /// turns it on for every query. EXPLAIN marks grouped calls `async`.
+  bool async_scatter_gather = false;
 };
 
 /// How much of the full answer set a QueryResult represents.
@@ -117,6 +123,12 @@ struct QueryResult {
   /// masked with cached answers (degraded); lost_sources names them.
   QueryCompleteness completeness = QueryCompleteness::kComplete;
   std::vector<SourceError> lost_sources;
+  /// The paper's response-time measures on the simulated clock, mirrored
+  /// from `execution` for convenience (and observed into the
+  /// hermes_query_{tf,ta}_sim_ms histograms): time to the first answer and
+  /// time to evaluation completion.
+  double tf_sim_ms = 0.0;
+  double ta_sim_ms = 0.0;
 };
 
 /// Top-level facade of the mediator system — the public API a downstream
@@ -272,6 +284,24 @@ class Mediator {
   void set_per_query_network_rng(bool on) { per_query_net_rng_ = on; }
   bool per_query_network_rng() const { return per_query_net_rng_; }
 
+  /// Default for QueryOptions::async_scatter_gather: when on, every query
+  /// compiles independent domain-call runs into concurrent scatter-gather
+  /// groups (simulated cost = max over branches). Set at wiring time.
+  void set_async_execution(bool on) { async_execution_ = on; }
+  bool async_execution() const { return async_execution_; }
+
+  /// Cross-query single-flight call coalescing: while enabled, concurrent
+  /// queries missing on the identical remote call (same site, domain,
+  /// function and grounded arguments) share one in-flight execution —
+  /// followers wait on the leader's result instead of shipping their own
+  /// request (see SingleFlightRegistry). Off by default. Set at wiring
+  /// time; the registry is shared by every remote link (and, because
+  /// EnableCaching copies layer pointers, by the cim_* paths).
+  void set_single_flight(const SingleFlightOptions& options) {
+    single_flight_->set_options(options);
+  }
+  const SingleFlightRegistry& single_flight() const { return *single_flight_; }
+
   /// Wall-clock pacing: after computing a query, sleep `scale` real
   /// milliseconds per simulated millisecond of the query's latency —
   /// turning the simulated service time into actual wait, so a worker
@@ -359,7 +389,10 @@ class Mediator {
   lang::Program program_;
   std::atomic<uint64_t> next_query_id_{0};
   bool per_query_net_rng_ = false;
+  bool async_execution_ = false;
   double pacing_scale_ = 0.0;
+  std::shared_ptr<SingleFlightRegistry> single_flight_ =
+      std::make_shared<SingleFlightRegistry>();
   std::map<std::string, std::shared_ptr<cim::CimDomain>> cims_;
   resilience::ResiliencePolicy default_resilience_policy_;
   std::shared_ptr<const net::FaultInjector> fault_injector_;
@@ -383,6 +416,12 @@ class Mediator {
   std::shared_ptr<obs::Counter> query_failures_total_ =
       std::make_shared<obs::Counter>();
   std::shared_ptr<obs::Histogram> query_sim_ms_ =
+      std::make_shared<obs::Histogram>(
+          obs::Histogram::ExponentialBounds(1.0, 2.0, 20));
+  std::shared_ptr<obs::Histogram> query_tf_sim_ms_ =
+      std::make_shared<obs::Histogram>(
+          obs::Histogram::ExponentialBounds(1.0, 2.0, 20));
+  std::shared_ptr<obs::Histogram> query_ta_sim_ms_ =
       std::make_shared<obs::Histogram>(
           obs::Histogram::ExponentialBounds(1.0, 2.0, 20));
   std::shared_ptr<obs::Histogram> estimate_rel_error_ =

@@ -6,6 +6,7 @@
 #include "engine/op/filter_op.h"
 #include "engine/op/join_op.h"
 #include "engine/op/rule_predicate_op.h"
+#include "engine/op/scatter_gather_op.h"
 
 namespace hermes::engine::op {
 
@@ -121,36 +122,96 @@ RowSchema InferSchema(const lang::Program& program, const lang::Query& query) {
 
 std::unique_ptr<PhysicalOp> CompileGoal(const lang::Atom& goal,
                                         const lang::Program& program,
-                                        size_t depth) {
+                                        size_t depth,
+                                        const CompileOptions& options) {
   switch (goal.kind) {
     case lang::Atom::Kind::kDomainCall:
       return std::make_unique<DomainCallOp>(&goal);
     case lang::Atom::Kind::kComparison:
       return std::make_unique<FilterOp>(&goal);
     case lang::Atom::Kind::kPredicate:
-      return std::make_unique<RulePredicateOp>(&goal, &program, depth);
+      return std::make_unique<RulePredicateOp>(&goal, &program, depth,
+                                               options);
   }
   return std::make_unique<UnitOp>();  // unreachable
 }
 
+namespace {
+
+/// True when the domain-call goal reads `var` in its call arguments or
+/// touches it as its output term (a later enumerate of the same variable
+/// is really a membership check against the earlier binding).
+bool CallTouchesVar(const lang::Atom& goal, const std::string& var) {
+  for (const lang::Term& arg : goal.call.args) {
+    if (arg.is_variable() && arg.var_name == var) return true;
+  }
+  return goal.output.is_variable() && goal.output.var_name == var;
+}
+
+/// Length of the maximal scatter-gather run starting at goals[start]: the
+/// longest prefix of consecutive domain-call goals none of which depends on
+/// an output variable bound by an earlier member of the run.
+size_t IndependentRunLength(const std::vector<lang::Atom>& goals,
+                            size_t start) {
+  size_t end = start;
+  while (end < goals.size() &&
+         goals[end].kind == lang::Atom::Kind::kDomainCall) {
+    bool dependent = false;
+    for (size_t k = start; k < end && !dependent; ++k) {
+      const lang::Term& out = goals[k].output;
+      if (out.is_variable() && CallTouchesVar(goals[end], out.var_name)) {
+        dependent = true;
+      }
+    }
+    if (dependent) break;
+    ++end;
+  }
+  return end - start;
+}
+
+}  // namespace
+
 std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
                                          const lang::Program& program,
-                                         size_t depth) {
+                                         size_t depth,
+                                         const CompileOptions& options) {
   if (goals.empty()) return std::make_unique<UnitOp>();
-  std::unique_ptr<PhysicalOp> chain = CompileGoal(goals[0], program, depth);
-  for (size_t i = 1; i < goals.size(); ++i) {
-    chain = std::make_unique<NestedLoopJoinOp>(
-        std::move(chain), CompileGoal(goals[i], program, depth));
+  std::unique_ptr<PhysicalOp> chain;
+  auto append = [&chain](std::unique_ptr<PhysicalOp> op) {
+    chain = chain == nullptr
+                ? std::move(op)
+                : std::make_unique<NestedLoopJoinOp>(std::move(chain),
+                                                     std::move(op));
+  };
+  size_t i = 0;
+  while (i < goals.size()) {
+    if (options.async_scatter_gather &&
+        goals[i].kind == lang::Atom::Kind::kDomainCall) {
+      size_t run = IndependentRunLength(goals, i);
+      if (run >= 2) {
+        std::vector<std::unique_ptr<DomainCallOp>> members;
+        members.reserve(run);
+        for (size_t k = i; k < i + run; ++k) {
+          members.push_back(std::make_unique<DomainCallOp>(&goals[k]));
+        }
+        append(std::make_unique<ScatterGatherOp>(std::move(members)));
+        i += run;
+        continue;
+      }
+    }
+    append(CompileGoal(goals[i], program, depth, options));
+    ++i;
   }
   return chain;
 }
 
-CompiledQuery Compile(const lang::Program& program, const lang::Query& query) {
+CompiledQuery Compile(const lang::Program& program, const lang::Query& query,
+                      const CompileOptions& options) {
   CompiledQuery compiled;
   compiled.var_names = QueryVariables(query);
   compiled.schema = InferSchema(program, query);
   auto project = std::make_unique<ProjectOp>(
-      CompileGoals(query.goals, program, 0), compiled.var_names);
+      CompileGoals(query.goals, program, 0, options), compiled.var_names);
   auto sink = std::make_unique<AnswerSinkOp>(std::move(project));
   compiled.sink = sink.get();
   compiled.root = std::move(sink);

@@ -28,21 +28,37 @@ struct CompiledQuery {
   RowSchema schema;
 };
 
+/// Compile-time knobs of the lowering. The defaults reproduce the
+/// historical tree shape exactly — no ScatterGather nodes — so EXPLAIN
+/// output and virtual-clock accounting are byte-identical with the async
+/// feature off.
+struct CompileOptions {
+  /// Group maximal runs of *consecutive, independent* domain-call goals
+  /// (no member reads or re-binds another member's output variable) into a
+  /// ScatterGatherOp, which issues their source calls concurrently so the
+  /// run's simulated latency is the max over members rather than the sum.
+  bool async_scatter_gather = false;
+};
+
 /// Lowers one goal atom: kDomainCall → DomainCallOp, kComparison →
 /// FilterOp, kPredicate → RulePredicateOp. `depth` is the goal's
 /// rule-nesting depth (the recursion guard's measure).
 std::unique_ptr<PhysicalOp> CompileGoal(const lang::Atom& goal,
                                         const lang::Program& program,
-                                        size_t depth);
+                                        size_t depth,
+                                        const CompileOptions& options = {});
 
 /// Lowers a goal conjunction into a left-deep NestedLoopJoin chain
-/// (a UnitOp when the conjunction is empty — facts, the empty query).
+/// (a UnitOp when the conjunction is empty — facts, the empty query),
+/// with independent domain-call runs grouped per `options`.
 std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
                                          const lang::Program& program,
-                                         size_t depth);
+                                         size_t depth,
+                                         const CompileOptions& options = {});
 
 /// Lowers a whole query: goals → Project(var_names) → AnswerSink.
-CompiledQuery Compile(const lang::Program& program, const lang::Query& query);
+CompiledQuery Compile(const lang::Program& program, const lang::Query& query,
+                      const CompileOptions& options = {});
 
 /// Query variables in order of first occurrence (plain variables only;
 /// `$b` and paths do not introduce result columns).

@@ -13,11 +13,9 @@ std::string DomainCallOp::label() const {
   return "DomainCall " + goal_->ToString();
 }
 
-Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
-  frame_.reset();
-  delivered_ = false;
-  index_ = 0;
-  t_base_ = t_open;
+Status DomainCallOp::RunCall(ExecContext& cx, double t_issue) {
+  const double t_open = t_issue;
+  t_base_ = t_issue;
 
   const lang::Atom& goal = *goal_;
 
@@ -57,10 +55,12 @@ Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
   }
   const uint64_t retries_before = cx.ctx->metrics.retries;
   const uint64_t degraded_before = cx.ctx->metrics.degraded_calls;
+  const uint64_t coalesced_before = cx.ctx->metrics.coalesced_calls;
   const size_t errors_before = cx.ctx->source_errors.size();
   Result<CallOutput> run = cx.pipeline->Run(*cx.ctx, call);
   retries_seen_ += cx.ctx->metrics.retries - retries_before;
   degraded_seen_ += cx.ctx->metrics.degraded_calls - degraded_before;
+  coalesced_seen_ += cx.ctx->metrics.coalesced_calls - coalesced_before;
   if (tracer != nullptr) {
     if (run.ok()) {
       tracer->AddArg(span_id, "answers", std::to_string(run->answers.size()));
@@ -108,7 +108,34 @@ Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
     output_ = std::move(run).value();
   }
   if (!output_.complete) cx.source_incomplete = true;
+  return Status::OK();
+}
 
+Status DomainCallOp::IssueAsync(ExecContext& cx, double t_issue) {
+  HERMES_RETURN_IF_ERROR(RunCall(cx, t_issue));
+  async_issued_ = true;
+  return Status::OK();
+}
+
+void DomainCallOp::ResetAsync() {
+  async_issued_ = false;
+  output_ = CallOutput{};
+}
+
+Status DomainCallOp::OpenImpl(ExecContext& cx, double t_open) {
+  frame_.reset();
+  delivered_ = false;
+  index_ = 0;
+
+  // When the gather parent already issued the call, reuse its output and
+  // keep t_base_ anchored at the issue time — that anchoring is what makes
+  // sibling latencies overlap (re-opening the cursor per outer row does
+  // not re-pay, or re-jitter, the source round trip).
+  if (!async_issued_) {
+    HERMES_RETURN_IF_ERROR(RunCall(cx, t_open));
+  }
+
+  const lang::Atom& goal = *goal_;
   membership_ = TermIsResolvable(goal.output, *cx.bindings);
   match_found_ = false;
   if (membership_) {
@@ -178,7 +205,10 @@ Result<bool> DomainCallOp::NextImpl(ExecContext& cx, double t_resume,
 void DomainCallOp::CloseImpl(ExecContext& cx) {
   (void)cx;
   frame_.reset();
-  output_ = CallOutput{};
+  // An async-issued output survives Close: the gather loop re-opens this
+  // cursor once per outer row. ResetAsync() (from the gather's own Close)
+  // releases it.
+  if (!async_issued_) output_ = CallOutput{};
 }
 
 std::string DomainCallOp::ActualExtras() const {
@@ -186,6 +216,9 @@ std::string DomainCallOp::ActualExtras() const {
   if (retries_seen_ > 0) extras += " retries=" + std::to_string(retries_seen_);
   if (degraded_seen_ > 0) extras += " degraded";
   if (lost_seen_ > 0) extras += " lost=" + std::to_string(lost_seen_);
+  if (coalesced_seen_ > 0) {
+    extras += " coalesced=" + std::to_string(coalesced_seen_);
+  }
   return extras;
 }
 
@@ -219,6 +252,7 @@ void DomainCallOp::Explain(ExplainPrinter& printer) {
   std::string annotations = "[args=" + (adorn.empty() ? "-" : adorn) +
                             (check ? ", check" : ", enumerate");
   if (goal.call.domain.rfind("cim_", 0) == 0) annotations += ", cim";
+  if (async_marker_) annotations += ", async";
   annotations += "]";
 
   const dcsm::Dcsm* dcsm = printer.options().dcsm;

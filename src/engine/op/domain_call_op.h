@@ -24,6 +24,12 @@ namespace hermes::engine::op {
 ///
 /// A cache-redirected plan simply points the goal at the CIM's wrapper
 /// domain ("cim_<site>") — the operator is oblivious; EXPLAIN annotates it.
+///
+/// Async issue path: a ScatterGatherOp parent may call IssueAsync() to run
+/// the call once, up front, at the gather group's open time. Subsequent
+/// Open()s then reuse the materialized CallOutput (keeping the issue time
+/// as the arrival base, so sibling latencies overlap instead of adding)
+/// until ResetAsync() clears the issued state.
 class DomainCallOp final : public PhysicalOp {
  public:
   /// `goal` (kind kDomainCall) is borrowed; it must outlive the operator
@@ -37,6 +43,19 @@ class DomainCallOp final : public PhysicalOp {
 
   const lang::Atom& goal() const { return *goal_; }
 
+  /// Grounds the call from the current bindings and runs it at virtual
+  /// time `t_issue`. Until ResetAsync(), Open() reuses the result instead
+  /// of re-issuing, and Close() keeps it. Only a gather parent calls this;
+  /// the call's arguments must not depend on sibling outputs.
+  Status IssueAsync(ExecContext& cx, double t_issue);
+
+  /// Drops the async-issued result; the next Open() issues the call again.
+  void ResetAsync();
+
+  /// Marks this call's EXPLAIN annotation `async` (set by the compiler
+  /// when the call is grouped under a ScatterGatherOp).
+  void set_async_marker(bool marker) { async_marker_ = marker; }
+
  protected:
   Status OpenImpl(ExecContext& cx, double t_open) override;
   Result<bool> NextImpl(ExecContext& cx, double t_resume,
@@ -44,10 +63,16 @@ class DomainCallOp final : public PhysicalOp {
   void CloseImpl(ExecContext& cx) override;
 
  private:
+  /// Grounds, dispatches and materializes the call at `t_issue`; shared by
+  /// the synchronous Open() path and IssueAsync().
+  Status RunCall(ExecContext& cx, double t_issue);
+
   const lang::Atom* goal_;
+  bool async_marker_ = false;
 
   // Per-open state.
   CallOutput output_;
+  bool async_issued_ = false;  ///< output_ pinned by IssueAsync().
   double t_base_ = 0.0;
   bool membership_ = false;
   bool match_found_ = false;
@@ -57,9 +82,10 @@ class DomainCallOp final : public PhysicalOp {
   std::optional<BindingFrame> frame_;
 
   // Resilience events accumulated across opens, surfaced by ActualExtras().
-  uint64_t retries_seen_ = 0;   ///< Retry attempts below this call.
-  uint64_t degraded_seen_ = 0;  ///< Calls served degraded from cache.
-  uint64_t lost_seen_ = 0;      ///< Failures tolerated as zero rows.
+  uint64_t retries_seen_ = 0;    ///< Retry attempts below this call.
+  uint64_t degraded_seen_ = 0;   ///< Calls served degraded from cache.
+  uint64_t lost_seen_ = 0;       ///< Failures tolerated as zero rows.
+  uint64_t coalesced_seen_ = 0;  ///< Calls coalesced onto another query's.
 };
 
 }  // namespace hermes::engine::op

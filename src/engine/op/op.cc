@@ -18,6 +18,8 @@ const char* OpKindName(OpKind kind) {
       return "filter";
     case OpKind::kNestedLoopJoin:
       return "nested_loop_join";
+    case OpKind::kScatterGather:
+      return "scatter_gather";
     case OpKind::kProject:
       return "project";
     case OpKind::kAnswerSink:

@@ -39,6 +39,7 @@ enum class OpKind {
   kRulePredicate,
   kFilter,
   kNestedLoopJoin,
+  kScatterGather,
   kProject,
   kAnswerSink,
   kUnit,

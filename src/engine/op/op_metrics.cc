@@ -5,8 +5,8 @@ namespace {
 
 constexpr OpKind kAllKinds[] = {
     OpKind::kDomainCall, OpKind::kRulePredicate,  OpKind::kFilter,
-    OpKind::kNestedLoopJoin, OpKind::kProject,    OpKind::kAnswerSink,
-    OpKind::kUnit,
+    OpKind::kNestedLoopJoin, OpKind::kScatterGather, OpKind::kProject,
+    OpKind::kAnswerSink, OpKind::kUnit,
 };
 
 }  // namespace
@@ -48,6 +48,8 @@ ExecOpMetrics::PerKind& ExecOpMetrics::ForKind(OpKind kind) {
       return filter;
     case OpKind::kNestedLoopJoin:
       return nested_loop_join;
+    case OpKind::kScatterGather:
+      return scatter_gather;
     case OpKind::kProject:
       return project;
     case OpKind::kAnswerSink:

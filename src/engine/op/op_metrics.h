@@ -40,6 +40,7 @@ struct ExecOpMetrics {
   PerKind rule_predicate;
   PerKind filter;
   PerKind nested_loop_join;
+  PerKind scatter_gather;
   PerKind project;
   PerKind answer_sink;
   PerKind unit;

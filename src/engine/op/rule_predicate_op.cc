@@ -11,8 +11,9 @@
 namespace hermes::engine::op {
 
 RulePredicateOp::RulePredicateOp(const lang::Atom* atom,
-                                 const lang::Program* program, size_t depth)
-    : atom_(atom), program_(program), depth_(depth) {
+                                 const lang::Program* program, size_t depth,
+                                 CompileOptions options)
+    : atom_(atom), program_(program), depth_(depth), options_(options) {
   for (size_t i = 0; i < program->rules.size(); ++i) {
     const lang::Rule& rule = program->rules[i];
     if (rule.head.predicate == atom->predicate &&
@@ -30,7 +31,8 @@ std::string RulePredicateOp::label() const {
 PhysicalOp* RulePredicateOp::EnsureBody(size_t rule_pos) {
   if (bodies_[rule_pos] == nullptr) {
     const lang::Rule& rule = program_->rules[matching_[rule_pos]];
-    bodies_[rule_pos] = CompileGoals(rule.body, *program_, depth_ + 1);
+    bodies_[rule_pos] = CompileGoals(rule.body, *program_, depth_ + 1,
+                                     options_);
   }
   return bodies_[rule_pos].get();
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/op/compile.h"
 #include "engine/op/op.h"
 
 namespace hermes::engine::op {
@@ -31,8 +32,10 @@ class RulePredicateOp final : public PhysicalOp {
  public:
   /// `atom` (kind kPredicate) and `program` are borrowed; they must
   /// outlive the operator. `depth` is the rule-nesting depth of this goal.
+  /// `options` carries the compile knobs down into lazily-compiled rule
+  /// bodies (where scatter-gather fan-out typically lives).
   RulePredicateOp(const lang::Atom* atom, const lang::Program* program,
-                  size_t depth);
+                  size_t depth, CompileOptions options = {});
 
   OpKind kind() const override { return OpKind::kRulePredicate; }
   std::string label() const override;
@@ -65,6 +68,7 @@ class RulePredicateOp final : public PhysicalOp {
   const lang::Atom* atom_;
   const lang::Program* program_;
   size_t depth_;
+  CompileOptions options_;
   std::vector<size_t> matching_;  ///< Rule indices with matching name+arity.
   std::vector<std::unique_ptr<PhysicalOp>> bodies_;  ///< Parallel, lazy.
 

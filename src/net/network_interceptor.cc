@@ -1,5 +1,7 @@
 #include "net/network_interceptor.h"
 
+#include <utility>
+
 #include "obs/trace.h"
 
 namespace hermes::net {
@@ -32,10 +34,15 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
                                                  const Next& next) {
   // A context carrying its own RNG stream gets per-query-deterministic
   // jitter; otherwise fall back to the simulator's shared legacy stream.
+  // The transfer is planned (and the RNG draw consumed) for every call —
+  // including ones that later coalesce onto a leader's execution — so a
+  // query's draw sequence never depends on what other queries are in
+  // flight. The global call count is recorded below, once this call is
+  // known to actually ship.
   NetworkSimulator::Transfer transfer =
       ctx.net_rng != nullptr
-          ? network_->PlanCall(site_, call.Hash(), *ctx.net_rng)
-          : network_->PlanCall(site_, call.Hash());
+          ? network_->PlanCallUncounted(site_, call.Hash(), *ctx.net_rng)
+          : network_->PlanCallUncounted(site_, call.Hash());
   // The fault plan overlays the simulator's own availability draw. Its
   // decisions come from streams keyed on (plan seed, query, call, attempt)
   // — never from ctx.net_rng — so an empty/absent plan leaves the legacy
@@ -57,10 +64,11 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
         fate.extra_response_ms;
   }
   ++ctx.metrics.remote_calls;
-  site_calls_->Add(1);
   obs::SpanScope hop(ctx.tracer, "network-hop", "net", ctx.now_ms);
   hop.AddArg("site", site_.name);
   if (!transfer.available) {
+    network_->RecordCall();
+    site_calls_->Add(1);
     last_penalty_ms_.store(transfer.penalty_ms, std::memory_order_relaxed);
     network_->RecordFailure();
     ++ctx.metrics.remote_failures;
@@ -82,7 +90,51 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
   }
   last_penalty_ms_.store(0.0, std::memory_order_relaxed);
 
-  HERMES_ASSIGN_OR_RETURN(CallOutput inner_out, next(ctx, call));
+  // Cross-query single-flight: identical concurrent calls share one inner
+  // execution. A follower adopts the leader's materialized inner output —
+  // bit-identical to what its own call would have produced (the inner
+  // domains are deterministic in the call arguments) — and composes it
+  // with its *own* transfer plan, so its simulated latencies and per-query
+  // accounting match a non-coalesced replay exactly. Only the global
+  // traffic counters (and the host-side domain work) see one call.
+  SingleFlightRegistry* sf = single_flight_.get();
+  std::shared_ptr<SingleFlightRegistry::Flight> lead_flight;
+  if (sf != nullptr && sf->enabled()) {
+    SingleFlightRegistry::Join join =
+        sf->JoinOrLead(SingleFlightRegistry::KeyFor(site_.name, call));
+    if (join.leader) {
+      lead_flight = std::move(join.flight);
+    } else {
+      Result<CallOutput> shared = sf->Await(*join.flight);
+      if (shared.ok()) {
+        ++ctx.metrics.coalesced_calls;
+        size_t total_bytes = AnswerSetByteSize(shared->answers);
+        CallOutput out =
+            ComposeRemoteLatency(transfer, std::move(shared).value());
+        double network_ms = out.all_ms;
+        ctx.metrics.bytes_transferred += total_bytes;
+        ctx.metrics.network_charge += NetworkSimulator::ChargeFor(site_,
+                                                                 total_bytes);
+        ctx.metrics.network_ms += network_ms;
+        hop.set_sim_end(ctx.now_ms + network_ms);
+        hop.AddArg("bytes", std::to_string(total_bytes));
+        hop.AddArg("coalesced", "true");
+        return out;
+      }
+      // Leader failure or wall-clock timeout: fall through to our own
+      // call. Per-query retry/breaker accounting proceeds exactly as if
+      // no coalescing had been attempted.
+    }
+  }
+
+  network_->RecordCall();
+  site_calls_->Add(1);
+  Result<CallOutput> inner = next(ctx, call);
+  if (lead_flight != nullptr) {
+    sf->Publish(*lead_flight, inner.ok() ? Status::OK() : inner.status(),
+                inner.ok() ? *inner : CallOutput{});
+  }
+  HERMES_ASSIGN_OR_RETURN(CallOutput inner_out, std::move(inner));
 
   size_t total_bytes = AnswerSetByteSize(inner_out.answers);
   CallOutput out = ComposeRemoteLatency(transfer, std::move(inner_out));

@@ -7,8 +7,8 @@ namespace hermes::optimizer {
 CompiledPlan PlanCompiler::Compile(CandidatePlan plan) const {
   CompiledPlan compiled;
   compiled.plan_ = std::make_unique<CandidatePlan>(std::move(plan));
-  compiled.tree_ =
-      engine::op::Compile(compiled.plan_->program, compiled.plan_->query);
+  compiled.tree_ = engine::op::Compile(compiled.plan_->program,
+                                       compiled.plan_->query, options_);
   compiled.dcsm_ = dcsm_;
   return compiled;
 }

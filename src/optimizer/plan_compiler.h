@@ -47,15 +47,21 @@ class CompiledPlan {
 /// Lowers CandidatePlans into physical operator trees. The optional DCSM
 /// annotates EXPLAIN output with per-call cost estimates (Dcsm::Cost is
 /// const and thread-safe, so compilation and EXPLAIN are safe while
-/// queries execute).
+/// queries execute). `options` selects the lowering — notably whether
+/// independent domain-call runs are grouped for async scatter-gather; the
+/// compiler is where call-site independence (no shared bound variables)
+/// is decided.
 class PlanCompiler {
  public:
-  explicit PlanCompiler(const dcsm::Dcsm* dcsm = nullptr) : dcsm_(dcsm) {}
+  explicit PlanCompiler(const dcsm::Dcsm* dcsm = nullptr,
+                        engine::op::CompileOptions options = {})
+      : dcsm_(dcsm), options_(options) {}
 
   CompiledPlan Compile(CandidatePlan plan) const;
 
  private:
   const dcsm::Dcsm* dcsm_;
+  engine::op::CompileOptions options_;
 };
 
 }  // namespace hermes::optimizer

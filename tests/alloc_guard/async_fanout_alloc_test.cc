@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc_guard.h"
+#include "engine/executor.h"
+#include "engine/op/compile.h"
+#include "lang/parser.h"
+
+namespace hermes::engine {
+namespace {
+
+/// Domain whose single function enumerates `rows` integer answers in one
+/// allocation (the answer vector's buffer), so per-row growth observed by
+/// the guard comes from the engine, not the source.
+class RowsDomain : public Domain {
+ public:
+  RowsDomain(std::string name, size_t rows)
+      : name_(std::move(name)), rows_(rows) {}
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return {{"rows", 0, "rows(): integer enumeration"}};
+  }
+  Result<CallOutput> Run(const DomainCall&) override {
+    CallOutput out;
+    out.answers.reserve(rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+      out.answers.push_back(Value::Int(static_cast<int64_t>(i)));
+    }
+    out.first_ms = 1.0;
+    out.all_ms = 2.0;
+    return out;
+  }
+
+ private:
+  std::string name_;
+  size_t rows_;
+};
+
+/// Heap allocations of one steady-state (pre-warmed) execution of an async
+/// fan-out plan: two independent enumerations compiled into a
+/// ScatterGatherOp, gathered into a cross product that a comparison filter
+/// rejects row by row. The hot path on trial is the async issue/gather
+/// loop — member cursor re-opens, binding rollbacks, filter evaluation.
+size_t AllocsForRows(size_t rows) {
+  DomainRegistry registry;
+  EXPECT_TRUE(
+      registry.Register("d1", std::make_shared<RowsDomain>("d1", rows)).ok());
+  EXPECT_TRUE(
+      registry.Register("d2", std::make_shared<RowsDomain>("d2", rows)).ok());
+  Result<lang::Program> program = lang::Parser::ParseProgram("");
+  EXPECT_TRUE(program.ok()) << program.status();
+  Result<lang::Query> query = lang::Parser::ParseQuery(
+      "?- in(X, d1:rows()) & in(Y, d2:rows()) & X > 1000000000.");
+  EXPECT_TRUE(query.ok()) << query.status();
+  op::CompileOptions options;
+  options.async_scatter_gather = true;
+  op::CompiledQuery compiled = op::Compile(*program, *query, options);
+  Executor executor(&registry, nullptr, {});
+
+  // Warm-up run: first-touch allocations (binding slots, operator state)
+  // happen here and are reused by the measured run.
+  CallContext ctx;
+  Result<QueryExecution> warm =
+      executor.ExecuteCompiled(*program, compiled, &ctx);
+  EXPECT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->answers.empty());
+
+  testing::AllocCounterScope scope;
+  Result<QueryExecution> exec =
+      executor.ExecuteCompiled(*program, compiled, &ctx);
+  const size_t allocs = scope.count();
+  EXPECT_TRUE(exec.ok()) << exec.status();
+  EXPECT_TRUE(exec->answers.empty());
+  return allocs;
+}
+
+TEST(AsyncFanoutAllocTest, GatherLoopAllocationsIndependentOfRowCount) {
+  // Zero allocations *per gathered row*: the 8×8 and 128×128 cross
+  // products must execute with the identical allocation count — the async
+  // issue path materializes each member's answers once and the gather
+  // odometer reuses cursor state across re-opens.
+  const size_t small = AllocsForRows(8);
+  const size_t large = AllocsForRows(128);
+  EXPECT_EQ(small, large)
+      << "async gather loop allocated per row: " << small
+      << " allocs at 8x8 rows, " << large << " at 128x128";
+}
+
+TEST(AsyncFanoutAllocTest, SteadyStateExecutionStaysWithinFixedBudget) {
+  // The whole steady-state fan-out execution — both members issued, 64×64
+  // rows gathered, filtered and rolled back — must fit a small fixed
+  // budget covering per-query setup only (pipeline plumbing, two answer
+  // buffers, result bookkeeping).
+  DomainRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("d1", std::make_shared<RowsDomain>("d1", 64)).ok());
+  ASSERT_TRUE(
+      registry.Register("d2", std::make_shared<RowsDomain>("d2", 64)).ok());
+  Result<lang::Program> program = lang::Parser::ParseProgram("");
+  ASSERT_TRUE(program.ok()) << program.status();
+  Result<lang::Query> query = lang::Parser::ParseQuery(
+      "?- in(X, d1:rows()) & in(Y, d2:rows()) & X > 1000000000.");
+  ASSERT_TRUE(query.ok()) << query.status();
+  op::CompileOptions options;
+  options.async_scatter_gather = true;
+  op::CompiledQuery compiled = op::Compile(*program, *query, options);
+  Executor executor(&registry, nullptr, {});
+  CallContext ctx;
+  Result<QueryExecution> warm =
+      executor.ExecuteCompiled(*program, compiled, &ctx);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  HERMES_EXPECT_ALLOCS_LE(64, {
+    Result<QueryExecution> exec =
+        executor.ExecuteCompiled(*program, compiled, &ctx);
+    ASSERT_TRUE(exec.ok()) << exec.status();
+    EXPECT_TRUE(exec->answers.empty());
+  });
+}
+
+}  // namespace
+}  // namespace hermes::engine

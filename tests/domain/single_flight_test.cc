@@ -1,0 +1,262 @@
+// Cross-query single-flight call coalescing: N concurrent queries missing
+// on the identical remote call share one in-flight execution. These tests
+// pin the registry's leader/follower/fallback protocol, the end-to-end
+// "N misses → 1 network call" behaviour through a Mediator, the
+// non-poisoning of followers on leader failure, and the disabled default.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/mediator.h"
+#include "engine/query_pool.h"
+
+namespace hermes {
+namespace {
+
+/// Echo domain whose Run blocks on a gate until the test releases it, so
+/// the test can deterministically hold a leader in flight while followers
+/// pile up on the registry.
+class GatedDomain : public Domain {
+ public:
+  explicit GatedDomain(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return {{"id", 1, "id(x): {x}, gated"}};
+  }
+  Result<CallOutput> Run(const DomainCall& call) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++runs_;
+      cv_.wait(lock, [this] { return open_; });
+    }
+    CallOutput out;
+    out.answers = {call.args[0]};
+    out.first_ms = 3.0;
+    out.all_ms = 7.0;
+    return out;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  int runs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_;
+  }
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int runs_ = 0;
+};
+
+/// Fails its first execution (after the gate opens), succeeds afterwards:
+/// the leader publishes a failure while followers are already waiting.
+class FlakyGatedDomain : public GatedDomain {
+ public:
+  explicit FlakyGatedDomain(std::string name) : GatedDomain(std::move(name)) {}
+  Result<CallOutput> Run(const DomainCall& call) override {
+    Result<CallOutput> out = GatedDomain::Run(call);
+    std::lock_guard<std::mutex> lock(flaky_mu_);
+    if (!failed_once_) {
+      failed_once_ = true;
+      return Status::Unavailable("first execution injected to fail");
+    }
+    return out;
+  }
+
+ private:
+  std::mutex flaky_mu_;
+  bool failed_once_ = false;
+};
+
+net::SiteParams FlatSite(std::string name) {
+  net::SiteParams site = net::UsaSite(std::move(name));
+  site.jitter = 0.0;
+  return site;
+}
+
+QueryOptions AsWritten() {
+  QueryOptions q;
+  q.use_optimizer = false;
+  q.record_statistics = false;
+  return q;
+}
+
+SingleFlightOptions EnabledOptions() {
+  SingleFlightOptions sf;
+  sf.enabled = true;
+  sf.wait_timeout_ms = 30000.0;  // generous: TSan builds run slowly
+  return sf;
+}
+
+/// Spins until `waiting` followers are parked on the registry (with a
+/// wall-clock guard so a wiring bug fails instead of hanging).
+void AwaitWaiters(const Mediator& med, uint64_t waiting) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (med.single_flight().stats().waiting < waiting) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "followers never reached the registry";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(SingleFlightRegistryTest, LeaderThenFollowersThenFreshFlight) {
+  SingleFlightRegistry registry;
+  SingleFlightRegistry::Join first = registry.JoinOrLead("k");
+  EXPECT_TRUE(first.leader);
+  SingleFlightRegistry::Join second = registry.JoinOrLead("k");
+  EXPECT_FALSE(second.leader);
+  EXPECT_EQ(first.flight.get(), second.flight.get());
+
+  CallOutput out;
+  out.answers = {Value::Int(42)};
+  out.all_ms = 5.0;
+  registry.Publish(*first.flight, Status::OK(), out);
+  Result<CallOutput> shared = registry.Await(*second.flight);
+  ASSERT_TRUE(shared.ok()) << shared.status();
+  ASSERT_EQ(shared->answers.size(), 1u);
+  EXPECT_EQ(shared->answers[0], Value::Int(42));
+
+  // The key retired with publication: later arrivals lead a fresh flight.
+  SingleFlightRegistry::Join third = registry.JoinOrLead("k");
+  EXPECT_TRUE(third.leader);
+  EXPECT_NE(third.flight.get(), first.flight.get());
+
+  SingleFlightRegistry::Stats stats = registry.stats();
+  EXPECT_EQ(stats.leaders, 2u);
+  EXPECT_EQ(stats.followers, 1u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+TEST(SingleFlightRegistryTest, LeaderFailurePropagatesAsFallback) {
+  SingleFlightRegistry registry;
+  SingleFlightRegistry::Join leader = registry.JoinOrLead("k");
+  SingleFlightRegistry::Join follower = registry.JoinOrLead("k");
+  registry.Publish(*leader.flight, Status::Unavailable("boom"), {});
+  Result<CallOutput> shared = registry.Await(*follower.flight);
+  EXPECT_FALSE(shared.ok());
+  EXPECT_TRUE(shared.status().IsUnavailable()) << shared.status();
+  EXPECT_EQ(registry.stats().fallbacks, 1u);
+  EXPECT_EQ(registry.stats().followers, 0u);
+}
+
+TEST(SingleFlightTest, ConcurrentIdenticalMissesShareOneNetworkCall) {
+  constexpr size_t kQueries = 4;
+  Mediator med;
+  auto gate = std::make_shared<GatedDomain>("echo");
+  ASSERT_TRUE(med.RegisterRemoteDomain("echo", gate, FlatSite("s1")).ok());
+  med.set_single_flight(EnabledOptions());
+
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = kQueries;
+  std::unique_ptr<QueryPool> pool = med.Serve(pool_options);
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (size_t i = 0; i < kQueries; ++i) {
+    futures.push_back(pool->Submit("?- in(A, echo:id(7)).", AsWritten()));
+  }
+
+  // The leader is in the domain, blocked on the gate; hold it there until
+  // every other query is parked on its flight, then let it finish.
+  AwaitWaiters(med, kQueries - 1);
+  gate->OpenGate();
+
+  uint64_t coalesced = 0;
+  for (std::future<Result<QueryResult>>& f : futures) {
+    Result<QueryResult> res = f.get();
+    ASSERT_TRUE(res.ok()) << res.status();
+    ASSERT_EQ(res->execution.answers.size(), 1u);
+    EXPECT_EQ(res->execution.answers[0][0], Value::Int(7));
+    // Every query accounts the call in its own bill, coalesced or not.
+    EXPECT_EQ(res->metrics.remote_calls, 1u);
+    EXPECT_GT(res->traffic.bytes, 0u);
+    coalesced += res->metrics.coalesced_calls;
+  }
+  pool->Shutdown();
+
+  // One execution served all four queries: the source ran once, the
+  // simulator shipped one call, and three queries flagged the coalesce.
+  EXPECT_EQ(gate->runs(), 1);
+  EXPECT_EQ(med.network().stats().calls, 1u);
+  EXPECT_EQ(coalesced, kQueries - 1);
+  SingleFlightRegistry::Stats stats = med.single_flight().stats();
+  EXPECT_EQ(stats.leaders, 1u);
+  EXPECT_EQ(stats.followers, kQueries - 1);
+  EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+TEST(SingleFlightTest, LeaderFailureDoesNotPoisonFollowers) {
+  constexpr size_t kQueries = 4;
+  Mediator med;
+  // One retry lets the leader's own query recover from the injected
+  // first-execution failure.
+  resilience::ResiliencePolicy policy;
+  policy.retry.max_retries = 2;
+  med.set_default_resilience_policy(policy);
+  auto gate = std::make_shared<FlakyGatedDomain>("echo");
+  ASSERT_TRUE(med.RegisterRemoteDomain("echo", gate, FlatSite("s1")).ok());
+  med.set_single_flight(EnabledOptions());
+
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = kQueries;
+  std::unique_ptr<QueryPool> pool = med.Serve(pool_options);
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (size_t i = 0; i < kQueries; ++i) {
+    futures.push_back(pool->Submit("?- in(A, echo:id(7)).", AsWritten()));
+  }
+  AwaitWaiters(med, kQueries - 1);
+  gate->OpenGate();
+
+  uint64_t retries = 0, coalesced = 0;
+  for (std::future<Result<QueryResult>>& f : futures) {
+    Result<QueryResult> res = f.get();
+    ASSERT_TRUE(res.ok()) << res.status();
+    ASSERT_EQ(res->execution.answers.size(), 1u);
+    EXPECT_EQ(res->execution.answers[0][0], Value::Int(7));
+    retries += res->metrics.retries;
+    coalesced += res->metrics.coalesced_calls;
+  }
+  pool->Shutdown();
+
+  // The leader's failure was published, every follower fell back to its
+  // own call (never inheriting the error), and only the leader's query
+  // spent a retry on it.
+  EXPECT_EQ(med.single_flight().stats().fallbacks, kQueries - 1);
+  EXPECT_GE(retries, 1u);
+  // Followers that fell back may re-coalesce among themselves; what is
+  // pinned is that nobody adopted the failed execution.
+  EXPECT_LE(coalesced, kQueries - 1);
+}
+
+TEST(SingleFlightTest, DisabledByDefaultEveryQueryShipsItsOwnCall) {
+  constexpr size_t kQueries = 3;
+  Mediator med;
+  auto gate = std::make_shared<GatedDomain>("echo");
+  gate->OpenGate();  // never block: coalescing is off
+  ASSERT_TRUE(med.RegisterRemoteDomain("echo", gate, FlatSite("s1")).ok());
+
+  for (size_t i = 0; i < kQueries; ++i) {
+    Result<QueryResult> res = med.Query("?- in(A, echo:id(7)).", AsWritten());
+    ASSERT_TRUE(res.ok()) << res.status();
+    EXPECT_EQ(res->metrics.coalesced_calls, 0u);
+  }
+  EXPECT_EQ(gate->runs(), static_cast<int>(kQueries));
+  EXPECT_EQ(med.network().stats().calls, kQueries);
+  EXPECT_EQ(med.single_flight().stats().leaders, 0u);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -8,7 +8,10 @@ gate: --max-regression 0.10 fails (exit 1) if any compared benchmark got
 more than 10% slower.
 
 Matching is by full benchmark name (including /threads:N suffixes); names
-present in only one file are listed but not compared. Stdlib only.
+present in only one file are listed as new/removed (with their one-sided
+measurement) but not compared, and entries without a usable measurement —
+error_occurred from SkipWithError, or a missing real_time field — are
+reported instead of crashing the comparison. Stdlib only.
 
 Usage: bench_compare.py BASELINE.json CONTENDER.json
            [--out FILE] [--max-regression FRAC] [--filter REGEX]
@@ -32,10 +35,25 @@ def load(path):
 
 
 def metric_of(bench):
-    """(value, unit, higher_is_better) for one benchmark entry."""
+    """(value, unit, higher_is_better) for one benchmark entry, or None
+    when the entry carries no usable measurement (it errored out via
+    SkipWithError, or predates the fields we read)."""
+    if bench.get("error_occurred"):
+        return None
     if "items_per_second" in bench:
         return bench["items_per_second"], "items/s", True
-    return bench["real_time"], bench.get("time_unit", "ns"), False
+    if "real_time" in bench:
+        return bench["real_time"], bench.get("time_unit", "ns"), False
+    return None
+
+
+def format_metric(bench):
+    """One-sided display of an entry's measurement ('-' when it has none)."""
+    metric = metric_of(bench)
+    if metric is None:
+        return "-"
+    value, unit, _ = metric
+    return f"{value:.4g} {unit}"
 
 
 def main():
@@ -60,15 +78,22 @@ def main():
         if name_filter and not name_filter.search(name):
             continue
         if name not in base:
-            rows.append((name, "-", "-", "new"))
+            rows.append((name, "-", format_metric(cont[name]), "new"))
             continue
         if name not in cont:
-            rows.append((name, "-", "-", "removed"))
+            rows.append((name, format_metric(base[name]), "-", "removed"))
             continue
-        b_val, b_unit, higher_better = metric_of(base[name])
-        c_val, c_unit, _ = metric_of(cont[name])
+        b_metric = metric_of(base[name])
+        c_metric = metric_of(cont[name])
+        if b_metric is None or c_metric is None:
+            rows.append((name, format_metric(base[name]),
+                         format_metric(cont[name]), "error"))
+            continue
+        b_val, b_unit, higher_better = b_metric
+        c_val, c_unit, _ = c_metric
         if b_unit != c_unit or b_val == 0:
-            rows.append((name, "-", "-", "incomparable"))
+            rows.append((name, format_metric(base[name]),
+                         format_metric(cont[name]), "incomparable"))
             continue
         # delta > 0 always means "contender worse".
         delta = (b_val - c_val) / b_val if higher_better \
