@@ -184,6 +184,49 @@ BENCHMARK(BM_ConcurrentQuery_CacheHitMix)
     ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 
+// Same hit mix with the diagnostics layer on (flight recorder, drift
+// tracker, internal tracer, no capture thresholds): the contrast against
+// BM_ConcurrentQuery_CacheHitMix is the whole cost of always-on
+// diagnostics on the hot path.
+Mediator* HitMixRecorderMediator() {
+  static Mediator* med = [] {
+    auto* m = new Mediator();
+    testbed::RopeScenarioOptions options;
+    options.add_frame_invariants = false;
+    (void)testbed::SetupRopeScenario(m, options);
+    (void)m->EnableDiagnostics({});
+    (void)m->LoadProgram(kObjectsRule);
+    for (int i = 0; i < 8; ++i) {  // warm (unpaced: pacing not yet set)
+      (void)m->Query("?- objects(4, " + std::to_string(40 + i) + ", O).",
+                     ConcurrentOptions());
+    }
+    m->set_per_query_network_rng(true);
+    m->set_service_pacing(1.0);
+    return m;
+  }();
+  return med;
+}
+
+void BM_ConcurrentQuery_CacheHitMixRecorder(benchmark::State& state) {
+  Mediator* med = HitMixRecorderMediator();
+  const QueryOptions options = ConcurrentOptions();
+  int n = state.thread_index();
+  for (auto _ : state) {
+    std::string query =
+        "?- objects(4, " + std::to_string(40 + n++ % 8) + ", O).";
+    Result<QueryResult> res = med->Query(query, options);
+    if (!res.ok()) {
+      state.SkipWithError(res.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentQuery_CacheHitMixRecorder)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
 void BM_ConcurrentQuery_CacheMissMix(benchmark::State& state) {
   Mediator* med = MissMixMediator();
   const QueryOptions options = ConcurrentOptions();

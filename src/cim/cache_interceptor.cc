@@ -1,5 +1,6 @@
 #include "cim/cache_interceptor.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace hermes::cim {
@@ -40,6 +41,18 @@ Result<CallOutput> CacheInterceptor::Intercept(CallContext& ctx,
     ++ctx.metrics.cache_misses;
   } else {
     ++ctx.metrics.cache_hits;
+  }
+  if (ctx.recorder != nullptr) {
+    obs::FlightEvent ev =
+        obs::FlightEvent::Make(obs::FlightEventKind::kCacheOutcome,
+                               ctx.query_id, ctx.recorder_seq++, ctx.now_ms);
+    ev.set_domain(call.domain);
+    ev.set_detail(OutcomeName(outcome));
+    if (out.ok()) {
+      ev.value = out->all_ms;
+      ev.aux = out->answers.size();
+    }
+    ctx.recorder->Emit(ev);
   }
   if (out.ok() && out->degraded) {
     // Cached answers stood in for an unreachable source: the query still

@@ -85,6 +85,9 @@ Result<CallOutput> CimDomain::RunActual(const DomainCall& call,
                                         const ActualCallFn& actual) {
   stats_.actual_calls->Add(1);
   HERMES_ASSIGN_OR_RETURN(CallOutput out, actual(call));
+  // Entries age against accumulated source-call sim time; each actual
+  // call moves the clock its own service time forward.
+  cache_.AdvanceSimClock(out.all_ms);
   if (options_.cache_results && out.complete) {
     cache_.Put(call, out.answers, /*complete=*/true,
                tick_.load(std::memory_order_relaxed));

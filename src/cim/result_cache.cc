@@ -69,6 +69,8 @@ void ResultCache::Put(DomainCall call, AnswerSet answers, bool complete,
   node->entry.complete = complete;
   node->entry.bytes = bytes;
   node->entry.inserted_at = now;
+  node->entry.inserted_sim_ms = sim_clock_ms();
+  shard.inserted_sim_sum_ms += node->entry.inserted_sim_ms;
   shard.total_bytes += bytes;
   ++shard.count;
   shard.index.Insert(node, hash);
@@ -111,6 +113,7 @@ void ResultCache::Remove(const DomainCall& call) {
 
 void ResultCache::RemoveNodeLocked(Shard& shard, Node* node) {
   shard.total_bytes -= node->entry.bytes;
+  shard.inserted_sim_sum_ms -= node->entry.inserted_sim_ms;
   --shard.count;
   shard.index.Remove(node);
   IntrusiveList<Node, &Node::lru_node>::Remove(node);
@@ -128,6 +131,18 @@ void ResultCache::Clear() {
     shard->index.Clear();
     shard->total_bytes = 0;
     shard->count = 0;
+    shard->inserted_sim_sum_ms = 0.0;
+  }
+}
+
+void ResultCache::AdvanceSimClock(double delta_ms) {
+  if (delta_ms <= 0.0) return;
+  // std::atomic<double>::fetch_add is C++20 but not universally lock-free;
+  // the CAS loop compiles everywhere and the clock is advanced at most
+  // once per actual source call.
+  double cur = sim_clock_ms_.load(std::memory_order_relaxed);
+  while (!sim_clock_ms_.compare_exchange_weak(cur, cur + delta_ms,
+                                              std::memory_order_relaxed)) {
   }
 }
 
@@ -204,6 +219,27 @@ void ResultCache::BindMetrics(obs::MetricsRegistry& registry,
   registry.RegisterCallbackGauge(
       "hermes_cache_bytes", "Approximate bytes currently resident", labels,
       [this] { return static_cast<double>(total_bytes()); });
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    obs::Labels shard_labels = labels;
+    shard_labels.emplace_back("shard", std::to_string(i));
+    Shard* shard = shards_[i].get();
+    registry.RegisterCallbackGauge(
+        "hermes_cache_entry_age_sim_ms",
+        "Mean sim-clock age of this shard's resident entries", shard_labels,
+        [this, shard] {
+          std::lock_guard<std::mutex> lock(shard->mu);
+          if (shard->count == 0) return 0.0;
+          return sim_clock_ms() - shard->inserted_sim_sum_ms /
+                                      static_cast<double>(shard->count);
+        });
+    registry.RegisterCallbackGauge(
+        "hermes_cache_evict_age_sim_ms",
+        "Sim-clock age of this shard's most recent LRU victim", shard_labels,
+        [shard] {
+          std::lock_guard<std::mutex> lock(shard->mu);
+          return shard->last_evict_age_ms;
+        });
+  }
 }
 
 void ResultCache::EvictIfNeededLocked(Shard& shard) {
@@ -212,6 +248,8 @@ void ResultCache::EvictIfNeededLocked(Shard& shard) {
     Node* victim = shard.lru.PopBack();
     if (victim == nullptr) return;
     shard.total_bytes -= victim->entry.bytes;
+    shard.inserted_sim_sum_ms -= victim->entry.inserted_sim_ms;
+    shard.last_evict_age_ms = sim_clock_ms() - victim->entry.inserted_sim_ms;
     --shard.count;
     shard.index.Remove(victim);
     delete victim;

@@ -1,6 +1,7 @@
 #ifndef HERMES_CIM_RESULT_CACHE_H_
 #define HERMES_CIM_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,6 +24,9 @@ struct CacheEntry {
   bool complete = true;  ///< False when only a partial set was retained.
   size_t bytes = 0;      ///< Approximate answer-set size.
   uint64_t inserted_at = 0;  ///< Logical tick when cached (staleness).
+  /// Cache sim-clock reading when cached (see AdvanceSimClock); feeds the
+  /// hermes_cache_*_age_sim_ms gauges.
+  double inserted_sim_ms = 0.0;
 };
 
 /// Counters exported by the result cache — a snapshot view over the
@@ -101,6 +105,16 @@ class ResultCache {
   void ForEach(
       const std::function<bool(const CacheEntry& entry)>& fn) const;
 
+  /// Advances the cache-wide simulated clock entries are aged against.
+  /// The CIM adds each actual call's simulated service time, so "age" is
+  /// measured in accumulated source-call milliseconds — the denominator
+  /// the paper's staleness discussion actually cares about — rather than
+  /// wall time, which a simulator burns through in microseconds.
+  void AdvanceSimClock(double delta_ms);
+  double sim_clock_ms() const {
+    return sim_clock_ms_.load(std::memory_order_relaxed);
+  }
+
   size_t size() const;
   size_t total_bytes() const;
   size_t num_shards() const { return shards_.size(); }
@@ -131,6 +145,11 @@ class ResultCache {
     mutable std::mutex mu;
     size_t total_bytes = 0;
     size_t count = 0;
+    /// Σ inserted_sim_ms over resident entries, maintained incrementally
+    /// so the mean-age gauge is O(1) at exposition time.
+    double inserted_sim_sum_ms = 0.0;
+    /// Sim-clock age of the most recent LRU victim; 0 until one exists.
+    double last_evict_age_ms = 0.0;
     IntrusiveList<Node, &Node::lru_node> lru;  ///< Front = most recent.
     IntrusiveHashMap<Node, &Node::hash_node> index;
     ~Shard();
@@ -152,6 +171,8 @@ class ResultCache {
   size_t shard_max_entries_;  ///< Per-shard entry budget (0 = unbounded).
   size_t shard_max_bytes_;    ///< Per-shard byte budget (0 = unbounded).
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Accumulated simulated source-call time (see AdvanceSimClock).
+  std::atomic<double> sim_clock_ms_{0.0};
 
   // Live statistics (cache-wide; the obs counters stripe internally).
   std::shared_ptr<obs::Counter> hits_ = std::make_shared<obs::Counter>();

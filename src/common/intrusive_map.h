@@ -176,13 +176,16 @@ class IntrusiveHashMap {
     size_ = 0;
   }
 
-  /// Iterates all elements in unspecified order; `fn` may not mutate the
-  /// table. Returning false stops the scan.
+  /// Iterates all elements in unspecified order; `fn` returning false
+  /// stops. `fn` may free the element it was given (its chain link is read
+  /// first) but must not otherwise mutate the table.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t i = 0; i < num_buckets_; ++i) {
-      for (IntrusiveMapNode* n = buckets_[i]; n != nullptr; n = n->next) {
+      for (IntrusiveMapNode* n = buckets_[i]; n != nullptr;) {
+        IntrusiveMapNode* next = n->next;
         if (!fn(*FromNode(n))) return;
+        n = next;
       }
     }
   }

@@ -23,6 +23,15 @@
 
 namespace hermes {
 
+// CallContext holds only pointers to these; the emitting .cc files include
+// the real headers. Keeps the domain layer free of dcsm header cycles.
+namespace obs {
+class FlightRecorder;
+}  // namespace obs
+namespace dcsm {
+class DriftTracker;
+}  // namespace dcsm
+
 /// The authoritative field lists of CallMetrics, split by type. Everything
 /// that iterates the struct's fields — Merge, the registry fold in the
 /// mediator, the coverage tests — expands these macros, so adding a field
@@ -168,6 +177,18 @@ struct CallContext {
   /// the query an exportable execution timeline. The tracer belongs to
   /// this query alone and is not thread-safe.
   obs::Tracer* tracer = nullptr;
+  /// Flight recorder for structured diagnostic events. When non-null every
+  /// layer appends its milestone events (call issued/completed, retry,
+  /// breaker transition, cache outcome, ...) stamped with this query's id
+  /// and `recorder_seq`. Null (the default) costs one branch per site.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Per-query flight-event sequence number. The query runs on one thread,
+  /// so `recorder_seq++` orders its events deterministically regardless of
+  /// QueryPool thread count or ring layout.
+  uint32_t recorder_seq = 0;
+  /// DCSM drift tracker. When non-null DomainCallOp feeds every successful
+  /// call's observed [Tf Ta card] vs. the DCSM estimate into it.
+  dcsm::DriftTracker* drift = nullptr;
 
   // ---- Resilience state (per-query, so replay is thread-count-invariant).
 

@@ -3,11 +3,26 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace hermes::resilience {
 
 namespace {
+
+/// Flight-recorder note of a breaker state change on `site` at `sim_ms`.
+void RecordBreakerEvent(CallContext& ctx, const std::string& site,
+                        const char* to_state, double sim_ms,
+                        uint64_t consecutive_failures) {
+  if (ctx.recorder == nullptr) return;
+  obs::FlightEvent ev =
+      obs::FlightEvent::Make(obs::FlightEventKind::kBreakerTransition,
+                             ctx.query_id, ctx.recorder_seq++, sim_ms);
+  ev.set_site(site);
+  ev.set_detail(to_state);
+  ev.aux = consecutive_failures;
+  ctx.recorder->Emit(ev);
+}
 
 /// Salt separating the backoff-jitter streams from the network-jitter and
 /// fault-plan streams derived from the same base seed.
@@ -147,6 +162,17 @@ Result<CallOutput> ResilienceInterceptor::AttemptWithRetries(
       ctx.metrics.retry_backoff_ms += backoff;
       retries_->Add(1);
       backoff_ms_->Add(backoff);
+      if (ctx.recorder != nullptr) {
+        obs::FlightEvent ev =
+            obs::FlightEvent::Make(obs::FlightEventKind::kRetry, ctx.query_id,
+                                   ctx.recorder_seq++, t_call + waited);
+        ev.set_site(site_name_);
+        ev.set_domain(call.domain);
+        ev.set_detail(ctx.last_failure_cause);
+        ev.value = backoff;
+        ev.aux = static_cast<uint64_t>(attempt) + 1;
+        ctx.recorder->Emit(ev);
+      }
     }
   }
   ctx.last_call_penalty_ms = waited;
@@ -205,6 +231,8 @@ Result<CallOutput> ResilienceInterceptor::Intercept(CallContext& ctx,
         probe = true;
         breaker->state = BreakerState::kHalfOpen;
         to_half_open_->Add(1);
+        RecordBreakerEvent(ctx, breaker_key, "half_open", ctx.now_ms,
+                           breaker->consecutive_failures);
       } else {
         // Shed: fail fast without attempting the call (that is the load
         // the breaker takes off a struggling site).
@@ -230,7 +258,10 @@ Result<CallOutput> ResilienceInterceptor::Intercept(CallContext& ctx,
       AttemptWithRetries(ctx, call, next, /*single_attempt=*/probe, &waited);
   if (run.ok()) {
     if (breaker != nullptr) {
-      if (breaker->state != BreakerState::kClosed) to_closed_->Add(1);
+      if (breaker->state != BreakerState::kClosed) {
+        to_closed_->Add(1);
+        RecordBreakerEvent(ctx, breaker_key, "closed", ctx.now_ms + waited, 0);
+      }
       breaker->state = BreakerState::kClosed;
       breaker->consecutive_failures = 0;
       breaker->shed_since_probe = 0;
@@ -255,6 +286,8 @@ Result<CallOutput> ResilienceInterceptor::Intercept(CallContext& ctx,
       breaker->state = BreakerState::kOpen;
       breaker->shed_since_probe = 0;
       to_open_->Add(1);
+      RecordBreakerEvent(ctx, breaker_key, "open", ctx.now_ms + waited,
+                         breaker->consecutive_failures);
     }
   }
   giveups_->Add(1);

@@ -1,0 +1,301 @@
+#include "engine/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/io.h"
+#include "engine/op/domain_call_op.h"
+
+namespace hermes {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string EventsJson(const std::vector<obs::FlightEvent>& events) {
+  std::string out = "{\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",";
+    out += events[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string SlowQueryRow::ToString() const {
+  std::string out(depth * 2, ' ');
+  out += label + "  actual=[rows=" + std::to_string(rows) +
+         " opens=" + std::to_string(opens) + " sim=" + Num(sim_total_ms) +
+         "ms]";
+  if (has_estimate) {
+    out += " est=[Tf=" + Num(est_tf_ms) + " Ta=" + Num(est_ta_ms) +
+           " card=" + Num(est_card) + " src=" + est_source + "]";
+  }
+  return out;
+}
+
+std::string SlowQueryRow::ToJson() const {
+  std::string out = "{\"depth\":" + std::to_string(depth) + ",\"op\":\"" +
+                    JsonEscape(op) + "\",\"label\":\"" + JsonEscape(label) +
+                    "\",\"opens\":" + std::to_string(opens) +
+                    ",\"rows\":" + std::to_string(rows) +
+                    ",\"sim_total_ms\":" + Num(sim_total_ms);
+  if (has_estimate) {
+    out += ",\"est\":{\"tf_ms\":" + Num(est_tf_ms) +
+           ",\"ta_ms\":" + Num(est_ta_ms) + ",\"card\":" + Num(est_card) +
+           ",\"source\":\"" + JsonEscape(est_source) + "\"}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string DebugBundle::ManifestJson() const {
+  std::string out = "{\"query_id\":" + std::to_string(query_id) +
+                    ",\"reason\":\"" + JsonEscape(reason) + "\",\"query\":\"" +
+                    JsonEscape(query_text) +
+                    "\",\"t_all_sim_ms\":" + Num(t_all_ms) +
+                    ",\"completeness\":\"" + JsonEscape(completeness) +
+                    "\",\"event_count\":" + std::to_string(events.size()) +
+                    ",\"components\":{\"events\":\"events.json\","
+                    "\"trace\":\"trace.json\",\"explain\":\"explain.txt\","
+                    "\"metrics\":\"metrics.prom\"},\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out += ",";
+    out += rows[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+std::string DebugBundle::SlowQueryRecord() const {
+  std::string out = "slow-query q" + std::to_string(query_id) +
+                    " reason=" + reason + " t_all=" + Num(t_all_ms) +
+                    "ms completeness=" + completeness + " query=" + query_text +
+                    "\n";
+  for (const SlowQueryRow& row : rows) out += "  " + row.ToString() + "\n";
+  return out;
+}
+
+DiagnosticsCenter::DiagnosticsCenter(
+    DiagnosticsOptions options, obs::FlightRecorder* recorder,
+    const dcsm::Dcsm* dcsm, dcsm::DriftTracker* drift,
+    std::shared_ptr<obs::MetricsRegistry> registry)
+    : options_(std::move(options)),
+      recorder_(recorder),
+      dcsm_(dcsm),
+      drift_(drift),
+      registry_(std::move(registry)) {
+  if (registry_ != nullptr) {
+    captures_total_ = registry_->GetOrAddCounter(
+        "hermes_diag_captures_total",
+        "Debug bundles auto-captured by the diagnostics policy.");
+  }
+}
+
+double DiagnosticsCenter::TrailingP99Locked() const {
+  if (recent_ta_.empty()) return 0.0;
+  std::vector<double> sorted(recent_ta_.begin(), recent_ta_.end());
+  size_t idx = static_cast<size_t>(0.99 * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return sorted[idx];
+}
+
+std::string DiagnosticsCenter::CaptureReasonLocked(
+    const DiagnosticsCaptureInput& input) {
+  // The watermark compares against queries *before* this one.
+  const bool armed = recent_ta_.size() >= options_.watermark_min_samples;
+  const double p99 = options_.watermark_factor > 0.0 && armed
+                         ? TrailingP99Locked()
+                         : 0.0;
+  recent_ta_.push_back(input.t_all_ms);
+  while (recent_ta_.size() > options_.watermark_window) {
+    recent_ta_.pop_front();
+  }
+
+  if (options_.slow_threshold_sim_ms > 0.0 &&
+      input.t_all_ms >= options_.slow_threshold_sim_ms) {
+    return "slow-threshold";
+  }
+  if (p99 > 0.0 && input.t_all_ms > options_.watermark_factor * p99) {
+    return "slow-watermark";
+  }
+  if (input.breaker_tripped && options_.capture_on_breaker_open) {
+    return "breaker-open";
+  }
+  if (input.degraded && options_.capture_on_degraded) return "degraded";
+  if (input.partial && options_.capture_on_partial) return "partial";
+  return "";
+}
+
+std::vector<SlowQueryRow> DiagnosticsCenter::CollectRows(
+    engine::op::PhysicalOp* root) const {
+  std::vector<SlowQueryRow> rows;
+  if (root == nullptr) return rows;
+  root->VisitTree([this, &rows](engine::op::PhysicalOp& op, size_t depth) {
+    SlowQueryRow row;
+    row.depth = depth;
+    row.op = engine::op::OpKindName(op.kind());
+    row.label = op.label();
+    row.opens = op.stats().opens;
+    row.rows = op.stats().rows;
+    row.sim_total_ms = op.stats().sim_total_ms;
+    auto* call = dynamic_cast<engine::op::DomainCallOp*>(&op);
+    if (call != nullptr && dcsm_ != nullptr) {
+      Result<dcsm::CostEstimate> est = dcsm_->Cost(call->EstimationPattern());
+      if (est.ok()) {
+        row.has_estimate = true;
+        row.est_tf_ms = est->cost.t_first_ms;
+        row.est_ta_ms = est->cost.t_all_ms;
+        row.est_card = est->cost.cardinality;
+        row.est_source = est->source;
+      }
+    }
+    rows.push_back(std::move(row));
+  });
+  return rows;
+}
+
+Status DiagnosticsCenter::Persist(DebugBundle& bundle, size_t index) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "bundle_%03zu_q%llu", index,
+                static_cast<unsigned long long>(bundle.query_id));
+  std::filesystem::path dir =
+      std::filesystem::path(options_.bundle_dir) / name;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create bundle directory " + dir.string() +
+                            ": " + ec.message());
+  }
+  HERMES_RETURN_IF_ERROR(WriteStringToFile((dir / "manifest.json").string(),
+                                           bundle.ManifestJson()));
+  HERMES_RETURN_IF_ERROR(WriteStringToFile((dir / "events.json").string(),
+                                           EventsJson(bundle.events)));
+  HERMES_RETURN_IF_ERROR(
+      WriteStringToFile((dir / "trace.json").string(), bundle.chrome_trace));
+  HERMES_RETURN_IF_ERROR(
+      WriteStringToFile((dir / "explain.txt").string(), bundle.explain_text));
+  HERMES_RETURN_IF_ERROR(
+      WriteStringToFile((dir / "metrics.prom").string(), bundle.prometheus));
+  bundle.dir = dir.string();
+
+  // The rolling structured log sits beside the bundles.
+  std::ofstream log(std::filesystem::path(options_.bundle_dir) /
+                        "slow_queries.log",
+                    std::ios::app);
+  if (log) log << bundle.SlowQueryRecord();
+  return Status::OK();
+}
+
+std::string DiagnosticsCenter::MaybeCapture(
+    const DiagnosticsCaptureInput& input) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string reason = CaptureReasonLocked(input);
+  if (reason.empty()) return reason;
+
+  DebugBundle bundle;
+  bundle.query_id = input.query_id;
+  bundle.reason = reason;
+  bundle.query_text = input.query_text;
+  bundle.t_all_ms = input.t_all_ms;
+  bundle.completeness = input.completeness;
+  if (recorder_ != nullptr) {
+    bundle.events = recorder_->SnapshotQuery(input.query_id);
+  }
+  bundle.chrome_trace = obs::ChromeTraceJson({input.tracer});
+  if (input.explain_fn) bundle.explain_text = input.explain_fn();
+  if (registry_ != nullptr) bundle.prometheus = registry_->ExposePrometheus();
+  bundle.rows = CollectRows(input.root);
+
+  slow_log_.push_back(bundle.SlowQueryRecord());
+  const size_t index = captures_;
+  ++captures_;
+  if (captures_total_ != nullptr) captures_total_->Add(1);
+
+  if (!options_.bundle_dir.empty() && index < options_.max_bundles) {
+    // Persistence failures (full disk, bad path) degrade the capture to
+    // in-memory; diagnostics must never fail the query they describe.
+    (void)Persist(bundle, index);
+  }
+  bundles_.push_back(std::move(bundle));
+  while (bundles_.size() > options_.max_bundles) bundles_.pop_front();
+  return reason;
+}
+
+Status DiagnosticsCenter::Dump(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create diagnostics directory " + dir +
+                            ": " + ec.message());
+  }
+  std::filesystem::path base(dir);
+  if (recorder_ != nullptr) {
+    HERMES_RETURN_IF_ERROR(WriteStringToFile(
+        (base / "events.json").string(), EventsJson(recorder_->SnapshotAll())));
+  }
+  if (registry_ != nullptr) {
+    HERMES_RETURN_IF_ERROR(WriteStringToFile((base / "metrics.prom").string(),
+                                             registry_->ExposePrometheus()));
+  }
+  if (drift_ != nullptr) {
+    HERMES_RETURN_IF_ERROR(WriteStringToFile((base / "drift.txt").string(),
+                                             drift_->Report().ToString()));
+  }
+  std::string log;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& record : slow_log_) log += record;
+  }
+  return WriteStringToFile((base / "slow_queries.log").string(), log);
+}
+
+std::vector<DebugBundle> DiagnosticsCenter::bundles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<DebugBundle>(bundles_.begin(), bundles_.end());
+}
+
+std::vector<std::string> DiagnosticsCenter::slow_query_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_log_;
+}
+
+uint64_t DiagnosticsCenter::captures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captures_;
+}
+
+}  // namespace hermes

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "engine/op/sink_ops.h"
+#include "obs/flight_recorder.h"
 
 namespace hermes::engine {
 
@@ -114,6 +115,13 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
         options_.op_metrics->arena_bytes != nullptr) {
       options_.op_metrics->arena_bytes->Set(
           static_cast<double>(arena.bytes_used()));
+    }
+    if (ctx->recorder != nullptr) {
+      obs::FlightEvent ev = obs::FlightEvent::Make(
+          obs::FlightEventKind::kArenaHighWater, ctx->query_id,
+          ctx->recorder_seq++, ctx->now_ms);
+      ev.value = static_cast<double>(arena.bytes_used());
+      ctx->recorder->Emit(ev);
     }
   };
 

@@ -100,9 +100,47 @@ Status Mediator::RegisterRemoteDomain(const std::string& name,
           std::move(pipeline_name),
           std::vector<std::shared_ptr<CallInterceptor>>{shield, link},
           std::move(inner))));
+  // Keep the drift tracker's (domain → site) labels current when domains
+  // are registered after EnableDiagnostics.
+  if (drift_ != nullptr) drift_->SetSite(name, link->site().name);
   links_[name] = std::move(link);
   resilience_layers_[name] = std::move(shield);
   return Status::OK();
+}
+
+Status Mediator::EnableDiagnostics(const DiagnosticsOptions& options) {
+  std::unique_lock lock(wiring_mu_);
+  HERMES_RETURN_IF_ERROR(CheckNotServing("EnableDiagnostics"));
+  // Tear the borrower down before replacing what it borrows. The new
+  // recorder re-binds (replaces) the registry's callback gauges before the
+  // old recorder is destroyed, so an exposition never reads a dead one.
+  diag_.reset();
+  auto recorder = std::make_unique<obs::FlightRecorder>(options.ring_capacity);
+  recorder->BindMetrics(*metrics_);
+  recorder_ = std::move(recorder);
+  drift_ = std::make_unique<dcsm::DriftTracker>(&dcsm_, options.drift);
+  drift_->BindMetrics(metrics_);
+  for (const auto& [name, link] : links_) {
+    drift_->SetSite(name, link->site().name);
+  }
+  diag_ = std::make_unique<DiagnosticsCenter>(options, recorder_.get(), &dcsm_,
+                                              drift_.get(), metrics_);
+  return Status::OK();
+}
+
+Status Mediator::DumpDiagnostics(const std::string& dir) {
+  std::shared_lock lock(wiring_mu_);
+  if (diag_ == nullptr) {
+    return Status::FailedPrecondition(
+        "DumpDiagnostics requires EnableDiagnostics");
+  }
+  return diag_->Dump(dir);
+}
+
+dcsm::DriftReport Mediator::DriftReport() const {
+  std::shared_lock lock(wiring_mu_);
+  if (drift_ == nullptr) return {};
+  return drift_->Report();
 }
 
 Status Mediator::SetResiliencePolicy(
@@ -383,6 +421,10 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
   // start at simulated time 0 (Ta excludes optimization throughout the
   // experiment tables, so the trace keeps them as sibling envelopes).
   obs::Tracer* tracer = options.tracer;
+  // With diagnostics on, an untraced query still records into a private
+  // tracer so an auto-captured bundle always carries a Chrome trace.
+  obs::Tracer internal_tracer;
+  if (tracer == nullptr && diag_ != nullptr) tracer = &internal_tracer;
   uint64_t root_span = 0;
   if (tracer != nullptr) {
     root_span = tracer->BeginSpan("query", "query", 0.0);
@@ -422,6 +464,15 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     tracer->set_query_id(ctx.query_id);
     tracer->AddArg(root_span, "query_id", std::to_string(ctx.query_id));
   }
+  ctx.recorder = recorder_.get();
+  ctx.drift = drift_.get();
+  if (ctx.recorder != nullptr) {
+    obs::FlightEvent ev =
+        obs::FlightEvent::Make(obs::FlightEventKind::kQueryStart, ctx.query_id,
+                               ctx.recorder_seq++, /*sim_ms=*/0.0);
+    ev.set_detail(result.plan_description);
+    ctx.recorder->Emit(ev);
+  }
 
   // Per-query network randomness: the stream is a function of (base seed,
   // query id) only, so this query's simulated latencies replay identically
@@ -447,6 +498,13 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     if (tracer != nullptr) {
       tracer->MarkFailed(root_span, executed.status().ToString());
       tracer->EndSpan(root_span, 0.0);  // clamps up to the children's ends
+    }
+    if (ctx.recorder != nullptr) {
+      obs::FlightEvent ev =
+          obs::FlightEvent::Make(obs::FlightEventKind::kQueryEnd, ctx.query_id,
+                                 ctx.recorder_seq++, ctx.now_ms);
+      ev.set_detail("failed");
+      ctx.recorder->Emit(ev);
     }
     return executed.status();
   }
@@ -507,6 +565,37 @@ Result<QueryResult> Mediator::Query(const std::string& query_text,
     estimate_rel_error_->Observe(
         std::abs(result.predicted.t_all_ms - result.execution.t_all_ms) /
         result.execution.t_all_ms);
+  }
+
+  bool breaker_tripped = false;
+  for (const auto& [site, breaker] : ctx.breaker_states) {
+    if (breaker.state == CallContext::BreakerState::kOpen) {
+      breaker_tripped = true;
+      break;
+    }
+  }
+  if (ctx.recorder != nullptr) {
+    obs::FlightEvent ev =
+        obs::FlightEvent::Make(obs::FlightEventKind::kQueryEnd, ctx.query_id,
+                               ctx.recorder_seq++, result.execution.t_all_ms);
+    ev.set_detail(QueryCompletenessName(result.completeness));
+    ev.value = result.execution.t_all_ms;
+    ev.aux = result.execution.answers.size();
+    ctx.recorder->Emit(ev);
+  }
+  if (diag_ != nullptr) {
+    DiagnosticsCaptureInput capture;
+    capture.query_id = ctx.query_id;
+    capture.query_text = query_text;
+    capture.t_all_ms = result.execution.t_all_ms;
+    capture.completeness = QueryCompletenessName(result.completeness);
+    capture.degraded = result.completeness == QueryCompleteness::kDegraded;
+    capture.partial = result.completeness == QueryCompleteness::kPartial;
+    capture.breaker_tripped = breaker_tripped;
+    capture.explain_fn = [&compiled] { return compiled.Explain(true); };
+    capture.tracer = tracer;
+    capture.root = compiled.tree().root.get();
+    diag_->MaybeCapture(capture);
   }
 
   if (pacing_scale_ > 0.0) {

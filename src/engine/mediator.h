@@ -14,6 +14,7 @@
 #include "domain/pipeline.h"
 #include "domain/registry.h"
 #include "domain/resilience/resilience.h"
+#include "engine/diagnostics.h"
 #include "engine/executor.h"
 #include "lang/ast.h"
 #include "net/faults/fault_plan.h"
@@ -236,6 +237,30 @@ class Mediator {
     return fault_injector_;
   }
 
+  // ---- Diagnostics ------------------------------------------------------------
+
+  /// Turns on the query-level diagnostics layer (see DESIGN.md
+  /// "Diagnostics & drift"): the per-thread flight recorder, the DCSM
+  /// drift tracker, and the anomaly-capture policy that persists debug
+  /// bundles for slow/degraded/partial/breaker-tripped queries. Wiring
+  /// time; idempotent only in the sense that the last call wins.
+  Status EnableDiagnostics(const DiagnosticsOptions& options = {});
+
+  /// On-demand diagnostics snapshot: writes the resident flight-recorder
+  /// events, the Prometheus exposition, the drift report and the
+  /// slow-query log under `dir`. FailedPrecondition unless
+  /// EnableDiagnostics was called.
+  Status DumpDiagnostics(const std::string& dir);
+
+  /// Per-(site, domain, adornment) EWMA drift of observed vs DCSM-estimated
+  /// Tf/Ta/cardinality. Empty report when diagnostics are off.
+  dcsm::DriftReport DriftReport() const;
+
+  /// Null until EnableDiagnostics.
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  dcsm::DriftTracker* drift_tracker() { return drift_.get(); }
+  DiagnosticsCenter* diagnostics() { return diag_.get(); }
+
   // ---- Program management -----------------------------------------------------
 
   /// Parses `text` and appends its rules to the mediator program.
@@ -404,6 +429,13 @@ class Mediator {
   optimizer::RuleRewriter::Options rewriter_options_;
   optimizer::EstimatorParams estimator_params_;
   engine::ExecutorOptions executor_options_;
+
+  // Diagnostics (EnableDiagnostics). diag_ borrows recorder_ and drift_,
+  // so it is declared after them: members destroy in reverse declaration
+  // order, tearing the borrower down before what it borrows.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<dcsm::DriftTracker> drift_;
+  std::unique_ptr<DiagnosticsCenter> diag_;
 
   // Observability: the per-mediator registry plus the query-level
   // instruments the Query() path maintains itself (layer-owned instruments

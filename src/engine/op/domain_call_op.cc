@@ -4,7 +4,9 @@
 #include <string>
 
 #include "dcsm/dcsm.h"
+#include "dcsm/drift.h"
 #include "engine/op/explain.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace hermes::engine::op {
@@ -57,6 +59,14 @@ Status DomainCallOp::RunCall(ExecContext& cx, double t_issue) {
   const uint64_t degraded_before = cx.ctx->metrics.degraded_calls;
   const uint64_t coalesced_before = cx.ctx->metrics.coalesced_calls;
   const size_t errors_before = cx.ctx->source_errors.size();
+  if (cx.ctx->recorder != nullptr) {
+    obs::FlightEvent ev = obs::FlightEvent::Make(
+        obs::FlightEventKind::kCallIssued, cx.ctx->query_id,
+        cx.ctx->recorder_seq++, t_open);
+    ev.set_domain(call.domain);
+    ev.set_detail(call.function);
+    cx.ctx->recorder->Emit(ev);
+  }
   Result<CallOutput> run = cx.pipeline->Run(*cx.ctx, call);
   retries_seen_ += cx.ctx->metrics.retries - retries_before;
   degraded_seen_ += cx.ctx->metrics.degraded_calls - degraded_before;
@@ -69,6 +79,36 @@ Status DomainCallOp::RunCall(ExecContext& cx, double t_issue) {
       tracer->MarkFailed(span_id, run.status().ToString());
       tracer->EndSpan(span_id, t_open);  // clamps up to child penalties
     }
+  }
+  if (cx.ctx->recorder != nullptr) {
+    if (run.ok()) {
+      obs::FlightEvent ev = obs::FlightEvent::Make(
+          obs::FlightEventKind::kCallCompleted, cx.ctx->query_id,
+          cx.ctx->recorder_seq++, t_open + run->all_ms);
+      ev.set_domain(call.domain);
+      ev.set_detail(call.function);
+      ev.value = run->all_ms;
+      ev.aux = run->answers.size();
+      cx.ctx->recorder->Emit(ev);
+    } else {
+      obs::FlightEvent ev = obs::FlightEvent::Make(
+          obs::FlightEventKind::kCallFailed, cx.ctx->query_id,
+          cx.ctx->recorder_seq++, t_open + cx.ctx->last_call_penalty_ms);
+      ev.set_site(cx.ctx->last_failure_site);
+      ev.set_domain(call.domain);
+      ev.set_detail(!cx.ctx->last_failure_cause.empty()
+                        ? cx.ctx->last_failure_cause
+                        : std::string("error"));
+      ev.value = cx.ctx->last_call_penalty_ms;
+      cx.ctx->recorder->Emit(ev);
+    }
+  }
+  if (run.ok() && cx.ctx->drift != nullptr) {
+    cx.ctx->drift->Observe(
+        EstimationPattern(), RuntimeAdornment(),
+        CostVector(run->first_ms, run->all_ms,
+                   static_cast<double>(run->answers.size())),
+        t_open + run->all_ms, cx.ctx->recorder);
   }
   if (!run.ok()) {
     const Status& failure = run.status();
@@ -209,6 +249,28 @@ void DomainCallOp::CloseImpl(ExecContext& cx) {
   // cursor once per outer row. ResetAsync() (from the gather's own Close)
   // releases it.
   if (!async_issued_) output_ = CallOutput{};
+}
+
+lang::DomainCallSpec DomainCallOp::EstimationPattern() const {
+  lang::DomainCallSpec pattern;
+  pattern.domain = goal_->call.domain;
+  pattern.function = goal_->call.function;
+  pattern.args.reserve(goal_->call.args.size());
+  for (const lang::Term& arg : goal_->call.args) {
+    // Every argument is ground by the time the call runs, so the runtime
+    // pattern distinguishes only plan constants from bound variables.
+    pattern.args.push_back(arg.is_constant() ? arg : lang::Term::Bound());
+  }
+  return pattern;
+}
+
+std::string DomainCallOp::RuntimeAdornment() const {
+  std::string adorn;
+  adorn.reserve(goal_->call.args.size());
+  for (const lang::Term& arg : goal_->call.args) {
+    adorn += arg.is_constant() ? 'c' : 'b';
+  }
+  return adorn;
 }
 
 std::string DomainCallOp::ActualExtras() const {

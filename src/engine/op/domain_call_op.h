@@ -56,6 +56,16 @@ class DomainCallOp final : public PhysicalOp {
   /// when the call is grouped under a ScatterGatherOp).
   void set_async_marker(bool marker) { async_marker_ = marker; }
 
+  /// The DCSM estimation pattern of this call as executed: constant args
+  /// stay constants, variable args (ground by run time) become `$b`. Used
+  /// by the drift tracker and the slow-query log, matching what EXPLAIN
+  /// asks the DCSM for a fully-bound plan position.
+  lang::DomainCallSpec EstimationPattern() const;
+
+  /// Runtime adornment matching EstimationPattern(): 'c' per constant
+  /// argument, 'b' per variable argument.
+  std::string RuntimeAdornment() const;
+
  protected:
   Status OpenImpl(ExecContext& cx, double t_open) override;
   Result<bool> NextImpl(ExecContext& cx, double t_resume,

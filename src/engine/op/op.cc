@@ -80,6 +80,14 @@ void PhysicalOp::Close(ExecContext& cx) {
   op_span_ = 0;
 }
 
+void PhysicalOp::VisitTree(const std::function<void(PhysicalOp&, size_t)>& fn,
+                           size_t depth) {
+  fn(*this, depth);
+  for (PhysicalOp* child : children()) {
+    if (child != nullptr) child->VisitTree(fn, depth + 1);
+  }
+}
+
 void PhysicalOp::Explain(ExplainPrinter& printer) {
   std::vector<std::function<void()>> kids;
   for (PhysicalOp* child : children()) {

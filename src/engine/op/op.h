@@ -2,6 +2,7 @@
 #define HERMES_ENGINE_OP_OP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -164,6 +165,12 @@ class PhysicalOp {
   /// EXPLAIN output is byte-identical; DomainCallOp reports resilience
   /// events (" retries=N", " degraded", " lost").
   virtual std::string ActualExtras() const { return {}; }
+
+  /// Pre-order walk over this subtree: `fn(op, depth)` for this operator,
+  /// then each child at depth+1. The structured sibling of Explain(),
+  /// used by the diagnostics layer's per-operator est-vs-actual rows.
+  void VisitTree(const std::function<void(PhysicalOp&, size_t)>& fn,
+                 size_t depth = 0);
 
  protected:
   PhysicalOp() = default;

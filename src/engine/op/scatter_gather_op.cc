@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/op/explain.h"
+#include "obs/flight_recorder.h"
 
 namespace hermes::engine::op {
 
@@ -20,6 +21,13 @@ std::string ScatterGatherOp::label() const { return "ScatterGather"; }
 
 Status ScatterGatherOp::OpenImpl(ExecContext& cx, double t_open) {
   open_depth_ = 0;
+  if (cx.ctx->recorder != nullptr) {
+    obs::FlightEvent ev = obs::FlightEvent::Make(
+        obs::FlightEventKind::kScatterFanout, cx.ctx->query_id,
+        cx.ctx->recorder_seq++, t_open);
+    ev.value = static_cast<double>(calls_.size());
+    cx.ctx->recorder->Emit(ev);
+  }
   // Scatter: issue every member's call at the group's open time. The
   // virtual clock does not advance between issues, so the members' round
   // trips overlap — the gather below observes each answer at

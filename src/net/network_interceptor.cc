@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace hermes::net {
@@ -102,11 +103,23 @@ Result<CallOutput> NetworkInterceptor::Intercept(CallContext& ctx,
   if (sf != nullptr && sf->enabled()) {
     SingleFlightRegistry::Join join =
         sf->JoinOrLead(SingleFlightRegistry::KeyFor(site_.name, call));
+    auto record_single_flight = [&ctx, this](const char* role) {
+      if (ctx.recorder == nullptr) return;
+      obs::FlightEvent ev =
+          obs::FlightEvent::Make(obs::FlightEventKind::kSingleFlight,
+                                 ctx.query_id, ctx.recorder_seq++, ctx.now_ms);
+      ev.set_site(site_.name);
+      ev.set_detail(role);
+      ctx.recorder->Emit(ev);
+    };
     if (join.leader) {
       lead_flight = std::move(join.flight);
+      record_single_flight("leader");
     } else {
       Result<CallOutput> shared = sf->Await(*join.flight);
+      if (!shared.ok()) record_single_flight("fallback");
       if (shared.ok()) {
+        record_single_flight("follower");
         ++ctx.metrics.coalesced_calls;
         size_t total_bytes = AnswerSetByteSize(shared->answers);
         CallOutput out =

@@ -113,6 +113,18 @@ void Tracer::AddArg(uint64_t id, std::string key, std::string value) {
 std::string Tracer::ToChromeJson() const { return ChromeTraceJson({this}); }
 
 std::string ChromeTraceJson(const std::vector<const Tracer*>& tracers) {
+  // A merge over zero tracers — or only null / never-run tracers — must
+  // still be a valid (empty) trace document, with no orphan metadata
+  // records describing threads that recorded nothing.
+  bool any_spans = false;
+  for (const Tracer* tracer : tracers) {
+    if (tracer != nullptr && !tracer->spans().empty()) {
+      any_spans = true;
+      break;
+    }
+  }
+  if (!any_spans) return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   auto append = [&out, &first](const std::string& event) {
@@ -124,7 +136,7 @@ std::string ChromeTraceJson(const std::vector<const Tracer*>& tracers) {
   append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"hermes mediator\"}}");
   for (const Tracer* tracer : tracers) {
-    if (tracer == nullptr) continue;
+    if (tracer == nullptr || tracer->spans().empty()) continue;
     uint64_t tid = tracer->query_id();
     append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
            std::to_string(tid) + ",\"args\":{\"name\":\"query " +

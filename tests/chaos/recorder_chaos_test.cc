@@ -1,0 +1,138 @@
+// Flight-recorder determinism under chaos: the per-query event stream —
+// kinds, sequence numbers, simulated timestamps, sites, details — is
+// bit-identical whether the pool runs 1, 4 or 8 workers, because every
+// event is stamped from the query's own simulated clock and RNG streams.
+// Caching stays off (a shared cache's state legitimately depends on
+// completion order), mirroring chaos_test.cc's bit-identity tests.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/mediator.h"
+#include "engine/query_pool.h"
+#include "obs/flight_recorder.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+std::string CannedPlanPath() {
+  return std::string(HERMES_TEST_SRCDIR) + "/chaos/chaos.faults";
+}
+
+std::vector<std::string> Workload(size_t n) {
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < n; ++i) {
+    int number = 1 + static_cast<int>(i % 4);
+    int64_t first = 4 + static_cast<int64_t>(3 * (i % 5));
+    int64_t last = first + 20 + static_cast<int64_t>(i % 7);
+    queries.push_back(testbed::AppendixQuery(number, false, first, last));
+  }
+  return queries;
+}
+
+/// Per-query event streams, rendered to text for exact comparison and
+/// readable failure output.
+std::map<uint64_t, std::vector<std::string>> RunPool(
+    size_t threads, const std::vector<std::string>& queries) {
+  auto med = std::make_unique<Mediator>();
+  resilience::ResiliencePolicy policy;
+  policy.retry.max_retries = 2;
+  policy.breaker.enabled = true;
+  policy.breaker.failure_threshold = 3;
+  policy.call_deadline_ms = 25000.0;
+  med->set_default_resilience_policy(policy);
+  testbed::RopeScenarioOptions scenario;
+  scenario.enable_caching = false;
+  EXPECT_TRUE(testbed::SetupRopeScenario(med.get(), scenario).ok());
+  EXPECT_TRUE(med->LoadFaultPlan(CannedPlanPath()).ok());
+  med->set_per_query_network_rng(true);
+  DiagnosticsOptions diag;
+  // Generous rings: wraparound depends on how many queries share a worker
+  // thread, which is exactly the scheduling noise this test must exclude.
+  diag.ring_capacity = 1 << 16;
+  EXPECT_TRUE(med->EnableDiagnostics(diag).ok());
+
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = threads;
+  std::unique_ptr<QueryPool> pool = med->Serve(pool_options);
+  QueryOptions options;
+  options.use_optimizer = false;
+  options.use_cim = false;
+  options.partial_results = true;
+  options.record_statistics = false;
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryOptions pinned = options;
+    pinned.query_id = 1000 + i;
+    futures.push_back(pool->Submit(queries[i], pinned));
+  }
+  for (auto& future : futures) (void)future.get();
+  pool->Shutdown();
+
+  std::map<uint64_t, std::vector<std::string>> streams;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    uint64_t id = 1000 + i;
+    std::vector<std::string> lines;
+    for (const obs::FlightEvent& ev :
+         med->flight_recorder()->SnapshotQuery(id)) {
+      lines.push_back(ev.ToString());
+    }
+    streams[id] = std::move(lines);
+  }
+  return streams;
+}
+
+void ExpectIdentical(
+    const std::map<uint64_t, std::vector<std::string>>& base,
+    const std::map<uint64_t, std::vector<std::string>>& other,
+    const std::string& what) {
+  ASSERT_EQ(base.size(), other.size());
+  for (const auto& [id, stream] : base) {
+    auto it = other.find(id);
+    ASSERT_NE(it, other.end()) << what << ": query " << id << " missing";
+    const std::vector<std::string>& got = it->second;
+    ASSERT_EQ(stream.size(), got.size())
+        << what << ": query " << id << " event count diverged";
+    for (size_t i = 0; i < stream.size(); ++i) {
+      EXPECT_EQ(stream[i], got[i])
+          << what << ": query " << id << " event " << i << " diverged";
+    }
+  }
+}
+
+TEST(RecorderChaos, StreamsArePopulatedAndWellFormed) {
+  std::vector<std::string> queries = Workload(12);
+  std::map<uint64_t, std::vector<std::string>> streams =
+      RunPool(4, queries);
+  size_t with_call_events = 0;
+  for (const auto& [id, stream] : streams) {
+    ASSERT_FALSE(stream.empty()) << "query " << id;
+    EXPECT_NE(stream.front().find("query_start"), std::string::npos);
+    EXPECT_NE(stream.back().find("query_end"), std::string::npos);
+    for (const std::string& line : stream) {
+      if (line.find("call_issued") != std::string::npos) {
+        ++with_call_events;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_call_events, 0u);
+}
+
+TEST(RecorderChaos, PerQueryStreamsAreBitIdenticalAcrossThreadCounts) {
+  std::vector<std::string> queries = Workload(16);
+  std::map<uint64_t, std::vector<std::string>> one = RunPool(1, queries);
+  std::map<uint64_t, std::vector<std::string>> four = RunPool(4, queries);
+  std::map<uint64_t, std::vector<std::string>> eight = RunPool(8, queries);
+  ExpectIdentical(one, four, "1 vs 4 threads");
+  ExpectIdentical(one, eight, "1 vs 8 threads");
+}
+
+}  // namespace
+}  // namespace hermes

@@ -182,6 +182,27 @@ TEST(IntrusiveHashMapTest, ClearAndForEach) {
   EXPECT_EQ(Lookup(map, "a"), nullptr);
 }
 
+// Freeing the visited element inside ForEach is the teardown sweep both
+// the result cache and the cost-vector database rely on; the chain link
+// must be read before fn runs or the walk touches freed memory (caught by
+// ASan/TSan as use-after-free).
+TEST(IntrusiveHashMapTest, ForEachSurvivesFreeingTheVisitedElement) {
+  ItemMap map;
+  for (int i = 0; i < 100; ++i) {
+    auto* item = new MapItem("key" + std::to_string(i), i);
+    map.Insert(item, KeyHash(item->key));
+  }
+  int freed = 0;
+  map.ForEach([&](MapItem& item) {
+    delete &item;
+    ++freed;
+    return true;
+  });
+  EXPECT_EQ(freed, 100);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+}
+
 // An element threaded into a hash index AND an LRU list with no extra
 // allocation — the exact shape the result cache uses.
 struct CacheLikeEntry {

@@ -1,0 +1,193 @@
+// The diagnostics layer end to end: anomaly capture produces complete
+// debug bundles, the slow-query log carries per-operator est-vs-actual
+// rows, DCSM drift telemetry moves when a fault plan skews latencies, and
+// DumpDiagnostics writes the on-demand snapshot.
+
+#include "engine/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/io.h"
+#include "engine/mediator.h"
+#include "net/faults/fault_plan.h"
+#include "obs/flight_recorder.h"
+#include "testbed/scenario.h"
+
+namespace hermes {
+namespace {
+
+std::unique_ptr<Mediator> RopeMediator(bool caching = true) {
+  auto med = std::make_unique<Mediator>();
+  testbed::RopeScenarioOptions scenario;
+  scenario.enable_caching = caching;
+  EXPECT_TRUE(testbed::SetupRopeScenario(med.get(), scenario).ok());
+  return med;
+}
+
+std::string TempDir(const std::string& leaf) {
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / leaf;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Diagnostics, SlowThresholdCapturesACompleteBundle) {
+  std::unique_ptr<Mediator> med = RopeMediator();
+  DiagnosticsOptions options;
+  options.slow_threshold_sim_ms = 1.0;  // everything is "slow"
+  options.bundle_dir = TempDir("diag_bundles");
+  ASSERT_TRUE(med->EnableDiagnostics(options).ok());
+
+  Result<QueryResult> res =
+      med->Query(testbed::AppendixQuery(1, false, 1, 9000), {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  DiagnosticsCenter* diag = med->diagnostics();
+  ASSERT_NE(diag, nullptr);
+  ASSERT_EQ(diag->captures(), 1u);
+  std::vector<DebugBundle> bundles = diag->bundles();
+  ASSERT_EQ(bundles.size(), 1u);
+  const DebugBundle& bundle = bundles[0];
+  EXPECT_EQ(bundle.reason, "slow-threshold");
+  EXPECT_EQ(bundle.query_id, res->query_id);
+
+  // All four components are present even though the caller passed no
+  // tracer and asked for no EXPLAIN.
+  EXPECT_FALSE(bundle.events.empty());
+  EXPECT_EQ(bundle.events.front().kind, obs::FlightEventKind::kQueryStart);
+  EXPECT_EQ(bundle.events.back().kind, obs::FlightEventKind::kQueryEnd);
+  EXPECT_NE(bundle.chrome_trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(bundle.chrome_trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(bundle.explain_text.find("actual:"), std::string::npos);
+  EXPECT_NE(bundle.prometheus.find("hermes_queries_total 1"),
+            std::string::npos);
+  ASSERT_FALSE(bundle.rows.empty());
+
+  // Persisted layout: bundle dir with the four files plus the manifest,
+  // and the rolling slow-query log beside it.
+  ASSERT_FALSE(bundle.dir.empty());
+  for (const char* file : {"manifest.json", "events.json", "trace.json",
+                           "explain.txt", "metrics.prom"}) {
+    EXPECT_TRUE(
+        std::filesystem::exists(std::filesystem::path(bundle.dir) / file))
+        << file;
+  }
+  Result<std::string> log = ReadFileToString(
+      (std::filesystem::path(options.bundle_dir) / "slow_queries.log")
+          .string());
+  ASSERT_TRUE(log.ok());
+  EXPECT_NE(log->find("slow-query q"), std::string::npos);
+  EXPECT_NE(log->find("reason=slow-threshold"), std::string::npos);
+}
+
+TEST(Diagnostics, UnremarkableQueriesAreNotCaptured) {
+  std::unique_ptr<Mediator> med = RopeMediator();
+  DiagnosticsOptions options;  // no threshold, no watermark
+  ASSERT_TRUE(med->EnableDiagnostics(options).ok());
+  ASSERT_TRUE(med->Query(testbed::AppendixQuery(1, false, 1, 9000), {}).ok());
+  EXPECT_EQ(med->diagnostics()->captures(), 0u);
+  // The recorder still has the query's events for on-demand inspection.
+  EXPECT_GT(med->flight_recorder()->total_events(), 0u);
+}
+
+TEST(Diagnostics, PartialQueryCapturesWithCompletenessReason) {
+  std::unique_ptr<Mediator> med = RopeMediator();
+  DiagnosticsOptions options;
+  ASSERT_TRUE(med->EnableDiagnostics(options).ok());
+  // Outage covering the whole run: the video source is lost; with
+  // partial_results the query completes partial and the policy captures.
+  Result<net::FaultPlan> plan =
+      net::FaultPlan::Parse("seed 7\noutage site=umd from=0 until=100000000\n");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(med->SetFaultPlan(std::move(plan).value()).ok());
+  QueryOptions qopts;
+  qopts.partial_results = true;
+  Result<QueryResult> res =
+      med->Query(testbed::AppendixQuery(1, false, 1, 9000), qopts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->completeness, QueryCompleteness::kPartial);
+  std::vector<DebugBundle> bundles = med->diagnostics()->bundles();
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].reason, "partial");
+  EXPECT_EQ(bundles[0].completeness, "partial");
+}
+
+TEST(Diagnostics, DriftGaugesMoveWhenLatencySkews) {
+  std::unique_ptr<Mediator> med = RopeMediator(/*caching=*/false);
+  DiagnosticsOptions options;
+  options.drift.threshold = 0.5;
+  options.drift.min_samples = 1;
+  ASSERT_TRUE(med->EnableDiagnostics(options).ok());
+
+  // Warm-up: the first pass records statistics, so the second pass has
+  // real (non-default) estimates to drift against.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        med->Query(testbed::AppendixQuery(1, false, 1, 9000), {}).ok());
+  }
+  dcsm::DriftReport calm = med->DriftReport();
+
+  // ×8 latency on every link: observed Tf/Ta shoot past the estimates the
+  // warm-up recorded.
+  Result<net::FaultPlan> plan = net::FaultPlan::Parse(
+      "seed 7\nlatency site=* factor=8 from=0 until=100000000\n");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(med->SetFaultPlan(std::move(plan).value()).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        med->Query(testbed::AppendixQuery(1, false, 1, 9000), {}).ok());
+  }
+
+  dcsm::DriftTracker* drift = med->drift_tracker();
+  ASSERT_NE(drift, nullptr);
+  EXPECT_GT(drift->observations(), 0u);
+  dcsm::DriftReport skewed = med->DriftReport();
+  ASSERT_FALSE(skewed.entries.empty());
+  double max_ta = 0.0;
+  for (const dcsm::DriftEntry& e : skewed.entries) {
+    max_ta = std::max(max_ta, e.ewma_ta);
+  }
+  double calm_max_ta = 0.0;
+  for (const dcsm::DriftEntry& e : calm.entries) {
+    calm_max_ta = std::max(calm_max_ta, e.ewma_ta);
+  }
+  EXPECT_GT(max_ta, calm_max_ta);
+  EXPECT_FALSE(skewed.Exceeded().empty());
+  EXPECT_GT(drift->exceeded_events(), 0u);
+
+  std::string prom = med->metrics().ExposePrometheus();
+  EXPECT_NE(prom.find("hermes_dcsm_drift{"), std::string::npos);
+  EXPECT_NE(prom.find("dim=\"ta\""), std::string::npos);
+  EXPECT_NE(prom.find("hermes_dcsm_drift_exceeded_total"), std::string::npos);
+}
+
+TEST(Diagnostics, DumpWritesTheOnDemandSnapshot) {
+  std::unique_ptr<Mediator> med = RopeMediator();
+  ASSERT_TRUE(med->EnableDiagnostics({}).ok());
+  ASSERT_TRUE(med->Query(testbed::AppendixQuery(1, false, 1, 9000), {}).ok());
+  std::string dir = TempDir("diag_dump");
+  ASSERT_TRUE(med->DumpDiagnostics(dir).ok());
+  for (const char* file :
+       {"events.json", "metrics.prom", "drift.txt", "slow_queries.log"}) {
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / file))
+        << file;
+  }
+  Result<std::string> events =
+      ReadFileToString((std::filesystem::path(dir) / "events.json").string());
+  ASSERT_TRUE(events.ok());
+  EXPECT_NE(events->find("\"kind\":\"query_start\""), std::string::npos);
+  EXPECT_NE(events->find("\"kind\":\"call_issued\""), std::string::npos);
+}
+
+TEST(Diagnostics, DumpRequiresEnableDiagnostics) {
+  std::unique_ptr<Mediator> med = RopeMediator();
+  Status st = med->DumpDiagnostics(TempDir("diag_never"));
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace hermes

@@ -91,6 +91,27 @@ TEST(Tracer, MergedExportRendersEachQueryAsOwnTrack) {
   EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
 }
 
+TEST(Tracer, EmptyMergeRendersMinimalValidDocument) {
+  // Regression: a merge with no spans used to emit a trailing comma after
+  // the (absent) last event, which Chrome and json.load both reject.
+  const std::string want = "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(ChromeTraceJson({}), want);
+  EXPECT_EQ(ChromeTraceJson({nullptr}), want);
+  Tracer empty(9);
+  EXPECT_EQ(ChromeTraceJson({&empty}), want);
+  EXPECT_EQ(ChromeTraceJson({nullptr, &empty, nullptr}), want);
+}
+
+TEST(Tracer, EmptyTracersContributeNoMetadataToMixedMerges) {
+  Tracer used(1), unused(2);
+  used.EndSpan(used.BeginSpan("query", "query", 0.0), 10.0);
+  std::string json = ChromeTraceJson({&used, &unused});
+  EXPECT_NE(json.find("\"name\":\"query 1\""), std::string::npos);
+  // The span-less tracer must not leave an orphan track behind.
+  EXPECT_EQ(json.find("\"name\":\"query 2\""), std::string::npos);
+  EXPECT_EQ(json, ChromeTraceJson({&used}));
+}
+
 TEST(SpanScope, ClosesOnScopeExitAndToleratesNullTracer) {
   Tracer tracer;
   {

@@ -78,6 +78,16 @@ int Run(int argc, char** argv) {
                  setup.ToString().c_str());
     return 1;
   }
+  // Diagnostics on (defaults: no capture thresholds) so the flight
+  // recorder and DCSM drift families are part of the exposition this tool
+  // exists to demonstrate — the warm run drifts against the cold run's
+  // recorded statistics.
+  Status diag = med.EnableDiagnostics({});
+  if (!diag.ok()) {
+    std::fprintf(stderr, "diagnostics setup failed: %s\n",
+                 diag.ToString().c_str());
+    return 1;
+  }
   if (!faults_file.empty()) {
     Status faults = med.LoadFaultPlan(faults_file);
     if (!faults.ok()) {
@@ -108,6 +118,21 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "warm query failed: %s\n",
                  warm_run.status().ToString().c_str());
     return 1;
+  }
+  // A second cold/warm pair leading with the relation source (query 4
+  // scans the cast relation before touching video). Fault plans that black
+  // out the video site stop the query-3 pair at its first subgoal; this
+  // pair still completes remote calls, so the DCSM drift gauges have
+  // estimates to move against in every mode.
+  options.tracer = nullptr;
+  std::string relation_query = testbed::AppendixQuery(4, false, 4, 47);
+  for (int pass = 0; pass < 2; ++pass) {
+    Result<QueryResult> run = med.Query(relation_query, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "relation query failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
   }
   std::fprintf(stderr,
                "cold: %.1f simulated ms (%s), warm: %.1f simulated ms (%s), "

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validates debug bundles persisted by the hermes diagnostics layer.
+
+A bundle directory (bundle_NNN_qID/ under the diagnostics bundle_dir)
+must contain the manifest plus the four capture components:
+
+  manifest.json  - query id/reason/completeness, per-operator rows, and a
+                   components map naming the other four files
+  events.json    - the query's flight-recorder slice (non-empty)
+  trace.json     - a Chrome trace (traceEvents array)
+  explain.txt    - EXPLAIN of the executed tree with actuals (non-empty)
+  metrics.prom   - Prometheus snapshot at capture time (non-empty)
+
+Usage: validate_bundle.py BUNDLE_DIR [BUNDLE_DIR ...]
+Exits non-zero with a message on the first violation. Stdlib only.
+"""
+
+import json
+import os
+import sys
+
+MANIFEST_KEYS = (
+    "query_id",
+    "reason",
+    "query",
+    "t_all_sim_ms",
+    "completeness",
+    "event_count",
+    "components",
+    "rows",
+)
+
+EVENT_KEYS = ("query_id", "seq", "kind", "sim_ms")
+
+
+def fail(msg):
+    print(f"validate_bundle: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: invalid JSON: {e}")
+
+
+def check_bundle(bundle_dir):
+    manifest = load_json(os.path.join(bundle_dir, "manifest.json"))
+    for key in MANIFEST_KEYS:
+        if key not in manifest:
+            fail(f"{bundle_dir}/manifest.json: missing key {key!r}")
+    if not manifest["reason"]:
+        fail(f"{bundle_dir}/manifest.json: empty capture reason")
+    components = manifest["components"]
+    for component in ("events", "trace", "explain", "metrics"):
+        if component not in components:
+            fail(f"{bundle_dir}/manifest.json: components lacks {component!r}")
+
+    events_doc = load_json(os.path.join(bundle_dir, components["events"]))
+    events = events_doc.get("events")
+    if not isinstance(events, list) or not events:
+        fail(f"{bundle_dir}/events.json: no events captured")
+    for i, event in enumerate(events):
+        for key in EVENT_KEYS:
+            if key not in event:
+                fail(f"{bundle_dir}/events.json: event {i} missing {key!r}")
+    if manifest["event_count"] != len(events):
+        fail(f"{bundle_dir}: manifest event_count {manifest['event_count']} "
+             f"!= {len(events)} events in events.json")
+    kinds = {event["kind"] for event in events}
+    if "query_start" not in kinds or "query_end" not in kinds:
+        fail(f"{bundle_dir}/events.json: stream lacks query_start/query_end "
+             f"(kinds: {sorted(kinds)})")
+
+    trace = load_json(os.path.join(bundle_dir, components["trace"]))
+    if "traceEvents" not in trace or not isinstance(trace["traceEvents"], list):
+        fail(f"{bundle_dir}/trace.json: no traceEvents array")
+
+    for component, must_contain in (("explain", "("), ("metrics", "hermes_")):
+        path = os.path.join(bundle_dir, components[component])
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            fail(f"{path}: unreadable: {e}")
+        if not text.strip():
+            fail(f"{path}: empty")
+        if must_contain not in text:
+            fail(f"{path}: expected {must_contain!r} somewhere in the file")
+
+    return manifest
+
+
+def main(bundle_dirs):
+    for bundle_dir in bundle_dirs:
+        if not os.path.isdir(bundle_dir):
+            fail(f"{bundle_dir}: not a directory")
+        manifest = check_bundle(bundle_dir)
+        print(f"validate_bundle: OK: {bundle_dir} "
+              f"(q{manifest['query_id']} reason={manifest['reason']} "
+              f"{manifest['event_count']} events)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1:])

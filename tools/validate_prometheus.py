@@ -31,8 +31,14 @@ DEFAULT_REQUIRED = [
     "hermes_callpipe_singleflight_follower_total",
     "hermes_site_calls_total",
     "hermes_cache_hits_total",
+    "hermes_cache_entry_age_sim_ms",
+    "hermes_cache_evict_age_sim_ms",
     "hermes_cim_exact_hits_total",
     "hermes_dcsm_records_total",
+    "hermes_dcsm_drift",
+    "hermes_flight_events_total",
+    "hermes_flight_events_dropped_total",
+    "hermes_diag_captures_total",
     "hermes_resilience_retries_total",
     "hermes_resilience_breaker_shed_total",
     "hermes_resilience_breaker_transitions_total",
