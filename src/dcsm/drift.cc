@@ -71,6 +71,11 @@ void DriftTracker::BindMetrics(std::shared_ptr<obs::MetricsRegistry> registry) {
   }
 }
 
+void DriftTracker::set_exceeded_hook(ExceededHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exceeded_hook_ = std::move(hook);
+}
+
 void DriftTracker::Observe(const lang::DomainCallSpec& pattern,
                            const std::string& adornment,
                            const CostVector& observed, double sim_ms,
@@ -98,9 +103,6 @@ void DriftTracker::Observe(const lang::DomainCallSpec& pattern,
 
     Cell& cell = cells_[Key(site, domain, adornment)];
     if (cell.samples == 0) {
-      cell.ewma_tf = err_tf;
-      cell.ewma_ta = err_ta;
-      cell.ewma_card = err_card;
       if (registry_ != nullptr) {
         obs::Labels base = {{"site", site},
                             {"domain", domain},
@@ -119,6 +121,28 @@ void DriftTracker::Observe(const lang::DomainCallSpec& pattern,
         cell.gauge_card = registry_->GetOrAddGauge("hermes_dcsm_drift", help,
                                                    labeled("card"));
       }
+    }
+    if (cell.samples < options_.min_samples) {
+      // Warm-up: seed the EWMA from the trimmed mean (max dropped per
+      // dimension once there are two samples) of the window so far. One
+      // outlier among the first min_samples observations cannot carry the
+      // seed past the threshold by itself.
+      cell.warmup.push_back({err_tf, err_ta, err_card});
+      for (size_t dim = 0; dim < 3; ++dim) {
+        double sum = 0.0, max = cell.warmup[0][dim];
+        for (const auto& s : cell.warmup) {
+          sum += s[dim];
+          max = std::max(max, s[dim]);
+        }
+        double mean = cell.warmup.size() >= 2
+                          ? (sum - max) /
+                                static_cast<double>(cell.warmup.size() - 1)
+                          : sum;
+        if (dim == 0) cell.ewma_tf = mean;
+        if (dim == 1) cell.ewma_ta = mean;
+        if (dim == 2) cell.ewma_card = mean;
+      }
+      if (cell.warmup.size() >= options_.min_samples) cell.warmup.clear();
     } else {
       const double a = options_.alpha;
       cell.ewma_tf = a * err_tf + (1.0 - a) * cell.ewma_tf;
@@ -145,6 +169,13 @@ void DriftTracker::Observe(const lang::DomainCallSpec& pattern,
   }
 
   if (newly_exceeded) {
+    ExceededHook hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      hook = exceeded_hook_;
+    }
+    // Outside mu_: the hook takes the plan cache's own locks.
+    if (hook != nullptr) hook(site, domain, adornment);
     if (exceeded_counter_ != nullptr) exceeded_counter_->Add(1);
     if (recorder != nullptr) {
       // Tagged query_id 0: drift is a cross-query signal, and keeping it

@@ -1,6 +1,8 @@
 #ifndef HERMES_DCSM_DRIFT_H_
 #define HERMES_DCSM_DRIFT_H_
 
+#include <array>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,7 +25,10 @@ struct DriftOptions {
   /// Relative-error level at which a group is flagged as drifted (1.0 =
   /// the observation is 100% away from the estimate, sustained).
   double threshold = 1.0;
-  /// EWMA warm-up: groups with fewer samples are never flagged.
+  /// EWMA warm-up: groups with fewer samples are never flagged, and the
+  /// EWMA seeds from the *trimmed mean* (max sample dropped, per
+  /// dimension) of the first min_samples observations — one outlier in
+  /// the warm-up window cannot trip `drift_exceeded` on its own.
   uint64_t min_samples = 3;
 };
 
@@ -72,6 +77,14 @@ class DriftTracker {
   /// groups appear, plus `hermes_dcsm_drift_exceeded_total`.
   void BindMetrics(std::shared_ptr<obs::MetricsRegistry> registry);
 
+  /// Called (outside the tracker's lock — it may take its own) each time a
+  /// (site, domain, adornment) group newly crosses the threshold. The plan
+  /// cache hangs its invalidation here.
+  using ExceededHook = std::function<void(
+      const std::string& site, const std::string& domain,
+      const std::string& adornment)>;
+  void set_exceeded_hook(ExceededHook hook);
+
   /// Feeds one successful call: `pattern` is the DCSM estimation pattern
   /// (constants kept, runtime-bound variables as `$b`), `adornment` its
   /// arg shape, `observed` the measured [Tf Ta card]. Estimates whose only
@@ -95,6 +108,9 @@ class DriftTracker {
     double ewma_card = 0.0;
     uint64_t samples = 0;
     bool exceeded = false;
+    /// First min_samples observations ([tf ta card] errors); the EWMA
+    /// seeds from their trimmed mean, then the buffer is dropped.
+    std::vector<std::array<double, 3>> warmup;
     std::shared_ptr<obs::Gauge> gauge_tf;
     std::shared_ptr<obs::Gauge> gauge_ta;
     std::shared_ptr<obs::Gauge> gauge_card;
@@ -112,6 +128,7 @@ class DriftTracker {
 
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::shared_ptr<obs::Counter> exceeded_counter_;
+  ExceededHook exceeded_hook_;
 };
 
 }  // namespace hermes::dcsm

@@ -90,7 +90,9 @@ std::string DebugBundle::ManifestJson() const {
                     "\",\"event_count\":" + std::to_string(events.size()) +
                     ",\"components\":{\"events\":\"events.json\","
                     "\"trace\":\"trace.json\",\"explain\":\"explain.txt\","
-                    "\"metrics\":\"metrics.prom\"},\"rows\":[";
+                    "\"metrics\":\"metrics.prom\"";
+  if (!replan_text.empty()) out += ",\"replan\":\"replan.txt\"";
+  out += "},\"rows\":[";
   for (size_t i = 0; i < rows.size(); ++i) {
     if (i > 0) out += ",";
     out += rows[i].ToJson();
@@ -155,6 +157,9 @@ std::string DiagnosticsCenter::CaptureReasonLocked(
   if (input.breaker_tripped && options_.capture_on_breaker_open) {
     return "breaker-open";
   }
+  if (!input.replan_text.empty() && options_.capture_on_replan) {
+    return "replan";
+  }
   if (input.degraded && options_.capture_on_degraded) return "degraded";
   if (input.partial && options_.capture_on_partial) return "partial";
   return "";
@@ -210,6 +215,10 @@ Status DiagnosticsCenter::Persist(DebugBundle& bundle, size_t index) const {
       WriteStringToFile((dir / "explain.txt").string(), bundle.explain_text));
   HERMES_RETURN_IF_ERROR(
       WriteStringToFile((dir / "metrics.prom").string(), bundle.prometheus));
+  if (!bundle.replan_text.empty()) {
+    HERMES_RETURN_IF_ERROR(WriteStringToFile((dir / "replan.txt").string(),
+                                             bundle.replan_text));
+  }
   bundle.dir = dir.string();
 
   // The rolling structured log sits beside the bundles.
@@ -236,6 +245,7 @@ std::string DiagnosticsCenter::MaybeCapture(
     bundle.events = recorder_->SnapshotQuery(input.query_id);
   }
   bundle.chrome_trace = obs::ChromeTraceJson({input.tracer});
+  bundle.replan_text = input.replan_text;
   if (input.explain_fn) bundle.explain_text = input.explain_fn();
   if (registry_ != nullptr) bundle.prometheus = registry_->ExposePrometheus();
   bundle.rows = CollectRows(input.root);

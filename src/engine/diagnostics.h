@@ -36,6 +36,9 @@ struct DiagnosticsOptions {
   bool capture_on_degraded = true;
   bool capture_on_partial = true;
   bool capture_on_breaker_open = true;
+  /// Capture queries that re-optimized mid-flight (the bundle's replan.txt
+  /// records the trigger and the before/after suffix).
+  bool capture_on_replan = true;
   /// Directory debug bundles are persisted under; empty keeps bundles
   /// in memory only.
   std::string bundle_dir;
@@ -77,6 +80,9 @@ struct DebugBundle {
   std::string chrome_trace;   ///< ChromeTraceJson of the query's tracer.
   std::string explain_text;   ///< EXPLAIN with actuals.
   std::string prometheus;     ///< Full registry snapshot at capture time.
+  /// Replan decision record (trigger + old/new suffix EXPLAIN); empty when
+  /// the query executed its original plan.
+  std::string replan_text;
   std::vector<SlowQueryRow> rows;
   std::string dir;  ///< Persisted location; empty when in-memory only.
 
@@ -95,6 +101,9 @@ struct DiagnosticsCaptureInput {
   bool degraded = false;
   bool partial = false;
   bool breaker_tripped = false;
+  /// Mid-query replan decisions (ReplanEvent::ToString, concatenated);
+  /// empty when the query ran its original plan.
+  std::string replan_text;
   /// Renders EXPLAIN-with-actuals; called only when capturing.
   std::function<std::string()> explain_fn;
   const obs::Tracer* tracer = nullptr;

@@ -40,7 +40,8 @@ Result<QueryExecution> Executor::Execute(const lang::Program& program,
 
 Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
                                                  op::CompiledQuery& compiled,
-                                                 CallContext* ctx) {
+                                                 CallContext* ctx,
+                                                 op::ReplanManager* replan) {
   QueryExecution exec;
   exec.var_names = compiled.var_names;
 
@@ -109,6 +110,7 @@ Result<QueryExecution> Executor::ExecuteCompiled(const lang::Program& program,
   cx.op_metrics = options_.op_metrics.get();
   cx.arena = &arena;
   cx.schema = &compiled.schema;
+  cx.replan = replan;
   auto publish_arena_usage = [&] {
     exec.arena_bytes = arena.bytes_used();
     if (options_.op_metrics != nullptr &&

@@ -115,9 +115,12 @@ class Executor {
   /// optimizer::PlanCompiler). `program` must be the program the tree was
   /// compiled against. The tree is reset by Open, so a compiled plan can
   /// be executed repeatedly; per-operator OpStats accumulate across runs.
+  /// When `replan` is non-null, the tree's spine joins consult it for
+  /// mid-query re-optimization (the manager must outlive the call).
   Result<QueryExecution> ExecuteCompiled(const lang::Program& program,
                                          op::CompiledQuery& compiled,
-                                         CallContext* ctx);
+                                         CallContext* ctx,
+                                         op::ReplanManager* replan = nullptr);
 
  private:
   const DomainRegistry* registry_;

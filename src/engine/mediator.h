@@ -16,6 +16,7 @@
 #include "domain/resilience/resilience.h"
 #include "engine/diagnostics.h"
 #include "engine/executor.h"
+#include "engine/op/replan.h"
 #include "lang/ast.h"
 #include "net/faults/fault_plan.h"
 #include "net/network.h"
@@ -23,6 +24,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
 
 namespace hermes {
 
@@ -124,6 +126,12 @@ struct QueryResult {
   /// masked with cached answers (degraded); lost_sources names them.
   QueryCompleteness completeness = QueryCompleteness::kComplete;
   std::vector<SourceError> lost_sources;
+  /// The query reused a cached plan skeleton (EnablePlanCache); the
+  /// optimizer did not run and `candidates` is empty.
+  bool plan_cache_hit = false;
+  /// Mid-query re-optimizations this query performed (set_replan_options);
+  /// each records the trigger and the before/after suffix.
+  std::vector<engine::op::ReplanEvent> replan_events;
   /// The paper's response-time measures on the simulated clock, mirrored
   /// from `execution` for convenience (and observed into the
   /// hermes_query_{tf,ta}_sim_ms histograms): time to the first answer and
@@ -261,6 +269,34 @@ class Mediator {
   dcsm::DriftTracker* drift_tracker() { return drift_.get(); }
   DiagnosticsCenter* diagnostics() { return diag_.get(); }
 
+  // ---- Adaptive execution -----------------------------------------------------
+
+  /// Turns on the adornment-keyed plan cache: queries that differ only in
+  /// constant values share one compiled skeleton, and repeat shapes skip
+  /// the optimizer and compiler entirely (see DESIGN.md "Adaptive
+  /// execution"). Wiring time; call after set_async_execution — the cache
+  /// compiles instances under the wiring-time execution flags, and a query
+  /// whose per-query flags differ bypasses it. Entries are invalidated on
+  /// DCSM drift exceedances (when diagnostics are enabled), on
+  /// breaker-open sites, and on any program/wiring mutation. Last call
+  /// wins.
+  Status EnablePlanCache(optimizer::PlanCacheOptions options = {});
+
+  /// Null until EnablePlanCache.
+  optimizer::PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  /// Default mid-query re-optimization knobs applied to every query: when
+  /// `options.enabled`, each query's spine joins re-plan the unexecuted
+  /// suffix on breaker-open / estimate-divergence triggers. Decisions
+  /// derive only from per-query deterministic state, so replayed runs stay
+  /// bit-identical under any QueryPool thread count. Wiring time.
+  void set_replan_options(const engine::op::ReplanOptions& options) {
+    replan_options_ = options;
+  }
+  const engine::op::ReplanOptions& replan_options() const {
+    return replan_options_;
+  }
+
   // ---- Program management -----------------------------------------------------
 
   /// Parses `text` and appends its rules to the mediator program.
@@ -387,6 +423,21 @@ class Mediator {
                                             obs::Tracer* tracer,
                                             QueryResult* result);
 
+  /// Hooks the drift tracker's exceedance callback to plan-cache
+  /// invalidation. Called whenever either side is (re)wired.
+  void WireDriftInvalidation();
+
+  /// Plan-cache key tag for the query-shaping options (optimizer, CIM
+  /// redirection, goal): two queries whose tags differ never share a plan.
+  static std::string PlanCacheOptionsTag(const QueryOptions& options);
+
+  /// Site serving `domain` ("cim_x" resolves as "x"); "" for local/unknown.
+  std::string SiteOf(const std::string& domain) const;
+
+  /// The (site, domain) pairs `plan` depends on, for cache invalidation.
+  std::vector<optimizer::PlanCacheDep> CollectPlanDeps(
+      const optimizer::CandidatePlan& plan) const;
+
   /// Per-query CallMetrics folded into process-level registry counters.
   /// Generated from the CallMetrics field-list macros, so a field added
   /// there is folded here automatically (and a field missing from the
@@ -430,6 +481,13 @@ class Mediator {
   optimizer::EstimatorParams estimator_params_;
   engine::ExecutorOptions executor_options_;
 
+  // Adaptive execution (EnablePlanCache / set_replan_options). The cache
+  // remembers the async flag its instances were compiled under; queries
+  // whose effective flag differs bypass it.
+  std::unique_ptr<optimizer::PlanCache> plan_cache_;
+  bool plan_cache_async_ = false;
+  engine::op::ReplanOptions replan_options_;
+
   // Diagnostics (EnableDiagnostics). diag_ borrows recorder_ and drift_,
   // so it is declared after them: members destroy in reverse declaration
   // order, tearing the borrower down before what it borrows.
@@ -459,6 +517,10 @@ class Mediator {
   std::shared_ptr<obs::Histogram> estimate_rel_error_ =
       std::make_shared<obs::Histogram>(
           obs::Histogram::ExponentialBounds(0.01, 2.0, 12));
+  std::shared_ptr<obs::Counter> replan_triggers_total_ =
+      std::make_shared<obs::Counter>();
+  std::shared_ptr<obs::Counter> replan_splices_total_ =
+      std::make_shared<obs::Counter>();
 };
 
 }  // namespace hermes

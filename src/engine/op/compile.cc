@@ -174,14 +174,26 @@ size_t IndependentRunLength(const std::vector<lang::Atom>& goals,
 std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
                                          const lang::Program& program,
                                          size_t depth,
-                                         const CompileOptions& options) {
+                                         const CompileOptions& options,
+                                         std::vector<SpineSlot>* spine) {
   if (goals.empty()) return std::make_unique<UnitOp>();
+  if (!options.record_spine) spine = nullptr;
   std::unique_ptr<PhysicalOp> chain;
-  auto append = [&chain](std::unique_ptr<PhysicalOp> op) {
-    chain = chain == nullptr
-                ? std::move(op)
-                : std::make_unique<NestedLoopJoinOp>(std::move(chain),
-                                                     std::move(op));
+  auto append = [&chain, spine](std::unique_ptr<PhysicalOp> op,
+                                size_t goal_start, size_t goal_count,
+                                bool single_domain_call) {
+    if (chain == nullptr) {
+      chain = std::move(op);
+      return;
+    }
+    auto join = std::make_unique<NestedLoopJoinOp>(std::move(chain),
+                                                   std::move(op));
+    if (spine != nullptr) {
+      join->set_spine_index(spine->size());
+      spine->push_back(
+          {join.get(), goal_start, goal_count, single_domain_call});
+    }
+    chain = std::move(join);
   };
   size_t i = 0;
   while (i < goals.size()) {
@@ -194,12 +206,14 @@ std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
         for (size_t k = i; k < i + run; ++k) {
           members.push_back(std::make_unique<DomainCallOp>(&goals[k]));
         }
-        append(std::make_unique<ScatterGatherOp>(std::move(members)));
+        append(std::make_unique<ScatterGatherOp>(std::move(members)), i, run,
+               false);
         i += run;
         continue;
       }
     }
-    append(CompileGoal(goals[i], program, depth, options));
+    append(CompileGoal(goals[i], program, depth, options), i, 1,
+           goals[i].kind == lang::Atom::Kind::kDomainCall);
     ++i;
   }
   return chain;
@@ -211,7 +225,8 @@ CompiledQuery Compile(const lang::Program& program, const lang::Query& query,
   compiled.var_names = QueryVariables(query);
   compiled.schema = InferSchema(program, query);
   auto project = std::make_unique<ProjectOp>(
-      CompileGoals(query.goals, program, 0, options), compiled.var_names);
+      CompileGoals(query.goals, program, 0, options, &compiled.spine),
+      compiled.var_names);
   auto sink = std::make_unique<AnswerSinkOp>(std::move(project));
   compiled.sink = sink.get();
   compiled.root = std::move(sink);

@@ -10,6 +10,19 @@
 
 namespace hermes::engine::op {
 
+class NestedLoopJoinOp;
+
+/// One position on the top-level left-deep join spine: the join whose
+/// right child evaluates `goals[goal_start .. goal_start+goal_count)` of
+/// the compiled query. Recorded only when CompileOptions::record_spine is
+/// set; the replan layer uses it to splice re-optimized suffixes.
+struct SpineSlot {
+  NestedLoopJoinOp* join = nullptr;  ///< Borrowed from the tree.
+  size_t goal_start = 0;             ///< First query-goal index covered.
+  size_t goal_count = 1;             ///< >1 for a scatter-gather run.
+  bool single_domain_call = false;   ///< Right child is one DomainCallOp.
+};
+
 /// One query lowered to a physical operator tree:
 ///
 ///   AnswerSink ← Project ← left-deep NestedLoopJoin chain over the goals
@@ -26,6 +39,9 @@ struct CompiledQuery {
   /// compile time where the query text determines them (see InferSchema).
   /// The executor points ExecContext::schema at this.
   RowSchema schema;
+  /// Top-level join spine, outer to inner; empty unless
+  /// CompileOptions::record_spine was set (replanning needs it).
+  std::vector<SpineSlot> spine;
 };
 
 /// Compile-time knobs of the lowering. The defaults reproduce the
@@ -38,6 +54,10 @@ struct CompileOptions {
   /// ScatterGatherOp, which issues their source calls concurrently so the
   /// run's simulated latency is the max over members rather than the sum.
   bool async_scatter_gather = false;
+  /// Record the top-level join spine in CompiledQuery::spine and number
+  /// its joins so the replan layer can address them. Off by default: the
+  /// tree shape is identical either way, this only captures pointers.
+  bool record_spine = false;
 };
 
 /// Lowers one goal atom: kDomainCall → DomainCallOp, kComparison →
@@ -50,11 +70,15 @@ std::unique_ptr<PhysicalOp> CompileGoal(const lang::Atom& goal,
 
 /// Lowers a goal conjunction into a left-deep NestedLoopJoin chain
 /// (a UnitOp when the conjunction is empty — facts, the empty query),
-/// with independent domain-call runs grouped per `options`.
+/// with independent domain-call runs grouped per `options`. When `spine`
+/// is non-null (and options.record_spine set) the join spine is appended
+/// to it in goal order (innermost join first, root join last).
 std::unique_ptr<PhysicalOp> CompileGoals(const std::vector<lang::Atom>& goals,
                                          const lang::Program& program,
                                          size_t depth,
-                                         const CompileOptions& options = {});
+                                         const CompileOptions& options = {},
+                                         std::vector<SpineSlot>* spine =
+                                             nullptr);
 
 /// Lowers a whole query: goals → Project(var_names) → AnswerSink.
 CompiledQuery Compile(const lang::Program& program, const lang::Query& query,

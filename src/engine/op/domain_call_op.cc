@@ -6,6 +6,7 @@
 #include "dcsm/dcsm.h"
 #include "dcsm/drift.h"
 #include "engine/op/explain.h"
+#include "engine/op/replan.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
@@ -102,6 +103,10 @@ Status DomainCallOp::RunCall(ExecContext& cx, double t_issue) {
       ev.value = cx.ctx->last_call_penalty_ms;
       cx.ctx->recorder->Emit(ev);
     }
+  }
+  if (run.ok() && cx.replan != nullptr) {
+    cx.replan->ObserveCall(goal_, run->all_ms,
+                           static_cast<double>(run->answers.size()));
   }
   if (run.ok() && cx.ctx->drift != nullptr) {
     cx.ctx->drift->Observe(

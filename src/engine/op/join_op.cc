@@ -1,5 +1,7 @@
 #include "engine/op/join_op.h"
 
+#include "engine/op/replan.h"
+
 namespace hermes::engine::op {
 
 Status NestedLoopJoinOp::OpenImpl(ExecContext& cx, double t_open) {
@@ -30,7 +32,13 @@ Result<bool> NestedLoopJoinOp::NextImpl(ExecContext& cx, double t_resume,
       return false;
     }
     // A left row at t_left: the right subtree opens (issuing its calls)
-    // there and its first pull resumes there too.
+    // there and its first pull resumes there too. A spine join first lets
+    // the replan manager swap the unexecuted suffix — every spine right
+    // subtree from here up to the root is closed at this boundary.
+    if (cx.replan != nullptr && spine_index_ >= 0) {
+      HERMES_RETURN_IF_ERROR(cx.replan->MaybeReplan(
+          cx, static_cast<size_t>(spine_index_), t_left));
+    }
     right_open_ = true;  // before Open: Close must reach a partial open
     HERMES_RETURN_IF_ERROR(right_->Open(cx, t_left));
     t_resume = t_left;

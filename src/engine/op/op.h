@@ -24,6 +24,7 @@ namespace hermes::engine::op {
 
 struct ExecOpMetrics;
 class ExplainPrinter;
+class ReplanManager;
 
 /// The paper's two modes of operation (Section 3). Lives here so the
 /// operator layer does not depend on the executor driver; engine/executor.h
@@ -105,6 +106,10 @@ struct ExecContext {
   /// source tolerated as zero rows, or a degraded/partial cache serve);
   /// the executor folds it into QueryExecution::complete.
   bool source_incomplete = false;
+  /// Mid-query re-optimization hook; null when replanning is disabled.
+  /// Spine joins consult it before opening their right subtree and splice
+  /// in a replanned suffix when it fires. Owned by the mediator.
+  ReplanManager* replan = nullptr;
 };
 
 /// Per-instance execution counters, folded into EXPLAIN "actual" output.
@@ -171,6 +176,12 @@ class PhysicalOp {
   /// used by the diagnostics layer's per-operator est-vs-actual rows.
   void VisitTree(const std::function<void(PhysicalOp&, size_t)>& fn,
                  size_t depth = 0);
+
+  /// Resets execution counters across the whole subtree, returning a
+  /// cached plan instance to its never-executed state between queries.
+  /// Overrides recurse by hand (children() allocates a vector — this path
+  /// must stay allocation-free for the plan-cache hit path).
+  virtual void ResetStatsTree() { stats_ = OpStats{}; }
 
  protected:
   PhysicalOp() = default;

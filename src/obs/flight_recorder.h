@@ -29,6 +29,10 @@ enum class FlightEventKind : uint8_t {
   kScatterFanout,
   kArenaHighWater,
   kDriftExceeded,
+  kPlanCacheHit,
+  kPlanCacheMiss,
+  kPlanCacheInvalidate,
+  kReplan,
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -1,0 +1,99 @@
+// Plan-cache hit path under the allocation guard: once an entry is warm
+// (skeleton inserted, one instance pooled), acquiring and releasing a
+// plan for a repeat query — including rebinding changed numeric constants
+// — performs zero heap allocations. This is the contract that makes the
+// cache admission-free: a hit costs a shard lock, a constant compare/
+// assign and a stats reset, never an allocator round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "alloc_guard.h"
+#include "engine/mediator.h"
+#include "lang/parser.h"
+#include "optimizer/plan_cache.h"
+#include "testbed/scenario.h"
+
+namespace hermes::optimizer {
+namespace {
+
+std::string Flattened(int first, int last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "?- in(Object, video:frames_to_objects('rope', %d, %d)) & "
+                "in(T, relation:equal('cast', role, Object)) & "
+                "=(Actor, T.name).",
+                first, last);
+  return buf;
+}
+
+lang::Query MustParse(const std::string& text) {
+  Result<lang::Query> query = lang::Parser::ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status();
+  return *query;
+}
+
+TEST(PlanCacheAllocTest, WarmHitAndReleaseAreAllocationFree) {
+  Mediator med;
+  ASSERT_TRUE(testbed::SetupRopeScenario(&med, {}).ok());
+  QueryOptions raw;
+  raw.use_optimizer = false;
+  raw.use_cim = false;
+  Result<optimizer::OptimizerResult> planned =
+      med.Plan(Flattened(4, 47), raw);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+
+  PlanCacheOptions options;
+  options.shards = 1;
+  // Stats are backed by the metric counters; counter bumps are atomic adds,
+  // so binding them keeps the measured path honest (the mediator's cache
+  // always runs with metrics bound).
+  obs::MetricsRegistry registry;
+  PlanCache cache(options, &med.dcsm(), {});
+  cache.BindMetrics(registry);
+
+  // Keys built off the hot path, exactly as the mediator does alongside
+  // parsing. Same shape; the second differs only in its int constants.
+  std::vector<Value> constants, rebind_constants;
+  PlanCacheKey key =
+      PlanCache::MakeKey(MustParse(Flattened(4, 47)), "raw", &constants);
+  PlanCacheKey rebind_key = PlanCache::MakeKey(MustParse(Flattened(10, 60)),
+                                               "raw", &rebind_constants);
+  ASSERT_EQ(key.text, rebind_key.text);
+
+  cache.Insert(key, constants, planned->best, CostVector{}, false, {});
+  // Warm-up: the first acquire instantiates (compiles a fresh operator
+  // tree — allocation-heavy by design); releasing pools the instance.
+  {
+    PlanCache::Lease warm = cache.Acquire(key, constants);
+    ASSERT_TRUE(static_cast<bool>(warm));
+    ASSERT_NE(warm.plan(), nullptr);
+    cache.Release(std::move(warm));
+  }
+  ASSERT_EQ(cache.stats().instantiations, 1u);
+
+  // Steady state, identical constants: pop, compare (all equal), reset.
+  HERMES_EXPECT_ALLOCS_LE(0, {
+    PlanCache::Lease lease = cache.Acquire(key, constants);
+    cache.Release(std::move(lease));
+  });
+
+  // Steady state, rebinding: the two frame-bound ints are assigned in
+  // place; the string constants compare equal and are left untouched.
+  HERMES_EXPECT_ALLOCS_LE(0, {
+    PlanCache::Lease lease = cache.Acquire(key, rebind_constants);
+    cache.Release(std::move(lease));
+  });
+
+  // Nothing above was a miss, and no extra instance was built.
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.instantiations, 1u);
+}
+
+}  // namespace
+}  // namespace hermes::optimizer

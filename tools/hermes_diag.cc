@@ -91,6 +91,20 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  // Adaptive execution armed, exactly as a production mediator would run:
+  // repeated window shapes serve from the plan cache, and a breaker
+  // opening mid-join re-plans the suffix — the capture_on_replan default
+  // then persists the decision (old/new suffix, trigger) into the bundle.
+  Status plan_cache = med.EnablePlanCache();
+  if (!plan_cache.ok()) {
+    std::fprintf(stderr, "plan cache setup failed: %s\n",
+                 plan_cache.ToString().c_str());
+    return 1;
+  }
+  engine::op::ReplanOptions replan;
+  replan.enabled = true;
+  med.set_replan_options(replan);
+
   // The chaos workload: appendix queries over shifting frame windows so
   // the run mixes cold calls, cache hits and fault windows.
   QueryOptions options;
