@@ -12,6 +12,7 @@
 #include "engine/mediator.h"
 #include "lang/parser.h"
 #include "testbed/scenario.h"
+#include "testbed/topology.h"
 
 namespace hermes {
 namespace {
@@ -407,6 +408,79 @@ BENCHMARK(BM_ConcurrentQuery_PlanCacheHitMix)
     ->ArgNames({"plan_cache"})->Args({0})->Args({1})
     ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// Overload mix: fan-out queries over the generated 32-site topology with
+// the overload layer in the three states a production mediator would run —
+// off, limiter armed, limiter+hedging armed. The contrast shows what the
+// per-site AIMD window and the hedge bookkeeping cost on the hot path
+// (overload:0 vs 1) and what hedging pays/saves end to end (hedge:1, which
+// also reports hedge traffic via sim_ms_per_query shifts). Never-repeating
+// arguments keep every call a miss.
+
+Mediator* OverloadMixMediator(bool overload_on, bool hedge_on) {
+  auto make = [](bool arm, bool hedge) {
+    auto* m = new Mediator();
+    testbed::TopologyOptions topo;
+    (void)testbed::SetupOverloadTopology(m, topo, nullptr);
+    m->set_per_query_network_rng(true);
+    m->set_async_execution(true);
+    if (arm) {
+      overload::OverloadPolicy policy;
+      policy.limiter.enabled = true;
+      policy.limiter.initial_limit = 8.0;
+      policy.hedge.enabled = hedge;
+      policy.hedge.min_samples = 4;
+      policy.hedge.budget_percent = 25;
+      (void)m->EnableOverloadControl(policy, {});
+    }
+    m->set_service_pacing(0.002);
+    return m;
+  };
+  static Mediator* off_med = make(false, false);
+  static Mediator* limiter_med = make(true, false);
+  static Mediator* hedge_med = make(true, true);
+  return overload_on ? (hedge_on ? hedge_med : limiter_med) : off_med;
+}
+
+void BM_ConcurrentQuery_OverloadMix(benchmark::State& state) {
+  const bool overload_on = state.range(0) != 0;
+  const bool hedge_on = state.range(1) != 0;
+  Mediator* med = OverloadMixMediator(overload_on, hedge_on);
+  // Mirrors what SetupOverloadTopology registered (TopologyQuery only
+  // needs the primary domain names).
+  static testbed::TopologyInfo info = [] {
+    testbed::TopologyInfo built;
+    for (size_t i = 0; i < 32; ++i) {
+      built.domains.push_back("s" + std::to_string(i));
+      built.tiers.push_back(static_cast<testbed::SiteTier>(i % 4));
+    }
+    return built;
+  }();
+  QueryOptions options = ConcurrentOptions();
+  options.partial_results = true;
+  // Never-repeating arguments, shared across threads and thread counts.
+  static std::atomic<int64_t> counter{0};
+  double sim_ms = 0.0;
+  for (auto _ : state) {
+    int64_t k = counter.fetch_add(1, std::memory_order_relaxed);
+    std::string query =
+        testbed::TopologyQuery(info, static_cast<uint64_t>(k), 8);
+    Result<QueryResult> res = med->Query(query, options);
+    if (!res.ok()) {
+      state.SkipWithError(res.status().message().c_str());
+      break;
+    }
+    sim_ms += res->ta_sim_ms;
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_ms_per_query"] =
+      benchmark::Counter(sim_ms, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ConcurrentQuery_OverloadMix)
+    ->ArgNames({"overload", "hedge"})->Args({0, 0})->Args({1, 0})->Args({1, 1})
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_DcsmCostLookup(benchmark::State& state) {
   Mediator* med = SharedMediator();

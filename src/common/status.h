@@ -20,6 +20,7 @@ enum class StatusCode {
   kTypeError,         ///< Value of an unexpected runtime type.
   kUnimplemented,     ///< Feature not supported by this domain/module.
   kInternal,          ///< Invariant violation inside the library.
+  kResourceExhausted,  ///< Shed by admission control or a concurrency limit.
 };
 
 /// Human-readable name of a StatusCode ("Ok", "NotFound", ...).
@@ -72,6 +73,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +90,9 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -254,8 +254,12 @@ Result<CallOutput> ResilienceInterceptor::Intercept(CallContext& ctx,
   }
 
   double waited = 0.0;
+  // Mark half-open probes for the overload layer below: probe traffic is
+  // exempt from the AIMD limiter so a recovering site always sees its probe.
+  ctx.breaker_probe = probe;
   Result<CallOutput> run =
       AttemptWithRetries(ctx, call, next, /*single_attempt=*/probe, &waited);
+  ctx.breaker_probe = false;
   if (run.ok()) {
     if (breaker != nullptr) {
       if (breaker->state != BreakerState::kClosed) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/io.h"
+#include "domain/overload.h"
 #include "engine/op/domain_call_op.h"
 
 namespace hermes {
@@ -220,13 +221,60 @@ Status DiagnosticsCenter::Persist(DebugBundle& bundle, size_t index) const {
                                              bundle.replan_text));
   }
   bundle.dir = dir.string();
-
-  // The rolling structured log sits beside the bundles.
-  std::ofstream log(std::filesystem::path(options_.bundle_dir) /
-                        "slow_queries.log",
-                    std::ios::app);
-  if (log) log << bundle.SlowQueryRecord();
   return Status::OK();
+}
+
+void DiagnosticsCenter::AppendSlowRecordLocked(const std::string& record) {
+  slow_log_.push_back(record);
+  while (options_.slow_log_max_records > 0 &&
+         slow_log_.size() > options_.slow_log_max_records) {
+    slow_log_.pop_front();
+  }
+  if (options_.bundle_dir.empty()) return;
+  // The rolling structured log sits beside the bundles, rotated by size so
+  // a sustained anomaly storm (e.g. a brownout) cannot grow it unbounded.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.bundle_dir, ec);
+  if (ec) return;
+  std::filesystem::path path =
+      std::filesystem::path(options_.bundle_dir) / "slow_queries.log";
+  if (options_.slow_log_max_bytes > 0) {
+    uintmax_t size = std::filesystem::file_size(path, ec);
+    if (!ec && size + record.size() > options_.slow_log_max_bytes) {
+      // Best effort: a failed rotation degrades to an oversized log, never
+      // a failed capture.
+      std::filesystem::rename(path, path.string() + ".1", ec);
+    }
+  }
+  std::ofstream log(path, std::ios::app);
+  if (log) log << record;
+}
+
+void DiagnosticsCenter::CaptureBrownoutTransition(int from_level, int to_level,
+                                                  double shed_rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DebugBundle bundle;
+  bundle.reason = "brownout-transition";
+  bundle.query_text =
+      std::string("brownout ") +
+      overload::BrownoutController::LevelName(from_level) + " -> " +
+      overload::BrownoutController::LevelName(to_level) +
+      " shed_rate=" + Num(shed_rate);
+  bundle.completeness = overload::BrownoutController::LevelName(to_level);
+  // No single query owns a ladder transition: snapshot the recorder's
+  // resident events across queries plus the metrics at this instant.
+  if (recorder_ != nullptr) bundle.events = recorder_->SnapshotAll();
+  if (registry_ != nullptr) bundle.prometheus = registry_->ExposePrometheus();
+
+  AppendSlowRecordLocked(bundle.SlowQueryRecord());
+  const size_t index = captures_;
+  ++captures_;
+  if (captures_total_ != nullptr) captures_total_->Add(1);
+  if (!options_.bundle_dir.empty() && index < options_.max_bundles) {
+    (void)Persist(bundle, index);
+  }
+  bundles_.push_back(std::move(bundle));
+  while (bundles_.size() > options_.max_bundles) bundles_.pop_front();
 }
 
 std::string DiagnosticsCenter::MaybeCapture(
@@ -250,7 +298,7 @@ std::string DiagnosticsCenter::MaybeCapture(
   if (registry_ != nullptr) bundle.prometheus = registry_->ExposePrometheus();
   bundle.rows = CollectRows(input.root);
 
-  slow_log_.push_back(bundle.SlowQueryRecord());
+  AppendSlowRecordLocked(bundle.SlowQueryRecord());
   const size_t index = captures_;
   ++captures_;
   if (captures_total_ != nullptr) captures_total_->Add(1);
@@ -300,7 +348,7 @@ std::vector<DebugBundle> DiagnosticsCenter::bundles() const {
 
 std::vector<std::string> DiagnosticsCenter::slow_query_log() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return slow_log_;
+  return std::vector<std::string>(slow_log_.begin(), slow_log_.end());
 }
 
 uint64_t DiagnosticsCenter::captures() const {

@@ -45,6 +45,14 @@ struct DiagnosticsOptions {
   /// Bound on retained (and persisted) bundles; older in-memory bundles
   /// are dropped first.
   size_t max_bundles = 8;
+  /// Size-based rotation bound of the on-disk slow_queries.log (bytes):
+  /// when an append would grow the file past this, the file is first
+  /// rotated aside to slow_queries.log.1 (replacing any previous rotation).
+  /// 0 disables rotation (the log grows without bound).
+  size_t slow_log_max_bytes = 256 * 1024;
+  /// Bound on in-memory slow-query records (oldest dropped first);
+  /// 0 = unbounded.
+  size_t slow_log_max_records = 256;
   /// DCSM drift EWMA tuning.
   dcsm::DriftOptions drift;
 };
@@ -123,6 +131,13 @@ class DiagnosticsCenter {
   /// capture reason, or an empty string when the query was unremarkable.
   std::string MaybeCapture(const DiagnosticsCaptureInput& input);
 
+  /// Captures a bundle on a brownout-ladder transition (`from_level` →
+  /// `to_level` at observed shed rate `shed_rate`): the flight recorder's
+  /// resident events plus a metrics snapshot, preserving the system state
+  /// around the level change. Called by the mediator's transition hook.
+  void CaptureBrownoutTransition(int from_level, int to_level,
+                                 double shed_rate);
+
   /// Writes an on-demand snapshot (all resident recorder events, the
   /// Prometheus exposition, the drift report, the slow-query log) to
   /// `dir`, creating it if needed.
@@ -143,6 +158,10 @@ class DiagnosticsCenter {
   std::vector<SlowQueryRow> CollectRows(engine::op::PhysicalOp* root) const;
   /// Writes the bundle's files under options_.bundle_dir; sets bundle.dir.
   Status Persist(DebugBundle& bundle, size_t index) const;
+  /// Appends one record to the bounded in-memory log and — when a bundle
+  /// dir is configured — the size-rotated on-disk slow_queries.log.
+  /// Caller holds mu_.
+  void AppendSlowRecordLocked(const std::string& record);
 
   const DiagnosticsOptions options_;
   obs::FlightRecorder* const recorder_;
@@ -151,9 +170,9 @@ class DiagnosticsCenter {
   const std::shared_ptr<obs::MetricsRegistry> registry_;
 
   mutable std::mutex mu_;
-  std::deque<double> recent_ta_;       ///< Watermark window.
-  std::deque<DebugBundle> bundles_;    ///< Newest-last, bounded.
-  std::vector<std::string> slow_log_;  ///< Structured slow-query records.
+  std::deque<double> recent_ta_;      ///< Watermark window.
+  std::deque<DebugBundle> bundles_;   ///< Newest-last, bounded.
+  std::deque<std::string> slow_log_;  ///< Structured records, bounded.
   uint64_t captures_ = 0;              ///< Total captures (incl. dropped).
 
   std::shared_ptr<obs::Counter> captures_total_;

@@ -33,6 +33,9 @@ enum class FlightEventKind : uint8_t {
   kPlanCacheMiss,
   kPlanCacheInvalidate,
   kReplan,
+  kLoadShed,
+  kHedge,
+  kBrownout,
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -1,0 +1,135 @@
+#include "testbed/topology.h"
+
+#include <memory>
+#include <utility>
+
+namespace hermes::testbed {
+
+namespace {
+
+/// Echo-style source: work(x) → {x} at a fixed simulated inner cost. The
+/// interesting latency lives in the simulated link, not the source.
+class EchoSource : public Domain {
+ public:
+  EchoSource(std::string name, double first_ms, double all_ms)
+      : name_(std::move(name)), first_ms_(first_ms), all_ms_(all_ms) {}
+
+  const std::string& name() const override { return name_; }
+  std::vector<FunctionInfo> Functions() const override {
+    return {{"work", 1, "work(x): {x}"}};
+  }
+  Result<CallOutput> Run(const DomainCall& call) override {
+    CallOutput out;
+    out.answers = {call.args[0]};
+    out.first_ms = first_ms_;
+    out.all_ms = all_ms_;
+    return out;
+  }
+
+ private:
+  std::string name_;
+  double first_ms_;
+  double all_ms_;
+};
+
+}  // namespace
+
+const char* SiteTierName(SiteTier tier) {
+  switch (tier) {
+    case SiteTier::kFast: return "fast";
+    case SiteTier::kMid: return "mid";
+    case SiteTier::kSlow: return "slow";
+    case SiteTier::kFlaky: return "flaky";
+  }
+  return "unknown";
+}
+
+net::SiteParams TierSite(SiteTier tier, std::string name) {
+  net::SiteParams site;
+  site.name = std::move(name);
+  switch (tier) {
+    case SiteTier::kFast:  // same-region replica class
+      site.connect_ms = 40.0;
+      site.rtt_ms = 10.0;
+      site.bytes_per_ms = 50.0;
+      site.jitter = 0.05;
+      site.availability = 1.0;
+      break;
+    case SiteTier::kMid:  // cross-country (the paper's USA class, scaled)
+      site.connect_ms = 150.0;
+      site.rtt_ms = 40.0;
+      site.bytes_per_ms = 20.0;
+      site.jitter = 0.10;
+      site.availability = 0.99;
+      break;
+    case SiteTier::kSlow:  // intercontinental (the paper's Italy class)
+      site.connect_ms = 400.0;
+      site.rtt_ms = 90.0;
+      site.bytes_per_ms = 8.0;
+      site.jitter = 0.20;
+      site.availability = 0.97;
+      break;
+    case SiteTier::kFlaky:  // mid latency, poor reachability, high jitter
+      site.connect_ms = 150.0;
+      site.rtt_ms = 40.0;
+      site.bytes_per_ms = 20.0;
+      site.jitter = 0.30;
+      site.availability = 0.92;
+      break;
+  }
+  return site;
+}
+
+Status SetupOverloadTopology(Mediator* med, const TopologyOptions& options,
+                             TopologyInfo* info) {
+  TopologyInfo built;
+  const size_t n = options.num_sites > 0 ? options.num_sites : 1;
+  built.domains.reserve(n);
+  built.tiers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string domain = "s" + std::to_string(i);
+    const SiteTier tier = static_cast<SiteTier>(i % 4);
+    HERMES_RETURN_IF_ERROR(med->RegisterRemoteDomain(
+        domain,
+        std::make_shared<EchoSource>(domain, options.source_first_ms,
+                                     options.source_all_ms),
+        TierSite(tier, domain + "_site")));
+    built.domains.push_back(domain);
+    built.tiers.push_back(tier);
+  }
+  if (options.with_failover_pairs) {
+    // Every tier with a latency or availability tail gets a fast-tier
+    // replica — exactly the sites where failover and hedging are worth the
+    // budget. Only the fast tier runs bare: a fast site hedging to another
+    // fast site buys nothing.
+    for (size_t i = 0; i < n; ++i) {
+      if (built.tiers[i] == SiteTier::kFast) continue;
+      const std::string alt = built.domains[i] + "_alt";
+      HERMES_RETURN_IF_ERROR(med->RegisterRemoteDomain(
+          alt,
+          std::make_shared<EchoSource>(alt, options.source_first_ms,
+                                       options.source_all_ms),
+          TierSite(SiteTier::kFast, alt + "_site")));
+      HERMES_RETURN_IF_ERROR(med->AddFailover(built.domains[i], alt));
+      ++built.num_replicas;
+    }
+  }
+  if (info != nullptr) *info = std::move(built);
+  return Status::OK();
+}
+
+std::string TopologyQuery(const TopologyInfo& info, uint64_t k,
+                          size_t fanout) {
+  const std::string& domain = info.domains[k % info.domains.size()];
+  if (fanout < 1) fanout = 1;
+  std::string query = "?- ";
+  for (size_t j = 0; j < fanout; ++j) {
+    if (j > 0) query += " & ";
+    query += "in(X" + std::to_string(j) + ", " + domain + ":work(" +
+             std::to_string(k * fanout + j) + "))";
+  }
+  query += ".";
+  return query;
+}
+
+}  // namespace hermes::testbed

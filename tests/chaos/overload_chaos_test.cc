@@ -1,0 +1,203 @@
+// Chaos suite with the overload layer armed: per-site AIMD concurrency
+// limits and hedged requests both live while the canned fault plan batters
+// a generated multi-tier topology through a concurrent QueryPool. On trial:
+//
+//   1. Liveness — every query terminates cleanly with the governor in the
+//      hot path, and the faults actually drive it: some branches are shed
+//      by the limiter, some stragglers and failures are hedged.
+//   2. Determinism — per-query outcomes INCLUDING every shed decision,
+//      hedge issue and hedge win are bit-identical at 1, 4 and 8 worker
+//      threads. All limiter windows, latency rings and hedge budgets live
+//      on the query's own CallContext, so scheduling cannot change them.
+//
+// The brownout ladder is deliberately frozen (an unreachable up-threshold):
+// it aggregates shed rates ACROSS queries, so its level is load-dependent
+// by design and would couple one query's hedging to its neighbors'
+// completion order — the exact coupling this suite must prove the per-query
+// state machinery does not have. The ladder's own behavior is covered by
+// domain_overload_test and the TSan stress suite.
+//
+// CI also runs this binary under ThreadSanitizer as part of the chaos
+// stress job.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/mediator.h"
+#include "engine/query_pool.h"
+#include "testbed/topology.h"
+
+namespace hermes {
+namespace {
+
+std::string CannedPlanPath() {
+  return std::string(HERMES_TEST_SRCDIR) + "/chaos/overload.faults";
+}
+
+/// One query's outcome, flattened for exact comparison across runs. Same
+/// core fields as the other chaos suites plus the governor's decisions.
+struct Outcome {
+  bool ok = false;
+  std::string error;
+  size_t answers = 0;
+  double t_all_ms = 0.0;
+  uint64_t retries = 0;
+  uint64_t remote_failures = 0;
+  uint64_t failovers = 0;
+  uint64_t load_shed = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  int completeness = 0;
+  size_t lost_sources = 0;
+
+  bool operator==(const Outcome& other) const {
+    return ok == other.ok && error == other.error &&
+           answers == other.answers && t_all_ms == other.t_all_ms &&
+           retries == other.retries &&
+           remote_failures == other.remote_failures &&
+           failovers == other.failovers && load_shed == other.load_shed &&
+           hedges == other.hedges && hedge_wins == other.hedge_wins &&
+           completeness == other.completeness &&
+           lost_sources == other.lost_sources;
+  }
+};
+
+std::string Describe(const Outcome& o) {
+  return "ok=" + std::to_string(o.ok) + " answers=" +
+         std::to_string(o.answers) + " t_all=" + std::to_string(o.t_all_ms) +
+         " retries=" + std::to_string(o.retries) + " failures=" +
+         std::to_string(o.remote_failures) + " failovers=" +
+         std::to_string(o.failovers) + " shed=" + std::to_string(o.load_shed) +
+         " hedges=" + std::to_string(o.hedges) + " wins=" +
+         std::to_string(o.hedge_wins) + " completeness=" +
+         std::to_string(o.completeness) + " lost=" +
+         std::to_string(o.lost_sources) + " err=" + o.error;
+}
+
+std::unique_ptr<Mediator> OverloadChaosMediator(testbed::TopologyInfo* info) {
+  auto med = std::make_unique<Mediator>();
+  resilience::ResiliencePolicy resilience;
+  resilience.retry.max_retries = 1;
+  resilience.breaker.enabled = true;
+  resilience.breaker.failure_threshold = 3;
+  resilience.breaker.probe_interval = 1e9;  // no probe within a query
+  resilience.call_deadline_ms = 10000.0;  // abandons the 30s slow injections
+  med->set_default_resilience_policy(resilience);
+
+  testbed::TopologyOptions topo;
+  topo.num_sites = 8;  // two of each tier; replicas behind every slow tier
+  EXPECT_TRUE(testbed::SetupOverloadTopology(med.get(), topo, info).ok());
+  med->set_per_query_network_rng(true);
+  med->set_async_execution(true);  // branches scatter from one instant
+
+  overload::OverloadPolicy policy;
+  policy.limiter.enabled = true;
+  policy.limiter.initial_limit = 6.0;  // below the fanout: every query
+  policy.limiter.min_limit = 1.0;      // sheds its burst tail
+  policy.limiter.max_limit = 16.0;
+  policy.hedge.enabled = true;
+  policy.hedge.quantile = 0.5;
+  policy.hedge.min_samples = 3;  // the ring fills within one scatter
+  policy.hedge.budget_percent = 50.0;
+  overload::BrownoutController::Options frozen;
+  frozen.up_threshold = 2.0;  // a shed rate no workload can reach
+  EXPECT_TRUE(med->EnableOverloadControl(policy, frozen).ok());
+
+  EXPECT_TRUE(med->LoadFaultPlan(CannedPlanPath()).ok());
+  return med;
+}
+
+std::vector<Outcome> RunPool(size_t threads, size_t num_queries) {
+  testbed::TopologyInfo info;
+  std::unique_ptr<Mediator> med = OverloadChaosMediator(&info);
+  QueryPoolOptions pool_options;
+  pool_options.num_threads = threads;
+  std::unique_ptr<QueryPool> pool = med->Serve(pool_options);
+  QueryOptions options;
+  options.use_optimizer = false;
+  options.partial_results = true;  // shed branches become lost sources
+  options.record_statistics = false;  // shared DCSM writes would make the
+                                      // hedge baseline completion-order-
+                                      // dependent
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    QueryOptions pinned = options;
+    pinned.query_id = 1000 + i;
+    futures.push_back(
+        pool->Submit(testbed::TopologyQuery(info, i, /*fanout=*/8), pinned));
+  }
+  std::vector<Outcome> outcomes;
+  for (auto& future : futures) {
+    Result<QueryResult> res = future.get();
+    Outcome o;
+    o.ok = res.ok();
+    if (!res.ok()) {
+      o.error = res.status().ToString();
+    } else {
+      o.answers = res->execution.answers.size();
+      o.t_all_ms = res->execution.t_all_ms;
+      o.retries = res->metrics.retries;
+      o.remote_failures = res->metrics.remote_failures;
+      o.failovers = res->metrics.failovers;
+      o.load_shed = res->metrics.load_shed;
+      o.hedges = res->metrics.hedges;
+      o.hedge_wins = res->metrics.hedge_wins;
+      o.completeness = static_cast<int>(res->completeness);
+      o.lost_sources = res->lost_sources.size();
+    }
+    outcomes.push_back(std::move(o));
+  }
+  pool->Shutdown();
+
+  // The ladder stayed frozen: outcome determinism below rests on it.
+  EXPECT_EQ(med->brownout()->transitions(), 0u);
+  std::string prom = med->metrics().ExposePrometheus();
+  EXPECT_NE(prom.find("hermes_overload_shed_total"), std::string::npos);
+  EXPECT_NE(prom.find("hermes_hedge_issued_total"), std::string::npos);
+  return outcomes;
+}
+
+TEST(OverloadChaosTest, EveryQueryTerminatesWithTheGovernorArmed) {
+  std::vector<Outcome> outcomes = RunPool(8, 24);
+  ASSERT_EQ(outcomes.size(), 24u);
+  uint64_t shed = 0, hedges = 0, wins = 0, with_faults = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    EXPECT_TRUE(o.ok) << "query " << i << ": " << o.error;
+    shed += o.load_shed;
+    hedges += o.hedges;
+    wins += o.hedge_wins;
+    with_faults += (o.retries + o.remote_failures + o.failovers) > 0;
+  }
+  // The faults drove every governor path: 8-wide scatters past a 6-slot
+  // window shed their tails, stragglers and failures hedged, and at least
+  // one replica beat its primary home.
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(hedges, 0u);
+  EXPECT_GT(wins, 0u);
+  EXPECT_GT(with_faults, 0u);
+}
+
+TEST(OverloadChaosTest, ShedAndHedgeDecisionsAreBitIdenticalAcrossThreads) {
+  std::vector<Outcome> serial = RunPool(1, 16);
+  std::vector<Outcome> four = RunPool(4, 16);
+  std::vector<Outcome> eight = RunPool(8, 16);
+  ASSERT_EQ(serial.size(), four.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == four[i])
+        << "query " << i << " diverged:\n  1 thread:  "
+        << Describe(serial[i]) << "\n  4 threads: " << Describe(four[i]);
+    EXPECT_TRUE(serial[i] == eight[i])
+        << "query " << i << " diverged:\n  1 thread:  "
+        << Describe(serial[i]) << "\n  8 threads: " << Describe(eight[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hermes

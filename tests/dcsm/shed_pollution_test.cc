@@ -1,0 +1,118 @@
+// Shed calls must not pollute the DCSM: a branch the overload limiter
+// refused never ran, so it must contribute neither a drift observation
+// (its "latency" would be a lie that walks the EWMA toward zero and trips
+// drift_exceeded on the next honest sample) nor an execution statistic.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dcsm/drift.h"
+#include "engine/mediator.h"
+#include "testbed/topology.h"
+
+namespace hermes {
+namespace {
+
+std::unique_ptr<Mediator> SheddingMediator() {
+  auto med = std::make_unique<Mediator>();
+  testbed::TopologyOptions topo;
+  topo.num_sites = 4;
+  topo.with_failover_pairs = false;
+  EXPECT_TRUE(testbed::SetupOverloadTopology(med.get(), topo).ok());
+  med->set_per_query_network_rng(true);
+  med->set_async_execution(true);  // branches share one open instant
+
+  overload::OverloadPolicy policy;
+  policy.limiter.enabled = true;
+  policy.limiter.initial_limit = 1.0;
+  policy.limiter.min_limit = 1.0;
+  policy.limiter.additive_increase = 0.0;  // pinned: 1 slot, ever
+  EXPECT_TRUE(med->EnableOverloadControl(policy, {}).ok());
+  EXPECT_TRUE(med->EnableDiagnostics({}).ok());
+  return med;
+}
+
+// Seeds the DCSM with one real statistic per domain: the drift tracker
+// deliberately skips estimates whose only source is the default placeholder,
+// so a cold model would record nothing and the pollution assertions would
+// pass vacuously. Each warmup is a fanout-1 query (one call, never shed);
+// its own observation is skipped (the estimate is still default when the
+// call is costed), so warmups leave observations() at zero.
+void WarmEachDomain(Mediator* med, const testbed::TopologyInfo& info,
+                    const QueryOptions& options) {
+  for (uint64_t k = 0; k < info.domains.size(); ++k) {
+    // 1000+k keeps the domain rotation (1000 % 4 == 0) but moves the warmup
+    // argument far past anything the shed queries ask for, so no later
+    // branch is quietly served from the answer cache instead of the wire.
+    Result<QueryResult> res =
+        med->Query(testbed::TopologyQuery(info, 1000 + k, /*fanout=*/1),
+                   options);
+    ASSERT_TRUE(res.ok()) << res.status();
+    ASSERT_EQ(res->metrics.load_shed, 0u);
+  }
+  ASSERT_EQ(med->drift_tracker()->observations(), 0u);
+}
+
+TEST(ShedPollutionTest, ShedBranchesLeaveNoDriftObservations) {
+  std::unique_ptr<Mediator> med = SheddingMediator();
+  testbed::TopologyInfo info;
+  info.domains = {"s0", "s1", "s2", "s3"};
+
+  QueryOptions options;
+  options.use_optimizer = false;
+  options.record_statistics = true;
+  options.partial_results = true;
+  WarmEachDomain(med.get(), info, options);
+
+  // Four same-site branches at one simulated instant against a 1-slot
+  // window: one runs, three are shed as lost sources.
+  Result<QueryResult> res =
+      med->Query(testbed::TopologyQuery(info, 0, /*fanout=*/4), options);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->completeness, QueryCompleteness::kPartial);
+  EXPECT_EQ(res->metrics.load_shed, 3u);
+
+  // Exactly the one executed call was observed — the shed branches are
+  // invisible to the drift EWMAs and trip nothing.
+  dcsm::DriftTracker* drift = med->drift_tracker();
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->observations(), 1u);
+  EXPECT_EQ(drift->exceeded_events(), 0u);
+}
+
+TEST(ShedPollutionTest, RepeatedShedsNeverTripTheDriftHook) {
+  std::unique_ptr<Mediator> med = SheddingMediator();
+  // Only s0 — the fast tier, availability 1.0. The flakier tiers can fail
+  // an admitted branch, which frees the 1-slot window mid-instant and lets
+  // a second branch through; pinning to the reliable tier keeps the
+  // one-admitted/three-shed arithmetic exact across all eight queries.
+  testbed::TopologyInfo info;
+  info.domains = {"s0"};
+
+  QueryOptions options;
+  options.use_optimizer = false;
+  options.record_statistics = true;
+  options.partial_results = true;
+  WarmEachDomain(med.get(), info, options);
+
+  uint64_t shed_total = 0;
+  for (uint64_t k = 0; k < 8; ++k) {
+    Result<QueryResult> res =
+        med->Query(testbed::TopologyQuery(info, k, /*fanout=*/4), options);
+    ASSERT_TRUE(res.ok()) << res.status();
+    shed_total += res->metrics.load_shed;
+  }
+  EXPECT_EQ(shed_total, 8u * 3u);
+  dcsm::DriftTracker* drift = med->drift_tracker();
+  ASSERT_NE(drift, nullptr);
+  // One honest observation per query; a whole run of shedding moved no
+  // EWMA and flagged no group.
+  EXPECT_EQ(drift->observations(), 8u);
+  EXPECT_EQ(drift->exceeded_events(), 0u);
+  EXPECT_TRUE(med->DriftReport().Exceeded().empty());
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,127 @@
+// Concurrency stress for the overload layer, built to run under
+// ThreadSanitizer in CI's chaos-tsan job. Per-query state (limiter
+// windows, latency rings, hedge budgets) lives on each thread's own
+// CallContext, so the shared surface under test is exactly what queries
+// share in production: the interceptor's metric instruments, the advisory
+// limit gauge, and the BrownoutController's windowed EWMA + level atomics
+// + transition hook.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "domain/overload.h"
+#include "domain/pipeline.h"
+#include "obs/metrics.h"
+
+namespace hermes::overload {
+namespace {
+
+DomainCall TheCall(int i) {
+  return DomainCall{"video", "frames", {Value::Int(i)}};
+}
+
+TEST(OverloadStressTest, SharedInterceptorAndLadderSurviveConcurrentQueries) {
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 400;
+
+  obs::MetricsRegistry registry;
+  auto brownout = std::make_shared<BrownoutController>([] {
+    BrownoutController::Options opt;
+    opt.window_events = 16;
+    opt.up_threshold = 0.3;
+    opt.down_threshold = 0.05;
+    opt.min_dwell_windows = 1;
+    return opt;
+  }());
+  brownout->BindMetrics(registry);
+  std::atomic<uint64_t> hook_fired{0};
+  brownout->set_transition_hook(
+      [&](int, int, double) { hook_fired.fetch_add(1); });
+
+  OverloadInterceptor governor("umd");
+  OverloadPolicy policy;
+  policy.limiter.enabled = true;
+  policy.limiter.initial_limit = 2.0;
+  policy.limiter.min_limit = 1.0;
+  policy.limiter.max_limit = 8.0;
+  policy.hedge.enabled = true;
+  policy.hedge.quantile = 0.5;
+  policy.hedge.min_samples = 2;
+  policy.hedge.budget_percent = 50.0;
+  policy.hedge.baseline_trigger_factor = 2.0;
+  governor.set_policy(policy);
+  governor.set_brownout(brownout);
+  governor.set_baseline([](const DomainCall&) { return 10.0; });
+  governor.set_hedge_route(
+      [](CallContext&, const DomainCall&) -> Result<CallOutput> {
+        CallOutput out;
+        out.answers = {Value::Int(2)};
+        out.first_ms = 2.0;
+        out.all_ms = 4.0;
+        return out;
+      });
+  governor.BindMetrics(registry, "video");
+
+  std::atomic<uint64_t> admitted{0}, shed{0}, failed{0};
+  auto worker = [&](int tid) {
+    CallContext ctx;
+    ctx.query_id = 100 + static_cast<uint64_t>(tid);
+    for (int i = 0; i < kCallsPerThread; ++i) {
+      // A mix of fast calls, stragglers (hedge triggers), hard failures
+      // (AIMD decrease + rescue), and same-instant bursts (limiter sheds).
+      const int shape = i % 5;
+      if (shape != 3) ctx.now_ms = 10.0 * i;  // shape 3 reuses the instant
+      auto next = [shape](CallContext& c,
+                          const DomainCall&) -> Result<CallOutput> {
+        if (shape == 4) {
+          c.last_failure_site = "umd";
+          c.last_failure_cause = "outage";
+          return Status::Unavailable("site 'umd' is down");
+        }
+        CallOutput out;
+        out.answers = {Value::Int(1)};
+        out.first_ms = 1.0;
+        out.all_ms = shape == 2 ? 100.0 : 8.0;
+        return out;
+      };
+      Result<CallOutput> run = governor.Intercept(ctx, TheCall(i), next);
+      if (run.ok()) {
+        admitted.fetch_add(1);
+      } else if (run.status().IsResourceExhausted()) {
+        shed.fetch_add(1);
+      } else {
+        failed.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  // Concurrent exposition races against every counter and the gauge.
+  for (int i = 0; i < 20; ++i) {
+    std::string prom = registry.ExposePrometheus();
+    EXPECT_NE(prom.find("hermes_overload_admitted_total"), std::string::npos);
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(admitted.load() + shed.load() + failed.load(),
+            static_cast<uint64_t>(kThreads) * kCallsPerThread);
+  EXPECT_GT(admitted.load(), 0u);
+  // The ladder saw every outcome; its level is a valid rung wherever the
+  // interleaving left it.
+  EXPECT_GE(brownout->level(), BrownoutController::kNormal);
+  EXPECT_LE(brownout->level(), BrownoutController::kShedLow);
+  EXPECT_EQ(brownout->transitions(), hook_fired.load());
+  std::string prom = registry.ExposePrometheus();
+  EXPECT_NE(prom.find("hermes_hedge_issued_total"), std::string::npos);
+  EXPECT_NE(prom.find("hermes_overload_brownout_level"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes::overload

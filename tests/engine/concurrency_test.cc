@@ -125,7 +125,8 @@ TEST(ConcurrencyTest, SubmitAfterShutdownFailsCleanly) {
   Result<QueryResult> res = pool->Submit(ObjectsQuery(47)).get();
   EXPECT_TRUE(res.status().IsFailedPrecondition());
   std::future<Result<QueryResult>> out;
-  EXPECT_FALSE(pool->TrySubmit(ObjectsQuery(47), {}, &out));
+  Status refused = pool->TrySubmit(ObjectsQuery(47), {}, &out);
+  EXPECT_TRUE(refused.IsFailedPrecondition()) << refused;
   EXPECT_GT(pool->stats().rejected, 0u);
 }
 

@@ -45,6 +45,12 @@ DEFAULT_REQUIRED = [
     "hermes_flight_events_total",
     "hermes_flight_events_dropped_total",
     "hermes_diag_captures_total",
+    "hermes_overload_admitted_total",
+    "hermes_overload_shed_total",
+    "hermes_overload_limit",
+    "hermes_hedge_issued_total",
+    "hermes_hedge_wins_total",
+    "hermes_hedge_cancelled_total",
     "hermes_resilience_retries_total",
     "hermes_resilience_breaker_shed_total",
     "hermes_resilience_breaker_transitions_total",
